@@ -1,0 +1,39 @@
+//! End-to-end query latency (discovery → planning → mapping → execution) for
+//! representative queries on both data lakes.
+
+use caesura_llm::ModelProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let artwork = caesura_bench::artwork_session(ModelProfile::Gpt4);
+    let rotowire = caesura_bench::rotowire_session(ModelProfile::Gpt4);
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("artwork_relational_count", |b| {
+        b.iter(|| artwork.query(black_box("How many paintings are in the museum?")).unwrap())
+    });
+    group.bench_function("artwork_figure1_plot", |b| {
+        b.iter(|| {
+            artwork
+                .query(black_box(
+                    "Plot the number of paintings depicting Madonna and Child for each century!",
+                ))
+                .unwrap()
+        })
+    });
+    group.bench_function("rotowire_figure4_query1", |b| {
+        b.iter(|| {
+            rotowire
+                .query(black_box(
+                    "For every team, what is the highest number of points they scored in a game?",
+                ))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the physical operators (relational and multi-modal)
+//! at several input cardinalities.
+
+use caesura_data::{generate_artwork, ArtworkConfig};
+use caesura_engine::{ops, sql, Expr};
+use caesura_modal::operators::{apply_python_udf, apply_visual_qa};
+use caesura_modal::{TransformCodegen, VisualQaModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators");
+    for &size in &[100usize, 1000] {
+        let data = generate_artwork(&ArtworkConfig {
+            num_paintings: size,
+            seed: 42,
+            madonna_probability: 0.25,
+        });
+        let catalog = data.lake.catalog().clone();
+        let metadata = catalog.table("paintings_metadata").unwrap().clone();
+        let images = catalog.table("painting_images").unwrap().clone();
+        let store = data.lake.images().clone();
+
+        group.bench_with_input(BenchmarkId::new("hash_join", size), &size, |b, _| {
+            b.iter(|| {
+                ops::hash_join(
+                    black_box(&metadata),
+                    black_box(&images),
+                    "img_path",
+                    "img_path",
+                    ops::JoinType::Inner,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("filter", size), &size, |b, _| {
+            let predicate = sql::parse_expression("movement = 'Baroque'").unwrap();
+            b.iter(|| ops::filter(black_box(&metadata), &predicate).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("aggregate_group_by", size), &size, |b, _| {
+            b.iter(|| {
+                sql::run_sql(
+                    black_box(&catalog),
+                    "SELECT movement, COUNT(*) AS n FROM paintings_metadata GROUP BY movement",
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("visual_qa", size), &size, |b, _| {
+            let model = VisualQaModel::new();
+            b.iter(|| {
+                apply_visual_qa(
+                    black_box(&images),
+                    &store,
+                    &model,
+                    "image",
+                    "num_swords",
+                    "How many swords are depicted?",
+                    caesura_engine::DataType::Int,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("python_udf_century", size), &size, |b, _| {
+            let codegen = TransformCodegen::new();
+            b.iter(|| {
+                apply_python_udf(
+                    black_box(&metadata),
+                    &codegen,
+                    "Extract the century from the dates in the 'inception' column",
+                    "century",
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sort", size), &size, |b, _| {
+            b.iter(|| {
+                ops::sort(
+                    black_box(&metadata),
+                    &[ops::SortKey::asc(Expr::col("title"))],
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

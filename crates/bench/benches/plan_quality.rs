@@ -1,0 +1,30 @@
+//! Plan-quality sweep: measures how long the full 48-query Table-1 evaluation
+//! takes per model profile (the wall-clock cost of regenerating the paper's
+//! evaluation) on a reduced data scale.
+
+use caesura_core::CaesuraConfig;
+use caesura_data::{ArtworkConfig, RotowireConfig};
+use caesura_eval::{evaluate_model, EvaluationConfig};
+use caesura_llm::ModelProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_plan_quality(c: &mut Criterion) {
+    let config = EvaluationConfig {
+        seed: 42,
+        artwork: ArtworkConfig::small(),
+        rotowire: RotowireConfig::small(),
+        caesura: CaesuraConfig::default(),
+    };
+    let mut group = c.benchmark_group("plan_quality");
+    group.sample_size(10);
+    group.bench_function("table1_gpt4_profile_48_queries", |b| {
+        b.iter(|| evaluate_model(ModelProfile::Gpt4, &config))
+    });
+    group.bench_function("table1_chatgpt35_profile_48_queries", |b| {
+        b.iter(|| evaluate_model(ModelProfile::ChatGpt35, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_quality);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Planning-phase latency: how long the simulated model takes to analyze a
+//! query and synthesize a logical plan, and how long plan-text parsing takes.
+
+use caesura_data::{generate_artwork, ArtworkConfig};
+use caesura_llm::{
+    analyze, synthesize, LlmClient, LogicalPlan, PromptBuilder, PromptContext, SimulatedLlm,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    let data = generate_artwork(&ArtworkConfig::default());
+    let builder = PromptBuilder::default();
+    let query = "Plot the number of paintings depicting Madonna and Child for each century!";
+    let prompt = builder.planning_prompt(data.lake.catalog(), query, &[]);
+    let llm = SimulatedLlm::gpt4();
+    let response = llm.complete(&prompt).unwrap();
+    let context = PromptContext::parse(&prompt);
+
+    let mut group = c.benchmark_group("planning");
+    group.bench_function("prompt_construction", |b| {
+        b.iter(|| builder.planning_prompt(black_box(data.lake.catalog()), black_box(query), &[]))
+    });
+    group.bench_function("prompt_context_parsing", |b| {
+        b.iter(|| PromptContext::parse(black_box(&prompt)))
+    });
+    group.bench_function("intent_analysis", |b| {
+        b.iter(|| analyze(black_box(query), black_box(&context.tables)))
+    });
+    group.bench_function("plan_synthesis", |b| {
+        let intent = analyze(query, &context.tables);
+        b.iter(|| synthesize(black_box(&intent), black_box(&context.tables)))
+    });
+    group.bench_function("full_planning_round_trip", |b| {
+        b.iter(|| llm.complete(black_box(&prompt)).unwrap())
+    });
+    group.bench_function("plan_text_parsing", |b| {
+        b.iter(|| LogicalPlan::parse(black_box(&response)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Ablation: few-shot examples in the planning prompt (§3.1) on vs off.
+
+use caesura_core::CaesuraConfig;
+use caesura_llm::ModelProfile;
+
+fn main() {
+    for (label, few_shot) in [("with few-shot examples", true), ("zero-shot planning", false)] {
+        let config = CaesuraConfig {
+            few_shot,
+            ..CaesuraConfig::default()
+        };
+        let report = caesura_bench::report_with_config(ModelProfile::Gpt4, config);
+        let (logical, physical) = report.accuracy(|_| true);
+        println!(
+            "{label:<24} logical {:>5.1}%   physical {:>5.1}%   ({} LLM calls)",
+            logical * 100.0,
+            physical * 100.0,
+            report.total_llm_calls()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 1 of the paper: the running example query
+//! "Plot the number of paintings depicting Madonna and Child for each
+//! century!" translated into a multi-modal plan and executed to a plot.
+
+use caesura_llm::ModelProfile;
+
+fn main() {
+    let session = caesura_bench::artwork_session(ModelProfile::Gpt4);
+    let query = "Plot the number of paintings depicting Madonna and Child for each century!";
+    println!("Query: {query}\n");
+    let run = session.run(query);
+    if let Some(plan) = &run.logical_plan {
+        println!("Logical plan:\n{}", plan.render());
+    }
+    println!("Physical plan:");
+    for decision in &run.decisions {
+        println!(
+            "  Step {}: {} ({})",
+            decision.step_number,
+            decision.operator.name(),
+            decision.arguments.join("; ")
+        );
+    }
+    match run.output {
+        Ok(output) => println!("\nOutput:\n{output}"),
+        Err(error) => println!("\nExecution failed: {error}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 2 of the paper: the multi-phase prompting pipeline
+//! (discovery → planning → mapping interleaved with execution), shown as the
+//! full execution trace of the running example query.
+
+use caesura_llm::ModelProfile;
+
+fn main() {
+    let session = caesura_bench::artwork_session(ModelProfile::Gpt4);
+    let run = session.run("Plot the number of paintings depicting Madonna and Child for each century!");
+    println!("{}", run.trace.render(false));
+}

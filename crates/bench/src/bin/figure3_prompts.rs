@@ -1,0 +1,40 @@
+//! Regenerates Figure 3 of the paper: the actual planning-phase and
+//! mapping-phase prompts CAESURA builds for the running example.
+
+use caesura_data::{generate_artwork, ArtworkConfig};
+use caesura_llm::{LogicalStep, PromptBuilder, RelevantColumn};
+
+fn main() {
+    let data = generate_artwork(&ArtworkConfig::default());
+    let builder = PromptBuilder::default();
+    let query = "Plot the number of paintings depicting Madonna and Child for each century!";
+    let relevant = vec![RelevantColumn {
+        table: "paintings_metadata".into(),
+        column: "inception".into(),
+        examples: data
+            .lake
+            .catalog()
+            .table("paintings_metadata")
+            .unwrap()
+            .example_values("inception", 3)
+            .unwrap(),
+    }];
+
+    println!("================ Planning Phase Prompt ================\n");
+    println!("{}", builder.planning_prompt(data.lake.catalog(), query, &relevant).render());
+
+    let step = LogicalStep::new(
+        1,
+        "Extract the century from the dates in the 'inception' column of the 'paintings_metadata' table.",
+        vec!["paintings_metadata".into()],
+        "paintings_metadata",
+        vec!["century".into()],
+    );
+    println!("\n================ Mapping Phase Prompt ================\n");
+    println!(
+        "{}",
+        builder
+            .mapping_prompt(data.lake.catalog(), &caesura_engine::Catalog::new(), query, &step, &relevant, &[], None)
+            .render()
+    );
+}

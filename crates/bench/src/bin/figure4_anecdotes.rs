@@ -1,0 +1,38 @@
+//! Regenerates Figure 4 of the paper: the two anecdote queries, their logical
+//! plans, physical plans (operators + arguments), and results.
+//!
+//! Query 1 (rotowire): "For every team, what is the highest number of points
+//! they scored in a game?"
+//! Query 2 (artwork): "Plot the maximum number of swords depicted on the
+//! paintings of each century."
+
+use caesura_core::QueryRun;
+use caesura_llm::ModelProfile;
+
+fn show(run: &QueryRun) {
+    println!("Query: {}\n", run.query);
+    if let Some(plan) = &run.logical_plan {
+        println!("Logical plan:\n{}", plan.render());
+    }
+    println!("Physical plan:");
+    for decision in &run.decisions {
+        println!(
+            "  Step {}: {} ({})",
+            decision.step_number,
+            decision.operator.name(),
+            decision.arguments.join("; ")
+        );
+    }
+    match &run.output {
+        Ok(output) => println!("\nResult:\n{output}"),
+        Err(error) => println!("\nExecution failed: {error}"),
+    }
+    println!("\n{}\n", "=".repeat(78));
+}
+
+fn main() {
+    let rotowire = caesura_bench::rotowire_session(ModelProfile::Gpt4);
+    show(&rotowire.run("For every team, what is the highest number of points they scored in a game?"));
+    let artwork = caesura_bench::artwork_session(ModelProfile::Gpt4);
+    show(&artwork.run("Plot the maximum number of swords depicted on the paintings of each century."));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 1 of the paper: plan-quality accuracy (logical /
+//! physical) per dataset, modality, and output format, for the ChatGPT-3.5 and
+//! GPT-4 simulated profiles.
+
+fn main() {
+    let reports = caesura_bench::default_reports();
+    println!("{}", caesura_eval::render_table1(&reports));
+    for report in &reports {
+        println!(
+            "{}: {} LLM round trips across the 48 queries",
+            report.model,
+            report.total_llm_calls()
+        );
+    }
+}

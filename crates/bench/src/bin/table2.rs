@@ -1,0 +1,11 @@
+//! Regenerates Table 2 of the paper: the number of planning / mapping mistakes
+//! per error category for both simulated model profiles.
+
+fn main() {
+    let reports = caesura_bench::default_reports();
+    println!("{}", caesura_eval::render_table2(&reports));
+    println!();
+    for report in &reports {
+        println!("{}", caesura_eval::render_per_query(report));
+    }
+}

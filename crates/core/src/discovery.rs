@@ -1,0 +1,222 @@
+//! The discovery phase: find the data sources and columns relevant to a query.
+//!
+//! Following §3.1 of the paper, discovery has two parts: a dense-retrieval
+//! step that narrows down the relevant tables and collections ("similar to
+//! Symphony"), and an LLM prompt that picks the relevant columns of the
+//! retrieved tables. The retrieval here is a TF-IDF bag-of-words cosine over
+//! the source descriptions — a faithful laptop-scale substitute for the dense
+//! retriever. The evaluation (like the paper's, §4.2) can also bypass
+//! retrieval entirely and assume perfect retrieval.
+
+use caesura_data::DataLake;
+use caesura_llm::RelevantColumn;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Scores data sources of a lake against a query with TF-IDF cosine similarity.
+#[derive(Debug, Clone)]
+pub struct Retriever {
+    /// `(source name, tokenized document)` pairs.
+    documents: Vec<(String, Vec<String>)>,
+    /// Document frequency per token.
+    document_frequency: BTreeMap<String, usize>,
+}
+
+impl Retriever {
+    /// Index the retrieval documents of a data lake.
+    pub fn index(lake: &DataLake) -> Self {
+        let documents: Vec<(String, Vec<String>)> = lake
+            .retrieval_documents()
+            .into_iter()
+            .map(|(name, text)| (name, tokenize(&text)))
+            .collect();
+        let mut document_frequency = BTreeMap::new();
+        for (_, tokens) in &documents {
+            let unique: BTreeSet<&String> = tokens.iter().collect();
+            for token in unique {
+                *document_frequency.entry(token.clone()).or_insert(0) += 1;
+            }
+        }
+        Retriever {
+            documents,
+            document_frequency,
+        }
+    }
+
+    /// Number of indexed sources.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Score every source against the query, highest first.
+    pub fn rank(&self, query: &str) -> Vec<(String, f64)> {
+        let query_tokens = tokenize(query);
+        let n = self.documents.len().max(1) as f64;
+        let mut scores: Vec<(String, f64)> = self
+            .documents
+            .iter()
+            .map(|(name, tokens)| {
+                let mut doc_tf: BTreeMap<&String, f64> = BTreeMap::new();
+                for token in tokens {
+                    *doc_tf.entry(token).or_insert(0.0) += 1.0;
+                }
+                let mut score = 0.0;
+                let mut doc_norm = 0.0;
+                for (token, tf) in &doc_tf {
+                    let df = self.document_frequency.get(*token).copied().unwrap_or(1) as f64;
+                    let idf = (1.0 + n / df).ln();
+                    let weight = tf * idf;
+                    doc_norm += weight * weight;
+                    if query_tokens.contains(token) {
+                        score += weight * idf;
+                    }
+                }
+                let normalized = if doc_norm > 0.0 {
+                    score / doc_norm.sqrt()
+                } else {
+                    0.0
+                };
+                (name.clone(), normalized)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scores
+    }
+
+    /// The top-`k` source names for a query (sources with zero score are kept
+    /// only if fewer than `k` sources scored above zero).
+    pub fn top_k(&self, query: &str, k: usize) -> Vec<String> {
+        let ranked = self.rank(query);
+        let positive: Vec<String> = ranked
+            .iter()
+            .filter(|(_, score)| *score > 0.0)
+            .map(|(name, _)| name.clone())
+            .take(k)
+            .collect();
+        if positive.len() >= k.min(ranked.len()) {
+            positive
+        } else {
+            ranked.into_iter().map(|(name, _)| name).take(k).collect()
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.len() > 1)
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+/// Compute the relevant columns of a lake for a query without an LLM call
+/// ("perfect retrieval" mode, used by the paper's evaluation): every column
+/// whose name is mentioned in the query, every date-like column when the query
+/// mentions years or centuries, the join-key and multi-modal columns when the
+/// query needs them, plus example values read from the data.
+pub fn lexical_relevant_columns(lake: &DataLake, query: &str, example_values: usize) -> Vec<RelevantColumn> {
+    let lower = query.to_lowercase();
+    let words: BTreeSet<String> = tokenize(&lower)
+        .into_iter()
+        .map(|w| singular(&w))
+        .collect();
+    let needs_dates = lower.contains("century") || lower.contains("year")
+        || lower.contains("earliest") || lower.contains("latest");
+    let needs_images =
+        lower.contains("depict") || lower.contains("image") || lower.contains("painting");
+    let needs_text = ["points", "score", "win", "won", "lose", "lost", "rebound", "assist", "game"]
+        .iter()
+        .any(|w| lower.contains(w));
+
+    let mut out = Vec::new();
+    for table in lake.catalog().tables() {
+        for field in table.schema().fields() {
+            let name = field.name.to_lowercase();
+            let mentioned = words.contains(&singular(&name));
+            let date_like = needs_dates
+                && (name.contains("inception") || name.contains("date") || name.contains("year")
+                    || name.contains("founded"));
+            let modality = (needs_images && field.data_type == caesura_engine::DataType::Image)
+                || (needs_text && field.data_type == caesura_engine::DataType::Text);
+            let join_key = (needs_images || needs_text)
+                && (name == "img_path" || name == "game_id" || name == "name");
+            if mentioned || date_like || modality || join_key {
+                let examples = table
+                    .example_values(&field.name, example_values)
+                    .unwrap_or_default();
+                out.push(RelevantColumn {
+                    table: table.name().to_string(),
+                    column: field.name.clone(),
+                    examples,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn singular(word: &str) -> String {
+    caesura_llm::intent::singular(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
+
+    #[test]
+    fn retrieval_ranks_image_collection_high_for_depiction_queries() {
+        let lake = generate_artwork(&ArtworkConfig::small()).lake;
+        let retriever = Retriever::index(&lake);
+        assert_eq!(retriever.len(), 2);
+        let top = retriever.top_k("Which paintings depict swords in their images?", 2);
+        assert!(top.contains(&"painting_images".to_string()));
+        assert!(top.contains(&"paintings_metadata".to_string()));
+    }
+
+    #[test]
+    fn retrieval_ranks_reports_high_for_score_queries() {
+        let lake = generate_rotowire(&RotowireConfig::small()).lake;
+        let retriever = Retriever::index(&lake);
+        let ranked = retriever.rank("How many points did the Heat score in their game reports?");
+        assert_eq!(ranked.len(), 4);
+        let reports_rank = ranked
+            .iter()
+            .position(|(name, _)| name == "game_reports")
+            .unwrap();
+        assert!(reports_rank <= 1, "game_reports ranked at {reports_rank}");
+    }
+
+    #[test]
+    fn lexical_relevance_includes_inception_and_image_for_figure1_query() {
+        let lake = generate_artwork(&ArtworkConfig::small()).lake;
+        let columns = lexical_relevant_columns(
+            &lake,
+            "Plot the number of paintings depicting Madonna and Child for each century!",
+            3,
+        );
+        let names: Vec<String> = columns
+            .iter()
+            .map(|c| format!("{}.{}", c.table, c.column))
+            .collect();
+        assert!(names.contains(&"paintings_metadata.inception".to_string()));
+        assert!(names.contains(&"painting_images.image".to_string()));
+        // Example values are attached.
+        let inception = columns
+            .iter()
+            .find(|c| c.column == "inception")
+            .unwrap();
+        assert!(!inception.examples.is_empty());
+    }
+
+    #[test]
+    fn lexical_relevance_is_narrow_for_relational_queries() {
+        let lake = generate_rotowire(&RotowireConfig::small()).lake;
+        let columns = lexical_relevant_columns(&lake, "How many teams are in the Eastern conference?", 3);
+        assert!(columns.iter().any(|c| c.column == "conference"));
+        assert!(!columns.iter().any(|c| c.column == "report"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the CAESURA core.
+
+use caesura_engine::EngineError;
+use caesura_llm::LlmError;
+use caesura_modal::ModalError;
+use std::fmt;
+
+/// Result alias for the core crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The relational engine failed.
+    Engine(EngineError),
+    /// A multi-modal operator failed.
+    Modal(ModalError),
+    /// The language model failed or produced unparseable output.
+    Llm(LlmError),
+    /// The plan could not be executed even after error recovery.
+    PlanFailed {
+        /// The step that ultimately failed.
+        step: usize,
+        /// Description of that step.
+        step_description: String,
+        /// The last error message.
+        message: String,
+        /// How many recovery attempts were made.
+        attempts: usize,
+    },
+    /// The planning phase produced an empty or unusable plan.
+    PlanningFailed {
+        /// Why planning failed.
+        message: String,
+    },
+    /// The discovery phase found no relevant data for the query.
+    NoRelevantData {
+        /// The query that could not be grounded.
+        query: String,
+    },
+    /// An operator decision referenced a table that does not exist.
+    MissingInput {
+        /// The table that was not found.
+        table: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::Modal(e) => write!(f, "{e}"),
+            CoreError::Llm(e) => write!(f, "{e}"),
+            CoreError::PlanFailed {
+                step,
+                step_description,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "step {step} ('{step_description}') could not be executed after {attempts} attempt(s): {message}"
+            ),
+            CoreError::PlanningFailed { message } => {
+                write!(f, "the planning phase failed: {message}")
+            }
+            CoreError::NoRelevantData { query } => {
+                write!(f, "no relevant data sources were found for the query '{query}'")
+            }
+            CoreError::MissingInput { table } => {
+                write!(f, "the plan references table '{table}' which has not been produced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<ModalError> for CoreError {
+    fn from(e: ModalError) -> Self {
+        CoreError::Modal(e)
+    }
+}
+
+impl From<LlmError> for CoreError {
+    fn from(e: LlmError) -> Self {
+        CoreError::Llm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: CoreError = EngineError::execution("boom").into();
+        assert!(matches!(err, CoreError::Engine(_)));
+        let err: CoreError = ModalError::TransformRuntime {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(matches!(err, CoreError::Modal(_)));
+        let err: CoreError = LlmError::MalformedPrompt {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(matches!(err, CoreError::Llm(_)));
+        let err = CoreError::PlanFailed {
+            step: 3,
+            step_description: "Select rows".into(),
+            message: "unknown column".into(),
+            attempts: 2,
+        };
+        let text = err.to_string();
+        assert!(text.contains("step 3"));
+        assert!(text.contains("2 attempt"));
+    }
+}

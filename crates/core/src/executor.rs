@@ -1,0 +1,417 @@
+//! Physical-operator execution against a data lake.
+//!
+//! The executor owns the intermediate state of one query: the base catalog of
+//! the lake, the scratch catalog of tables produced by executed steps, and the
+//! simulated perception models. Each [`OperatorDecision`] is executed
+//! immediately after the mapping phase decides it (interleaved execution,
+//! §3.1), and returns an observation string that is fed back into the next
+//! mapping prompt.
+
+use crate::error::{CoreError, CoreResult};
+use caesura_engine::{sql, Catalog, Table};
+use caesura_llm::{LogicalStep, OperatorDecision};
+use caesura_modal::operators::{
+    apply_image_select, apply_plot, apply_python_udf, apply_text_qa, apply_visual_qa,
+    parse_result_dtype,
+};
+use caesura_modal::{
+    ImageSelectModel, ImageStore, OperatorKind, Plot, TextQaModel, TransformCodegen, VisualQaModel,
+};
+
+/// The result of executing one physical step.
+#[derive(Debug, Clone)]
+pub enum StepOutcome {
+    /// A (possibly new) table was produced and registered under `name`.
+    Table {
+        /// Name the result was registered under.
+        name: String,
+        /// The observation text describing the result to the LLM.
+        observation: String,
+        /// Number of rows of the result.
+        num_rows: usize,
+    },
+    /// A plot was produced (terminal step).
+    Plot {
+        /// The plot.
+        plot: Plot,
+        /// The table the plot was rendered from.
+        table: Table,
+    },
+}
+
+impl StepOutcome {
+    /// The observation string fed back to the mapping prompt.
+    pub fn observation(&self) -> String {
+        match self {
+            StepOutcome::Table { observation, .. } => observation.clone(),
+            StepOutcome::Plot { plot, .. } => format!(
+                "A {} plot with '{}' on the X-axis and '{}' on the Y-axis has been produced.",
+                plot.spec.kind.name(),
+                plot.spec.x_column,
+                plot.spec.y_column
+            ),
+        }
+    }
+}
+
+/// Executes physical operators and tracks intermediate tables.
+pub struct Executor {
+    base: Catalog,
+    intermediate: Catalog,
+    images: ImageStore,
+    visual_qa: VisualQaModel,
+    text_qa: TextQaModel,
+    image_select: ImageSelectModel,
+    codegen: TransformCodegen,
+    /// The most recently produced table name.
+    last_output: Option<String>,
+}
+
+impl Executor {
+    /// Create an executor over a lake's catalog and image store.
+    pub fn new(base: Catalog, images: ImageStore) -> Self {
+        Executor {
+            base,
+            intermediate: Catalog::new(),
+            images,
+            visual_qa: VisualQaModel::new(),
+            text_qa: TextQaModel::new(),
+            image_select: ImageSelectModel::new(),
+            codegen: TransformCodegen::new(),
+            last_output: None,
+        }
+    }
+
+    /// Replace the perception models (e.g. to attach a noise model).
+    pub fn with_models(
+        mut self,
+        visual_qa: VisualQaModel,
+        text_qa: TextQaModel,
+        image_select: ImageSelectModel,
+    ) -> Self {
+        self.visual_qa = visual_qa;
+        self.text_qa = text_qa;
+        self.image_select = image_select;
+        self
+    }
+
+    /// The catalog of intermediate tables produced so far (used to render the
+    /// mapping prompt's "intermediate tables" section).
+    pub fn intermediate(&self) -> &Catalog {
+        &self.intermediate
+    }
+
+    /// The base catalog of the data lake.
+    pub fn base(&self) -> &Catalog {
+        &self.base
+    }
+
+    /// The most recently produced table, if any.
+    pub fn last_table(&self) -> Option<&Table> {
+        let name = self.last_output.as_ref()?;
+        self.intermediate.table(name).ok()
+    }
+
+    /// Reset the intermediate state (used when CAESURA backtracks to the
+    /// planning phase after an unrecoverable error).
+    pub fn reset(&mut self) {
+        self.intermediate = Catalog::new();
+        self.last_output = None;
+    }
+
+    /// Base and intermediate tables merged into one catalog for SQL execution.
+    fn combined(&self) -> Catalog {
+        let mut combined = self.base.clone();
+        for table in self.intermediate.tables() {
+            combined.register(table.clone());
+        }
+        combined
+    }
+
+    /// Resolve an input table by name, searching intermediate tables first.
+    fn input_table(&self, name: &str) -> CoreResult<Table> {
+        if let Ok(table) = self.intermediate.table(name) {
+            return Ok(table.clone());
+        }
+        if let Ok(table) = self.base.table(name) {
+            return Ok(table.clone());
+        }
+        // Fall back to the most recent output (plans sometimes refer to the
+        // "current" table by a stale name).
+        if let Some(table) = self.last_table() {
+            return Ok(table.clone());
+        }
+        Err(CoreError::MissingInput {
+            table: name.to_string(),
+        })
+    }
+
+    fn step_input(&self, step: &LogicalStep) -> CoreResult<Table> {
+        match step.inputs.first() {
+            Some(name) => self.input_table(name),
+            None => self.last_table().cloned().ok_or(CoreError::MissingInput {
+                table: "(no input specified)".to_string(),
+            }),
+        }
+    }
+
+    fn register_result(&mut self, step: &LogicalStep, table: Table, new_columns: &[String]) -> StepOutcome {
+        let name = if step.output.is_empty() || step.output == "plot" {
+            format!("step_{}_result", step.number)
+        } else {
+            step.output.clone()
+        };
+        let table = table.renamed(name.clone());
+        let observation = table.observation(new_columns);
+        let num_rows = table.num_rows();
+        self.intermediate.register(table);
+        self.last_output = Some(name.clone());
+        StepOutcome::Table {
+            name,
+            observation,
+            num_rows,
+        }
+    }
+
+    /// Execute one operator decision for one logical step.
+    pub fn execute(&mut self, step: &LogicalStep, decision: &OperatorDecision) -> CoreResult<StepOutcome> {
+        let args = &decision.arguments;
+        let expect_args = |n: usize| -> CoreResult<()> {
+            if args.len() < n {
+                Err(CoreError::Modal(caesura_modal::ModalError::InvalidArguments {
+                    operator: decision.operator.name().to_string(),
+                    message: format!("expected at least {n} argument(s), got {}", args.len()),
+                }))
+            } else {
+                Ok(())
+            }
+        };
+        match decision.operator {
+            OperatorKind::SqlJoin | OperatorKind::SqlAggregation | OperatorKind::Sql => {
+                expect_args(1)?;
+                let result = sql::run_sql(&self.combined(), &args[0])?;
+                Ok(self.register_result(step, result, &step.new_columns))
+            }
+            OperatorKind::SqlSelection => {
+                expect_args(1)?;
+                let input = self.step_input(step)?;
+                // The argument is either a bare condition or a full SELECT.
+                let result = if args[0].trim().to_uppercase().starts_with("SELECT") {
+                    sql::run_sql(&self.combined(), &args[0])?
+                } else {
+                    let condition = sql::parse_expression(&args[0])?;
+                    caesura_engine::ops::filter(&input, &condition)?
+                };
+                Ok(self.register_result(step, result, &[]))
+            }
+            OperatorKind::VisualQa => {
+                expect_args(3)?;
+                let input = self.step_input(step)?;
+                let dtype = parse_result_dtype(args.get(3).map(String::as_str).unwrap_or("str"));
+                let result = apply_visual_qa(
+                    &input,
+                    &self.images,
+                    &self.visual_qa,
+                    &args[0],
+                    &args[1],
+                    &args[2],
+                    dtype,
+                )?;
+                Ok(self.register_result(step, result, &[args[1].clone()]))
+            }
+            OperatorKind::TextQa => {
+                expect_args(3)?;
+                let input = self.step_input(step)?;
+                let dtype = parse_result_dtype(args.get(3).map(String::as_str).unwrap_or("str"));
+                let result = apply_text_qa(
+                    &input,
+                    &self.text_qa,
+                    &args[0],
+                    &args[1],
+                    &args[2],
+                    dtype,
+                )?;
+                Ok(self.register_result(step, result, &[args[1].clone()]))
+            }
+            OperatorKind::ImageSelect => {
+                expect_args(2)?;
+                let input = self.step_input(step)?;
+                let result =
+                    apply_image_select(&input, &self.images, &self.image_select, &args[0], &args[1])?;
+                Ok(self.register_result(step, result, &[]))
+            }
+            OperatorKind::PythonUdf => {
+                expect_args(2)?;
+                let input = self.step_input(step)?;
+                let result = apply_python_udf(&input, &self.codegen, &args[0], &args[1])?;
+                Ok(self.register_result(step, result, &[args[1].clone()]))
+            }
+            OperatorKind::Plot => {
+                expect_args(3)?;
+                let input = self.step_input(step)?;
+                let plot = apply_plot(&input, &args[0], &args[1], &args[2])?;
+                Ok(StepOutcome::Plot { plot, table: input })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesura_data::{generate_artwork, ArtworkConfig};
+    use caesura_llm::LogicalStep;
+
+    fn executor() -> Executor {
+        let data = generate_artwork(&ArtworkConfig::small());
+        Executor::new(data.lake.catalog().clone(), data.lake.images().clone())
+    }
+
+    fn step(number: usize, description: &str, inputs: Vec<&str>, output: &str, new: Vec<&str>) -> LogicalStep {
+        LogicalStep::new(
+            number,
+            description,
+            inputs.into_iter().map(String::from).collect(),
+            output,
+            new.into_iter().map(String::from).collect(),
+        )
+    }
+
+    fn decision(op: OperatorKind, args: Vec<&str>) -> OperatorDecision {
+        OperatorDecision {
+            step_number: 1,
+            reasoning: String::new(),
+            operator: op,
+            arguments: args.into_iter().map(String::from).collect(),
+        }
+    }
+
+    #[test]
+    fn figure4_query2_pipeline_executes_end_to_end() {
+        let mut executor = executor();
+        // Step 1: join.
+        let outcome = executor
+            .execute(
+                &step(1, "Join", vec!["paintings_metadata", "painting_images"], "joined_table", vec![]),
+                &decision(
+                    OperatorKind::SqlJoin,
+                    vec!["SELECT * FROM paintings_metadata JOIN painting_images ON paintings_metadata.img_path = painting_images.img_path"],
+                ),
+            )
+            .unwrap();
+        assert!(matches!(outcome, StepOutcome::Table { ref name, .. } if name == "joined_table"));
+
+        // Step 2: VisualQA sword count.
+        let outcome = executor
+            .execute(
+                &step(2, "Extract swords", vec!["joined_table"], "joined_table", vec!["num_swords"]),
+                &decision(
+                    OperatorKind::VisualQa,
+                    vec!["image", "num_swords", "How many swords are depicted?", "int"],
+                ),
+            )
+            .unwrap();
+        assert!(outcome.observation().contains("num_swords"));
+
+        // Step 3: Python century.
+        executor
+            .execute(
+                &step(3, "Extract century", vec!["joined_table"], "joined_table", vec!["century"]),
+                &decision(
+                    OperatorKind::PythonUdf,
+                    vec!["Extract the century from the dates in the 'inception' column", "century"],
+                ),
+            )
+            .unwrap();
+
+        // Step 4: aggregation.
+        executor
+            .execute(
+                &step(4, "Aggregate", vec!["joined_table"], "result_table", vec!["max_num_swords"]),
+                &decision(
+                    OperatorKind::SqlAggregation,
+                    vec!["SELECT century, MAX(num_swords) AS max_num_swords FROM joined_table GROUP BY century"],
+                ),
+            )
+            .unwrap();
+
+        // Step 5: plot.
+        let outcome = executor
+            .execute(
+                &step(5, "Plot", vec!["result_table"], "plot", vec![]),
+                &decision(OperatorKind::Plot, vec!["bar", "century", "max_num_swords"]),
+            )
+            .unwrap();
+        match outcome {
+            StepOutcome::Plot { plot, table } => {
+                assert!(!plot.points.is_empty());
+                assert!(table.schema().contains("max_num_swords"));
+            }
+            _ => panic!("expected a plot outcome"),
+        }
+    }
+
+    #[test]
+    fn selection_accepts_bare_conditions_and_observes_row_counts() {
+        let mut executor = executor();
+        let outcome = executor
+            .execute(
+                &step(1, "Select", vec!["paintings_metadata"], "filtered", vec![]),
+                &decision(OperatorKind::SqlSelection, vec!["movement = 'Baroque'"]),
+            )
+            .unwrap();
+        match outcome {
+            StepOutcome::Table { name, num_rows, .. } => {
+                assert_eq!(name, "filtered");
+                assert!(num_rows < 40);
+            }
+            _ => panic!("expected a table"),
+        }
+    }
+
+    #[test]
+    fn missing_tables_and_bad_arguments_produce_descriptive_errors() {
+        let mut executor = executor();
+        let err = executor
+            .execute(
+                &step(1, "Select", vec!["nonexistent_table"], "x", vec![]),
+                &decision(OperatorKind::SqlSelection, vec!["a = 1"]),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("nonexistent_table"));
+
+        let err = executor
+            .execute(
+                &step(1, "Plot", vec!["paintings_metadata"], "plot", vec![]),
+                &decision(OperatorKind::Plot, vec!["bar"]),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("argument"));
+
+        let err = executor
+            .execute(
+                &step(1, "VQA", vec!["paintings_metadata"], "x", vec!["n"]),
+                &decision(
+                    OperatorKind::VisualQa,
+                    vec!["title", "n", "How many swords are depicted?", "int"],
+                ),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("IMAGE"));
+    }
+
+    #[test]
+    fn reset_clears_intermediate_state() {
+        let mut executor = executor();
+        executor
+            .execute(
+                &step(1, "Select", vec!["paintings_metadata"], "filtered", vec![]),
+                &decision(OperatorKind::SqlSelection, vec!["genre = 'portrait'"]),
+            )
+            .unwrap();
+        assert!(executor.last_table().is_some());
+        executor.reset();
+        assert!(executor.last_table().is_none());
+        assert!(executor.intermediate().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # caesura-core
+//!
+//! The CAESURA system itself: Language-Model-Driven Query Planning over
+//! multi-modal data lakes (CIDR 2024).
+//!
+//! A [`Caesura`] session wraps a [`DataLake`](caesura_data::DataLake) and an
+//! [`LlmClient`](caesura_llm::LlmClient) and answers natural-language queries
+//! by running the three phases of the paper: **discovery** (retrieval +
+//! column relevance), **planning** (a step-wise logical plan generated from a
+//! prompt), and **mapping interleaved with execution** (each step is mapped to
+//! a physical operator, executed immediately, and the observation is fed back
+//! into the next mapping prompt). Execution errors trigger the error-analysis
+//! prompt of §3.2, which decides whether to retry the step with corrected
+//! arguments or to backtrack to the planning phase.
+//!
+//! ```
+//! use caesura_core::Caesura;
+//! use caesura_data::{generate_artwork, ArtworkConfig};
+//! use caesura_llm::SimulatedLlm;
+//! use std::sync::Arc;
+//!
+//! let data = generate_artwork(&ArtworkConfig::small());
+//! let caesura = Caesura::new(data.lake, Arc::new(SimulatedLlm::gpt4()));
+//! let output = caesura.query("How many paintings are in the museum?").unwrap();
+//! assert_eq!(output.kind(), "value");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod discovery;
+pub mod error;
+pub mod executor;
+pub mod output;
+pub mod session;
+pub mod trace;
+
+pub use discovery::{lexical_relevant_columns, Retriever};
+pub use error::{CoreError, CoreResult};
+pub use executor::{Executor, StepOutcome};
+pub use output::QueryOutput;
+pub use session::{Caesura, CaesuraConfig, QueryRun};
+pub use trace::{ExecutionTrace, Phase, TraceEvent};

@@ -1,0 +1,114 @@
+//! Query outputs: "the result for user queries in our system can range from
+//! single values, over tables, to even a plot" (§1 of the paper).
+
+use caesura_engine::{Table, Value};
+use caesura_modal::Plot;
+use std::fmt;
+
+/// The final answer of a CAESURA query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// A single scalar value.
+    Value(Value),
+    /// A result table.
+    Table(Table),
+    /// A plot of the result table (the table it was built from is retained for
+    /// inspection and grading).
+    Plot {
+        /// The rendered plot.
+        plot: Plot,
+        /// The table the plot was produced from.
+        table: Table,
+    },
+}
+
+impl QueryOutput {
+    /// Build the output from the final result table, collapsing 1×1 tables to
+    /// a single value.
+    pub fn from_table(table: Table) -> QueryOutput {
+        if table.num_rows() == 1 && table.num_columns() == 1 {
+            QueryOutput::Value(table.cell(0, 0).cloned().unwrap_or(Value::Null))
+        } else {
+            QueryOutput::Table(table)
+        }
+    }
+
+    /// The output kind as a short label ("value" / "table" / "plot").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryOutput::Value(_) => "value",
+            QueryOutput::Table(_) => "table",
+            QueryOutput::Plot { .. } => "plot",
+        }
+    }
+
+    /// The scalar value, if the output is a single value.
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            QueryOutput::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The result table backing this output (also available for plots).
+    pub fn table(&self) -> Option<&Table> {
+        match self {
+            QueryOutput::Table(t) => Some(t),
+            QueryOutput::Plot { table, .. } => Some(table),
+            QueryOutput::Value(_) => None,
+        }
+    }
+
+    /// The plot, if the output is a plot.
+    pub fn plot(&self) -> Option<&Plot> {
+        match self {
+            QueryOutput::Plot { plot, .. } => Some(plot),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QueryOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryOutput::Value(v) => write!(f, "{v}"),
+            QueryOutput::Table(t) => write!(f, "{}", t.pretty(20)),
+            QueryOutput::Plot { plot, .. } => write!(f, "{}", plot.render_text()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesura_engine::{DataType, Schema, TableBuilder};
+
+    #[test]
+    fn single_cell_tables_collapse_to_values() {
+        let schema = Schema::from_pairs(&[("n", DataType::Int)]);
+        let mut b = TableBuilder::new("result", schema);
+        b.push_row(vec![Value::Int(42)]).unwrap();
+        let output = QueryOutput::from_table(b.build());
+        assert_eq!(output.kind(), "value");
+        assert_eq!(output.as_value(), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn multi_row_tables_stay_tables() {
+        let schema = Schema::from_pairs(&[("n", DataType::Int)]);
+        let mut b = TableBuilder::new("result", schema);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        b.push_row(vec![Value::Int(2)]).unwrap();
+        let output = QueryOutput::from_table(b.build());
+        assert_eq!(output.kind(), "table");
+        assert_eq!(output.table().unwrap().num_rows(), 2);
+        assert!(output.as_value().is_none());
+        assert!(output.plot().is_none());
+    }
+
+    #[test]
+    fn display_renders_each_kind() {
+        let output = QueryOutput::Value(Value::str("yes"));
+        assert_eq!(output.to_string(), "yes");
+    }
+}

@@ -1,0 +1,541 @@
+//! The CAESURA session: the public entry point that ties discovery, planning,
+//! mapping, interleaved execution, and error recovery together (Figure 2 of
+//! the paper).
+
+use crate::discovery::{lexical_relevant_columns, Retriever};
+use crate::error::{CoreError, CoreResult};
+use crate::executor::{Executor, StepOutcome};
+use crate::output::QueryOutput;
+use crate::trace::{ExecutionTrace, Phase};
+use caesura_data::DataLake;
+use caesura_engine::Catalog;
+use caesura_llm::{
+    Conversation, ErrorAnalysis, LlmClient, LogicalPlan, LogicalStep, OperatorDecision,
+    PromptBuilder, PromptConfig, RelevantColumn,
+};
+use std::sync::Arc;
+
+/// Configuration of a CAESURA session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaesuraConfig {
+    /// Include few-shot examples in the planning prompt (§3.1).
+    pub few_shot: bool,
+    /// Interleave mapping and execution (§3.1). When disabled, all operator
+    /// decisions are made up front without observations — the ablation studied
+    /// by the `ablation_interleaving` benchmark.
+    pub interleaved: bool,
+    /// Use the LLM discovery prompt to pick relevant columns. When disabled
+    /// (the paper's evaluation setting) relevance is computed lexically,
+    /// emulating perfect retrieval.
+    pub llm_discovery: bool,
+    /// How many tables dense retrieval keeps for the planner.
+    pub retrieval_top_k: usize,
+    /// Example values per relevant column shown in prompts.
+    pub example_values: usize,
+    /// Maximum execution attempts per step (1 = no error recovery).
+    pub max_step_attempts: usize,
+    /// Maximum full replans after an unrecoverable error.
+    pub max_replans: usize,
+}
+
+impl Default for CaesuraConfig {
+    fn default() -> Self {
+        CaesuraConfig {
+            few_shot: true,
+            interleaved: true,
+            llm_discovery: false,
+            retrieval_top_k: 4,
+            example_values: 3,
+            max_step_attempts: 3,
+            max_replans: 1,
+        }
+    }
+}
+
+/// The outcome of running one query end to end, including everything the
+/// evaluation needs to grade the run.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// The query text.
+    pub query: String,
+    /// The logical plan produced by the planning phase (if planning succeeded).
+    pub logical_plan: Option<LogicalPlan>,
+    /// The operator decisions, in execution order.
+    pub decisions: Vec<OperatorDecision>,
+    /// The final output, or the error that stopped execution.
+    pub output: Result<QueryOutput, CoreError>,
+    /// The execution trace.
+    pub trace: ExecutionTrace,
+}
+
+impl QueryRun {
+    /// Whether the query executed to completion.
+    pub fn succeeded(&self) -> bool {
+        self.output.is_ok()
+    }
+}
+
+/// A CAESURA session over one data lake and one language model.
+pub struct Caesura {
+    lake: DataLake,
+    llm: Arc<dyn LlmClient>,
+    config: CaesuraConfig,
+    prompts: PromptBuilder,
+    retriever: Retriever,
+}
+
+impl Caesura {
+    /// Create a session with the default configuration.
+    pub fn new(lake: DataLake, llm: Arc<dyn LlmClient>) -> Self {
+        Caesura::with_config(lake, llm, CaesuraConfig::default())
+    }
+
+    /// Create a session with an explicit configuration.
+    pub fn with_config(lake: DataLake, llm: Arc<dyn LlmClient>, config: CaesuraConfig) -> Self {
+        let prompts = PromptBuilder::new(PromptConfig {
+            few_shot: config.few_shot,
+            example_values: config.example_values,
+        });
+        let retriever = Retriever::index(&lake);
+        Caesura {
+            lake,
+            llm,
+            config,
+            prompts,
+            retriever,
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &CaesuraConfig {
+        &self.config
+    }
+
+    /// The data lake this session queries.
+    pub fn lake(&self) -> &DataLake {
+        &self.lake
+    }
+
+    /// Answer a natural-language query, returning only the output.
+    pub fn query(&self, query: &str) -> CoreResult<QueryOutput> {
+        self.run(query).output
+    }
+
+    /// Answer a natural-language query, returning the full run record.
+    pub fn run(&self, query: &str) -> QueryRun {
+        let mut trace = ExecutionTrace::new();
+        let mut decisions = Vec::new();
+        let mut logical_plan = None;
+        let output = self.run_inner(query, &mut trace, &mut logical_plan, &mut decisions);
+        QueryRun {
+            query: query.to_string(),
+            logical_plan,
+            decisions,
+            output,
+            trace,
+        }
+    }
+
+    fn complete(&self, conversation: &Conversation, trace: &mut ExecutionTrace, phase: Phase) -> CoreResult<String> {
+        trace.record(phase, "prompt", conversation.render());
+        trace.record_llm_call(conversation.approx_tokens());
+        let response = self.llm.complete(conversation)?;
+        trace.record(phase, "response", response.clone());
+        Ok(response)
+    }
+
+    fn run_inner(
+        &self,
+        query: &str,
+        trace: &mut ExecutionTrace,
+        logical_plan_out: &mut Option<LogicalPlan>,
+        decisions_out: &mut Vec<OperatorDecision>,
+    ) -> CoreResult<QueryOutput> {
+        // ---- Discovery phase -------------------------------------------------
+        let (catalog, relevant_columns) = self.discover(query, trace)?;
+
+        // ---- Planning phase (with optional replans after failures) ----------
+        let mut replans = 0usize;
+        let mut planning_note: Option<String> = None;
+        loop {
+            let plan = self.plan(query, &catalog, &relevant_columns, planning_note.as_deref(), trace)?;
+            *logical_plan_out = Some(plan.clone());
+
+            // ---- Mapping phase + interleaved execution ----------------------
+            match self.map_and_execute(query, &catalog, &relevant_columns, &plan, decisions_out, trace) {
+                Ok(output) => return Ok(output),
+                Err((error, replan_requested)) => {
+                    if replan_requested && replans < self.config.max_replans {
+                        replans += 1;
+                        planning_note = Some(format!(
+                            "A previous plan failed with the error: {error}. Produce a corrected plan."
+                        ));
+                        trace.record(Phase::Recovery, "replan", format!("attempt {replans}: {error}"));
+                        decisions_out.clear();
+                        continue;
+                    }
+                    return Err(error);
+                }
+            }
+        }
+    }
+
+    fn discover(
+        &self,
+        query: &str,
+        trace: &mut ExecutionTrace,
+    ) -> CoreResult<(Catalog, Vec<RelevantColumn>)> {
+        // Dense-retrieval substitute: keep the top-k sources.
+        let top = self.retriever.top_k(query, self.config.retrieval_top_k);
+        trace.record(Phase::Discovery, "retrieved", top.join(", "));
+        if top.is_empty() {
+            return Err(CoreError::NoRelevantData {
+                query: query.to_string(),
+            });
+        }
+        let mut catalog = Catalog::new();
+        for name in &top {
+            if let Ok(table) = self.lake.catalog().table(name) {
+                catalog.register(table.clone());
+            }
+        }
+        for fk in self.lake.catalog().foreign_keys() {
+            if catalog.contains(&fk.from_table) && catalog.contains(&fk.to_table) {
+                catalog.add_foreign_key(fk.clone());
+            }
+        }
+
+        let relevant_columns = if self.config.llm_discovery {
+            let prompt = self.prompts.discovery_prompt(&catalog, query);
+            let response = self.complete(&prompt, trace, Phase::Discovery)?;
+            self.parse_relevant_response(&response, &catalog)
+        } else {
+            lexical_relevant_columns(&self.lake, query, self.config.example_values)
+        };
+        trace.record(
+            Phase::Discovery,
+            "relevant-columns",
+            relevant_columns
+                .iter()
+                .map(|c| format!("{}.{}", c.table, c.column))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        Ok((catalog, relevant_columns))
+    }
+
+    fn parse_relevant_response(&self, response: &str, catalog: &Catalog) -> Vec<RelevantColumn> {
+        let mut out = Vec::new();
+        for line in response.lines() {
+            let Some(rest) = line.trim().strip_prefix("Relevant:") else { continue };
+            let Some((table, column)) = rest.trim().split_once('.') else { continue };
+            let (table, column) = (table.trim().to_string(), column.trim().to_string());
+            let examples = catalog
+                .table(&table)
+                .and_then(|t| t.example_values(&column, self.config.example_values))
+                .unwrap_or_default();
+            out.push(RelevantColumn {
+                table,
+                column,
+                examples,
+            });
+        }
+        out
+    }
+
+    fn plan(
+        &self,
+        query: &str,
+        catalog: &Catalog,
+        relevant_columns: &[RelevantColumn],
+        note: Option<&str>,
+        trace: &mut ExecutionTrace,
+    ) -> CoreResult<LogicalPlan> {
+        let query_with_note = match note {
+            Some(note) => format!("{query} ({note})"),
+            None => query.to_string(),
+        };
+        let prompt = self
+            .prompts
+            .planning_prompt(catalog, &query_with_note, relevant_columns);
+        let response = self.complete(&prompt, trace, Phase::Planning)?;
+        let plan = LogicalPlan::parse(&response).map_err(|e| CoreError::PlanningFailed {
+            message: e.to_string(),
+        })?;
+        if plan.is_empty() {
+            return Err(CoreError::PlanningFailed {
+                message: "the planning phase returned an empty plan".into(),
+            });
+        }
+        trace.record(Phase::Planning, "plan", plan.render());
+        Ok(plan)
+    }
+
+    /// Map every step to an operator and execute it. Returns the final output,
+    /// or `(error, replan_requested)` on failure.
+    #[allow(clippy::type_complexity)]
+    fn map_and_execute(
+        &self,
+        query: &str,
+        catalog: &Catalog,
+        relevant_columns: &[RelevantColumn],
+        plan: &LogicalPlan,
+        decisions_out: &mut Vec<OperatorDecision>,
+        trace: &mut ExecutionTrace,
+    ) -> Result<QueryOutput, (CoreError, bool)> {
+        let mut executor = Executor::new(self.lake.catalog().clone(), self.lake.images().clone());
+        let mut observations: Vec<String> = Vec::new();
+        let mut last_outcome: Option<StepOutcome> = None;
+
+        // Non-interleaved ablation: decide every operator before executing any.
+        let predecided: Option<Vec<OperatorDecision>> = if self.config.interleaved {
+            None
+        } else {
+            let mut all = Vec::new();
+            for step in &plan.steps {
+                let decision = self
+                    .decide_step(query, catalog, &Catalog::new(), relevant_columns, step, &[], None, trace)
+                    .map_err(|e| (e, false))?;
+                all.push(decision);
+            }
+            Some(all)
+        };
+
+        for (index, step) in plan.steps.iter().enumerate() {
+            let mut attempt = 0usize;
+            let mut error_note: Option<String> = None;
+            loop {
+                attempt += 1;
+                let decision = match &predecided {
+                    Some(all) => all[index].clone(),
+                    None => self
+                        .decide_step(
+                            query,
+                            catalog,
+                            executor.intermediate(),
+                            relevant_columns,
+                            step,
+                            &observations,
+                            error_note.as_deref(),
+                            trace,
+                        )
+                        .map_err(|e| (e, false))?,
+                };
+                trace.record(
+                    Phase::Mapping,
+                    "decision",
+                    format!(
+                        "Step {}: {} ({})",
+                        step.number,
+                        decision.operator.name(),
+                        decision.arguments.join("; ")
+                    ),
+                );
+
+                match executor.execute(step, &decision) {
+                    Ok(outcome) => {
+                        let observation = outcome.observation();
+                        trace.record(Phase::Execution, "observation", observation.clone());
+                        observations.push(observation);
+                        decisions_out.push(decision);
+                        last_outcome = Some(outcome);
+                        break;
+                    }
+                    Err(error) => {
+                        trace.record(Phase::Execution, "error", error.to_string());
+                        decisions_out.push(decision.clone());
+                        if attempt >= self.config.max_step_attempts {
+                            return Err((
+                                CoreError::PlanFailed {
+                                    step: step.number,
+                                    step_description: step.description.clone(),
+                                    message: error.to_string(),
+                                    attempts: attempt,
+                                },
+                                false,
+                            ));
+                        }
+                        // Error recovery (§3.2): ask the model what went wrong.
+                        let analysis = self
+                            .analyze_error(query, plan, step, &decision, &error, trace)
+                            .map_err(|e| (e, false))?;
+                        if analysis.should_replan() {
+                            return Err((
+                                CoreError::PlanFailed {
+                                    step: step.number,
+                                    step_description: step.description.clone(),
+                                    message: error.to_string(),
+                                    attempts: attempt,
+                                },
+                                true,
+                            ));
+                        }
+                        error_note = Some(format!(
+                            "The error was: {error}. {}",
+                            analysis.fix
+                        ));
+                    }
+                }
+            }
+        }
+
+        match last_outcome {
+            Some(StepOutcome::Plot { plot, table }) => Ok(QueryOutput::Plot { plot, table }),
+            Some(StepOutcome::Table { name, .. }) => {
+                let table = executor
+                    .intermediate()
+                    .table(&name)
+                    .cloned()
+                    .map_err(|e| (CoreError::Engine(e), false))?;
+                Ok(QueryOutput::from_table(table))
+            }
+            None => Err((
+                CoreError::PlanningFailed {
+                    message: "the plan contained no executable steps".into(),
+                },
+                false,
+            )),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decide_step(
+        &self,
+        query: &str,
+        catalog: &Catalog,
+        intermediate: &Catalog,
+        relevant_columns: &[RelevantColumn],
+        step: &LogicalStep,
+        observations: &[String],
+        error_note: Option<&str>,
+        trace: &mut ExecutionTrace,
+    ) -> CoreResult<OperatorDecision> {
+        let prompt = self.prompts.mapping_prompt(
+            catalog,
+            intermediate,
+            query,
+            step,
+            relevant_columns,
+            observations,
+            error_note,
+        );
+        let response = self.complete(&prompt, trace, Phase::Mapping)?;
+        Ok(OperatorDecision::parse(&response)?)
+    }
+
+    fn analyze_error(
+        &self,
+        query: &str,
+        plan: &LogicalPlan,
+        step: &LogicalStep,
+        decision: &OperatorDecision,
+        error: &CoreError,
+        trace: &mut ExecutionTrace,
+    ) -> CoreResult<ErrorAnalysis> {
+        let prompt = self.prompts.error_prompt(
+            query,
+            &plan.render(),
+            &format!("Step {}: {}", step.number, step.description),
+            &format!(
+                "Operator: {}, Arguments: ({})",
+                decision.operator.name(),
+                decision.arguments.join("; ")
+            ),
+            &error.to_string(),
+        );
+        let response = self.complete(&prompt, trace, Phase::Recovery)?;
+        let analysis = ErrorAnalysis::parse(&response)?;
+        trace.record(Phase::Recovery, "analysis", analysis.render());
+        Ok(analysis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
+    use caesura_engine::Value;
+    use caesura_llm::SimulatedLlm;
+
+    fn artwork_session() -> Caesura {
+        let data = generate_artwork(&ArtworkConfig::small());
+        Caesura::new(data.lake, Arc::new(SimulatedLlm::gpt4()))
+    }
+
+    #[test]
+    fn figure1_query_runs_end_to_end_and_produces_a_plot() {
+        let session = artwork_session();
+        let run = session.run("Plot the number of paintings depicting Madonna and Child for each century!");
+        let output = run.output.expect("the figure-1 query should execute");
+        assert_eq!(output.kind(), "plot");
+        let plot = output.plot().unwrap();
+        assert_eq!(plot.spec.x_column, "century");
+        assert!(run.logical_plan.unwrap().len() >= 5);
+        assert!(run.trace.llm_calls() >= 6);
+    }
+
+    #[test]
+    fn simple_count_query_returns_a_single_value() {
+        let session = artwork_session();
+        let data = generate_artwork(&ArtworkConfig::small());
+        let output = session.query("How many paintings are in the museum?").unwrap();
+        assert_eq!(output.kind(), "value");
+        assert_eq!(
+            output.as_value().unwrap(),
+            &Value::Int(data.records.len() as i64)
+        );
+    }
+
+    #[test]
+    fn figure4_query1_returns_one_row_per_team_with_correct_maxima() {
+        let data = generate_rotowire(&RotowireConfig::small());
+        let session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+        let output = session
+            .query("For every team, what is the highest number of points they scored in a game?")
+            .unwrap();
+        let table = output.table().expect("expected a table output").clone();
+        // Every team that played at least one game appears with its ground-truth maximum.
+        for row in table.rows() {
+            let team = row[0].as_str().unwrap().to_string();
+            let reported = row[1].as_int().unwrap();
+            let expected = data.max_points_of(&team).unwrap();
+            assert_eq!(reported, expected, "wrong maximum for {team}");
+        }
+    }
+
+    #[test]
+    fn non_interleaved_mode_still_answers_relational_queries() {
+        let data = generate_rotowire(&RotowireConfig::small());
+        let config = CaesuraConfig {
+            interleaved: false,
+            ..CaesuraConfig::default()
+        };
+        let session = Caesura::with_config(data.lake, Arc::new(SimulatedLlm::gpt4()), config);
+        let output = session
+            .query("For each conference, how many teams are there?")
+            .unwrap();
+        assert_eq!(output.kind(), "table");
+        assert_eq!(output.table().unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn llm_discovery_mode_runs() {
+        let data = generate_artwork(&ArtworkConfig::small());
+        let config = CaesuraConfig {
+            llm_discovery: true,
+            ..CaesuraConfig::default()
+        };
+        let session = Caesura::with_config(data.lake, Arc::new(SimulatedLlm::gpt4()), config);
+        let run = session.run("How many paintings belong to the Impressionism movement?");
+        assert!(run.succeeded(), "failed: {:?}", run.output.err());
+    }
+
+    #[test]
+    fn run_records_a_full_trace() {
+        let session = artwork_session();
+        let run = session.run("How many paintings depict a horse?");
+        assert!(run.trace.events_of(Phase::Planning).len() >= 2);
+        assert!(!run.trace.events_of(Phase::Mapping).is_empty());
+        assert!(run.trace.prompt_tokens() > 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Execution traces: a readable record of every phase, prompt, response,
+//! decision, observation, and recovery attempt of one query.
+//!
+//! The trace is what the `figure2_pipeline` binary prints to reproduce the
+//! multi-phase prompting picture of the paper, and what the evaluation crate
+//! inspects to categorize errors (Table 2).
+
+use std::fmt;
+
+/// The phase a trace event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Data discovery (retrieval + column relevance).
+    Discovery,
+    /// Logical-plan generation.
+    Planning,
+    /// Operator mapping (one event per step).
+    Mapping,
+    /// Operator execution.
+    Execution,
+    /// Error analysis / recovery.
+    Recovery,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Discovery => "Discovery",
+            Phase::Planning => "Planning",
+            Phase::Mapping => "Mapping",
+            Phase::Execution => "Execution",
+            Phase::Recovery => "Recovery",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One event of the execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Which phase produced the event.
+    pub phase: Phase,
+    /// Short label ("prompt", "response", "decision", "observation", "error", ...).
+    pub label: String,
+    /// The event payload (prompt text, observation text, error message, ...).
+    pub detail: String,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    events: Vec<TraceEvent>,
+    llm_calls: usize,
+    prompt_tokens: usize,
+}
+
+impl ExecutionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ExecutionTrace::default()
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, phase: Phase, label: impl Into<String>, detail: impl Into<String>) {
+        self.events.push(TraceEvent {
+            phase,
+            label: label.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Record one LLM round trip of approximately `tokens` prompt tokens.
+    pub fn record_llm_call(&mut self, tokens: usize) {
+        self.llm_calls += 1;
+        self.prompt_tokens += tokens;
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one phase.
+    pub fn events_of(&self, phase: Phase) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.phase == phase).collect()
+    }
+
+    /// Number of LLM round trips.
+    pub fn llm_calls(&self) -> usize {
+        self.llm_calls
+    }
+
+    /// Approximate prompt tokens sent across all round trips.
+    pub fn prompt_tokens(&self) -> usize {
+        self.prompt_tokens
+    }
+
+    /// Number of execution errors recorded.
+    pub fn error_count(&self) -> usize {
+        self.events.iter().filter(|e| e.label == "error").count()
+    }
+
+    /// Whether any recovery (error-analysis) round trip happened.
+    pub fn recovered(&self) -> bool {
+        self.events.iter().any(|e| e.phase == Phase::Recovery)
+    }
+
+    /// Render the trace as indented text, optionally including full prompts.
+    pub fn render(&self, include_prompts: bool) -> String {
+        let mut out = String::new();
+        let mut current_phase: Option<Phase> = None;
+        for event in &self.events {
+            if current_phase != Some(event.phase) {
+                out.push_str(&format!("== {} Phase ==\n", event.phase));
+                current_phase = Some(event.phase);
+            }
+            if !include_prompts && (event.label == "prompt" || event.label == "response") {
+                let preview: String = event.detail.chars().take(120).collect();
+                out.push_str(&format!("  [{}] {}...\n", event.label, preview.replace('\n', " ")));
+            } else {
+                out.push_str(&format!("  [{}] {}\n", event.label, event.detail));
+            }
+        }
+        out.push_str(&format!(
+            "== Totals: {} LLM call(s), ~{} prompt tokens, {} execution error(s) ==\n",
+            self.llm_calls,
+            self.prompt_tokens,
+            self.error_count()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for ExecutionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_recorded_and_grouped_by_phase() {
+        let mut trace = ExecutionTrace::new();
+        trace.record(Phase::Planning, "prompt", "You are CAESURA ...");
+        trace.record(Phase::Planning, "response", "Step 1: ...");
+        trace.record(Phase::Mapping, "decision", "Operator: SQL Join");
+        trace.record(Phase::Execution, "observation", "New column added");
+        trace.record_llm_call(250);
+        trace.record_llm_call(100);
+        assert_eq!(trace.events().len(), 4);
+        assert_eq!(trace.events_of(Phase::Planning).len(), 2);
+        assert_eq!(trace.llm_calls(), 2);
+        assert_eq!(trace.prompt_tokens(), 350);
+        assert!(!trace.recovered());
+    }
+
+    #[test]
+    fn error_counting_and_rendering() {
+        let mut trace = ExecutionTrace::new();
+        trace.record(Phase::Execution, "error", "unknown column 'x'");
+        trace.record(Phase::Recovery, "analysis", "Update arguments: Yes");
+        assert_eq!(trace.error_count(), 1);
+        assert!(trace.recovered());
+        let rendered = trace.render(false);
+        assert!(rendered.contains("Execution Phase"));
+        assert!(rendered.contains("Recovery Phase"));
+        assert!(rendered.contains("unknown column"));
+    }
+
+    #[test]
+    fn long_prompts_are_truncated_unless_requested() {
+        let mut trace = ExecutionTrace::new();
+        let long = "word ".repeat(200);
+        trace.record(Phase::Planning, "prompt", long.clone());
+        assert!(trace.render(false).len() < long.len());
+        assert!(trace.render(true).contains(&long));
+    }
+}

@@ -1,0 +1,154 @@
+//! Name pools used by the synthetic data generators.
+//!
+//! Kept in one place so the artwork and rotowire generators stay readable and
+//! so tests can assert that pools do not produce ambiguous names (a team name
+//! must never be a substring of another team or player name, otherwise the
+//! simulated TextQA reader could attribute a statistic to the wrong subject).
+
+/// Painting title fragments (combined into titles like "Madonna of the Grove").
+pub const TITLE_SUBJECTS: &[&str] = &[
+    "Madonna", "Irises", "The Scream", "Starry Night", "The Kiss", "Liberty", "The Hunters",
+    "Venus", "Saint George", "The Tower", "Composition", "Nocturne", "The Bridge", "Sunflowers",
+    "The Harvest", "Judith", "The Storm", "Lady", "Knight", "Allegory",
+];
+
+/// Painting title suffixes.
+pub const TITLE_SUFFIXES: &[&str] = &[
+    "of the Grove", "in Blue", "at Dusk", "with Child", "of Delft", "in Winter", "by the Sea",
+    "of the Rocks", "in the Garden", "at the Window", "of the North", "with Swords",
+    "in the Meadow", "of the Annunciation", "at Dawn", "with a Pearl",
+];
+
+/// Artist names (synthetic, loosely old-masters flavoured).
+pub const ARTISTS: &[&str] = &[
+    "Giovanni Alberti", "Pieter van Hoorn", "Clara Moreau", "Diego Navarro", "Anna Lindqvist",
+    "Matthias Keller", "Sofia Rinaldi", "Jan de Witte", "Elena Petrova", "Lucas Brandt",
+    "Isabella Conti", "Henrik Dahl",
+];
+
+/// Art movements (paired loosely with centuries by the generator).
+pub const MOVEMENTS: &[&str] = &[
+    "Renaissance", "Baroque", "Rococo", "Romanticism", "Realism", "Impressionism",
+    "Expressionism", "Cubism", "Surrealism",
+];
+
+/// Painting genres.
+pub const GENRES: &[&str] = &[
+    "religious art", "portrait", "landscape", "still life", "history painting", "genre painting",
+    "mythological painting",
+];
+
+/// Entities that can be depicted in a painting (besides Madonna and Child).
+pub const DEPICTABLE_OBJECTS: &[&str] = &[
+    "sword", "horse", "dog", "angel", "tree", "flower", "crown", "ship", "bird", "book",
+    "skull", "apple", "violin", "candle",
+];
+
+/// Dominant colours used as image attributes.
+pub const COLORS: &[&str] = &["red", "blue", "gold", "green", "ochre", "grey"];
+
+/// NBA-flavoured team nicknames. These are the values of the `name` column of
+/// the `teams` table, and the subjects of TextQA questions.
+pub const TEAM_NAMES: &[&str] = &[
+    "Heat", "Spurs", "Bulls", "Lakers", "Celtics", "Warriors", "Hawks", "Nets", "Knicks",
+    "Suns", "Jazz", "Magic", "Kings", "Pistons", "Rockets", "Thunder", "Raptors", "Mavericks",
+    "Nuggets", "Clippers", "Grizzlies", "Pelicans", "Wizards", "Bucks",
+];
+
+/// Home cities paired positionally with [`TEAM_NAMES`].
+pub const TEAM_CITIES: &[&str] = &[
+    "Miami", "San Antonio", "Chicago", "Los Angeles", "Boston", "Golden State", "Atlanta",
+    "Brooklyn", "New York", "Phoenix", "Utah", "Orlando", "Sacramento", "Detroit", "Houston",
+    "Oklahoma City", "Toronto", "Dallas", "Denver", "Los Angeles", "Memphis", "New Orleans",
+    "Washington", "Milwaukee",
+];
+
+/// Division names per conference.
+pub const DIVISIONS: &[&str] = &[
+    "Atlantic", "Central", "Southeast", "Northwest", "Pacific", "Southwest",
+];
+
+/// Player first names.
+pub const PLAYER_FIRST_NAMES: &[&str] = &[
+    "Marcus", "Jalen", "Devin", "Tyrese", "Andre", "Luka", "Nikola", "Giannis", "Trae",
+    "Damian", "Victor", "Jaylen", "Kawhi", "Zion", "Darius", "Malik", "Jordan", "Aaron",
+];
+
+/// Player last names (deliberately disjoint from team nicknames).
+pub const PLAYER_LAST_NAMES: &[&str] = &[
+    "Johnson", "Williams", "Carter", "Mitchell", "Brunson", "Porter", "Edwards", "Murray",
+    "Holiday", "Barnes", "Ingram", "Maxey", "Garland", "Sexton", "Bridges", "Allen", "White",
+    "Quickley",
+];
+
+/// Player nationalities.
+pub const NATIONALITIES: &[&str] = &[
+    "USA", "Canada", "France", "Germany", "Serbia", "Greece", "Australia", "Spain", "Slovenia",
+    "Nigeria",
+];
+
+/// Player positions.
+pub const POSITIONS: &[&str] = &["Guard", "Forward", "Center"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn team_names_and_cities_are_aligned_and_unique() {
+        assert_eq!(TEAM_NAMES.len(), TEAM_CITIES.len());
+        for (i, a) in TEAM_NAMES.iter().enumerate() {
+            for (j, b) in TEAM_NAMES.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "duplicate team name {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn team_names_are_never_substrings_of_each_other() {
+        for (i, a) in TEAM_NAMES.iter().enumerate() {
+            for (j, b) in TEAM_NAMES.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.to_lowercase().contains(&b.to_lowercase()),
+                        "{a} contains {b}; TextQA subject matching would be ambiguous"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn player_names_do_not_collide_with_team_names() {
+        for last in PLAYER_LAST_NAMES {
+            for team in TEAM_NAMES {
+                assert!(
+                    !last.to_lowercase().contains(&team.to_lowercase()),
+                    "player last name {last} contains team name {team}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pools_are_non_empty() {
+        for pool in [
+            TITLE_SUBJECTS,
+            TITLE_SUFFIXES,
+            ARTISTS,
+            MOVEMENTS,
+            GENRES,
+            DEPICTABLE_OBJECTS,
+            COLORS,
+            DIVISIONS,
+            PLAYER_FIRST_NAMES,
+            PLAYER_LAST_NAMES,
+            NATIONALITIES,
+            POSITIONS,
+        ] {
+            assert!(!pool.is_empty());
+        }
+    }
+}

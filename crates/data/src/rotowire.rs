@@ -1,0 +1,484 @@
+//! The synthetic rotowire data lake (tables + text).
+//!
+//! The paper's second dataset extends the rotowire corpus of basketball game
+//! reports with two Wikidata-derived tables: a `teams` table (name, conference,
+//! division, ...) and a `players` table (name, height, nationality, ...), §4.
+//! This generator creates a deterministic synthetic equivalent:
+//!
+//! * `teams(name, city, conference, division, founded)`
+//! * `players(name, team, height_cm, nationality, position)`
+//! * `team_to_games(name, game_id)` — which teams played in which game,
+//! * `game_reports(game_id, report)` — the textual reports (TEXT column),
+//!   generated from per-game ground-truth statistics so that the simulated
+//!   TextQA reader can extract them and the evaluation can check answers.
+
+use crate::lake::DataLake;
+use crate::names;
+use caesura_engine::{DataType, ForeignKey, Schema, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the rotowire generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotowireConfig {
+    /// Number of teams (max 24, the size of the name pool).
+    pub num_teams: usize,
+    /// Number of players generated per team.
+    pub players_per_team: usize,
+    /// Number of games.
+    pub num_games: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RotowireConfig {
+    fn default() -> Self {
+        RotowireConfig {
+            num_teams: 12,
+            players_per_team: 5,
+            num_games: 60,
+            seed: 42,
+        }
+    }
+}
+
+impl RotowireConfig {
+    /// A small configuration for fast unit tests.
+    pub fn small() -> Self {
+        RotowireConfig {
+            num_teams: 6,
+            players_per_team: 3,
+            num_games: 12,
+            seed: 7,
+        }
+    }
+}
+
+/// Ground-truth record for one team.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeamRecord {
+    /// Team nickname (`Heat`, `Spurs`, ...), primary key of the teams table.
+    pub name: String,
+    /// Home city.
+    pub city: String,
+    /// Conference (`Eastern` / `Western`).
+    pub conference: String,
+    /// Division.
+    pub division: String,
+    /// Founding year.
+    pub founded: i64,
+}
+
+/// Ground-truth record for one player.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlayerRecord {
+    /// Full player name.
+    pub name: String,
+    /// The team the player belongs to.
+    pub team: String,
+    /// Height in centimetres.
+    pub height_cm: i64,
+    /// Nationality.
+    pub nationality: String,
+    /// Position.
+    pub position: String,
+}
+
+/// One player's statistics in one game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlayerLine {
+    /// Player name.
+    pub name: String,
+    /// The player's team.
+    pub team: String,
+    /// Points scored.
+    pub points: i64,
+    /// Rebounds grabbed.
+    pub rebounds: i64,
+    /// Assists dished.
+    pub assists: i64,
+}
+
+/// Ground-truth record for one game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameRecord {
+    /// Game identifier.
+    pub game_id: i64,
+    /// Home team nickname.
+    pub home: String,
+    /// Away team nickname.
+    pub away: String,
+    /// Points scored by the home team.
+    pub home_points: i64,
+    /// Points scored by the away team.
+    pub away_points: i64,
+    /// Per-player statistics for a few featured players of this game.
+    pub player_lines: Vec<PlayerLine>,
+}
+
+impl GameRecord {
+    /// The winning team (reports never contain ties).
+    pub fn winner(&self) -> &str {
+        if self.home_points > self.away_points {
+            &self.home
+        } else {
+            &self.away
+        }
+    }
+
+    /// The losing team.
+    pub fn loser(&self) -> &str {
+        if self.home_points > self.away_points {
+            &self.away
+        } else {
+            &self.home
+        }
+    }
+
+    /// Points scored by a team in this game, if it participated.
+    pub fn points_of(&self, team: &str) -> Option<i64> {
+        if team == self.home {
+            Some(self.home_points)
+        } else if team == self.away {
+            Some(self.away_points)
+        } else {
+            None
+        }
+    }
+
+    /// Render the textual game report fed into the `game_reports` table.
+    pub fn render_report(&self, city_of: impl Fn(&str) -> String) -> String {
+        let winner = self.winner();
+        let loser = self.loser();
+        let (winner_points, loser_points) = (
+            self.points_of(winner).expect("winner played"),
+            self.points_of(loser).expect("loser played"),
+        );
+        let mut sentences = vec![format!(
+            "The {} {} defeated the {} {} {}-{}.",
+            city_of(winner),
+            winner,
+            city_of(loser),
+            loser,
+            winner_points,
+            loser_points
+        )];
+        sentences.push(format!(
+            "The {winner} scored {winner_points} points while the {loser} scored {loser_points} points."
+        ));
+        for line in &self.player_lines {
+            sentences.push(format!(
+                "{} of the {} scored {} points, grabbed {} rebounds and dished {} assists.",
+                line.name, line.team, line.points, line.rebounds, line.assists
+            ));
+        }
+        sentences.join(" ")
+    }
+}
+
+/// The generated rotowire dataset: data lake plus ground truth.
+#[derive(Debug, Clone)]
+pub struct RotowireData {
+    /// The multi-modal data lake registered for CAESURA.
+    pub lake: DataLake,
+    /// Team ground truth.
+    pub teams: Vec<TeamRecord>,
+    /// Player ground truth.
+    pub players: Vec<PlayerRecord>,
+    /// Game ground truth (one entry per report).
+    pub games: Vec<GameRecord>,
+}
+
+impl RotowireData {
+    /// The city of a team (empty string if unknown).
+    pub fn city_of(&self, team: &str) -> String {
+        self.teams
+            .iter()
+            .find(|t| t.name == team)
+            .map(|t| t.city.clone())
+            .unwrap_or_default()
+    }
+
+    /// Highest number of points a team scored in any of its games
+    /// (the ground truth of Figure 4 Query 1).
+    pub fn max_points_of(&self, team: &str) -> Option<i64> {
+        self.games
+            .iter()
+            .filter_map(|g| g.points_of(team))
+            .max()
+    }
+
+    /// Number of games a team lost (the "hard query" of §4.3).
+    pub fn losses_of(&self, team: &str) -> i64 {
+        self.games.iter().filter(|g| g.loser() == team).count() as i64
+    }
+}
+
+/// Generate the rotowire lake.
+pub fn generate_rotowire(config: &RotowireConfig) -> RotowireData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let num_teams = config.num_teams.clamp(2, names::TEAM_NAMES.len());
+
+    // Teams.
+    let mut teams = Vec::with_capacity(num_teams);
+    for i in 0..num_teams {
+        teams.push(TeamRecord {
+            name: names::TEAM_NAMES[i].to_string(),
+            city: names::TEAM_CITIES[i].to_string(),
+            conference: if i % 2 == 0 { "Eastern" } else { "Western" }.to_string(),
+            division: names::DIVISIONS[i % names::DIVISIONS.len()].to_string(),
+            founded: rng.gen_range(1946..=1995),
+        });
+    }
+
+    // Players.
+    let mut players = Vec::with_capacity(num_teams * config.players_per_team);
+    let mut name_counter = 0usize;
+    for team in &teams {
+        for _ in 0..config.players_per_team {
+            let first = names::PLAYER_FIRST_NAMES[name_counter % names::PLAYER_FIRST_NAMES.len()];
+            let last = names::PLAYER_LAST_NAMES
+                [(name_counter / names::PLAYER_FIRST_NAMES.len() + name_counter)
+                    % names::PLAYER_LAST_NAMES.len()];
+            name_counter += 1;
+            players.push(PlayerRecord {
+                name: format!("{first} {last}"),
+                team: team.name.clone(),
+                height_cm: rng.gen_range(180..=225),
+                nationality: names::NATIONALITIES[rng.gen_range(0..names::NATIONALITIES.len())]
+                    .to_string(),
+                position: names::POSITIONS[rng.gen_range(0..names::POSITIONS.len())].to_string(),
+            });
+        }
+    }
+
+    // Games and reports.
+    let mut games = Vec::with_capacity(config.num_games);
+    for game_id in 1..=config.num_games as i64 {
+        let home_idx = rng.gen_range(0..num_teams);
+        let mut away_idx = rng.gen_range(0..num_teams);
+        while away_idx == home_idx {
+            away_idx = rng.gen_range(0..num_teams);
+        }
+        let home = teams[home_idx].name.clone();
+        let away = teams[away_idx].name.clone();
+        let mut home_points = rng.gen_range(82..=128);
+        let mut away_points = rng.gen_range(82..=128);
+        if home_points == away_points {
+            // Reports never describe ties; nudge the home team.
+            home_points += 1;
+        }
+        let mut player_lines = Vec::new();
+        for team_name in [&home, &away] {
+            let team_players: Vec<&PlayerRecord> =
+                players.iter().filter(|p| &p.team == team_name).collect();
+            for player in team_players.iter().take(2) {
+                player_lines.push(PlayerLine {
+                    name: player.name.clone(),
+                    team: team_name.clone(),
+                    points: rng.gen_range(4..=38),
+                    rebounds: rng.gen_range(0..=15),
+                    assists: rng.gen_range(0..=12),
+                });
+            }
+        }
+        let _ = &mut home_points;
+        let _ = &mut away_points;
+        games.push(GameRecord {
+            game_id,
+            home,
+            away,
+            home_points,
+            away_points,
+            player_lines,
+        });
+    }
+
+    let data = RotowireData {
+        lake: DataLake::new("rotowire"),
+        teams,
+        players,
+        games,
+    };
+    let lake = build_lake(&data);
+    RotowireData { lake, ..data }
+}
+
+fn build_lake(data: &RotowireData) -> DataLake {
+    let mut lake = DataLake::new("rotowire");
+
+    let teams_schema = Schema::from_pairs(&[
+        ("name", DataType::Str),
+        ("city", DataType::Str),
+        ("conference", DataType::Str),
+        ("division", DataType::Str),
+        ("founded", DataType::Int),
+    ]);
+    let mut teams = TableBuilder::new("teams", teams_schema);
+    for t in &data.teams {
+        teams
+            .push_row(vec![
+                Value::str(&t.name),
+                Value::str(&t.city),
+                Value::str(&t.conference),
+                Value::str(&t.division),
+                Value::Int(t.founded),
+            ])
+            .expect("team row matches schema");
+    }
+
+    let players_schema = Schema::from_pairs(&[
+        ("name", DataType::Str),
+        ("team", DataType::Str),
+        ("height_cm", DataType::Int),
+        ("nationality", DataType::Str),
+        ("position", DataType::Str),
+    ]);
+    let mut players = TableBuilder::new("players", players_schema);
+    for p in &data.players {
+        players
+            .push_row(vec![
+                Value::str(&p.name),
+                Value::str(&p.team),
+                Value::Int(p.height_cm),
+                Value::str(&p.nationality),
+                Value::str(&p.position),
+            ])
+            .expect("player row matches schema");
+    }
+
+    let ttg_schema = Schema::from_pairs(&[("name", DataType::Str), ("game_id", DataType::Int)]);
+    let mut team_to_games = TableBuilder::new("team_to_games", ttg_schema);
+    let reports_schema =
+        Schema::from_pairs(&[("game_id", DataType::Int), ("report", DataType::Text)]);
+    let mut reports = TableBuilder::new("game_reports", reports_schema);
+    for game in &data.games {
+        for team in [&game.home, &game.away] {
+            team_to_games
+                .push_row(vec![Value::str(team), Value::Int(game.game_id)])
+                .expect("team_to_games row matches schema");
+        }
+        let report = game.render_report(|team| data.city_of(team));
+        reports
+            .push_row(vec![Value::Int(game.game_id), Value::text(report)])
+            .expect("report row matches schema");
+    }
+
+    lake.add_table(
+        teams.build(),
+        "General information about every basketball team: nickname, home city, conference, \
+         division and founding year",
+    );
+    lake.add_table(
+        players.build(),
+        "General information about every player: name, team, height, nationality and position",
+    );
+    lake.add_table(
+        team_to_games.build(),
+        "Which teams participated in which game (two rows per game)",
+    );
+    lake.add_table(
+        reports.build(),
+        "Textual game reports of basketball games, containing the final score and important \
+         statistics of players and teams that participated in each game",
+    );
+    lake.add_foreign_key(ForeignKey::new("players", "team", "teams", "name"));
+    lake.add_foreign_key(ForeignKey::new("team_to_games", "name", "teams", "name"));
+    lake.add_foreign_key(ForeignKey::new(
+        "team_to_games",
+        "game_id",
+        "game_reports",
+        "game_id",
+    ));
+    lake
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesura_modal::TextQaModel;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_rotowire(&RotowireConfig::small());
+        let b = generate_rotowire(&RotowireConfig::small());
+        assert_eq!(a.games, b.games);
+        assert_eq!(a.teams, b.teams);
+        assert_eq!(a.players, b.players);
+    }
+
+    #[test]
+    fn lake_contains_all_four_sources() {
+        let config = RotowireConfig::small();
+        let data = generate_rotowire(&config);
+        let catalog = data.lake.catalog();
+        assert_eq!(catalog.table("teams").unwrap().num_rows(), config.num_teams);
+        assert_eq!(
+            catalog.table("players").unwrap().num_rows(),
+            config.num_teams * config.players_per_team
+        );
+        assert_eq!(
+            catalog.table("team_to_games").unwrap().num_rows(),
+            config.num_games * 2
+        );
+        assert_eq!(
+            catalog.table("game_reports").unwrap().num_rows(),
+            config.num_games
+        );
+    }
+
+    #[test]
+    fn reports_never_describe_ties_and_mention_both_teams() {
+        let data = generate_rotowire(&RotowireConfig::small());
+        for game in &data.games {
+            assert_ne!(game.home_points, game.away_points);
+            let report = game.render_report(|t| data.city_of(t));
+            assert!(report.contains(&game.home));
+            assert!(report.contains(&game.away));
+            assert!(report.contains("defeated"));
+        }
+    }
+
+    #[test]
+    fn text_qa_can_recover_the_ground_truth_from_generated_reports() {
+        let data = generate_rotowire(&RotowireConfig::small());
+        let model = TextQaModel::new();
+        for game in data.games.iter().take(5) {
+            let report = game.render_report(|t| data.city_of(t));
+            for team in [&game.home, &game.away] {
+                let question = format!("How many points did {team} score?");
+                let answer = model.answer(&report, &question).unwrap();
+                assert_eq!(
+                    answer,
+                    Value::Int(game.points_of(team).unwrap()),
+                    "wrong extraction for {team} in game {}",
+                    game.game_id
+                );
+            }
+            let winner_question = format!("Did {} win?", game.winner());
+            assert_eq!(
+                model.answer(&report, &winner_question).unwrap(),
+                Value::str("yes")
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_helpers_are_consistent() {
+        let data = generate_rotowire(&RotowireConfig::small());
+        let team = &data.teams[0].name;
+        let max_points = data.max_points_of(team);
+        let played = data.games.iter().any(|g| g.points_of(team).is_some());
+        assert_eq!(max_points.is_some(), played);
+        let total_losses: i64 = data.teams.iter().map(|t| data.losses_of(&t.name)).sum();
+        assert_eq!(total_losses, data.games.len() as i64);
+    }
+
+    #[test]
+    fn foreign_keys_describe_the_join_paths_of_figure4() {
+        let data = generate_rotowire(&RotowireConfig::small());
+        let summary = data.lake.catalog().prompt_summary();
+        assert!(summary.contains("team_to_games.name -> teams.name"));
+        assert!(summary.contains("team_to_games.game_id -> game_reports.game_id"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Error types for the relational engine.
+//!
+//! Every fallible engine operation returns [`EngineError`]. The error messages
+//! are deliberately descriptive because CAESURA feeds them back into the
+//! error-recovery prompt of the language model (see the `caesura-core` crate):
+//! the better the message, the more likely the simulated planner is able to
+//! diagnose which phase the mistake originated in.
+
+use std::fmt;
+
+/// Result alias used throughout the engine crate.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors raised by the relational engine substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A referenced column does not exist in the input schema.
+    UnknownColumn {
+        /// The column name that could not be resolved.
+        name: String,
+        /// The columns that were available at resolution time.
+        available: Vec<String>,
+    },
+    /// A referenced table does not exist in the catalog.
+    UnknownTable {
+        /// The table name that could not be resolved.
+        name: String,
+        /// The tables that exist in the catalog.
+        available: Vec<String>,
+    },
+    /// A column reference is ambiguous (matches several qualified columns).
+    AmbiguousColumn {
+        /// The ambiguous name.
+        name: String,
+        /// All qualified candidates that matched.
+        candidates: Vec<String>,
+    },
+    /// A value had an unexpected type for the requested operation.
+    TypeMismatch {
+        /// Human-readable description of the operation being evaluated.
+        context: String,
+        /// What type was expected.
+        expected: String,
+        /// What was actually found.
+        found: String,
+    },
+    /// SQL text could not be tokenized or parsed.
+    SqlParse {
+        /// Description of the syntax problem.
+        message: String,
+        /// Byte offset in the SQL string where the problem occurred, if known.
+        position: Option<usize>,
+    },
+    /// The SQL statement is syntactically valid but not allowed
+    /// (e.g. `UPDATE`/`DELETE`: the engine is read-only by design, §5 of the paper).
+    ForbiddenStatement {
+        /// The statement keyword that was rejected.
+        statement: String,
+    },
+    /// An aggregate function was used in an invalid position or with invalid inputs.
+    InvalidAggregate {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A scalar function received the wrong number or type of arguments.
+    InvalidFunctionCall {
+        /// Function name.
+        function: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Schema construction failed (duplicate names, arity mismatch, ...).
+    SchemaError {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Row arity did not match the schema when building a table.
+    ArityMismatch {
+        /// Number of fields the schema declares.
+        expected: usize,
+        /// Number of values supplied for the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// Division by zero during expression evaluation.
+    DivisionByZero,
+    /// Any other execution-time failure.
+    Execution {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// Convenience constructor for [`EngineError::Execution`].
+    pub fn execution(message: impl Into<String>) -> Self {
+        EngineError::Execution {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EngineError::SchemaError`].
+    pub fn schema(message: impl Into<String>) -> Self {
+        EngineError::SchemaError {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EngineError::SqlParse`] without a position.
+    pub fn sql(message: impl Into<String>) -> Self {
+        EngineError::SqlParse {
+            message: message.into(),
+            position: None,
+        }
+    }
+
+    /// Convenience constructor for [`EngineError::TypeMismatch`].
+    pub fn type_mismatch(
+        context: impl Into<String>,
+        expected: impl Into<String>,
+        found: impl Into<String>,
+    ) -> Self {
+        EngineError::TypeMismatch {
+            context: context.into(),
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownColumn { name, available } => write!(
+                f,
+                "unknown column '{name}'; available columns are [{}]",
+                available.join(", ")
+            ),
+            EngineError::UnknownTable { name, available } => write!(
+                f,
+                "unknown table '{name}'; available tables are [{}]",
+                available.join(", ")
+            ),
+            EngineError::AmbiguousColumn { name, candidates } => write!(
+                f,
+                "ambiguous column '{name}'; candidates are [{}]",
+                candidates.join(", ")
+            ),
+            EngineError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
+            EngineError::SqlParse { message, position } => match position {
+                Some(pos) => write!(f, "SQL parse error at byte {pos}: {message}"),
+                None => write!(f, "SQL parse error: {message}"),
+            },
+            EngineError::ForbiddenStatement { statement } => write!(
+                f,
+                "statement '{statement}' is not allowed: the engine only executes read-only SELECT queries"
+            ),
+            EngineError::InvalidAggregate { message } => {
+                write!(f, "invalid aggregate: {message}")
+            }
+            EngineError::InvalidFunctionCall { function, message } => {
+                write!(f, "invalid call to function '{function}': {message}")
+            }
+            EngineError::SchemaError { message } => write!(f, "schema error: {message}"),
+            EngineError::ArityMismatch {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "row {row} has {found} values but the schema declares {expected} fields"
+            ),
+            EngineError::DivisionByZero => write!(f, "division by zero"),
+            EngineError::Execution { message } => write!(f, "execution error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_column_lists_available() {
+        let err = EngineError::UnknownColumn {
+            name: "centry".into(),
+            available: vec!["century".into(), "title".into()],
+        };
+        let text = err.to_string();
+        assert!(text.contains("centry"));
+        assert!(text.contains("century"));
+        assert!(text.contains("title"));
+    }
+
+    #[test]
+    fn display_forbidden_statement_mentions_read_only() {
+        let err = EngineError::ForbiddenStatement {
+            statement: "UPDATE".into(),
+        };
+        assert!(err.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn constructors_produce_expected_variants() {
+        assert!(matches!(
+            EngineError::execution("boom"),
+            EngineError::Execution { .. }
+        ));
+        assert!(matches!(
+            EngineError::schema("bad"),
+            EngineError::SchemaError { .. }
+        ));
+        assert!(matches!(EngineError::sql("bad"), EngineError::SqlParse { .. }));
+        assert!(matches!(
+            EngineError::type_mismatch("op", "Int", "Str"),
+            EngineError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn sql_parse_error_with_position_displays_offset() {
+        let err = EngineError::SqlParse {
+            message: "unexpected token".into(),
+            position: Some(17),
+        };
+        assert!(err.to_string().contains("byte 17"));
+    }
+}

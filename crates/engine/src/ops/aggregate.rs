@@ -1,0 +1,420 @@
+//! Grouped aggregation (γ).
+//!
+//! Supports the aggregates the paper's physical plans use (`MAX(points_scored)
+//! GROUP BY name`, `MAX(num_swords) GROUP BY century`, counts for the
+//! Madonna-and-Child query) plus SUM/AVG/MIN and COUNT(*).
+
+use crate::error::{EngineError, EngineResult};
+use crate::expr::Expr;
+use crate::schema::{Field, Schema};
+use crate::table::{Row, Table};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(expr)` — non-null count — or `COUNT(*)` when the call has no expression.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Look an aggregate up by its SQL name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" | "MEAN" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    /// SQL-facing name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One aggregate output column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated expression; `None` means `COUNT(*)`.
+    pub expr: Option<Expr>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggCall {
+    /// Build an aggregate call.
+    pub fn new(func: AggFunc, expr: Option<Expr>, alias: impl Into<String>) -> Self {
+        AggCall {
+            func,
+            expr,
+            alias: alias.into(),
+        }
+    }
+
+    /// `COUNT(*)` with an alias.
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        AggCall::new(AggFunc::Count, None, alias)
+    }
+}
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { total: f64, any: bool, all_int: bool },
+    Avg { total: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                any: false,
+                all_int: true,
+            },
+            AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>, context: &str) -> EngineResult<()> {
+        match self {
+            AggState::Count(c) => {
+                match value {
+                    // COUNT(*): every row counts.
+                    None => *c += 1,
+                    // COUNT(expr): only non-null values count.
+                    Some(v) if !v.is_null() => *c += 1,
+                    Some(_) => {}
+                }
+            }
+            AggState::Sum { total, any, all_int } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    let f = v.as_float().ok_or_else(|| {
+                        EngineError::type_mismatch(context, "a numeric value", v.data_type().prompt_name())
+                    })?;
+                    *total += f;
+                    *any = true;
+                    if !matches!(v, Value::Int(_)) {
+                        *all_int = false;
+                    }
+                }
+            }
+            AggState::Avg { total, count } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    let f = v.as_float().ok_or_else(|| {
+                        EngineError::type_mismatch(context, "a numeric value", v.data_type().prompt_name())
+                    })?;
+                    *total += f;
+                    *count += 1;
+                }
+            }
+            AggState::Min(best) => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    match best {
+                        None => *best = Some(v.clone()),
+                        Some(b) if v.total_cmp(b) == std::cmp::Ordering::Less => {
+                            *best = Some(v.clone())
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    match best {
+                        None => *best = Some(v.clone()),
+                        Some(b) if v.total_cmp(b) == std::cmp::Ordering::Greater => {
+                            *best = Some(v.clone())
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum { total, any, all_int } => {
+                if !any {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(total)
+                }
+            }
+            AggState::Avg { total, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Group `input` by the `group_by` expressions and compute `aggs` per group.
+///
+/// With an empty `group_by` the whole table forms a single group (global
+/// aggregation), and a single row is returned even for empty inputs, matching
+/// SQL semantics (`COUNT(*)` over an empty table is 0).
+pub fn aggregate(
+    input: &Table,
+    group_by: &[(Expr, String)],
+    aggs: &[AggCall],
+) -> EngineResult<Table> {
+    let in_schema = input.schema();
+
+    let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+    for (expr, alias) in group_by {
+        fields.push(Field::new(alias.clone(), expr.output_type(in_schema)));
+    }
+    for agg in aggs {
+        let dtype = match agg.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum => DataType::Int,
+            AggFunc::Min | AggFunc::Max => agg
+                .expr
+                .as_ref()
+                .map(|e| e.output_type(in_schema))
+                .unwrap_or(DataType::Null),
+        };
+        let mut name = agg.alias.clone();
+        let mut suffix = 1;
+        while fields.iter().any(|f: &Field| f.name == name) {
+            name = format!("{}_{suffix}", agg.alias);
+            suffix += 1;
+        }
+        fields.push(Field::new(name, dtype));
+    }
+    let schema = Schema::new(fields)?;
+
+    // Group rows by the rendered key of the group-by expressions.
+    let mut groups: HashMap<String, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for row in input.iter() {
+        let mut key_values = Vec::with_capacity(group_by.len());
+        let mut key = String::new();
+        for (expr, _) in group_by {
+            let v = expr.evaluate(in_schema, row)?;
+            key.push_str(&v.group_key());
+            key.push('\u{1}');
+            key_values.push(v);
+        }
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            (
+                key_values.clone(),
+                aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            )
+        });
+        for (agg, state) in aggs.iter().zip(entry.1.iter_mut()) {
+            let value = match &agg.expr {
+                Some(expr) => Some(expr.evaluate(in_schema, row)?),
+                None => None,
+            };
+            state.update(value.as_ref(), &format!("{}({})", agg.func.name(), agg.alias))?;
+        }
+    }
+
+    // Global aggregation over an empty input still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        let states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.func)).collect();
+        let row: Row = states.into_iter().map(AggState::finish).collect();
+        return Table::new(format!("{}_aggregated", input.name()), schema, vec![row]);
+    }
+
+    let mut rows = Vec::with_capacity(groups.len());
+    for key in order {
+        let (key_values, states) = groups.remove(&key).expect("group recorded in order");
+        let mut row: Row = key_values;
+        row.extend(states.into_iter().map(AggState::finish));
+        rows.push(row);
+    }
+
+    Table::new(format!("{}_aggregated", input.name()), schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+
+    fn scores() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("name", DataType::Str),
+            ("points", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("final_joined_table", schema);
+        for (name, points) in [
+            ("Heat", 102),
+            ("Heat", 95),
+            ("Spurs", 110),
+            ("Spurs", 99),
+            ("Spurs", 87),
+        ] {
+            b.push_values::<_, Value>(vec![Value::str(name), Value::Int(points)])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn max_per_group_matches_figure4_query1() {
+        // SELECT name, MAX(points_scored) FROM final_joined_table GROUP BY name
+        let out = aggregate(
+            &scores(),
+            &[(Expr::col("name"), "name".to_string())],
+            &[AggCall::new(
+                AggFunc::Max,
+                Some(Expr::col("points")),
+                "max_points",
+            )],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "name").unwrap(), &Value::str("Heat"));
+        assert_eq!(out.value(0, "max_points").unwrap(), &Value::Int(102));
+        assert_eq!(out.value(1, "max_points").unwrap(), &Value::Int(110));
+    }
+
+    #[test]
+    fn count_star_vs_count_expr_with_nulls() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![Value::Int(3)]).unwrap();
+        let table = b.build();
+        let out = aggregate(
+            &table,
+            &[],
+            &[
+                AggCall::count_star("n"),
+                AggCall::new(AggFunc::Count, Some(Expr::col("x")), "n_x"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "n").unwrap(), &Value::Int(3));
+        assert_eq!(out.value(0, "n_x").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let out = aggregate(
+            &scores(),
+            &[(Expr::col("name"), "name".to_string())],
+            &[
+                AggCall::new(AggFunc::Sum, Some(Expr::col("points")), "total"),
+                AggCall::new(AggFunc::Avg, Some(Expr::col("points")), "avg"),
+                AggCall::new(AggFunc::Min, Some(Expr::col("points")), "min"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "total").unwrap(), &Value::Int(197));
+        assert_eq!(out.value(1, "total").unwrap(), &Value::Int(296));
+        assert_eq!(out.value(1, "min").unwrap(), &Value::Int(87));
+        let avg = out.value(1, "avg").unwrap().as_float().unwrap();
+        assert!((avg - 296.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_aggregation_on_empty_table_returns_one_row() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let empty = Table::empty("t", schema);
+        let out = aggregate(&empty, &[], &[AggCall::count_star("n")]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "n").unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn grouped_aggregation_on_empty_table_returns_zero_rows() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let empty = Table::empty("t", schema);
+        let out = aggregate(
+            &empty,
+            &[(Expr::col("x"), "x".to_string())],
+            &[AggCall::count_star("n")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn aggregating_a_string_column_numerically_is_an_error() {
+        let out = aggregate(
+            &scores(),
+            &[],
+            &[AggCall::new(AggFunc::Sum, Some(Expr::col("name")), "s")],
+        );
+        assert!(matches!(out, Err(EngineError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn group_order_is_first_seen_order() {
+        let out = aggregate(
+            &scores(),
+            &[(Expr::col("name"), "team".to_string())],
+            &[AggCall::count_star("games")],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "team").unwrap(), &Value::str("Heat"));
+        assert_eq!(out.value(1, "team").unwrap(), &Value::str("Spurs"));
+        assert_eq!(out.value(0, "games").unwrap(), &Value::Int(2));
+        assert_eq!(out.value(1, "games").unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn agg_func_lookup() {
+        assert_eq!(AggFunc::from_name("max"), Some(AggFunc::Max));
+        assert_eq!(AggFunc::from_name("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Hash joins.
+//!
+//! The paper's example plans join the metadata table with the
+//! `painting_images` collection on `img_path`, and the rotowire `teams` table
+//! with `team_to_games` / `game_reports`. All of those are equi-joins, which we
+//! implement with a classic build/probe hash join. A left-outer variant is
+//! provided for completeness.
+
+use crate::error::{EngineError, EngineResult};
+use crate::table::{Row, Table};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// The supported join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer equi-join (unmatched left rows padded with NULLs).
+    Left,
+}
+
+/// Hash-join `left` and `right` on equality of `left_key` and `right_key`.
+///
+/// The output schema is the join of both schemas with colliding column names
+/// qualified by the input table names (see [`Schema::join`](crate::schema::Schema::join)).
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    join_type: JoinType,
+) -> EngineResult<Table> {
+    let left_idx = left.schema().resolve(left_key)?;
+    let right_idx = right.schema().resolve(right_key)?;
+
+    let schema = left
+        .schema()
+        .join(left.name(), right.schema(), right.name());
+
+    // Build phase: hash the right side (usually the smaller collection table).
+    let mut build: HashMap<String, Vec<&Row>> = HashMap::with_capacity(right.num_rows());
+    for row in right.iter() {
+        let key = &row[right_idx];
+        if key.is_null() {
+            continue; // NULL keys never join.
+        }
+        build.entry(key.group_key()).or_default().push(row);
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for lrow in left.iter() {
+        let key = &lrow[left_idx];
+        let matches = if key.is_null() {
+            None
+        } else {
+            build.get(&key.group_key())
+        };
+        match matches {
+            Some(found) if !found.is_empty() => {
+                for rrow in found {
+                    let mut out = Vec::with_capacity(lrow.len() + rrow.len());
+                    out.extend(lrow.iter().cloned());
+                    out.extend(rrow.iter().cloned());
+                    rows.push(out);
+                }
+            }
+            _ => {
+                if join_type == JoinType::Left {
+                    let mut out = Vec::with_capacity(lrow.len() + right.num_columns());
+                    out.extend(lrow.iter().cloned());
+                    out.extend(std::iter::repeat_n(Value::Null, right.num_columns()));
+                    rows.push(out);
+                }
+            }
+        }
+    }
+
+    Table::new(
+        format!("{}_{}_joined", left.name(), right.name()),
+        schema,
+        rows,
+    )
+    .map_err(|e| match e {
+        EngineError::ArityMismatch { .. } => EngineError::execution(
+            "internal error: join produced rows that do not match the joined schema",
+        ),
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use crate::value::DataType;
+
+    fn metadata() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("title", DataType::Str),
+            ("img_path", DataType::Str),
+        ]);
+        let mut b = TableBuilder::new("paintings_metadata", schema);
+        b.push_values(["Madonna", "img/1.png"]).unwrap();
+        b.push_values(["Irises", "img/2.png"]).unwrap();
+        b.push_values(["Lost", "img/404.png"]).unwrap();
+        b.build()
+    }
+
+    fn images() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("img_path", DataType::Str),
+            ("image", DataType::Image),
+        ]);
+        let mut b = TableBuilder::new("painting_images", schema);
+        b.push_row(vec![Value::str("img/1.png"), Value::image("img/1.png")])
+            .unwrap();
+        b.push_row(vec![Value::str("img/2.png"), Value::image("img/2.png")])
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn inner_join_on_img_path_matches_figure4() {
+        let joined = hash_join(&metadata(), &images(), "img_path", "img_path", JoinType::Inner)
+            .unwrap();
+        assert_eq!(joined.num_rows(), 2);
+        assert_eq!(joined.num_columns(), 4);
+        assert!(joined.schema().contains("paintings_metadata.img_path"));
+        assert!(joined.schema().contains("painting_images.img_path"));
+        assert!(joined.schema().contains("image"));
+    }
+
+    #[test]
+    fn left_join_pads_missing_matches_with_nulls() {
+        let joined =
+            hash_join(&metadata(), &images(), "img_path", "img_path", JoinType::Left).unwrap();
+        assert_eq!(joined.num_rows(), 3);
+        let lost_row = joined
+            .iter()
+            .find(|r| r[0] == Value::str("Lost"))
+            .expect("row for 'Lost' painting");
+        assert!(lost_row[2].is_null());
+        assert!(lost_row[3].is_null());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let schema = Schema::from_pairs(&[("k", DataType::Str)]);
+        let mut b = TableBuilder::new("l", schema.clone());
+        b.push_row(vec![Value::Null]).unwrap();
+        let left = b.build();
+        let mut b = TableBuilder::new("r", schema);
+        b.push_row(vec![Value::Null]).unwrap();
+        let right = b.build();
+        let joined = hash_join(&left, &right, "k", "k", JoinType::Inner).unwrap();
+        assert_eq!(joined.num_rows(), 0);
+        let joined = hash_join(&left, &right, "k", "k", JoinType::Left).unwrap();
+        assert_eq!(joined.num_rows(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cross_products_per_key() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Str)]);
+        let mut b = TableBuilder::new("games", schema.clone());
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("a")]).unwrap();
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("b")]).unwrap();
+        let left = b.build();
+        let mut b = TableBuilder::new("reports", schema);
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("x")]).unwrap();
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("y")]).unwrap();
+        let right = b.build();
+        let joined = hash_join(&left, &right, "k", "k", JoinType::Inner).unwrap();
+        assert_eq!(joined.num_rows(), 4);
+    }
+
+    #[test]
+    fn unknown_key_column_is_reported() {
+        let err = hash_join(&metadata(), &images(), "imgpath", "img_path", JoinType::Inner);
+        assert!(matches!(err, Err(EngineError::UnknownColumn { .. })));
+    }
+}

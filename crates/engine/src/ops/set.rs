@@ -1,0 +1,106 @@
+//! LIMIT, DISTINCT, and UNION ALL.
+
+use crate::error::{EngineError, EngineResult};
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// Keep only the first `n` rows.
+pub fn limit(input: &Table, n: usize) -> EngineResult<Table> {
+    let rows = input.rows().iter().take(n).cloned().collect();
+    Table::new(
+        format!("{}_limited", input.name()),
+        input.schema().clone(),
+        rows,
+    )
+}
+
+/// Remove duplicate rows (keeping the first occurrence of each).
+pub fn distinct(input: &Table) -> EngineResult<Table> {
+    let mut seen: HashSet<String> = HashSet::with_capacity(input.num_rows());
+    let mut rows = Vec::new();
+    for row in input.iter() {
+        let key: String = row
+            .iter()
+            .map(|v| v.group_key())
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        if seen.insert(key) {
+            rows.push(row.clone());
+        }
+    }
+    Table::new(
+        format!("{}_distinct", input.name()),
+        input.schema().clone(),
+        rows,
+    )
+}
+
+/// Concatenate two tables with compatible schemas (same arity and column types).
+pub fn union_all(left: &Table, right: &Table) -> EngineResult<Table> {
+    if left.num_columns() != right.num_columns() {
+        return Err(EngineError::schema(format!(
+            "UNION ALL requires the same number of columns ({} vs {})",
+            left.num_columns(),
+            right.num_columns()
+        )));
+    }
+    let mut rows = left.rows().to_vec();
+    rows.extend(right.rows().iter().cloned());
+    Table::new(
+        format!("{}_union", left.name()),
+        left.schema().clone(),
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn table(name: &str, values: &[i64]) -> Table {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut b = TableBuilder::new(name, schema);
+        for v in values {
+            b.push_row(vec![Value::Int(*v)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let out = limit(&table("t", &[1, 2, 3, 4]), 2).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let out = limit(&table("t", &[1]), 10).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_preserving_order() {
+        let out = distinct(&table("t", &[3, 1, 3, 2, 1])).unwrap();
+        let values: Vec<i64> = out
+            .column("x")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(values, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let out = union_all(&table("a", &[1, 2]), &table("b", &[3])).unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn union_all_rejects_mismatched_arity() {
+        let two_cols = {
+            let schema = Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]);
+            TableBuilder::new("two", schema).build()
+        };
+        assert!(union_all(&table("a", &[1]), &two_cols).is_err());
+    }
+}

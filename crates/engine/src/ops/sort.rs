@@ -1,0 +1,140 @@
+//! ORDER BY: sort a table by one or more keys.
+
+use crate::error::EngineResult;
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (default in SQL).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Expression to sort by.
+    pub expr: Expr,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    /// Ascending sort key on an expression.
+    pub fn asc(expr: Expr) -> Self {
+        SortKey {
+            expr,
+            order: SortOrder::Asc,
+        }
+    }
+
+    /// Descending sort key on an expression.
+    pub fn desc(expr: Expr) -> Self {
+        SortKey {
+            expr,
+            order: SortOrder::Desc,
+        }
+    }
+}
+
+/// Sort `input` by the given keys (stable sort).
+pub fn sort(input: &Table, keys: &[SortKey]) -> EngineResult<Table> {
+    let schema = input.schema().clone();
+    // Pre-compute the key values so evaluation errors surface before sorting.
+    let mut decorated: Vec<(Vec<Value>, usize)> = Vec::with_capacity(input.num_rows());
+    for (i, row) in input.iter().enumerate() {
+        let mut key_values = Vec::with_capacity(keys.len());
+        for key in keys {
+            key_values.push(key.expr.evaluate(&schema, row)?);
+        }
+        decorated.push((key_values, i));
+    }
+    decorated.sort_by(|(a, ai), (b, bi)| {
+        for (idx, key) in keys.iter().enumerate() {
+            let ord = a[idx].total_cmp(&b[idx]);
+            let ord = match key.order {
+                SortOrder::Asc => ord,
+                SortOrder::Desc => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        ai.cmp(bi) // stability tie-break
+    });
+    let rows = decorated
+        .into_iter()
+        .map(|(_, i)| input.rows()[i].clone())
+        .collect();
+    Table::new(format!("{}_sorted", input.name()), schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("century", DataType::Int),
+            ("max_swords", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("result_table", schema);
+        for (c, s) in [(19, 2), (15, 5), (17, 3), (15, 1)] {
+            b.push_values::<_, Value>(vec![Value::Int(c), Value::Int(s)])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sort_ascending_by_century() {
+        let out = sort(&table(), &[SortKey::asc(Expr::col("century"))]).unwrap();
+        let centuries: Vec<i64> = out
+            .column("century")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(centuries, vec![15, 15, 17, 19]);
+    }
+
+    #[test]
+    fn sort_descending_with_secondary_key() {
+        let out = sort(
+            &table(),
+            &[
+                SortKey::asc(Expr::col("century")),
+                SortKey::desc(Expr::col("max_swords")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "max_swords").unwrap(), &Value::Int(5));
+        assert_eq!(out.value(1, "max_swords").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        let out = sort(&table(), &[SortKey::asc(Expr::lit(1))]).unwrap();
+        // All keys equal → original order preserved.
+        assert_eq!(out.value(0, "century").unwrap(), &Value::Int(19));
+        assert_eq!(out.value(3, "century").unwrap(), &Value::Int(15));
+    }
+
+    #[test]
+    fn nulls_sort_first_ascending() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(vec![Value::Int(5)]).unwrap();
+        b.push_row(vec![Value::Null]).unwrap();
+        let out = sort(&b.build(), &[SortKey::asc(Expr::col("x"))]).unwrap();
+        assert!(out.value(0, "x").unwrap().is_null());
+    }
+}

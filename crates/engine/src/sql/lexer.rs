@@ -1,0 +1,289 @@
+//! SQL tokenizer.
+
+use crate::error::{EngineError, EngineResult};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (normalized to its original spelling; keyword
+    /// checks are case-insensitive).
+    Ident(String),
+    /// Quoted string literal (single or double quotes, quotes stripped).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// If the token is an identifier, return it uppercased (for keyword tests).
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        self.keyword().map(|k| k == kw.to_ascii_uppercase()).unwrap_or(false)
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> EngineResult<Vec<Token>> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Support `--` line comments.
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(EngineError::SqlParse {
+                        message: "unexpected '!'".into(),
+                        position: Some(i),
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut value = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    if chars[j] == quote {
+                        // Doubled quote is an escaped quote.
+                        if j + 1 < chars.len() && chars[j + 1] == quote {
+                            value.push(quote);
+                            j += 2;
+                            continue;
+                        }
+                        closed = true;
+                        break;
+                    }
+                    value.push(chars[j]);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(EngineError::SqlParse {
+                        message: "unterminated string literal".into(),
+                        position: Some(i),
+                    });
+                }
+                tokens.push(Token::StringLit(value));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        // A second dot ends the number (e.g. `1.2.3` is invalid anyway).
+                        if is_float {
+                            break;
+                        }
+                        // Don't treat a trailing dot followed by non-digit as part of the number.
+                        if i + 1 >= chars.len() || !chars[i + 1].is_ascii_digit() {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let value = text.parse::<f64>().map_err(|_| EngineError::SqlParse {
+                        message: format!("invalid float literal '{text}'"),
+                        position: Some(start),
+                    })?;
+                    tokens.push(Token::FloatLit(value));
+                } else {
+                    let value = text.parse::<i64>().map_err(|_| EngineError::SqlParse {
+                        message: format!("invalid integer literal '{text}'"),
+                        position: Some(start),
+                    })?;
+                    tokens.push(Token::IntLit(value));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::Ident(text));
+            }
+            other => {
+                return Err(EngineError::SqlParse {
+                    message: format!("unexpected character '{other}'"),
+                    position: Some(i),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_select() {
+        let tokens = tokenize("SELECT name, MAX(points) FROM teams WHERE points >= 100").unwrap();
+        assert!(tokens.contains(&Token::Ident("SELECT".into())));
+        assert!(tokens.contains(&Token::GtEq));
+        assert!(tokens.contains(&Token::IntLit(100)));
+        assert!(tokens.contains(&Token::LParen));
+    }
+
+    #[test]
+    fn string_literals_support_both_quote_styles_and_escapes() {
+        let tokens = tokenize("WHERE title = 'Madonna''s Child' AND x = \"abc\"").unwrap();
+        assert!(tokens.contains(&Token::StringLit("Madonna's Child".into())));
+        assert!(tokens.contains(&Token::StringLit("abc".into())));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let tokens = tokenize("1 2.5 100").unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::IntLit(1), Token::FloatLit(2.5), Token::IntLit(100)]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let tokens = tokenize("SELECT x -- this is a comment\nFROM t").unwrap();
+        assert_eq!(tokens.len(), 4);
+    }
+
+    #[test]
+    fn not_equal_spellings() {
+        assert!(tokenize("a != b").unwrap().contains(&Token::NotEq));
+        assert!(tokenize("a <> b").unwrap().contains(&Token::NotEq));
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let tokens = tokenize("select").unwrap();
+        assert!(tokens[0].is_keyword("SELECT"));
+        assert!(!tokens[0].is_keyword("FROM"));
+    }
+}

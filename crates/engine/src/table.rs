@@ -1,0 +1,494 @@
+//! In-memory row-oriented tables.
+//!
+//! Tables are the unit of data that flows through CAESURA's physical plans:
+//! every operator consumes one or more tables and produces a new table. They
+//! also know how to describe themselves to the language model (`prompt
+//! summary`, example values, observation strings).
+
+use crate::error::{EngineError, EngineResult};
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// A row is simply an ordered vector of values matching the table schema.
+pub type Row = Vec<Value>;
+
+/// An immutable, in-memory, row-oriented table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    description: Option<String>,
+}
+
+impl Table {
+    /// Create a table, validating that every row matches the schema arity.
+    pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> EngineResult<Self> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.len() {
+                return Err(EngineError::ArityMismatch {
+                    expected: schema.len(),
+                    found: row.len(),
+                    row: i,
+                });
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            rows,
+            description: None,
+        })
+    }
+
+    /// Create an empty table with the given schema.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            description: None,
+        }
+    }
+
+    /// Attach a human-readable description (rendered into prompts).
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table (used when operators produce derived tables).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Optional description.
+    pub fn description(&self) -> Option<&str> {
+        self.description.as_deref()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Get a cell by row and column index.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&Value> {
+        self.rows.get(row).and_then(|r| r.get(col))
+    }
+
+    /// Get the value of a named column in a given row.
+    pub fn value(&self, row: usize, column: &str) -> EngineResult<&Value> {
+        let idx = self.schema.resolve(column)?;
+        self.rows
+            .get(row)
+            .map(|r| &r[idx])
+            .ok_or_else(|| EngineError::execution(format!("row index {row} out of bounds")))
+    }
+
+    /// Extract an entire column by name.
+    pub fn column(&self, column: &str) -> EngineResult<Vec<Value>> {
+        let idx = self.schema.resolve(column)?;
+        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Consume the table and return its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Append a new column computed per-row by `f`, returning a new table.
+    /// This is how multi-modal operators (VisualQA, TextQA, Python) add their
+    /// extracted columns.
+    pub fn with_new_column<F>(
+        &self,
+        name: impl Into<String>,
+        data_type: DataType,
+        mut f: F,
+    ) -> EngineResult<Table>
+    where
+        F: FnMut(usize, &Row) -> EngineResult<Value>,
+    {
+        let mut schema = self.schema.clone();
+        schema.push(Field::new(name, data_type))?;
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut new_row = row.clone();
+            new_row.push(f(i, row)?);
+            rows.push(new_row);
+        }
+        Ok(Table {
+            name: self.name.clone(),
+            schema,
+            rows,
+            description: self.description.clone(),
+        })
+    }
+
+    /// Keep only the rows for which the predicate returns true.
+    pub fn filter_rows<F>(&self, mut predicate: F) -> EngineResult<Table>
+    where
+        F: FnMut(&Row) -> EngineResult<bool>,
+    {
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            if predicate(row)? {
+                rows.push(row.clone());
+            }
+        }
+        Ok(Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows,
+            description: self.description.clone(),
+        })
+    }
+
+    /// Up to `n` example values of a column, unique, in first-seen order.
+    /// This feeds the "These are some relevant values for the column" part of
+    /// the discovery/planning prompts and the observations after execution.
+    pub fn example_values(&self, column: &str, n: usize) -> EngineResult<Vec<String>> {
+        let idx = self.schema.resolve(column)?;
+        let mut seen = Vec::new();
+        for row in &self.rows {
+            let rendered = row[idx].preview(40);
+            if !seen.contains(&rendered) {
+                seen.push(rendered);
+                if seen.len() >= n {
+                    break;
+                }
+            }
+        }
+        Ok(seen)
+    }
+
+    /// The `table(num_rows=..., columns=[...])` notation used in prompts.
+    pub fn prompt_summary(&self) -> String {
+        let mut summary = format!(
+            "{} = table(num_rows={}, columns={}",
+            self.name,
+            self.num_rows(),
+            self.schema.prompt_notation()
+        );
+        if let Some(desc) = &self.description {
+            summary.push_str(&format!(", description='{desc}'"));
+        }
+        summary.push(')');
+        summary
+    }
+
+    /// Render the first `max_rows` rows as an aligned ASCII table.
+    pub fn pretty(&self, max_rows: usize) -> String {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.chars().count()).collect();
+        let shown = self.rows.iter().take(max_rows).collect::<Vec<_>>();
+        let rendered: Vec<Vec<String>> = shown
+            .iter()
+            .map(|row| row.iter().map(|v| v.preview(30)).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{:w$}", n, w = widths[i]))
+            .collect();
+        out.push_str(&format!("| {} |\n", header.join(" | ")));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} rows total)\n", self.rows.len()));
+        }
+        out
+    }
+
+    /// Export the table as CSV (used by the report binaries).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.schema.names().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| {
+                    let s = v.to_string();
+                    if s.contains(',') || s.contains('"') || s.contains('\n') {
+                        format!("\"{}\"", s.replace('"', "\"\""))
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A short observation string describing this table to the LLM after an
+    /// operator has executed (Figure 2: "New column madonna_depicted has been
+    /// added. Example values: ...").
+    pub fn observation(&self, new_columns: &[String]) -> String {
+        let mut parts = vec![format!(
+            "Table '{}' now has {} rows and columns {}.",
+            self.name,
+            self.num_rows(),
+            self.schema.prompt_notation()
+        )];
+        for col in new_columns {
+            if let Ok(examples) = self.example_values(col, 3) {
+                parts.push(format!(
+                    "New column '{}' has been added. Example values: [{}].",
+                    col,
+                    examples.join(", ")
+                ));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty(20))
+    }
+}
+
+/// Incremental builder for tables.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    description: Option<String>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableBuilder {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            description: None,
+        }
+    }
+
+    /// Set the table description.
+    pub fn description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Append a row, validating its arity.
+    pub fn push_row(&mut self, row: Row) -> EngineResult<&mut Self> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+                row: self.rows.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(self)
+    }
+
+    /// Append a row built from values convertible into [`Value`].
+    pub fn push_values<I, V>(&mut self, values: I) -> EngineResult<&mut Self>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let row: Row = values.into_iter().map(Into::into).collect();
+        self.push_row(row)
+    }
+
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Table {
+        Table {
+            name: self.name,
+            schema: self.schema,
+            rows: self.rows,
+            description: self.description,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paintings() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("title", DataType::Str),
+            ("inception", DataType::Str),
+            ("img_path", DataType::Str),
+        ]);
+        let mut builder = TableBuilder::new("paintings_metadata", schema);
+        builder
+            .push_values(["Madonna", "1889-01-05", "img/1.png"])
+            .unwrap();
+        builder
+            .push_values(["Irises", "1480-05-12", "img/2.png"])
+            .unwrap();
+        builder
+            .push_values(["Scream", "1893-03-01", "img/3.png"])
+            .unwrap();
+        builder.build()
+    }
+
+    #[test]
+    fn new_rejects_arity_mismatch() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let result = Table::new("t", schema, vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert!(matches!(result, Err(EngineError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let table = paintings();
+        assert_eq!(table.num_rows(), 3);
+        assert_eq!(table.num_columns(), 3);
+        assert_eq!(
+            table.value(0, "title").unwrap(),
+            &Value::str("Madonna")
+        );
+    }
+
+    #[test]
+    fn with_new_column_appends_values() {
+        let table = paintings();
+        let extended = table
+            .with_new_column("century", DataType::Int, |_, row| {
+                let inception = row[1].as_str().unwrap();
+                let year: i32 = inception[..4].parse().unwrap();
+                Ok(Value::Int(((year - 1) / 100 + 1) as i64))
+            })
+            .unwrap();
+        assert_eq!(extended.num_columns(), 4);
+        assert_eq!(extended.value(0, "century").unwrap(), &Value::Int(19));
+        assert_eq!(extended.value(1, "century").unwrap(), &Value::Int(15));
+    }
+
+    #[test]
+    fn filter_rows_keeps_matching_rows() {
+        let table = paintings();
+        let filtered = table
+            .filter_rows(|row| Ok(row[0].as_str() == Some("Madonna")))
+            .unwrap();
+        assert_eq!(filtered.num_rows(), 1);
+        assert_eq!(filtered.schema(), table.schema());
+    }
+
+    #[test]
+    fn example_values_are_unique_and_bounded() {
+        let schema = Schema::from_pairs(&[("answer", DataType::Str)]);
+        let mut builder = TableBuilder::new("t", schema);
+        for answer in ["yes", "no", "no", "yes", "maybe"] {
+            builder.push_values([answer]).unwrap();
+        }
+        let table = builder.build();
+        let examples = table.example_values("answer", 2).unwrap();
+        assert_eq!(examples, vec!["yes", "no"]);
+    }
+
+    #[test]
+    fn prompt_summary_follows_figure3_notation() {
+        let table = paintings().with_description("Metadata about paintings");
+        let summary = table.prompt_summary();
+        assert!(summary.starts_with("paintings_metadata = table(num_rows=3"));
+        assert!(summary.contains("'title': 'str'"));
+        assert!(summary.contains("description='Metadata about paintings'"));
+    }
+
+    #[test]
+    fn observation_mentions_new_columns_and_examples() {
+        let table = paintings()
+            .with_new_column("madonna_depicted", DataType::Str, |i, _| {
+                Ok(Value::str(if i == 0 { "yes" } else { "no" }))
+            })
+            .unwrap();
+        let obs = table.observation(&["madonna_depicted".to_string()]);
+        assert!(obs.contains("madonna_depicted"));
+        assert!(obs.contains("yes"));
+    }
+
+    #[test]
+    fn csv_export_quotes_fields_with_commas() {
+        let schema = Schema::from_pairs(&[("a", DataType::Str)]);
+        let mut builder = TableBuilder::new("t", schema);
+        builder.push_values(["hello, world"]).unwrap();
+        let table = builder.build();
+        assert!(table.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    fn pretty_truncates_after_max_rows() {
+        let table = paintings();
+        let text = table.pretty(2);
+        assert!(text.contains("(3 rows total)"));
+    }
+
+    #[test]
+    fn column_extraction_and_cell_access() {
+        let table = paintings();
+        let titles = table.column("title").unwrap();
+        assert_eq!(titles.len(), 3);
+        assert_eq!(table.cell(2, 0), Some(&Value::str("Scream")));
+        assert_eq!(table.cell(9, 0), None);
+    }
+}

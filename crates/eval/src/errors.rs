@@ -1,0 +1,251 @@
+//! Error categorization: assign each failed query to one of the five mistake
+//! categories of Table 2 in the paper.
+
+use crate::grade::{references_unknown_columns, Grade};
+use crate::queries::{BenchmarkQuery, Capability};
+use caesura_core::QueryRun;
+use caesura_modal::OperatorKind;
+use std::collections::BTreeSet;
+
+/// The error taxonomy of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCategory {
+    /// The plan asks for something impossible (e.g. a non-existent column).
+    ImpossibleActions,
+    /// The model misunderstood the data (e.g. answered image questions from
+    /// metadata columns, or ignored the text reports).
+    DataMisunderstanding,
+    /// Steps are missing or ordered illogically (e.g. a forgotten join).
+    IllogicalMissingSteps,
+    /// The operator arguments were wrong (wrong SQL parameters, wrong QA
+    /// question, non-existent column names).
+    WrongArguments,
+    /// The wrong physical operator was chosen for a step.
+    WrongTool,
+}
+
+impl ErrorCategory {
+    /// All categories in the order Table 2 lists them.
+    pub fn all() -> &'static [ErrorCategory] {
+        &[
+            ErrorCategory::ImpossibleActions,
+            ErrorCategory::DataMisunderstanding,
+            ErrorCategory::IllogicalMissingSteps,
+            ErrorCategory::WrongArguments,
+            ErrorCategory::WrongTool,
+        ]
+    }
+
+    /// Display name (matching the paper's wording).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorCategory::ImpossibleActions => "Impossible Actions",
+            ErrorCategory::DataMisunderstanding => "Data Misunderstanding",
+            ErrorCategory::IllogicalMissingSteps => "Illogical / Missing Steps",
+            ErrorCategory::WrongArguments => "Wrong Arguments",
+            ErrorCategory::WrongTool => "Wrong Tool",
+        }
+    }
+
+    /// Whether the mistake happened in the planning phase (upper half of
+    /// Table 2) or the mapping phase (lower half).
+    pub fn is_logical(&self) -> bool {
+        matches!(
+            self,
+            ErrorCategory::ImpossibleActions
+                | ErrorCategory::DataMisunderstanding
+                | ErrorCategory::IllogicalMissingSteps
+        )
+    }
+}
+
+/// Categorize a failed run. Returns `None` for fully correct runs.
+pub fn classify(
+    query: &BenchmarkQuery,
+    run: &QueryRun,
+    grade: Grade,
+    known_identifiers: &BTreeSet<String>,
+) -> Option<ErrorCategory> {
+    if grade.logical && grade.physical {
+        return None;
+    }
+
+    if !grade.logical {
+        let Some(plan) = &run.logical_plan else {
+            return Some(ErrorCategory::IllogicalMissingSteps);
+        };
+        let capabilities = plan.mentioned_capabilities();
+        let has = |cap: Capability| capabilities.iter().any(|c| c == cap.label());
+        // Missing modality on a multi-modal query → the model tried to answer
+        // from the relational metadata alone.
+        let needs_image = query.required.contains(&Capability::Image);
+        let needs_text = query.required.contains(&Capability::Text);
+        if (needs_image && !has(Capability::Image)) || (needs_text && !has(Capability::Text)) {
+            return Some(ErrorCategory::DataMisunderstanding);
+        }
+        if references_unknown_columns(plan, known_identifiers) {
+            return Some(ErrorCategory::ImpossibleActions);
+        }
+        return Some(ErrorCategory::IllogicalMissingSteps);
+    }
+
+    // Logical plan fine but execution / result wrong → mapping-phase mistake.
+    let multimodal_step_mapped_to_sql = run.decisions.iter().any(|decision| {
+        let sql_like = matches!(
+            decision.operator,
+            OperatorKind::Sql
+                | OperatorKind::SqlJoin
+                | OperatorKind::SqlSelection
+                | OperatorKind::SqlAggregation
+        );
+        if !sql_like {
+            return false;
+        }
+        // Find the logical step this decision belongs to and check whether it
+        // talks about images or reports.
+        run.logical_plan
+            .as_ref()
+            .and_then(|plan| {
+                plan.steps
+                    .iter()
+                    .find(|s| s.number == decision.step_number)
+            })
+            .map(|step| {
+                let d = step.description.to_lowercase();
+                d.contains("'image' column") || d.contains("'report' column")
+            })
+            .unwrap_or(false)
+    });
+    if multimodal_step_mapped_to_sql {
+        return Some(ErrorCategory::WrongTool);
+    }
+    Some(ErrorCategory::WrongArguments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::Grade;
+    use crate::queries::benchmark_queries;
+    use caesura_core::{CoreError, ExecutionTrace};
+    use caesura_llm::{LogicalPlan, LogicalStep, OperatorDecision};
+
+    fn query(id: &str) -> BenchmarkQuery {
+        benchmark_queries().into_iter().find(|q| q.id == id).unwrap()
+    }
+
+    fn run_with(plan: Option<LogicalPlan>, decisions: Vec<OperatorDecision>) -> QueryRun {
+        QueryRun {
+            query: "test".into(),
+            logical_plan: plan,
+            decisions,
+            output: Err(CoreError::PlanningFailed {
+                message: "test".into(),
+            }),
+            trace: ExecutionTrace::new(),
+        }
+    }
+
+    fn known() -> BTreeSet<String> {
+        ["paintings_metadata", "title", "image"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn correct_runs_are_not_categorized() {
+        let q = query("A01");
+        let run = run_with(None, vec![]);
+        assert_eq!(
+            classify(&q, &run, Grade { logical: true, physical: true }, &known()),
+            None
+        );
+    }
+
+    #[test]
+    fn missing_modality_is_data_misunderstanding() {
+        let q = query("A05"); // requires Image
+        let plan = LogicalPlan {
+            thought: String::new(),
+            steps: vec![LogicalStep::new(
+                1,
+                "Select only the rows where the 'title' column contains 'madonna'.",
+                vec![],
+                "out",
+                vec![],
+            )],
+        };
+        let run = run_with(Some(plan), vec![]);
+        assert_eq!(
+            classify(&q, &run, Grade { logical: false, physical: false }, &known()),
+            Some(ErrorCategory::DataMisunderstanding)
+        );
+    }
+
+    #[test]
+    fn unknown_columns_are_impossible_actions() {
+        let q = query("A01"); // only requires Aggregate
+        let plan = LogicalPlan {
+            thought: String::new(),
+            steps: vec![LogicalStep::new(
+                1,
+                "Group the 'paintings_metadata' table by the 'category_info' column and count the number of rows.",
+                vec![],
+                "out",
+                vec![],
+            )],
+        };
+        let run = run_with(Some(plan), vec![]);
+        assert_eq!(
+            classify(&q, &run, Grade { logical: false, physical: false }, &known()),
+            Some(ErrorCategory::ImpossibleActions)
+        );
+    }
+
+    #[test]
+    fn sql_on_an_image_step_is_wrong_tool_otherwise_wrong_arguments() {
+        let q = query("A05");
+        let plan = LogicalPlan {
+            thought: String::new(),
+            steps: vec![LogicalStep::new(
+                2,
+                "Extract whether madonna is depicted in each image from the 'image' column in the 'joined_table' table.",
+                vec![],
+                "joined_table",
+                vec!["madonna_depicted".into()],
+            )],
+        };
+        let wrong_tool_decision = OperatorDecision {
+            step_number: 2,
+            reasoning: String::new(),
+            operator: OperatorKind::Sql,
+            arguments: vec!["SELECT * FROM joined_table".into()],
+        };
+        let run = run_with(Some(plan.clone()), vec![wrong_tool_decision]);
+        assert_eq!(
+            classify(&q, &run, Grade { logical: true, physical: false }, &known()),
+            Some(ErrorCategory::WrongTool)
+        );
+
+        let ok_decision = OperatorDecision {
+            step_number: 2,
+            reasoning: String::new(),
+            operator: OperatorKind::VisualQa,
+            arguments: vec!["image".into(), "x".into(), "How many objects are depicted?".into()],
+        };
+        let run = run_with(Some(plan), vec![ok_decision]);
+        assert_eq!(
+            classify(&q, &run, Grade { logical: true, physical: false }, &known()),
+            Some(ErrorCategory::WrongArguments)
+        );
+    }
+
+    #[test]
+    fn category_metadata() {
+        assert!(ErrorCategory::DataMisunderstanding.is_logical());
+        assert!(!ErrorCategory::WrongTool.is_logical());
+        assert_eq!(ErrorCategory::all().len(), 5);
+        assert_eq!(ErrorCategory::WrongArguments.name(), "Wrong Arguments");
+    }
+}

@@ -1,0 +1,350 @@
+//! Plan grading: logical-plan correctness (does the plan do the right kind of
+//! processing?) and physical-plan correctness (did execution produce the right
+//! answer?), mirroring the two columns of Table 1 in the paper.
+
+use crate::oracle::Reference;
+use crate::queries::BenchmarkQuery;
+use caesura_core::{QueryOutput, QueryRun};
+use caesura_engine::Table;
+use caesura_llm::LogicalPlan;
+use std::collections::BTreeSet;
+
+/// The grade of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grade {
+    /// Whether the logical plan is correct.
+    pub logical: bool,
+    /// Whether the physical plan (i.e. the executed result) is correct.
+    pub physical: bool,
+}
+
+/// Grade a run against its reference answer. `known_identifiers` is the set of
+/// table and column names of the data lake, used to detect plans that
+/// reference non-existent data ("Impossible Actions" in the paper's error
+/// taxonomy).
+pub fn grade(
+    query: &BenchmarkQuery,
+    run: &QueryRun,
+    reference: &Reference,
+    known_identifiers: &BTreeSet<String>,
+) -> Grade {
+    let logical = grade_logical(query, run.logical_plan.as_ref(), known_identifiers);
+    // A physical plan can only be correct if it implements a correct logical
+    // plan (Table 1 of the paper: physical accuracy never exceeds logical) —
+    // an accidentally-right answer obtained from a flawed plan does not count.
+    let physical = logical && grade_physical(query, run, reference);
+    Grade { logical, physical }
+}
+
+/// Logical-plan correctness: the plan must exist, mention every required
+/// capability (join / image / text / aggregate / filter / plot), and must not
+/// reference columns that exist nowhere in the lake or in the plan itself.
+pub fn grade_logical(
+    query: &BenchmarkQuery,
+    plan: Option<&LogicalPlan>,
+    known_identifiers: &BTreeSet<String>,
+) -> bool {
+    let Some(plan) = plan else { return false };
+    if plan.is_empty() {
+        return false;
+    }
+    let capabilities = plan.mentioned_capabilities();
+    for required in query.required {
+        if !capabilities.iter().any(|c| c == required.label()) {
+            return false;
+        }
+    }
+    !references_unknown_columns(plan, known_identifiers)
+}
+
+/// Whether the plan references a column that neither the lake nor the plan
+/// itself defines.
+pub fn references_unknown_columns(plan: &LogicalPlan, known: &BTreeSet<String>) -> bool {
+    // Identifiers the plan itself introduces (new columns, output tables).
+    let mut plan_defined: BTreeSet<String> = BTreeSet::new();
+    for step in &plan.steps {
+        for column in &step.new_columns {
+            plan_defined.insert(column.to_lowercase());
+        }
+        if !step.output.is_empty() {
+            plan_defined.insert(step.output.to_lowercase());
+        }
+    }
+    let is_known = |identifier: &str| {
+        let id = identifier.to_lowercase();
+        known.contains(&id) || plan_defined.contains(&id) || id.parse::<f64>().is_ok()
+    };
+    for step in &plan.steps {
+        let description = &step.description;
+        // Check "'x' column" references.
+        for reference in column_references(description) {
+            if !is_known(&reference) {
+                return true;
+            }
+        }
+        // The injected impossible-action marker is also treated as unknown.
+        if description.contains("category_info") || description.contains("nonexistent_") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The identifiers `x` appearing as `'x' column` in a step description.
+fn column_references(description: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = description;
+    while let Some(start) = rest.find('\'') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('\'') else { break };
+        let span = &after[..end];
+        let following = &after[end + 1..];
+        if following.trim_start().starts_with("column") && !span.contains(' ') {
+            out.push(span.to_string());
+        }
+        rest = following;
+    }
+    out
+}
+
+/// Physical-plan correctness: execution succeeded, produced the requested
+/// output format, and the result matches the reference answer.
+pub fn grade_physical(query: &BenchmarkQuery, run: &QueryRun, reference: &Reference) -> bool {
+    let Ok(output) = &run.output else { return false };
+    if output.kind() != query.output.kind() {
+        return false;
+    }
+    matches_reference(output, reference)
+}
+
+/// Whether an output matches a reference answer.
+pub fn matches_reference(output: &QueryOutput, reference: &Reference) -> bool {
+    match reference {
+        Reference::Scalar(expected) => match output.as_value() {
+            Some(actual) => values_equal(actual, expected),
+            None => false,
+        },
+        Reference::KeyedNumbers(expected) => match output.table() {
+            Some(table) => keyed_numbers_match(table, expected),
+            None => false,
+        },
+        Reference::StringSet(expected) => match output.table() {
+            Some(table) => string_set_matches(table, expected),
+            None => false,
+        },
+    }
+}
+
+fn values_equal(actual: &caesura_engine::Value, expected: &caesura_engine::Value) -> bool {
+    match (actual.as_float(), expected.as_float()) {
+        (Some(a), Some(b)) => (a - b).abs() < 1e-6,
+        _ => actual.to_string() == expected.to_string(),
+    }
+}
+
+fn keyed_numbers_match(table: &Table, expected: &std::collections::BTreeMap<String, f64>) -> bool {
+    if table.num_columns() < 2 {
+        return false;
+    }
+    let mut actual = std::collections::BTreeMap::new();
+    for row in table.rows() {
+        let key = render_key(&row[0]);
+        let Some(value) = row[row.len() - 1].as_float() else {
+            return false;
+        };
+        actual.insert(key, value);
+    }
+    if actual.len() != expected.len() {
+        return false;
+    }
+    expected.iter().all(|(key, expected_value)| {
+        actual
+            .get(key)
+            .map(|v| (v - expected_value).abs() < 1e-6)
+            .unwrap_or(false)
+    })
+}
+
+fn string_set_matches(table: &Table, expected: &BTreeSet<String>) -> bool {
+    if table.num_columns() == 0 {
+        return false;
+    }
+    // Prefer a column named 'title' or 'name' if present, otherwise the first.
+    let column_index = table
+        .schema()
+        .fields()
+        .iter()
+        .position(|f| {
+            let base = f.base_name().to_lowercase();
+            base == "title" || base == "name"
+        })
+        .unwrap_or(0);
+    let actual: BTreeSet<String> = table
+        .rows()
+        .iter()
+        .map(|row| row[column_index].to_string())
+        .collect();
+    actual == *expected
+}
+
+fn render_key(value: &caesura_engine::Value) -> String {
+    match value {
+        caesura_engine::Value::Float(f) if f.fract() == 0.0 => format!("{}", *f as i64),
+        other => other.to_string(),
+    }
+}
+
+/// Collect every table and column name of a catalog (lowercased) — the known
+/// identifiers a plan may legitimately reference.
+pub fn known_identifiers(catalog: &caesura_engine::Catalog) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for table in catalog.tables() {
+        out.insert(table.name().to_lowercase());
+        for field in table.schema().fields() {
+            out.insert(field.name.to_lowercase());
+            out.insert(field.base_name().to_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{benchmark_queries, Capability, Dataset, ExpectedOutput};
+    use caesura_engine::{DataType, Schema, TableBuilder, Value};
+    use caesura_llm::LogicalStep;
+
+    fn query(id: &str) -> BenchmarkQuery {
+        benchmark_queries().into_iter().find(|q| q.id == id).unwrap()
+    }
+
+    fn known() -> BTreeSet<String> {
+        [
+            "paintings_metadata",
+            "painting_images",
+            "title",
+            "inception",
+            "movement",
+            "img_path",
+            "image",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    fn plan_with(descriptions: &[(&str, &[&str])]) -> LogicalPlan {
+        LogicalPlan {
+            thought: String::new(),
+            steps: descriptions
+                .iter()
+                .enumerate()
+                .map(|(i, (d, new))| {
+                    LogicalStep::new(
+                        i + 1,
+                        *d,
+                        vec![],
+                        "out",
+                        new.iter().map(|s| s.to_string()).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn logical_grading_requires_all_capabilities() {
+        let q = query("A21"); // join + image + aggregate + plot
+        let good = plan_with(&[
+            ("Join the 'paintings_metadata' and 'painting_images' tables on the 'img_path' column.", &[]),
+            ("Extract whether madonna is depicted in each image from the 'image' column.", &["madonna_depicted"]),
+            ("Group the table by 'century' and count the number of rows.", &["num_paintings"]),
+            ("Plot the result in a bar plot.", &[]),
+        ]);
+        // The plan references 'century' which it never defined and the lake does
+        // not contain → treat it as defined by adding it as a new column.
+        let good = {
+            let mut plan = good;
+            plan.steps[1].new_columns.push("century".into());
+            plan
+        };
+        assert!(grade_logical(&q, Some(&good), &known()));
+
+        // A plan that answers from the title column misses the image capability.
+        let misunderstanding = plan_with(&[
+            ("Join the 'paintings_metadata' and 'painting_images' tables on the 'img_path' column.", &[]),
+            ("Select only the rows where the 'title' column contains 'madonna'.", &[]),
+            ("Group the table by 'century' and count the number of rows.", &["num_paintings", "century"]),
+            ("Plot the result in a bar plot.", &[]),
+        ]);
+        assert!(!grade_logical(&q, Some(&misunderstanding), &known()));
+        assert!(!grade_logical(&q, None, &known()));
+    }
+
+    #[test]
+    fn unknown_column_references_fail_logical_grading() {
+        let q = BenchmarkQuery {
+            id: "T1",
+            dataset: Dataset::Artwork,
+            text: "test",
+            output: ExpectedOutput::Table,
+            multimodal: false,
+            required: &[Capability::Filter],
+        };
+        let plan = plan_with(&[(
+            "Select only the rows of the 'paintings_metadata' table where the 'category_colour' column equals 'red'.",
+            &[],
+        )]);
+        assert!(references_unknown_columns(&plan, &known()));
+        assert!(!grade_logical(&q, Some(&plan), &known()));
+    }
+
+    #[test]
+    fn scalar_and_keyed_matching() {
+        let reference = Reference::int(5);
+        let output = QueryOutput::Value(Value::Int(5));
+        assert!(matches_reference(&output, &reference));
+        let output = QueryOutput::Value(Value::Float(5.0));
+        assert!(matches_reference(&output, &reference));
+        let output = QueryOutput::Value(Value::Int(4));
+        assert!(!matches_reference(&output, &reference));
+
+        let schema = Schema::from_pairs(&[("century", DataType::Int), ("n", DataType::Int)]);
+        let mut b = TableBuilder::new("result", schema);
+        b.push_row(vec![Value::Int(15), Value::Int(3)]).unwrap();
+        b.push_row(vec![Value::Int(19), Value::Int(7)]).unwrap();
+        let table = b.build();
+        let reference = Reference::keyed(vec![("15", 3.0), ("19", 7.0)]);
+        assert!(matches_reference(&QueryOutput::Table(table.clone()), &reference));
+        let wrong = Reference::keyed(vec![("15", 3.0), ("19", 8.0)]);
+        assert!(!matches_reference(&QueryOutput::Table(table.clone()), &wrong));
+        let missing = Reference::keyed(vec![("15", 3.0)]);
+        assert!(!matches_reference(&QueryOutput::Table(table), &missing));
+    }
+
+    #[test]
+    fn string_set_matching_prefers_title_columns() {
+        let schema = Schema::from_pairs(&[("inception", DataType::Str), ("title", DataType::Str)]);
+        let mut b = TableBuilder::new("result", schema);
+        b.push_values(["1889", "Madonna"]).unwrap();
+        b.push_values(["1480", "Irises"]).unwrap();
+        let table = b.build();
+        let expected: BTreeSet<String> = ["Madonna", "Irises"].iter().map(|s| s.to_string()).collect();
+        assert!(matches_reference(
+            &QueryOutput::Table(table),
+            &Reference::StringSet(expected)
+        ));
+    }
+
+    #[test]
+    fn known_identifier_collection_includes_base_names() {
+        let mut catalog = caesura_engine::Catalog::new();
+        let schema = Schema::from_pairs(&[("teams.name", DataType::Str)]);
+        catalog.register(TableBuilder::new("joined", schema).build());
+        let known = known_identifiers(&catalog);
+        assert!(known.contains("joined"));
+        assert!(known.contains("teams.name"));
+        assert!(known.contains("name"));
+    }
+}

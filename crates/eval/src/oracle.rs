@@ -1,0 +1,393 @@
+//! Reference answers ("oracles") for every benchmark query, computed directly
+//! from the generators' ground-truth records — *not* by running CAESURA — so
+//! that physical-plan correctness can be graded against an independent source
+//! of truth.
+
+use crate::queries::BenchmarkQuery;
+use caesura_data::{ArtworkData, RotowireData};
+use caesura_engine::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A reference answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reference {
+    /// A single scalar.
+    Scalar(Value),
+    /// A mapping from group key (rendered as text) to a numeric value.
+    KeyedNumbers(BTreeMap<String, f64>),
+    /// A set of strings (e.g. the titles a List query must return).
+    StringSet(BTreeSet<String>),
+}
+
+impl Reference {
+    /// Convenience constructor for integer scalars.
+    pub fn int(value: i64) -> Reference {
+        Reference::Scalar(Value::Int(value))
+    }
+
+    /// Convenience constructor for keyed numbers from an iterator.
+    pub fn keyed<I, K>(entries: I) -> Reference
+    where
+        I: IntoIterator<Item = (K, f64)>,
+        K: ToString,
+    {
+        Reference::KeyedNumbers(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+/// Compute the reference answer for a benchmark query.
+pub fn reference_for(
+    query: &BenchmarkQuery,
+    artwork: &ArtworkData,
+    rotowire: &RotowireData,
+) -> Reference {
+    match query.id {
+        // ---- Artwork ----------------------------------------------------------
+        "A01" => Reference::int(artwork.records.len() as i64),
+        "A02" => Reference::int(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.movement == "Impressionism")
+                .count() as i64,
+        ),
+        "A03" => Reference::int(
+            artwork
+                .records
+                .iter()
+                .map(|r| i64::from(r.year))
+                .min()
+                .unwrap_or(0),
+        ),
+        "A04" => Reference::int(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.artist == "Clara Moreau")
+                .count() as i64,
+        ),
+        "A05" => Reference::int(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.madonna_and_child)
+                .count() as i64,
+        ),
+        "A06" => Reference::int(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.count_of("sword") >= 2)
+                .count() as i64,
+        ),
+        "A07" => Reference::int(
+            artwork
+                .records
+                .iter()
+                .map(|r| i64::from(r.count_of("dog")))
+                .max()
+                .unwrap_or(0),
+        ),
+        "A08" => Reference::int(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.movement == "Baroque" && r.count_of("skull") > 0)
+                .count() as i64,
+        ),
+        "A09" => grouped_count(artwork.records.iter().map(|r| r.movement.clone())),
+        "A10" => Reference::StringSet(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.movement == "Renaissance")
+                .map(|r| r.title.clone())
+                .collect(),
+        ),
+        "A11" => grouped_min(
+            artwork
+                .records
+                .iter()
+                .map(|r| (r.artist.clone(), f64::from(r.year))),
+        ),
+        "A12" => grouped_count(artwork.records.iter().map(|r| r.genre.clone())),
+        "A13" => grouped_count(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.madonna_and_child)
+                .map(|r| r.century.to_string()),
+        ),
+        "A14" => Reference::StringSet(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.count_of("horse") > 0)
+                .map(|r| r.title.clone())
+                .collect(),
+        ),
+        "A15" => grouped_max(
+            artwork
+                .records
+                .iter()
+                .map(|r| (r.movement.clone(), f64::from(r.count_of("flower")))),
+        ),
+        "A16" => Reference::StringSet(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.count_of("crown") > 0)
+                .map(|r| r.title.clone())
+                .collect(),
+        ),
+        "A17" => grouped_count(artwork.records.iter().map(|r| r.movement.clone())),
+        "A18" => grouped_count(artwork.records.iter().map(|r| r.genre.clone())),
+        "A19" => grouped_count(artwork.records.iter().map(|r| r.century.to_string())),
+        "A20" => grouped_count(artwork.records.iter().map(|r| r.artist.clone())),
+        "A21" => grouped_count(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.madonna_and_child)
+                .map(|r| r.century.to_string()),
+        ),
+        "A22" => grouped_max(
+            artwork
+                .records
+                .iter()
+                .map(|r| (r.century.to_string(), f64::from(r.count_of("sword")))),
+        ),
+        "A23" => grouped_count(
+            artwork
+                .records
+                .iter()
+                .filter(|r| r.count_of("angel") > 0)
+                .map(|r| r.movement.clone()),
+        ),
+        "A24" => grouped_avg(
+            artwork
+                .records
+                .iter()
+                .map(|r| (r.genre.clone(), f64::from(r.count_of("bird")))),
+        ),
+        // ---- Rotowire ---------------------------------------------------------
+        "R01" => Reference::int(
+            rotowire
+                .teams
+                .iter()
+                .filter(|t| t.conference == "Eastern")
+                .count() as i64,
+        ),
+        "R02" => Reference::int(
+            rotowire
+                .players
+                .iter()
+                .map(|p| p.height_cm)
+                .max()
+                .unwrap_or(0),
+        ),
+        "R03" => Reference::int(
+            rotowire
+                .players
+                .iter()
+                .filter(|p| p.nationality == "USA")
+                .count() as i64,
+        ),
+        "R04" => Reference::int(rotowire.teams.len() as i64),
+        "R05" => Reference::int(rotowire.max_points_of("Heat").unwrap_or(0)),
+        "R06" => Reference::int(
+            rotowire
+                .games
+                .iter()
+                .filter(|g| g.winner() == "Heat")
+                .count() as i64,
+        ),
+        "R07" => {
+            let points: Vec<f64> = rotowire
+                .games
+                .iter()
+                .filter_map(|g| g.points_of("Bulls"))
+                .map(|p| p as f64)
+                .collect();
+            let avg = if points.is_empty() {
+                0.0
+            } else {
+                points.iter().sum::<f64>() / points.len() as f64
+            };
+            Reference::Scalar(Value::Float(avg))
+        }
+        "R08" => Reference::int(rotowire.losses_of("Lakers")),
+        "R09" => grouped_count(rotowire.teams.iter().map(|t| t.conference.clone())),
+        "R10" => Reference::StringSet(
+            rotowire
+                .players
+                .iter()
+                .filter(|p| p.team == "Heat")
+                .map(|p| p.name.clone())
+                .collect(),
+        ),
+        "R11" => grouped_count(rotowire.teams.iter().map(|t| t.division.clone())),
+        "R12" => grouped_avg(
+            rotowire
+                .players
+                .iter()
+                .map(|p| (p.position.clone(), p.height_cm as f64)),
+        ),
+        "R13" | "R21" => max_points_per_team(rotowire),
+        "R14" | "R22" => avg_points_per_team(rotowire),
+        "R15" | "R24" => grouped_count(rotowire.games.iter().map(|g| g.loser().to_string())),
+        "R16" | "R23" => grouped_count(rotowire.games.iter().map(|g| g.winner().to_string())),
+        "R17" => grouped_count(rotowire.teams.iter().map(|t| t.conference.clone())),
+        "R18" => grouped_avg(
+            rotowire
+                .players
+                .iter()
+                .map(|p| (p.position.clone(), p.height_cm as f64)),
+        ),
+        "R19" => grouped_count(rotowire.players.iter().map(|p| p.nationality.clone())),
+        "R20" => grouped_count(rotowire.teams.iter().map(|t| t.division.clone())),
+        other => panic!("no oracle defined for benchmark query {other}"),
+    }
+}
+
+fn grouped_count<I: IntoIterator<Item = String>>(keys: I) -> Reference {
+    let mut map: BTreeMap<String, f64> = BTreeMap::new();
+    for key in keys {
+        *map.entry(key).or_insert(0.0) += 1.0;
+    }
+    Reference::KeyedNumbers(map)
+}
+
+fn grouped_max<I: IntoIterator<Item = (String, f64)>>(entries: I) -> Reference {
+    let mut map: BTreeMap<String, f64> = BTreeMap::new();
+    for (key, value) in entries {
+        let slot = map.entry(key).or_insert(f64::MIN);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+    Reference::KeyedNumbers(map)
+}
+
+fn grouped_min<I: IntoIterator<Item = (String, f64)>>(entries: I) -> Reference {
+    let mut map: BTreeMap<String, f64> = BTreeMap::new();
+    for (key, value) in entries {
+        let slot = map.entry(key).or_insert(f64::MAX);
+        if value < *slot {
+            *slot = value;
+        }
+    }
+    Reference::KeyedNumbers(map)
+}
+
+fn grouped_avg<I: IntoIterator<Item = (String, f64)>>(entries: I) -> Reference {
+    let mut sums: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for (key, value) in entries {
+        let slot = sums.entry(key).or_insert((0.0, 0.0));
+        slot.0 += value;
+        slot.1 += 1.0;
+    }
+    Reference::KeyedNumbers(
+        sums.into_iter()
+            .map(|(k, (sum, count))| (k, sum / count))
+            .collect(),
+    )
+}
+
+fn max_points_per_team(rotowire: &RotowireData) -> Reference {
+    let mut map: BTreeMap<String, f64> = BTreeMap::new();
+    for team in &rotowire.teams {
+        if let Some(points) = rotowire.max_points_of(&team.name) {
+            map.insert(team.name.clone(), points as f64);
+        }
+    }
+    Reference::KeyedNumbers(map)
+}
+
+fn avg_points_per_team(rotowire: &RotowireData) -> Reference {
+    let mut map: BTreeMap<String, f64> = BTreeMap::new();
+    for team in &rotowire.teams {
+        let points: Vec<f64> = rotowire
+            .games
+            .iter()
+            .filter_map(|g| g.points_of(&team.name))
+            .map(|p| p as f64)
+            .collect();
+        if !points.is_empty() {
+            map.insert(
+                team.name.clone(),
+                points.iter().sum::<f64>() / points.len() as f64,
+            );
+        }
+    }
+    Reference::KeyedNumbers(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::benchmark_queries;
+    use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
+
+    #[test]
+    fn every_benchmark_query_has_an_oracle() {
+        let artwork = generate_artwork(&ArtworkConfig::small());
+        let rotowire = generate_rotowire(&RotowireConfig::small());
+        for query in benchmark_queries() {
+            // Must not panic.
+            let _ = reference_for(&query, &artwork, &rotowire);
+        }
+    }
+
+    #[test]
+    fn scalar_oracles_are_consistent_with_the_generators() {
+        let artwork = generate_artwork(&ArtworkConfig::small());
+        let rotowire = generate_rotowire(&RotowireConfig::small());
+        let queries = benchmark_queries();
+        let a01 = queries.iter().find(|q| q.id == "A01").unwrap();
+        assert_eq!(
+            reference_for(a01, &artwork, &rotowire),
+            Reference::int(artwork.records.len() as i64)
+        );
+        let r04 = queries.iter().find(|q| q.id == "R04").unwrap();
+        assert_eq!(
+            reference_for(r04, &artwork, &rotowire),
+            Reference::int(rotowire.teams.len() as i64)
+        );
+    }
+
+    #[test]
+    fn grouped_helpers_compute_expected_statistics() {
+        let max = grouped_max(vec![("a".to_string(), 1.0), ("a".to_string(), 5.0)]);
+        assert_eq!(max, Reference::keyed(vec![("a", 5.0)]));
+        let min = grouped_min(vec![("a".to_string(), 1.0), ("a".to_string(), 5.0)]);
+        assert_eq!(min, Reference::keyed(vec![("a", 1.0)]));
+        let avg = grouped_avg(vec![("a".to_string(), 1.0), ("a".to_string(), 3.0)]);
+        assert_eq!(avg, Reference::keyed(vec![("a", 2.0)]));
+        let count = grouped_count(vec!["x".to_string(), "x".to_string(), "y".to_string()]);
+        assert_eq!(count, Reference::keyed(vec![("x", 2.0), ("y", 1.0)]));
+    }
+
+    #[test]
+    fn wins_and_losses_partition_the_games() {
+        let rotowire = generate_rotowire(&RotowireConfig::small());
+        let queries = benchmark_queries();
+        let wins = queries.iter().find(|q| q.id == "R16").unwrap();
+        let losses = queries.iter().find(|q| q.id == "R15").unwrap();
+        let artwork = generate_artwork(&ArtworkConfig::small());
+        let (Reference::KeyedNumbers(wins), Reference::KeyedNumbers(losses)) = (
+            reference_for(wins, &artwork, &rotowire),
+            reference_for(losses, &artwork, &rotowire),
+        ) else {
+            panic!("expected keyed references");
+        };
+        // Wins and losses each account for every game exactly once.
+        assert_eq!(wins.values().sum::<f64>() as usize, rotowire.games.len());
+        assert_eq!(losses.values().sum::<f64>() as usize, rotowire.games.len());
+    }
+}

@@ -1,0 +1,319 @@
+//! The evaluation harness: run the 48-query benchmark for one or more model
+//! profiles and aggregate the grades into the layouts of Table 1 and Table 2.
+
+use crate::errors::{classify, ErrorCategory};
+use crate::grade::{grade, known_identifiers, Grade};
+use crate::oracle::{reference_for, Reference};
+use crate::queries::{benchmark_queries, BenchmarkQuery, Dataset, ExpectedOutput};
+use caesura_core::{Caesura, CaesuraConfig};
+use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
+use caesura_llm::{ModelProfile, SimulatedLlm};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of one evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvaluationConfig {
+    /// Seed for data generation and the simulated model's error injection.
+    pub seed: u64,
+    /// Artwork-lake generator configuration.
+    pub artwork: ArtworkConfig,
+    /// Rotowire-lake generator configuration.
+    pub rotowire: RotowireConfig,
+    /// CAESURA session configuration.
+    pub caesura: CaesuraConfig,
+}
+
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        EvaluationConfig {
+            seed: 42,
+            artwork: ArtworkConfig::default(),
+            rotowire: RotowireConfig::default(),
+            caesura: CaesuraConfig::default(),
+        }
+    }
+}
+
+impl EvaluationConfig {
+    /// A small configuration for fast tests.
+    pub fn small() -> Self {
+        EvaluationConfig {
+            seed: 7,
+            artwork: ArtworkConfig::small(),
+            rotowire: RotowireConfig::small(),
+            caesura: CaesuraConfig::default(),
+        }
+    }
+}
+
+/// The evaluation record of one benchmark query.
+#[derive(Debug, Clone)]
+pub struct QueryEvaluation {
+    /// Query id.
+    pub id: String,
+    /// Query text.
+    pub text: String,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Requested output format.
+    pub output: ExpectedOutput,
+    /// Whether the query needs multi-modal data.
+    pub multimodal: bool,
+    /// The grade.
+    pub grade: Grade,
+    /// The error category, if the run was not fully correct.
+    pub category: Option<ErrorCategory>,
+    /// Number of LLM round trips the run needed.
+    pub llm_calls: usize,
+    /// The execution error message, if execution failed.
+    pub error: Option<String>,
+}
+
+/// The full evaluation of one model profile.
+#[derive(Debug, Clone)]
+pub struct EvaluationReport {
+    /// Display name of the evaluated model.
+    pub model: String,
+    /// Per-query records, in benchmark order.
+    pub results: Vec<QueryEvaluation>,
+}
+
+impl EvaluationReport {
+    /// Accuracy (logical, physical) over the queries selected by `filter`.
+    pub fn accuracy<F>(&self, filter: F) -> (f64, f64)
+    where
+        F: Fn(&QueryEvaluation) -> bool,
+    {
+        let selected: Vec<&QueryEvaluation> = self.results.iter().filter(|r| filter(r)).collect();
+        if selected.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = selected.len() as f64;
+        let logical = selected.iter().filter(|r| r.grade.logical).count() as f64 / n;
+        let physical = selected.iter().filter(|r| r.grade.physical).count() as f64 / n;
+        (logical, physical)
+    }
+
+    /// Error counts per category (Table 2).
+    pub fn error_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for category in ErrorCategory::all() {
+            counts.insert(category.name(), 0);
+        }
+        for result in &self.results {
+            if let Some(category) = result.category {
+                *counts.entry(category.name()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total LLM round trips across the benchmark.
+    pub fn total_llm_calls(&self) -> usize {
+        self.results.iter().map(|r| r.llm_calls).sum()
+    }
+}
+
+/// Run the 48-query benchmark for one model profile.
+pub fn evaluate_model(profile: ModelProfile, config: &EvaluationConfig) -> EvaluationReport {
+    let artwork = generate_artwork(&config.artwork);
+    let rotowire = generate_rotowire(&config.rotowire);
+    let llm = Arc::new(SimulatedLlm::new(profile, config.seed));
+
+    let artwork_session = Caesura::with_config(
+        artwork.lake.clone(),
+        llm.clone(),
+        config.caesura.clone(),
+    );
+    let rotowire_session = Caesura::with_config(
+        rotowire.lake.clone(),
+        llm.clone(),
+        config.caesura.clone(),
+    );
+    let artwork_known = known_identifiers(artwork.lake.catalog());
+    let rotowire_known = known_identifiers(rotowire.lake.catalog());
+
+    let mut results = Vec::new();
+    for query in benchmark_queries() {
+        let (session, known) = match query.dataset {
+            Dataset::Artwork => (&artwork_session, &artwork_known),
+            Dataset::Rotowire => (&rotowire_session, &rotowire_known),
+        };
+        let reference = reference_for(&query, &artwork, &rotowire);
+        let run = session.run(query.text);
+        let query_grade = grade(&query, &run, &reference, known);
+        let category = classify(&query, &run, query_grade, known);
+        results.push(QueryEvaluation {
+            id: query.id.to_string(),
+            text: query.text.to_string(),
+            dataset: query.dataset,
+            output: query.output,
+            multimodal: query.multimodal,
+            grade: query_grade,
+            category,
+            llm_calls: run.trace.llm_calls(),
+            error: run.output.err().map(|e| e.to_string()),
+        });
+    }
+
+    EvaluationReport {
+        model: profile.name().to_string(),
+        results,
+    }
+}
+
+/// Evaluate both paper models (ChatGPT-3.5 and GPT-4 profiles).
+pub fn evaluate_both(config: &EvaluationConfig) -> Vec<EvaluationReport> {
+    vec![
+        evaluate_model(ModelProfile::ChatGpt35, config),
+        evaluate_model(ModelProfile::Gpt4, config),
+    ]
+}
+
+/// The reference answer of a query under the default evaluation data — exposed
+/// so examples and tests can show expected answers without rerunning oracles.
+pub fn reference_for_default(query: &BenchmarkQuery, config: &EvaluationConfig) -> Reference {
+    let artwork = generate_artwork(&config.artwork);
+    let rotowire = generate_rotowire(&config.rotowire);
+    reference_for(query, &artwork, &rotowire)
+}
+
+/// Render Table 1 (plan quality) for a set of reports, in the layout of the
+/// paper: one row per query group, logical/physical accuracy per model.
+pub fn render_table1(reports: &[EvaluationReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Correctly translated plans per dataset, modality, and output format\n\n");
+    // Header.
+    out.push_str(&format!("{:<24}", "Models"));
+    for report in reports {
+        out.push_str(&format!("| {:^23} ", report.model));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<24}", "Plan type"));
+    for _ in reports {
+        out.push_str(&format!("| {:>10} {:>12} ", "logical", "physical"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(24 + reports.len() * 26));
+    out.push('\n');
+
+    let rows: Vec<(&str, Box<dyn Fn(&QueryEvaluation) -> bool>)> = vec![
+        ("Artwork overall", Box::new(|r: &QueryEvaluation| r.dataset == Dataset::Artwork)),
+        ("Rotowire overall", Box::new(|r: &QueryEvaluation| r.dataset == Dataset::Rotowire)),
+        ("Single modality", Box::new(|r: &QueryEvaluation| !r.multimodal)),
+        ("Multiple modalities", Box::new(|r: &QueryEvaluation| r.multimodal)),
+        ("Single value", Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::SingleValue)),
+        ("Table", Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::Table)),
+        ("Plot", Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::Plot)),
+        ("All", Box::new(|_: &QueryEvaluation| true)),
+    ];
+    for (label, filter) in rows {
+        out.push_str(&format!("{label:<24}"));
+        for report in reports {
+            let (logical, physical) = report.accuracy(&filter);
+            out.push_str(&format!(
+                "| {:>9.1}% {:>11.1}% ",
+                logical * 100.0,
+                physical * 100.0
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table 2 (error analysis) for a set of reports.
+pub fn render_table2(reports: &[EvaluationReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: Number of mistakes per category\n\n");
+    out.push_str(&format!("{:<28}{:<10}", "Category", "Phase"));
+    for report in reports {
+        out.push_str(&format!("{:>18}", report.model));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(38 + reports.len() * 18));
+    out.push('\n');
+    for category in ErrorCategory::all() {
+        out.push_str(&format!(
+            "{:<28}{:<10}",
+            category.name(),
+            if category.is_logical() { "logical" } else { "physical" }
+        ));
+        for report in reports {
+            let count = report.error_counts().get(category.name()).copied().unwrap_or(0);
+            out.push_str(&format!("{count:>18}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a per-query breakdown (useful for debugging and EXPERIMENTS.md).
+pub fn render_per_query(report: &EvaluationReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Per-query results for {}\n", report.model));
+    for result in &report.results {
+        out.push_str(&format!(
+            "  {:<4} {:<9} {:<12} logical={} physical={} {}\n",
+            result.id,
+            result.dataset.name(),
+            result.output.name(),
+            if result.grade.logical { "ok " } else { "ERR" },
+            if result.grade.physical { "ok " } else { "ERR" },
+            result
+                .category
+                .map(|c| format!("[{}]", c.name()))
+                .unwrap_or_default(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt4_profile_translates_most_queries_correctly() {
+        let config = EvaluationConfig::small();
+        let report = evaluate_model(ModelProfile::Gpt4, &config);
+        assert_eq!(report.results.len(), 48);
+        let (logical, physical) = report.accuracy(|_| true);
+        assert!(logical >= 0.80, "GPT-4 logical accuracy too low: {logical}");
+        assert!(physical >= 0.70, "GPT-4 physical accuracy too low: {physical}");
+        // Physical correctness requires logical correctness in our grading.
+        assert!(logical >= physical);
+    }
+
+    #[test]
+    fn chatgpt35_profile_is_clearly_worse_than_gpt4() {
+        let config = EvaluationConfig::small();
+        let gpt4 = evaluate_model(ModelProfile::Gpt4, &config);
+        let gpt35 = evaluate_model(ModelProfile::ChatGpt35, &config);
+        let (gpt4_logical, gpt4_physical) = gpt4.accuracy(|_| true);
+        let (gpt35_logical, gpt35_physical) = gpt35.accuracy(|_| true);
+        assert!(gpt4_logical > gpt35_logical);
+        assert!(gpt4_physical > gpt35_physical);
+        // The dominant 3.5 error category is data misunderstanding (§4.3).
+        let counts = gpt35.error_counts();
+        let dm = counts.get("Data Misunderstanding").copied().unwrap_or(0);
+        assert!(dm >= 2, "expected several data-misunderstanding errors, got {dm}");
+    }
+
+    #[test]
+    fn tables_render_with_all_rows_and_models() {
+        let config = EvaluationConfig::small();
+        let reports = vec![evaluate_model(ModelProfile::Gpt4, &config)];
+        let table1 = render_table1(&reports);
+        assert!(table1.contains("Artwork overall"));
+        assert!(table1.contains("Multiple modalities"));
+        assert!(table1.contains("All"));
+        let table2 = render_table2(&reports);
+        assert!(table2.contains("Data Misunderstanding"));
+        assert!(table2.contains("Wrong Tool"));
+        let per_query = render_per_query(&reports[0]);
+        assert!(per_query.contains("A01"));
+        assert!(per_query.contains("R24"));
+    }
+}

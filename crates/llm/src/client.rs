@@ -1,0 +1,157 @@
+//! The language-model client abstraction.
+//!
+//! CAESURA is LLM-agnostic: the core planner only depends on the [`LlmClient`]
+//! trait. The original prototype plugs GPT-4 / ChatGPT-3.5 in here; this
+//! reproduction ships the deterministic [`SimulatedLlm`](crate::sim::SimulatedLlm)
+//! plus a [`ScriptedLlm`] used in unit tests.
+
+use crate::chat::Conversation;
+use crate::error::{LlmError, LlmResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A chat-completion language model.
+pub trait LlmClient: Send + Sync {
+    /// Complete a conversation, returning the model's text response.
+    fn complete(&self, conversation: &Conversation) -> LlmResult<String>;
+
+    /// Human-readable model name (appears in traces and reports).
+    fn name(&self) -> &str;
+}
+
+/// Usage statistics collected by [`CountingLlm`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LlmUsage {
+    /// Number of completed calls.
+    pub calls: usize,
+    /// Approximate prompt tokens across all calls.
+    pub prompt_tokens: usize,
+}
+
+/// A wrapper that counts calls and approximate prompt tokens. The benchmark
+/// harness uses this to report how many LLM round trips each query needs.
+pub struct CountingLlm<C> {
+    inner: C,
+    calls: AtomicUsize,
+    prompt_tokens: AtomicUsize,
+}
+
+impl<C: LlmClient> CountingLlm<C> {
+    /// Wrap a client.
+    pub fn new(inner: C) -> Self {
+        CountingLlm {
+            inner,
+            calls: AtomicUsize::new(0),
+            prompt_tokens: AtomicUsize::new(0),
+        }
+    }
+
+    /// Usage so far.
+    pub fn usage(&self) -> LlmUsage {
+        LlmUsage {
+            calls: self.calls.load(Ordering::Relaxed),
+            prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Access the wrapped client.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: LlmClient> LlmClient for CountingLlm<C> {
+    fn complete(&self, conversation: &Conversation) -> LlmResult<String> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.prompt_tokens
+            .fetch_add(conversation.approx_tokens(), Ordering::Relaxed);
+        self.inner.complete(conversation)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+impl<C: LlmClient + ?Sized> LlmClient for Arc<C> {
+    fn complete(&self, conversation: &Conversation) -> LlmResult<String> {
+        (**self).complete(conversation)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A test double that replays a fixed sequence of responses.
+pub struct ScriptedLlm {
+    responses: parking_lot_free::Mutex<Vec<String>>,
+    name: String,
+}
+
+/// Minimal mutex shim so the llm crate does not need a locking dependency for
+/// one test helper. (The std mutex's poisoning is irrelevant here.)
+mod parking_lot_free {
+    pub use std::sync::Mutex;
+}
+
+impl ScriptedLlm {
+    /// Build a scripted model from responses, returned in order.
+    pub fn new(responses: Vec<String>) -> Self {
+        ScriptedLlm {
+            responses: parking_lot_free::Mutex::new(responses),
+            name: "scripted".to_string(),
+        }
+    }
+}
+
+impl LlmClient for ScriptedLlm {
+    fn complete(&self, _conversation: &Conversation) -> LlmResult<String> {
+        let mut responses = self.responses.lock().expect("scripted responses lock");
+        if responses.is_empty() {
+            return Err(LlmError::ModelFailure {
+                model: self.name.clone(),
+                message: "the scripted model ran out of responses".into(),
+            });
+        }
+        Ok(responses.remove(0))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::ChatMessage;
+
+    #[test]
+    fn scripted_llm_replays_in_order_then_fails() {
+        let llm = ScriptedLlm::new(vec!["first".into(), "second".into()]);
+        let convo = Conversation::new().with(ChatMessage::human("hi"));
+        assert_eq!(llm.complete(&convo).unwrap(), "first");
+        assert_eq!(llm.complete(&convo).unwrap(), "second");
+        assert!(llm.complete(&convo).is_err());
+    }
+
+    #[test]
+    fn counting_llm_tracks_calls_and_tokens() {
+        let llm = CountingLlm::new(ScriptedLlm::new(vec!["a".into(), "b".into()]));
+        let convo = Conversation::new().with(ChatMessage::human("one two three"));
+        llm.complete(&convo).unwrap();
+        llm.complete(&convo).unwrap();
+        let usage = llm.usage();
+        assert_eq!(usage.calls, 2);
+        assert_eq!(usage.prompt_tokens, 6);
+    }
+
+    #[test]
+    fn arc_wrapping_preserves_client_behaviour() {
+        let llm: Arc<dyn LlmClient> = Arc::new(ScriptedLlm::new(vec!["x".into()]));
+        let convo = Conversation::new();
+        assert_eq!(llm.complete(&convo).unwrap(), "x");
+        assert_eq!(llm.name(), "scripted");
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the LLM substrate.
+
+use std::fmt;
+
+/// Result alias for the llm crate.
+pub type LlmResult<T> = Result<T, LlmError>;
+
+/// Errors raised while prompting a language model or parsing its output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// The model produced output that does not follow the requested format.
+    MalformedResponse {
+        /// Which phase the response belonged to.
+        phase: String,
+        /// Description of the parsing problem.
+        message: String,
+        /// The offending response text (possibly truncated).
+        response: String,
+    },
+    /// The prompt itself was missing information the model needs.
+    MalformedPrompt {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The (simulated) model could not produce an answer at all.
+    ModelFailure {
+        /// Model name.
+        model: String,
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl LlmError {
+    /// Convenience constructor for [`LlmError::MalformedResponse`].
+    pub fn malformed_response(
+        phase: impl Into<String>,
+        message: impl Into<String>,
+        response: impl Into<String>,
+    ) -> Self {
+        let mut response = response.into();
+        if response.len() > 400 {
+            response.truncate(400);
+        }
+        LlmError::MalformedResponse {
+            phase: phase.into(),
+            message: message.into(),
+            response,
+        }
+    }
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::MalformedResponse {
+                phase,
+                message,
+                response,
+            } => write!(
+                f,
+                "the language model response for the {phase} phase could not be parsed: {message} \
+                 (response was: '{response}')"
+            ),
+            LlmError::MalformedPrompt { message } => {
+                write!(f, "malformed prompt: {message}")
+            }
+            LlmError::ModelFailure { model, message } => {
+                write!(f, "model '{model}' failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malformed_response_truncates_long_responses() {
+        let long = "x".repeat(1000);
+        let err = LlmError::malformed_response("planning", "no steps found", long);
+        match err {
+            LlmError::MalformedResponse { response, .. } => assert!(response.len() <= 400),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn display_contains_phase_and_reason() {
+        let err = LlmError::malformed_response("mapping", "missing Operator line", "...");
+        let text = err.to_string();
+        assert!(text.contains("mapping"));
+        assert!(text.contains("missing Operator line"));
+    }
+}

@@ -1,0 +1,527 @@
+//! Plan representations and the textual grammar used in prompts.
+//!
+//! The logical plan is "a description (in natural language) of the individual
+//! steps" (§3); the mapping phase then assigns one physical operator and its
+//! arguments to each step. Both directions pass through *text*: the model is
+//! instructed to answer in a fixed output format (Figure 3), and CAESURA
+//! parses that text back. This module holds the structured types plus the
+//! render / parse functions for that grammar.
+
+use crate::error::{LlmError, LlmResult};
+use caesura_modal::OperatorKind;
+use std::fmt;
+
+/// One step of a logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalStep {
+    /// 1-based step number.
+    pub number: usize,
+    /// Natural-language description of the step.
+    pub description: String,
+    /// Names of the input tables.
+    pub inputs: Vec<String>,
+    /// Name of the output table.
+    pub output: String,
+    /// Columns the step adds to the data.
+    pub new_columns: Vec<String>,
+}
+
+impl LogicalStep {
+    /// Create a step.
+    pub fn new(
+        number: usize,
+        description: impl Into<String>,
+        inputs: Vec<String>,
+        output: impl Into<String>,
+        new_columns: Vec<String>,
+    ) -> Self {
+        LogicalStep {
+            number,
+            description: description.into(),
+            inputs,
+            output: output.into(),
+            new_columns,
+        }
+    }
+}
+
+/// A logical plan: an ordered list of steps plus the model's "Thought" line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogicalPlan {
+    /// The model's free-form reasoning line.
+    pub thought: String,
+    /// The steps in execution order.
+    pub steps: Vec<LogicalStep>,
+}
+
+impl LogicalPlan {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the plan has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Render the plan in the output format requested by the planning prompt.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.thought.is_empty() {
+            out.push_str(&format!("Thought: {}\n", self.thought));
+        }
+        for step in &self.steps {
+            out.push_str(&format!("Step {}: {}\n", step.number, step.description));
+            if !step.inputs.is_empty() {
+                out.push_str(&format!("Input: {}\n", step.inputs.join(", ")));
+            }
+            if !step.output.is_empty() {
+                out.push_str(&format!("Output: {}\n", step.output));
+            }
+            if step.new_columns.is_empty() {
+                out.push_str("New Columns: none\n");
+            } else {
+                out.push_str(&format!("New Columns: {}\n", step.new_columns.join(", ")));
+            }
+        }
+        out.push_str(&format!("Step {}: Plan completed.\n", self.steps.len() + 1));
+        out
+    }
+
+    /// Parse a plan from model output text.
+    pub fn parse(text: &str) -> LlmResult<LogicalPlan> {
+        let mut plan = LogicalPlan::default();
+        let mut current: Option<LogicalStep> = None;
+        for raw_line in text.lines() {
+            let line = raw_line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("Thought:") {
+                plan.thought = rest.trim().to_string();
+                continue;
+            }
+            if let Some((step_number, description)) = parse_step_header(line) {
+                // Close the previous step.
+                if let Some(step) = current.take() {
+                    plan.steps.push(step);
+                }
+                let lowered = description.to_lowercase();
+                if lowered.starts_with("plan completed") || lowered.starts_with("done") {
+                    current = None;
+                    break;
+                }
+                current = Some(LogicalStep::new(
+                    step_number,
+                    description,
+                    Vec::new(),
+                    String::new(),
+                    Vec::new(),
+                ));
+                continue;
+            }
+            let Some(step) = current.as_mut() else { continue };
+            if let Some(rest) = line.strip_prefix("Input:") {
+                step.inputs = split_list(rest);
+            } else if let Some(rest) = line.strip_prefix("Output:") {
+                step.output = rest.trim().trim_matches('\'').to_string();
+            } else if let Some(rest) = line
+                .strip_prefix("New Columns:")
+                .or_else(|| line.strip_prefix("New columns:"))
+                .or_else(|| line.strip_prefix("New Column(s):"))
+            {
+                let rest = rest.trim();
+                if rest.eq_ignore_ascii_case("none") || rest.is_empty() {
+                    step.new_columns = Vec::new();
+                } else {
+                    step.new_columns = split_list(rest);
+                }
+            } else {
+                // Continuation of the description.
+                step.description.push(' ');
+                step.description.push_str(line);
+            }
+        }
+        if let Some(step) = current.take() {
+            plan.steps.push(step);
+        }
+        if plan.steps.is_empty() {
+            return Err(LlmError::malformed_response(
+                "planning",
+                "no 'Step <i>:' lines were found in the response",
+                text,
+            ));
+        }
+        Ok(plan)
+    }
+
+    /// The multiset of operator *capabilities* a plan mentions, inferred from
+    /// the step descriptions. Used by the evaluation crate for logical-plan
+    /// grading.
+    pub fn mentioned_capabilities(&self) -> Vec<String> {
+        self.steps
+            .iter()
+            .map(|s| {
+                let d = s.description.to_lowercase();
+                let words: Vec<&str> = d
+                    .split(|c: char| !c.is_alphanumeric())
+                    .filter(|w| !w.is_empty())
+                    .collect();
+                if words.contains(&"join") {
+                    "join"
+                } else if d.contains("plot") || d.contains("chart") || d.contains("visualiz") {
+                    "plot"
+                } else if d.contains("'image' column") || d.contains("depicted") || d.contains(" images")
+                    || d.contains("each image")
+                {
+                    "image"
+                } else if d.contains("'report' column") || d.contains(" reports")
+                    || d.contains("document") || d.contains(" the text")
+                {
+                    "text"
+                } else if d.contains("group") || d.contains("aggregate") || d.contains("maximum")
+                    || d.contains("count") || d.contains("average") || d.contains("minimum")
+                    || d.contains("sum of")
+                {
+                    "aggregate"
+                } else if d.contains("select only") || d.contains("filter") || d.contains("keep only the rows") {
+                    "filter"
+                } else {
+                    "transform"
+                }
+                .to_string()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn parse_step_header(line: &str) -> Option<(usize, String)> {
+    let rest = line.strip_prefix("Step ")?;
+    let (number_text, description) = rest.split_once(':')?;
+    let number = number_text.trim().parse::<usize>().ok()?;
+    Some((number, description.trim().to_string()))
+}
+
+fn split_list(text: &str) -> Vec<String> {
+    text.split(',')
+        .map(|s| s.trim().trim_matches('\'').trim_matches('"').to_string())
+        .filter(|s| !s.is_empty() && !s.eq_ignore_ascii_case("none"))
+        .collect()
+}
+
+/// The mapping-phase decision for one logical step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorDecision {
+    /// The step number being mapped.
+    pub step_number: usize,
+    /// The model's reasoning line.
+    pub reasoning: String,
+    /// The chosen physical operator.
+    pub operator: OperatorKind,
+    /// The operator arguments, in order.
+    pub arguments: Vec<String>,
+}
+
+impl OperatorDecision {
+    /// Render the decision in the output format requested by the mapping prompt.
+    pub fn render(&self, step_description: &str) -> String {
+        format!(
+            "Step {}: {}\nReasoning: {}\nOperator: {}\nArguments: ({})\n",
+            self.step_number,
+            step_description,
+            self.reasoning,
+            self.operator.name(),
+            self.arguments.join("; ")
+        )
+    }
+
+    /// Parse a decision from model output text.
+    pub fn parse(text: &str) -> LlmResult<OperatorDecision> {
+        let mut step_number = 1;
+        let mut reasoning = String::new();
+        let mut operator: Option<OperatorKind> = None;
+        let mut operator_text = String::new();
+        let mut arguments: Vec<String> = Vec::new();
+        for raw_line in text.lines() {
+            let line = raw_line.trim();
+            if let Some((number, _)) = parse_step_header(line) {
+                step_number = number;
+            } else if let Some(rest) = line.strip_prefix("Reasoning:") {
+                reasoning = rest.trim().to_string();
+            } else if let Some(rest) = line.strip_prefix("Operator:") {
+                operator_text = rest.trim().to_string();
+                operator = OperatorKind::from_name(&operator_text);
+            } else if let Some(rest) = line.strip_prefix("Arguments:") {
+                arguments = split_arguments(rest);
+            }
+        }
+        let operator = match operator {
+            Some(op) => op,
+            None if !operator_text.is_empty() => {
+                return Err(LlmError::malformed_response(
+                    "mapping",
+                    format!("unknown operator '{operator_text}'"),
+                    text,
+                ))
+            }
+            None => {
+                return Err(LlmError::malformed_response(
+                    "mapping",
+                    "no 'Operator:' line was found in the response",
+                    text,
+                ))
+            }
+        };
+        Ok(OperatorDecision {
+            step_number,
+            reasoning,
+            operator,
+            arguments,
+        })
+    }
+}
+
+/// Split an `Arguments: (a; b; c)` payload into its parts. Parentheses are
+/// optional, semicolons separate arguments, and surrounding quotes are
+/// stripped.
+pub fn split_arguments(text: &str) -> Vec<String> {
+    let trimmed = text.trim();
+    let inner = trimmed
+        .strip_prefix('(')
+        .and_then(|s| s.rfind(')').map(|end| &s[..end]))
+        .unwrap_or(trimmed);
+    inner
+        .split(';')
+        .map(|s| strip_matching_quotes(s.trim()).to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Strip one pair of surrounding quotes, but only if the text both starts and
+/// ends with the same quote character (so quotes *inside* a SQL argument such
+/// as `x = 'yes'` survive).
+fn strip_matching_quotes(text: &str) -> &str {
+    let bytes = text.as_bytes();
+    if bytes.len() >= 2 {
+        let first = bytes[0];
+        let last = bytes[bytes.len() - 1];
+        if first == last && (first == b'\'' || first == b'"') {
+            return text[1..text.len() - 1].trim();
+        }
+    }
+    text
+}
+
+/// The parsed answers of the error-analysis prompt (§3.2's six questions).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ErrorAnalysis {
+    /// Answer to "What are the potential causes of this error?".
+    pub causes: String,
+    /// Answer to "Explain in detail how this error could be fixed.".
+    pub fix: String,
+    /// Answer to "Is there a flaw in my plan?" — backtrack to planning if true.
+    pub plan_flawed: bool,
+    /// Answer to "Is there a more suitable alternative plan?".
+    pub alternative_plan: bool,
+    /// Answer to "Should a different tool be selected for any step?".
+    pub different_tool: bool,
+    /// Answer to "Do the input arguments of some of the steps need to be updated?".
+    pub update_arguments: bool,
+}
+
+impl ErrorAnalysis {
+    /// Whether CAESURA should backtrack all the way to the planning phase
+    /// (questions 3 + 4 of §3.2); otherwise it retries the mapping phase.
+    pub fn should_replan(&self) -> bool {
+        self.plan_flawed || self.alternative_plan
+    }
+
+    /// Render in the expected output format.
+    pub fn render(&self) -> String {
+        format!(
+            "Potential causes: {}\nSuggested fix: {}\nFlaw in plan: {}\nAlternative plan: {}\nDifferent tool: {}\nUpdate arguments: {}\n",
+            self.causes,
+            self.fix,
+            yes_no(self.plan_flawed),
+            yes_no(self.alternative_plan),
+            yes_no(self.different_tool),
+            yes_no(self.update_arguments),
+        )
+    }
+
+    /// Parse from model output text.
+    pub fn parse(text: &str) -> LlmResult<ErrorAnalysis> {
+        let mut analysis = ErrorAnalysis::default();
+        let mut any = false;
+        for raw_line in text.lines() {
+            let line = raw_line.trim();
+            if let Some(rest) = line.strip_prefix("Potential causes:") {
+                analysis.causes = rest.trim().to_string();
+                any = true;
+            } else if let Some(rest) = line.strip_prefix("Suggested fix:") {
+                analysis.fix = rest.trim().to_string();
+                any = true;
+            } else if let Some(rest) = line.strip_prefix("Flaw in plan:") {
+                analysis.plan_flawed = parse_yes(rest);
+                any = true;
+            } else if let Some(rest) = line.strip_prefix("Alternative plan:") {
+                analysis.alternative_plan = parse_yes(rest);
+                any = true;
+            } else if let Some(rest) = line.strip_prefix("Different tool:") {
+                analysis.different_tool = parse_yes(rest);
+                any = true;
+            } else if let Some(rest) = line.strip_prefix("Update arguments:") {
+                analysis.update_arguments = parse_yes(rest);
+                any = true;
+            }
+        }
+        if !any {
+            return Err(LlmError::malformed_response(
+                "error-analysis",
+                "none of the expected answer lines were found",
+                text,
+            ));
+        }
+        Ok(analysis)
+    }
+}
+
+fn yes_no(value: bool) -> &'static str {
+    if value {
+        "Yes"
+    } else {
+        "No"
+    }
+}
+
+fn parse_yes(text: &str) -> bool {
+    text.trim().to_lowercase().starts_with('y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure4_plan() -> LogicalPlan {
+        LogicalPlan {
+            thought: "I need to join the metadata with the images, inspect them, and plot.".into(),
+            steps: vec![
+                LogicalStep::new(
+                    1,
+                    "Join the 'paintings_metadata' and 'painting_images' tables on the 'img_path' column.",
+                    vec!["paintings_metadata".into(), "painting_images".into()],
+                    "joined_table",
+                    vec![],
+                ),
+                LogicalStep::new(
+                    2,
+                    "Extract the number of swords depicted in each image from the 'image' column in the 'joined_table'.",
+                    vec!["joined_table".into()],
+                    "joined_table",
+                    vec!["num_swords".into()],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn logical_plan_round_trips_through_text() {
+        let plan = figure4_plan();
+        let text = plan.render();
+        assert!(text.contains("Step 1:"));
+        assert!(text.contains("Plan completed."));
+        let parsed = LogicalPlan::parse(&text).unwrap();
+        assert_eq!(parsed.steps.len(), 2);
+        assert_eq!(parsed.steps[0].inputs.len(), 2);
+        assert_eq!(parsed.steps[1].new_columns, vec!["num_swords"]);
+        assert_eq!(parsed.thought, plan.thought);
+    }
+
+    #[test]
+    fn parse_tolerates_extra_prose_and_missing_fields() {
+        let text = "Sure! Here is the plan.\nThought: simple\nStep 1: Count the paintings.\nStep 2: Plan completed.";
+        let plan = LogicalPlan::parse(text).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.steps[0].inputs.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_step_free_responses() {
+        let err = LogicalPlan::parse("I cannot help with that.").unwrap_err();
+        assert!(matches!(err, LlmError::MalformedResponse { .. }));
+    }
+
+    #[test]
+    fn operator_decision_round_trips() {
+        let decision = OperatorDecision {
+            step_number: 2,
+            reasoning: "The step asks about image content, so VisualQA is needed.".into(),
+            operator: OperatorKind::VisualQa,
+            arguments: vec![
+                "image".into(),
+                "num_swords".into(),
+                "How many swords are depicted?".into(),
+                "int".into(),
+            ],
+        };
+        let text = decision.render("Extract the number of swords.");
+        let parsed = OperatorDecision::parse(&text).unwrap();
+        assert_eq!(parsed, decision);
+    }
+
+    #[test]
+    fn operator_decision_parse_reports_unknown_operators() {
+        let text = "Step 1: x\nOperator: Quantum Sort\nArguments: (a)";
+        let err = OperatorDecision::parse(text).unwrap_err();
+        assert!(err.to_string().contains("Quantum Sort"));
+        let err = OperatorDecision::parse("Reasoning: none").unwrap_err();
+        assert!(err.to_string().contains("Operator"));
+    }
+
+    #[test]
+    fn argument_splitting_handles_parentheses_and_quotes() {
+        assert_eq!(
+            split_arguments("('image'; 'num_swords'; 'How many swords are depicted?'; 'int')"),
+            vec!["image", "num_swords", "How many swords are depicted?", "int"]
+        );
+        assert_eq!(split_arguments("a; b"), vec!["a", "b"]);
+        assert_eq!(
+            split_arguments("(SELECT * FROM t WHERE x = 'yes')"),
+            vec!["SELECT * FROM t WHERE x = 'yes'"]
+        );
+    }
+
+    #[test]
+    fn error_analysis_round_trips_and_controls_backtracking() {
+        let analysis = ErrorAnalysis {
+            causes: "The selection referenced a column that does not exist.".into(),
+            fix: "Use the madonna_depicted column added in step 2.".into(),
+            plan_flawed: false,
+            alternative_plan: false,
+            different_tool: false,
+            update_arguments: true,
+        };
+        let parsed = ErrorAnalysis::parse(&analysis.render()).unwrap();
+        assert_eq!(parsed, analysis);
+        assert!(!parsed.should_replan());
+        let replan = ErrorAnalysis {
+            plan_flawed: true,
+            ..ErrorAnalysis::default()
+        };
+        assert!(replan.should_replan());
+        assert!(ErrorAnalysis::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn mentioned_capabilities_summarize_the_plan() {
+        let caps = figure4_plan().mentioned_capabilities();
+        assert_eq!(caps, vec!["join", "image"]);
+    }
+}

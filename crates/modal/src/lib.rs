@@ -1,0 +1,40 @@
+//! # caesura-modal
+//!
+//! The multi-modal substrate of the CAESURA reproduction: annotated images,
+//! text documents, and the simulated perception models (VisualQA / TextQA /
+//! Image Select, substitutes for BLIP-2 and BART), plus the Python-UDF
+//! substitute (a safe transform DSL) and the plotting operator (the seaborn
+//! substitute).
+//!
+//! The models are *simulated*: they answer questions against structured
+//! ground-truth annotations generated alongside the synthetic data (see the
+//! `caesura-data` crate) instead of running neural networks. The operator
+//! contracts — question in, per-row structured value out — are identical to
+//! the paper's, which is what CAESURA's planner (and the evaluation of plan
+//! quality) depends on. A deterministic [`NoiseModel`] can be attached to any
+//! model to study the effect of imperfect extraction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod document;
+pub mod error;
+pub mod image;
+pub mod image_select;
+pub mod noise;
+pub mod operators;
+pub mod plot;
+pub mod text_qa;
+pub mod transform;
+pub mod visual_qa;
+
+pub use document::TextDocument;
+pub use error::{ModalError, ModalResult};
+pub use image::{ImageObject, ImageStore};
+pub use image_select::ImageSelectModel;
+pub use noise::NoiseModel;
+pub use operators::OperatorKind;
+pub use plot::{Plot, PlotKind, PlotPoint, PlotSpec};
+pub use text_qa::TextQaModel;
+pub use transform::{TransformCodegen, TransformProgram};
+pub use visual_qa::VisualQaModel;

@@ -1,0 +1,555 @@
+//! The physical operator vocabulary of CAESURA and the table-level
+//! implementations of the multi-modal operators.
+//!
+//! The paper's prototype exposes four multi-modal operators — VisualQA,
+//! TextQA, Python UDFs, and Image Select — plus "all relational operators
+//! supported by SQLite" and a plotting operator (§4). [`OperatorKind`]
+//! enumerates that vocabulary together with the metadata (name, description,
+//! argument signature) that the mapping-phase prompt presents to the language
+//! model (Figure 3, right).
+
+use crate::error::{ModalError, ModalResult};
+use crate::image::ImageStore;
+use crate::image_select::ImageSelectModel;
+use crate::plot::{Plot, PlotKind, PlotSpec};
+use crate::text_qa::TextQaModel;
+use crate::transform::TransformCodegen;
+use crate::visual_qa::VisualQaModel;
+use caesura_engine::{DataType, Table, Value};
+
+/// Every physical operator CAESURA can place in a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Relational join executed as SQL.
+    SqlJoin,
+    /// Relational selection executed as SQL (or a bare condition).
+    SqlSelection,
+    /// Relational grouping/aggregation executed as SQL.
+    SqlAggregation,
+    /// A general SQL query (projection, sorting, limits, ...).
+    Sql,
+    /// Visual question answering over an IMAGE column.
+    VisualQa,
+    /// Text question answering over a TEXT column (question templates).
+    TextQa,
+    /// Select rows whose image matches a free-text description.
+    ImageSelect,
+    /// The Python-UDF substitute: compute a new column from a description.
+    PythonUdf,
+    /// Produce a plot from the final result table.
+    Plot,
+}
+
+impl OperatorKind {
+    /// All operators, in the order they are listed in prompts.
+    pub fn all() -> &'static [OperatorKind] {
+        &[
+            OperatorKind::SqlJoin,
+            OperatorKind::SqlSelection,
+            OperatorKind::SqlAggregation,
+            OperatorKind::Sql,
+            OperatorKind::VisualQa,
+            OperatorKind::TextQa,
+            OperatorKind::ImageSelect,
+            OperatorKind::PythonUdf,
+            OperatorKind::Plot,
+        ]
+    }
+
+    /// The canonical operator name used in prompts and plan parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorKind::SqlJoin => "SQL Join",
+            OperatorKind::SqlSelection => "SQL Selection",
+            OperatorKind::SqlAggregation => "SQL Aggregation",
+            OperatorKind::Sql => "SQL Query",
+            OperatorKind::VisualQa => "Visual Question Answering",
+            OperatorKind::TextQa => "Text Question Answering",
+            OperatorKind::ImageSelect => "Image Select",
+            OperatorKind::PythonUdf => "Python",
+            OperatorKind::Plot => "Plot",
+        }
+    }
+
+    /// Parse an operator name as produced by the language model; accepts the
+    /// canonical names plus common abbreviations.
+    pub fn from_name(name: &str) -> Option<OperatorKind> {
+        let normalized = name.trim().to_lowercase().replace(['_', '-'], " ");
+        Some(match normalized.as_str() {
+            "sql join" | "join" | "sql (join)" => OperatorKind::SqlJoin,
+            "sql selection" | "selection" | "select" | "sql (selection)" | "filter" => {
+                OperatorKind::SqlSelection
+            }
+            "sql aggregation" | "aggregation" | "aggregate" | "sql (aggregation)" | "group by" => {
+                OperatorKind::SqlAggregation
+            }
+            "sql query" | "sql" | "query" | "projection" | "sort" => OperatorKind::Sql,
+            "visual question answering" | "visualqa" | "visual qa" | "vqa" => OperatorKind::VisualQa,
+            "text question answering" | "textqa" | "text qa" | "tqa" => OperatorKind::TextQa,
+            "image select" | "imageselect" | "image selection" => OperatorKind::ImageSelect,
+            "python" | "python udf" | "udf" | "transform" => OperatorKind::PythonUdf,
+            "plot" | "visualization" | "visualisation" | "chart" => OperatorKind::Plot,
+            _ => return None,
+        })
+    }
+
+    /// The description of the operator rendered into the mapping-phase prompt.
+    pub fn description(&self) -> &'static str {
+        match self {
+            OperatorKind::SqlJoin => {
+                "It is useful when you want to combine two tables on a common key column. \
+                 The argument is a SQL SELECT statement with a JOIN clause."
+            }
+            OperatorKind::SqlSelection => {
+                "It is useful when you want to keep only the rows of a table that satisfy a \
+                 condition on existing columns (e.g. p.madonna_depicted = 'yes'). \
+                 The argument is the condition."
+            }
+            OperatorKind::SqlAggregation => {
+                "It is useful when you want to group a table by one or more columns and compute \
+                 aggregates such as COUNT, SUM, AVG, MIN or MAX. The argument is a SQL SELECT \
+                 statement with a GROUP BY clause."
+            }
+            OperatorKind::Sql => {
+                "It is useful for any other relational processing such as projecting columns, \
+                 sorting, or limiting the output. The argument is a SQL SELECT statement."
+            }
+            OperatorKind::VisualQa => {
+                "It is useful when you want to extract structured information from images \
+                 (columns of type IMAGE), e.g. to count depicted objects or check what is \
+                 depicted. Arguments: (image column; new column name; question; result datatype)."
+            }
+            OperatorKind::TextQa => {
+                "It is useful when you want to extract structured information from text documents \
+                 (columns of type TEXT). The question is a template that may reference other \
+                 columns in angle brackets, e.g. 'How many points did <name> score?'. \
+                 Arguments: (text column; new column name; question template; result datatype)."
+            }
+            OperatorKind::ImageSelect => {
+                "It is useful when you want to select tuples based on what is depicted in images \
+                 (columns of type IMAGE). Arguments: (image column; description of the images to keep)."
+            }
+            OperatorKind::PythonUdf => {
+                "It is useful when you need to compute a new column from existing columns, e.g. \
+                 extracting the century from a date string or converting values. \
+                 Arguments: (description of the transformation; new column name)."
+            }
+            OperatorKind::Plot => {
+                "It is useful as the final step when the user asked for a plot. \
+                 Arguments: (plot kind [bar/line/scatter]; x-axis column; y-axis column)."
+            }
+        }
+    }
+
+    /// Whether the operator consumes non-relational modalities.
+    pub fn is_multimodal(&self) -> bool {
+        matches!(
+            self,
+            OperatorKind::VisualQa | OperatorKind::TextQa | OperatorKind::ImageSelect
+        )
+    }
+
+    /// Render the `You can use the following operators:` prompt block.
+    pub fn prompt_catalog() -> String {
+        OperatorKind::all()
+            .iter()
+            .map(|op| format!("{}: {}", op.name(), op.description()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Parse a result-datatype argument ("int", "str", "float", "bool").
+pub fn parse_result_dtype(text: &str) -> DataType {
+    match text.trim().to_lowercase().as_str() {
+        "int" | "integer" | "number" => DataType::Int,
+        "float" | "double" | "real" => DataType::Float,
+        "bool" | "boolean" => DataType::Bool,
+        _ => DataType::Str,
+    }
+}
+
+/// Apply the VisualQA operator: answer `question` for the image referenced by
+/// `image_column` in every row and store the answer in `new_column`.
+pub fn apply_visual_qa(
+    table: &Table,
+    store: &ImageStore,
+    model: &VisualQaModel,
+    image_column: &str,
+    new_column: &str,
+    question: &str,
+    result_type: DataType,
+) -> ModalResult<Table> {
+    let schema = table.schema().clone();
+    let idx = schema.resolve(image_column).map_err(ModalError::Engine)?;
+    let field_type = schema.field(idx).map(|f| f.data_type);
+    if field_type != Some(DataType::Image) {
+        return Err(ModalError::InvalidArguments {
+            operator: OperatorKind::VisualQa.name().to_string(),
+            message: format!(
+                "column '{image_column}' has type {} but VisualQA requires an IMAGE column",
+                field_type.map(|t| t.prompt_name()).unwrap_or("unknown")
+            ),
+        });
+    }
+    table
+        .with_new_column(new_column, result_type, |_, row| {
+            let key = match &row[idx] {
+                Value::Image(key) => key.to_string(),
+                Value::Null => return Ok(Value::Null),
+                other => other.to_string(),
+            };
+            let image = store.get(&key).ok_or_else(|| {
+                caesura_engine::EngineError::execution(format!(
+                    "image '{key}' was not found in the image store"
+                ))
+            })?;
+            let answer = model
+                .answer(image, question)
+                .map_err(|e| caesura_engine::EngineError::execution(e.to_string()))?;
+            Ok(coerce(answer, result_type))
+        })
+        .map_err(ModalError::Engine)
+}
+
+/// Apply the TextQA operator: instantiate `question_template` per row (filling
+/// `<column>` placeholders from the row) and answer it against the document in
+/// `text_column`, storing the answer in `new_column`.
+pub fn apply_text_qa(
+    table: &Table,
+    model: &TextQaModel,
+    text_column: &str,
+    new_column: &str,
+    question_template: &str,
+    result_type: DataType,
+) -> ModalResult<Table> {
+    let schema = table.schema().clone();
+    let idx = schema.resolve(text_column).map_err(ModalError::Engine)?;
+    let field_type = schema.field(idx).map(|f| f.data_type);
+    if field_type != Some(DataType::Text) {
+        return Err(ModalError::InvalidArguments {
+            operator: OperatorKind::TextQa.name().to_string(),
+            message: format!(
+                "column '{text_column}' has type {} but TextQA requires a TEXT column",
+                field_type.map(|t| t.prompt_name()).unwrap_or("unknown")
+            ),
+        });
+    }
+    // Validate that every placeholder in the template resolves to a column.
+    for placeholder in template_placeholders(question_template) {
+        if schema.resolve(&placeholder).is_err() {
+            return Err(ModalError::InvalidArguments {
+                operator: OperatorKind::TextQa.name().to_string(),
+                message: format!(
+                    "the question template references '<{placeholder}>' but the input table has \
+                     no such column (available: {:?})",
+                    schema.names()
+                ),
+            });
+        }
+    }
+    table
+        .with_new_column(new_column, result_type, |_, row| {
+            let document = match &row[idx] {
+                Value::Text(text) => text.to_string(),
+                Value::Null => return Ok(Value::Null),
+                other => other.to_string(),
+            };
+            let question = instantiate_template(question_template, &schema, row)?;
+            let answer = model
+                .answer(&document, &question)
+                .map_err(|e| caesura_engine::EngineError::execution(e.to_string()))?;
+            Ok(coerce(answer, result_type))
+        })
+        .map_err(ModalError::Engine)
+}
+
+/// Apply the Image Select operator: keep only rows whose image matches the
+/// description.
+pub fn apply_image_select(
+    table: &Table,
+    store: &ImageStore,
+    model: &ImageSelectModel,
+    image_column: &str,
+    description: &str,
+) -> ModalResult<Table> {
+    let schema = table.schema().clone();
+    let idx = schema.resolve(image_column).map_err(ModalError::Engine)?;
+    if schema.field(idx).map(|f| f.data_type) != Some(DataType::Image) {
+        return Err(ModalError::InvalidArguments {
+            operator: OperatorKind::ImageSelect.name().to_string(),
+            message: format!("column '{image_column}' is not an IMAGE column"),
+        });
+    }
+    table
+        .filter_rows(|row| {
+            let key = match &row[idx] {
+                Value::Image(key) => key.to_string(),
+                Value::Null => return Ok(false),
+                other => other.to_string(),
+            };
+            let image = store.get(&key).ok_or_else(|| {
+                caesura_engine::EngineError::execution(format!(
+                    "image '{key}' was not found in the image store"
+                ))
+            })?;
+            Ok(model.matches(image, description))
+        })
+        .map_err(ModalError::Engine)
+}
+
+/// Apply the Python-UDF substitute: compile the description and compute the
+/// new column.
+pub fn apply_python_udf(
+    table: &Table,
+    codegen: &TransformCodegen,
+    description: &str,
+    new_column: &str,
+) -> ModalResult<Table> {
+    let program = codegen.compile(description, table.schema())?;
+    program.apply(table, new_column)
+}
+
+/// Apply the Plot operator to a result table.
+pub fn apply_plot(table: &Table, kind: &str, x_column: &str, y_column: &str) -> ModalResult<Plot> {
+    let kind = PlotKind::from_name(kind)?;
+    Plot::from_table(table, PlotSpec::new(kind, x_column, y_column))
+}
+
+/// Placeholders (`<name>`) appearing in a question template.
+pub fn template_placeholders(template: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = template;
+    while let Some(start) = rest.find('<') {
+        if let Some(end) = rest[start..].find('>') {
+            let inner = &rest[start + 1..start + end];
+            if !inner.is_empty() && !out.contains(&inner.to_string()) {
+                out.push(inner.to_string());
+            }
+            rest = &rest[start + end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+fn instantiate_template(
+    template: &str,
+    schema: &caesura_engine::Schema,
+    row: &[Value],
+) -> Result<String, caesura_engine::EngineError> {
+    let mut question = template.to_string();
+    for placeholder in template_placeholders(template) {
+        let idx = schema.resolve(&placeholder)?;
+        question = question.replace(&format!("<{placeholder}>"), &row[idx].to_string());
+    }
+    Ok(question)
+}
+
+/// Coerce a model answer into the declared result type where possible.
+fn coerce(value: Value, target: DataType) -> Value {
+    match (target, &value) {
+        (DataType::Int, Value::Str(s)) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or(value),
+        (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
+        (DataType::Float, Value::Str(s)) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .unwrap_or(value),
+        (DataType::Bool, Value::Str(s)) => match s.to_lowercase().as_str() {
+            "yes" | "true" => Value::Bool(true),
+            "no" | "false" => Value::Bool(false),
+            _ => value,
+        },
+        (DataType::Str, Value::Int(i)) => Value::str(i.to_string()),
+        _ => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageObject;
+    use caesura_engine::{Schema, TableBuilder};
+
+    fn image_store() -> ImageStore {
+        let mut store = ImageStore::new();
+        store.insert(
+            ImageObject::new("img/1.png")
+                .with_object("Madonna", 1)
+                .with_object("Child", 1)
+                .with_object("sword", 2),
+        );
+        store.insert(ImageObject::new("img/2.png").with_object("iris", 12));
+        store
+    }
+
+    fn joined_table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("title", DataType::Str),
+            ("img_path", DataType::Str),
+            ("image", DataType::Image),
+        ]);
+        let mut b = TableBuilder::new("joined_table", schema);
+        b.push_row(vec![
+            Value::str("Madonna"),
+            Value::str("img/1.png"),
+            Value::image("img/1.png"),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            Value::str("Irises"),
+            Value::str("img/2.png"),
+            Value::image("img/2.png"),
+        ])
+        .unwrap();
+        b.build()
+    }
+
+    fn reports_table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("name", DataType::Str),
+            ("report", DataType::Text),
+        ]);
+        let mut b = TableBuilder::new("final_joined_table", schema);
+        let report = "The Spurs defeated the Heat 110-102. The Heat scored 102 points \
+                      while the Spurs scored 110 points.";
+        b.push_row(vec![Value::str("Heat"), Value::text(report)]).unwrap();
+        b.push_row(vec![Value::str("Spurs"), Value::text(report)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn visual_qa_adds_the_num_swords_column() {
+        let out = apply_visual_qa(
+            &joined_table(),
+            &image_store(),
+            &VisualQaModel::new(),
+            "image",
+            "num_swords",
+            "How many swords are depicted?",
+            DataType::Int,
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "num_swords").unwrap(), &Value::Int(2));
+        assert_eq!(out.value(1, "num_swords").unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn visual_qa_rejects_non_image_columns() {
+        let err = apply_visual_qa(
+            &joined_table(),
+            &image_store(),
+            &VisualQaModel::new(),
+            "title",
+            "x",
+            "How many swords are depicted?",
+            DataType::Int,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("IMAGE column"));
+    }
+
+    #[test]
+    fn text_qa_instantiates_the_template_per_row() {
+        let out = apply_text_qa(
+            &reports_table(),
+            &TextQaModel::new(),
+            "report",
+            "points_scored",
+            "How many points did <name> score?",
+            DataType::Int,
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "points_scored").unwrap(), &Value::Int(102));
+        assert_eq!(out.value(1, "points_scored").unwrap(), &Value::Int(110));
+    }
+
+    #[test]
+    fn text_qa_rejects_unknown_placeholder_columns() {
+        let err = apply_text_qa(
+            &reports_table(),
+            &TextQaModel::new(),
+            "report",
+            "points",
+            "How many points did <team_name> score?",
+            DataType::Int,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("team_name"));
+    }
+
+    #[test]
+    fn image_select_filters_rows() {
+        let out = apply_image_select(
+            &joined_table(),
+            &image_store(),
+            &ImageSelectModel::new(),
+            "image",
+            "paintings depicting Madonna and Child",
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "title").unwrap(), &Value::str("Madonna"));
+    }
+
+    #[test]
+    fn python_udf_and_plot_round_trip() {
+        let schema = Schema::from_pairs(&[
+            ("inception", DataType::Str),
+            ("num_swords", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_values::<_, Value>(vec![Value::str("1480-05-12"), Value::Int(5)]).unwrap();
+        b.push_values::<_, Value>(vec![Value::str("1889-01-05"), Value::Int(2)]).unwrap();
+        let table = b.build();
+        let with_century = apply_python_udf(
+            &table,
+            &TransformCodegen::new(),
+            "Extract the century from the dates in the 'inception' column",
+            "century",
+        )
+        .unwrap();
+        let plot = apply_plot(&with_century, "bar", "century", "num_swords").unwrap();
+        assert_eq!(plot.points.len(), 2);
+        assert_eq!(plot.points[0].label, "15");
+    }
+
+    #[test]
+    fn operator_names_round_trip_and_catalog_renders() {
+        for op in OperatorKind::all() {
+            assert_eq!(OperatorKind::from_name(op.name()), Some(*op));
+        }
+        assert_eq!(
+            OperatorKind::from_name("Visual Question Answering"),
+            Some(OperatorKind::VisualQa)
+        );
+        assert_eq!(OperatorKind::from_name("nonsense"), None);
+        let catalog = OperatorKind::prompt_catalog();
+        assert!(catalog.contains("Image Select"));
+        assert!(catalog.contains("IMAGE"));
+    }
+
+    #[test]
+    fn dtype_parsing_and_coercion() {
+        assert_eq!(parse_result_dtype("int"), DataType::Int);
+        assert_eq!(parse_result_dtype("string"), DataType::Str);
+        assert_eq!(coerce(Value::str("42"), DataType::Int), Value::Int(42));
+        assert_eq!(coerce(Value::str("yes"), DataType::Bool), Value::Bool(true));
+        assert_eq!(coerce(Value::Int(3), DataType::Str), Value::str("3"));
+    }
+
+    #[test]
+    fn template_placeholder_extraction() {
+        assert_eq!(
+            template_placeholders("How many points did <name> score in <game_id>?"),
+            vec!["name", "game_id"]
+        );
+        assert!(template_placeholders("no placeholders").is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Artwork-lake analysis: a small "museum analyst" session issuing several
+//! queries of increasing complexity against the artwork data lake, including
+//! the Figure 4 Query 2 anecdote.
+//!
+//! Run with: `cargo run --example artwork_analysis`
+
+use caesura::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let data = generate_artwork(&ArtworkConfig::default());
+    let caesura = Caesura::new(data.lake, Arc::new(SimulatedLlm::gpt4()));
+
+    let queries = [
+        "How many paintings are in the museum?",
+        "For each movement, how many paintings are there?",
+        "How many paintings depict Madonna and Child?",
+        "List the titles of all paintings that depict a horse.",
+        "Plot the maximum number of swords depicted on the paintings of each century.",
+    ];
+    for query in queries {
+        println!("==============================================================");
+        println!("Query: {query}\n");
+        match caesura.query(query) {
+            Ok(output) => println!("{output}"),
+            Err(error) => println!("failed: {error}"),
+        }
+        println!();
+    }
+}

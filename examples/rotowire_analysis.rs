@@ -1,0 +1,37 @@
+//! Rotowire-lake analysis: queries over the basketball tables and the textual
+//! game reports, including the Figure 4 Query 1 anecdote and the "hard query"
+//! discussed in §4.3 of the paper.
+//!
+//! Run with: `cargo run --example rotowire_analysis`
+
+use caesura::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let data = generate_rotowire(&RotowireConfig::default());
+    let caesura = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+
+    let queries = [
+        "How many teams are in the Eastern conference?",
+        "What is the height of the tallest player?",
+        "For every team, what is the highest number of points they scored in a game?",
+        "Plot the number of games won by each team.",
+        // The query both models struggled with in the paper (§4.3).
+        "How many games did each team lose?",
+    ];
+    for query in queries {
+        println!("==============================================================");
+        println!("Query: {query}\n");
+        let run = caesura.run(query);
+        match &run.output {
+            Ok(output) => println!("{output}"),
+            Err(error) => println!("failed: {error}"),
+        }
+        println!();
+    }
+
+    // Cross-check one answer against the generator's ground truth.
+    if let Some(expected) = data.max_points_of("Heat") {
+        println!("Ground truth: the Heat's best game was {expected} points.");
+    }
+}

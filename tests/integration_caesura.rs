@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: data generation → planning → mapping →
+//! execution → output, checked against the generators' ground truth.
+
+use caesura::prelude::*;
+use std::sync::Arc;
+
+fn artwork() -> (caesura::data::ArtworkData, Caesura) {
+    let data = generate_artwork(&ArtworkConfig::default());
+    let session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+    (data, session)
+}
+
+fn rotowire() -> (caesura::data::RotowireData, Caesura) {
+    let data = generate_rotowire(&RotowireConfig::default());
+    let session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+    (data, session)
+}
+
+#[test]
+fn figure1_query_produces_a_bar_plot_with_ground_truth_counts() {
+    let (data, session) = artwork();
+    let output = session
+        .query("Plot the number of paintings depicting Madonna and Child for each century!")
+        .expect("the Figure 1 query must execute");
+    let plot = output.plot().expect("expected a plot");
+    assert_eq!(plot.spec.kind, PlotKind::Bar);
+    assert_eq!(plot.spec.x_column, "century");
+
+    // Compare the plotted series against the ground truth.
+    let mut expected = std::collections::BTreeMap::new();
+    for record in data.records.iter().filter(|r| r.madonna_and_child) {
+        *expected.entry(record.century.to_string()).or_insert(0.0) += 1.0;
+    }
+    assert_eq!(plot.points.len(), expected.len());
+    for point in &plot.points {
+        assert_eq!(
+            Some(&point.value),
+            expected.get(&point.label),
+            "wrong count for century {}",
+            point.label
+        );
+    }
+}
+
+#[test]
+fn figure4_query2_maxima_match_the_image_annotations() {
+    let (data, session) = artwork();
+    let output = session
+        .query("Plot the maximum number of swords depicted on the paintings of each century.")
+        .expect("the Figure 4 Query 2 must execute");
+    let plot = output.plot().expect("expected a plot");
+    let mut expected: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for record in &data.records {
+        let entry = expected.entry(record.century.to_string()).or_insert(0.0);
+        *entry = entry.max(f64::from(record.count_of("sword")));
+    }
+    for point in &plot.points {
+        assert_eq!(expected.get(&point.label), Some(&point.value));
+    }
+}
+
+#[test]
+fn figure4_query1_table_matches_ground_truth_maxima() {
+    let (data, session) = rotowire();
+    let output = session
+        .query("For every team, what is the highest number of points they scored in a game?")
+        .expect("the Figure 4 Query 1 must execute");
+    let table = output.table().expect("expected a table");
+    assert!(table.num_rows() > 0);
+    for row in table.rows() {
+        let team = row[0].as_str().unwrap().to_string();
+        let max = row[row.len() - 1].as_int().unwrap();
+        assert_eq!(Some(max), data.max_points_of(&team), "wrong maximum for {team}");
+    }
+}
+
+#[test]
+fn single_value_queries_return_scalars_consistent_with_ground_truth() {
+    let (data, session) = rotowire();
+    let output = session
+        .query("How many teams are in the Eastern conference?")
+        .unwrap();
+    let expected = data.teams.iter().filter(|t| t.conference == "Eastern").count() as i64;
+    assert_eq!(output.as_value().unwrap().as_int(), Some(expected));
+
+    let output = session.query("What is the height of the tallest player?").unwrap();
+    let expected = data.players.iter().map(|p| p.height_cm).max().unwrap();
+    assert_eq!(output.as_value().unwrap().as_int(), Some(expected));
+}
+
+#[test]
+fn list_queries_return_the_right_titles() {
+    let (data, session) = artwork();
+    let output = session
+        .query("List the titles of all paintings that depict a horse.")
+        .unwrap();
+    let table = output.table().expect("expected a table");
+    let titles: std::collections::BTreeSet<String> = table
+        .rows()
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect();
+    let expected: std::collections::BTreeSet<String> = data
+        .records
+        .iter()
+        .filter(|r| r.count_of("horse") > 0)
+        .map(|r| r.title.clone())
+        .collect();
+    assert_eq!(titles, expected);
+}
+
+#[test]
+fn traces_expose_every_phase_of_figure2() {
+    let (_, session) = artwork();
+    let run = session.run("How many paintings depict Madonna and Child?");
+    assert!(run.succeeded());
+    let trace = &run.trace;
+    use caesura::core::Phase;
+    assert!(!trace.events_of(Phase::Discovery).is_empty());
+    assert!(!trace.events_of(Phase::Planning).is_empty());
+    assert!(!trace.events_of(Phase::Mapping).is_empty());
+    assert!(!trace.events_of(Phase::Execution).is_empty());
+    // One planning call plus one mapping call per step.
+    assert!(trace.llm_calls() > run.logical_plan.unwrap().len());
+}
+
+#[test]
+fn weaker_model_profile_still_answers_relational_queries() {
+    let data = generate_artwork(&ArtworkConfig::default());
+    let session = Caesura::new(data.lake, Arc::new(SimulatedLlm::chatgpt35()));
+    let output = session.query("For each genre, how many paintings are there?");
+    // The ChatGPT-3.5 profile makes multi-modal mistakes, but simple relational
+    // grouping queries should still work for this seed.
+    if let Ok(output) = output {
+        assert_eq!(output.kind(), "table");
+    }
+}
+
+#[test]
+fn read_only_guard_rejects_destructive_sql() {
+    let data = generate_artwork(&ArtworkConfig::small());
+    let err = caesura::engine::sql::run_sql(data.lake.catalog(), "DROP TABLE paintings_metadata")
+        .unwrap_err();
+    assert!(err.to_string().contains("read-only"));
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the relational-engine invariants.
+
+use caesura::engine::{ops, sql, Catalog, DataType, Expr, Schema, Table, TableBuilder, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn int_table(values: Vec<i64>) -> Table {
+    let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+    let mut builder = TableBuilder::new("numbers", schema);
+    for v in values {
+        builder.push_row(vec![Value::Int(v)]).unwrap();
+    }
+    builder.build()
+}
+
+proptest! {
+    /// total_cmp is a total order: antisymmetric and transitive over samples.
+    #[test]
+    fn value_ordering_is_consistent(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Less && b.total_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.total_cmp(&c), Ordering::Less);
+        }
+    }
+
+    /// Values that compare equal under SQL semantics share a group key.
+    #[test]
+    fn group_keys_respect_equality(a in value_strategy(), b in value_strategy()) {
+        if a.sql_eq(&b) == Some(true) {
+            prop_assert_eq!(a.group_key(), b.group_key());
+        }
+    }
+
+    /// Filtering never increases the row count and unions of a predicate and
+    /// its negation partition the (non-NULL-predicate) rows.
+    #[test]
+    fn filter_partitions_rows(values in prop::collection::vec(-100i64..100, 0..50), threshold in -100i64..100) {
+        let table = int_table(values.clone());
+        let predicate = Expr::binary(Expr::col("x"), caesura::engine::BinaryOp::Gt, Expr::lit(threshold));
+        let negated = Expr::Unary {
+            op: caesura::engine::UnaryOp::Not,
+            operand: Box::new(predicate.clone()),
+        };
+        let kept = ops::filter(&table, &predicate).unwrap();
+        let dropped = ops::filter(&table, &negated).unwrap();
+        prop_assert!(kept.num_rows() <= table.num_rows());
+        prop_assert_eq!(kept.num_rows() + dropped.num_rows(), table.num_rows());
+    }
+
+    /// Sorting preserves the multiset of rows and orders them.
+    #[test]
+    fn sort_is_an_ordered_permutation(values in prop::collection::vec(-1000i64..1000, 0..60)) {
+        let table = int_table(values.clone());
+        let sorted = ops::sort(&table, &[ops::SortKey::asc(Expr::col("x"))]).unwrap();
+        prop_assert_eq!(sorted.num_rows(), table.num_rows());
+        let sorted_values: Vec<i64> = sorted.column("x").unwrap().iter().map(|v| v.as_int().unwrap()).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(sorted_values, expected);
+    }
+
+    /// LIMIT returns exactly min(n, rows) rows; DISTINCT never increases rows
+    /// and is idempotent.
+    #[test]
+    fn limit_and_distinct_invariants(values in prop::collection::vec(-20i64..20, 0..60), n in 0usize..80) {
+        let table = int_table(values);
+        let limited = ops::limit(&table, n).unwrap();
+        prop_assert_eq!(limited.num_rows(), n.min(table.num_rows()));
+        let distinct = ops::distinct(&table).unwrap();
+        prop_assert!(distinct.num_rows() <= table.num_rows());
+        let twice = ops::distinct(&distinct).unwrap();
+        prop_assert_eq!(twice.num_rows(), distinct.num_rows());
+    }
+
+    /// A COUNT(*) aggregation over SQL equals the table's row count, and a
+    /// grouped count sums back to the total.
+    #[test]
+    fn sql_counts_match_row_counts(values in prop::collection::vec(0i64..5, 1..60)) {
+        let table = int_table(values);
+        let mut catalog = Catalog::new();
+        catalog.register(table.clone());
+        let total = sql::run_sql(&catalog, "SELECT COUNT(*) AS n FROM numbers").unwrap();
+        prop_assert_eq!(total.value(0, "n").unwrap().as_int().unwrap(), table.num_rows() as i64);
+        let grouped = sql::run_sql(&catalog, "SELECT x, COUNT(*) AS n FROM numbers GROUP BY x").unwrap();
+        let sum: i64 = grouped.column("n").unwrap().iter().map(|v| v.as_int().unwrap()).sum();
+        prop_assert_eq!(sum, table.num_rows() as i64);
+    }
+
+    /// Hash-join output size equals the sum over keys of the product of the
+    /// per-side multiplicities.
+    #[test]
+    fn join_cardinality_matches_key_multiplicities(
+        left_keys in prop::collection::vec(0i64..6, 0..30),
+        right_keys in prop::collection::vec(0i64..6, 0..30),
+    ) {
+        let left = int_table(left_keys.clone()).renamed("left_t");
+        let right = int_table(right_keys.clone()).renamed("right_t");
+        let joined = ops::hash_join(&left, &right, "x", "x", ops::JoinType::Inner).unwrap();
+        let mut expected = 0usize;
+        for key in 0i64..6 {
+            let l = left_keys.iter().filter(|v| **v == key).count();
+            let r = right_keys.iter().filter(|v| **v == key).count();
+            expected += l * r;
+        }
+        prop_assert_eq!(joined.num_rows(), expected);
+    }
+
+    /// The SQL LIKE operator agrees with a simple substring check for patterns
+    /// of the form `%needle%` (no other wildcards).
+    #[test]
+    fn like_agrees_with_substring_for_simple_patterns(haystack in "[a-z]{0,16}", needle in "[a-z]{0,4}") {
+        let result = caesura::engine::expr::like_match(&haystack, &format!("%{needle}%"));
+        prop_assert_eq!(result, haystack.contains(&needle));
+    }
+
+    /// Expression evaluation of CENTURY over a year literal matches the
+    /// arithmetic definition.
+    #[test]
+    fn century_function_matches_definition(year in 1000i64..2100) {
+        let schema = Schema::empty();
+        let expr = Expr::Func {
+            func: caesura::engine::ScalarFunc::Century,
+            args: vec![Expr::lit(year)],
+        };
+        let result = expr.evaluate(&schema, &vec![]).unwrap().as_int().unwrap();
+        prop_assert_eq!(result, (year - 1) / 100 + 1);
+    }
+}

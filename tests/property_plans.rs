@@ -1,0 +1,115 @@
+//! Property-based tests of the plan grammar and the simulated-planner
+//! plumbing: whatever the planner synthesizes must survive the render → parse
+//! round trip through text, exactly as it would with a remote LLM.
+
+use caesura::llm::{plan::split_arguments, LogicalPlan, LogicalStep, OperatorDecision};
+use caesura::modal::OperatorKind;
+use proptest::prelude::*;
+
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,14}".prop_map(|s| s)
+}
+
+fn description() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9 ,']{1,60}".prop_map(|s| s.trim().replace('\n', " "))
+}
+
+fn logical_step(number: usize) -> impl Strategy<Value = LogicalStep> {
+    (
+        description(),
+        prop::collection::vec(identifier(), 0..3),
+        identifier(),
+        prop::collection::vec(identifier(), 0..3),
+    )
+        .prop_map(move |(description, inputs, output, new_columns)| {
+            // Descriptions must not be empty or start with a field keyword that
+            // the grammar treats specially.
+            let description = if description.is_empty() {
+                "do something".to_string()
+            } else {
+                description
+            };
+            LogicalStep::new(number, description, inputs, output, new_columns)
+        })
+}
+
+fn operator_kind() -> impl Strategy<Value = OperatorKind> {
+    prop::sample::select(OperatorKind::all().to_vec())
+}
+
+proptest! {
+    /// Logical plans survive the text round trip: the parsed plan has the same
+    /// number of steps, the same inputs/outputs/new columns.
+    #[test]
+    fn logical_plans_round_trip_through_text(steps in prop::collection::vec(logical_step(1), 1..6), thought in description()) {
+        let plan = LogicalPlan {
+            thought,
+            steps: steps
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut s)| {
+                    s.number = i + 1;
+                    s
+                })
+                .collect(),
+        };
+        let text = plan.render();
+        let parsed = LogicalPlan::parse(&text).unwrap();
+        prop_assert_eq!(parsed.steps.len(), plan.steps.len());
+        for (parsed_step, original) in parsed.steps.iter().zip(plan.steps.iter()) {
+            prop_assert_eq!(&parsed_step.inputs, &original.inputs);
+            prop_assert_eq!(&parsed_step.output, &original.output);
+            prop_assert_eq!(&parsed_step.new_columns, &original.new_columns);
+            prop_assert!(parsed_step.description.starts_with(original.description.trim()));
+        }
+    }
+
+    /// Operator decisions survive the text round trip for every operator kind.
+    #[test]
+    fn operator_decisions_round_trip_through_text(
+        operator in operator_kind(),
+        step_number in 1usize..9,
+        arguments in prop::collection::vec("[A-Za-z0-9_ =<>]{1,30}", 1..5),
+        reasoning in description(),
+    ) {
+        // Arguments must not contain the separator or parentheses that the
+        // grammar uses.
+        let arguments: Vec<String> = arguments
+            .into_iter()
+            .map(|a| a.replace([';', '(', ')'], " ").trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        prop_assume!(!arguments.is_empty());
+        let decision = OperatorDecision {
+            step_number,
+            reasoning,
+            operator,
+            arguments: arguments.clone(),
+        };
+        let text = decision.render("some step");
+        let parsed = OperatorDecision::parse(&text).unwrap();
+        prop_assert_eq!(parsed.operator, operator);
+        prop_assert_eq!(parsed.step_number, step_number);
+        prop_assert_eq!(parsed.arguments, arguments);
+    }
+
+    /// Argument splitting is the inverse of joining with "; " for
+    /// separator-free arguments.
+    #[test]
+    fn argument_splitting_inverts_joining(arguments in prop::collection::vec("[A-Za-z0-9_ =<>]{1,20}", 1..6)) {
+        let arguments: Vec<String> = arguments
+            .into_iter()
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        prop_assume!(!arguments.is_empty());
+        let joined = format!("({})", arguments.join("; "));
+        prop_assert_eq!(split_arguments(&joined), arguments);
+    }
+
+    /// Operator names round trip through the prompt vocabulary.
+    #[test]
+    fn operator_names_round_trip(operator in operator_kind()) {
+        prop_assert_eq!(OperatorKind::from_name(operator.name()), Some(operator));
+    }
+}
