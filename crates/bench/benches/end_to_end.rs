@@ -12,7 +12,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(20);
     group.bench_function("artwork_relational_count", |b| {
-        b.iter(|| artwork.query(black_box("How many paintings are in the museum?")).unwrap())
+        b.iter(|| {
+            artwork
+                .query(black_box("How many paintings are in the museum?"))
+                .unwrap()
+        })
     });
     group.bench_function("artwork_figure1_plot", |b| {
         b.iter(|| {

@@ -2,11 +2,119 @@
 //! at several input cardinalities.
 
 use caesura_data::{generate_artwork, ArtworkConfig};
-use caesura_engine::{ops, sql, Expr};
+use caesura_engine::{ops, sql, DataType, Expr, Schema, Table, TableBuilder, Value};
 use caesura_modal::operators::{apply_python_udf, apply_visual_qa};
 use caesura_modal::{TransformCodegen, VisualQaModel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+/// A synthetic scores table with int/float/str columns, used to measure the
+/// relational operators at cardinalities (10k–1M) where the artwork generator
+/// (which also builds image annotations) would dominate setup time.
+fn scores_table(rows: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("game_id", DataType::Int),
+        ("team", DataType::Str),
+        ("points", DataType::Int),
+        ("rating", DataType::Float),
+    ]);
+    let teams = [
+        "Heat", "Spurs", "Bulls", "Lakers", "Celtics", "Nets", "Suns", "Jazz",
+    ];
+    let mut builder = TableBuilder::new("scores", schema);
+    for i in 0..rows {
+        builder
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::str(teams[i % teams.len()]),
+                Value::Int(60 + ((i * 37) % 90) as i64),
+                Value::Float((i % 1000) as f64 / 10.0),
+            ])
+            .unwrap();
+    }
+    builder.build()
+}
+
+/// A keyed side table joining against `scores.team`.
+fn teams_table() -> Table {
+    let schema = Schema::from_pairs(&[("team", DataType::Str), ("conference", DataType::Str)]);
+    let mut builder = TableBuilder::new("teams", schema);
+    for (team, conference) in [
+        ("Heat", "Eastern"),
+        ("Spurs", "Western"),
+        ("Bulls", "Eastern"),
+        ("Lakers", "Western"),
+        ("Celtics", "Eastern"),
+        ("Nets", "Eastern"),
+        ("Suns", "Western"),
+        ("Jazz", "Western"),
+    ] {
+        builder.push_values([team, conference]).unwrap();
+    }
+    builder.build()
+}
+
+/// Columnar-scale benches: filter / aggregate / join / project / sort at
+/// 10k–1M rows. These are the numbers recorded in BENCH_operators.json.
+fn bench_columnar_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar");
+    group.sample_size(12);
+    for &size in &[10_000usize, 100_000, 1_000_000] {
+        let scores = scores_table(size);
+        let teams = teams_table();
+        let predicate = sql::parse_expression("points > 100").unwrap();
+
+        group.bench_with_input(BenchmarkId::new("filter", size), &size, |b, _| {
+            b.iter(|| ops::filter(black_box(&scores), &predicate).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("aggregate", size), &size, |b, _| {
+            b.iter(|| {
+                ops::aggregate(
+                    black_box(&scores),
+                    &[(Expr::col("team"), "team".to_string())],
+                    &[
+                        ops::AggCall::new(
+                            ops::AggFunc::Max,
+                            Some(Expr::col("points")),
+                            "max_points",
+                        ),
+                        ops::AggCall::count_star("games"),
+                    ],
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("join", size), &size, |b, _| {
+            b.iter(|| {
+                ops::hash_join(
+                    black_box(&scores),
+                    black_box(&teams),
+                    "team",
+                    "team",
+                    ops::JoinType::Inner,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("project_2cols", size), &size, |b, _| {
+            let projections = [
+                ops::Projection::column("team"),
+                ops::Projection::column("points"),
+            ];
+            b.iter(|| ops::project(black_box(&scores), &projections).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sort_by_points", size), &size, |b, _| {
+            b.iter(|| {
+                ops::sort(
+                    black_box(&scores),
+                    &[ops::SortKey::desc(Expr::col("points"))],
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
 
 fn bench_operators(c: &mut Criterion) {
     let mut group = c.benchmark_group("operators");
@@ -37,15 +145,19 @@ fn bench_operators(c: &mut Criterion) {
             let predicate = sql::parse_expression("movement = 'Baroque'").unwrap();
             b.iter(|| ops::filter(black_box(&metadata), &predicate).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("aggregate_group_by", size), &size, |b, _| {
-            b.iter(|| {
-                sql::run_sql(
-                    black_box(&catalog),
-                    "SELECT movement, COUNT(*) AS n FROM paintings_metadata GROUP BY movement",
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_group_by", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    sql::run_sql(
+                        black_box(&catalog),
+                        "SELECT movement, COUNT(*) AS n FROM paintings_metadata GROUP BY movement",
+                    )
+                    .unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("visual_qa", size), &size, |b, _| {
             let model = VisualQaModel::new();
             b.iter(|| {
@@ -61,18 +173,22 @@ fn bench_operators(c: &mut Criterion) {
                 .unwrap()
             })
         });
-        group.bench_with_input(BenchmarkId::new("python_udf_century", size), &size, |b, _| {
-            let codegen = TransformCodegen::new();
-            b.iter(|| {
-                apply_python_udf(
-                    black_box(&metadata),
-                    &codegen,
-                    "Extract the century from the dates in the 'inception' column",
-                    "century",
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("python_udf_century", size),
+            &size,
+            |b, _| {
+                let codegen = TransformCodegen::new();
+                b.iter(|| {
+                    apply_python_udf(
+                        black_box(&metadata),
+                        &codegen,
+                        "Extract the century from the dates in the 'inception' column",
+                        "century",
+                    )
+                    .unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("sort", size), &size, |b, _| {
             b.iter(|| {
                 ops::sort(
@@ -86,5 +202,5 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators);
+criterion_group!(benches, bench_operators, bench_columnar_scale);
 criterion_main!(benches);

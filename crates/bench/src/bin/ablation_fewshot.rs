@@ -4,7 +4,10 @@ use caesura_core::CaesuraConfig;
 use caesura_llm::ModelProfile;
 
 fn main() {
-    for (label, few_shot) in [("with few-shot examples", true), ("zero-shot planning", false)] {
+    for (label, few_shot) in [
+        ("with few-shot examples", true),
+        ("zero-shot planning", false),
+    ] {
         let config = CaesuraConfig {
             few_shot,
             ..CaesuraConfig::default()

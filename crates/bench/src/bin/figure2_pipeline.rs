@@ -6,6 +6,7 @@ use caesura_llm::ModelProfile;
 
 fn main() {
     let session = caesura_bench::artwork_session(ModelProfile::Gpt4);
-    let run = session.run("Plot the number of paintings depicting Madonna and Child for each century!");
+    let run =
+        session.run("Plot the number of paintings depicting Madonna and Child for each century!");
     println!("{}", run.trace.render(false));
 }

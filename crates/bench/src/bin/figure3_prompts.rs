@@ -21,7 +21,12 @@ fn main() {
     }];
 
     println!("================ Planning Phase Prompt ================\n");
-    println!("{}", builder.planning_prompt(data.lake.catalog(), query, &relevant).render());
+    println!(
+        "{}",
+        builder
+            .planning_prompt(data.lake.catalog(), query, &relevant)
+            .render()
+    );
 
     let step = LogicalStep::new(
         1,
@@ -34,7 +39,15 @@ fn main() {
     println!(
         "{}",
         builder
-            .mapping_prompt(data.lake.catalog(), &caesura_engine::Catalog::new(), query, &step, &relevant, &[], None)
+            .mapping_prompt(
+                data.lake.catalog(),
+                &caesura_engine::Catalog::new(),
+                query,
+                &step,
+                &relevant,
+                &[],
+                None
+            )
             .render()
     );
 }

@@ -32,7 +32,13 @@ fn show(run: &QueryRun) {
 
 fn main() {
     let rotowire = caesura_bench::rotowire_session(ModelProfile::Gpt4);
-    show(&rotowire.run("For every team, what is the highest number of points they scored in a game?"));
+    show(
+        &rotowire
+            .run("For every team, what is the highest number of points they scored in a game?"),
+    );
     let artwork = caesura_bench::artwork_session(ModelProfile::Gpt4);
-    show(&artwork.run("Plot the maximum number of swords depicted on the paintings of each century."));
+    show(
+        &artwork
+            .run("Plot the maximum number of swords depicted on the paintings of each century."),
+    );
 }

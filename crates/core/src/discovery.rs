@@ -117,19 +117,24 @@ fn tokenize(text: &str) -> Vec<String> {
 /// whose name is mentioned in the query, every date-like column when the query
 /// mentions years or centuries, the join-key and multi-modal columns when the
 /// query needs them, plus example values read from the data.
-pub fn lexical_relevant_columns(lake: &DataLake, query: &str, example_values: usize) -> Vec<RelevantColumn> {
+pub fn lexical_relevant_columns(
+    lake: &DataLake,
+    query: &str,
+    example_values: usize,
+) -> Vec<RelevantColumn> {
     let lower = query.to_lowercase();
-    let words: BTreeSet<String> = tokenize(&lower)
-        .into_iter()
-        .map(|w| singular(&w))
-        .collect();
-    let needs_dates = lower.contains("century") || lower.contains("year")
-        || lower.contains("earliest") || lower.contains("latest");
+    let words: BTreeSet<String> = tokenize(&lower).into_iter().map(|w| singular(&w)).collect();
+    let needs_dates = lower.contains("century")
+        || lower.contains("year")
+        || lower.contains("earliest")
+        || lower.contains("latest");
     let needs_images =
         lower.contains("depict") || lower.contains("image") || lower.contains("painting");
-    let needs_text = ["points", "score", "win", "won", "lose", "lost", "rebound", "assist", "game"]
-        .iter()
-        .any(|w| lower.contains(w));
+    let needs_text = [
+        "points", "score", "win", "won", "lose", "lost", "rebound", "assist", "game",
+    ]
+    .iter()
+    .any(|w| lower.contains(w));
 
     let mut out = Vec::new();
     for table in lake.catalog().tables() {
@@ -137,7 +142,9 @@ pub fn lexical_relevant_columns(lake: &DataLake, query: &str, example_values: us
             let name = field.name.to_lowercase();
             let mentioned = words.contains(&singular(&name));
             let date_like = needs_dates
-                && (name.contains("inception") || name.contains("date") || name.contains("year")
+                && (name.contains("inception")
+                    || name.contains("date")
+                    || name.contains("year")
                     || name.contains("founded"));
             let modality = (needs_images && field.data_type == caesura_engine::DataType::Image)
                 || (needs_text && field.data_type == caesura_engine::DataType::Text);
@@ -205,17 +212,15 @@ mod tests {
         assert!(names.contains(&"paintings_metadata.inception".to_string()));
         assert!(names.contains(&"painting_images.image".to_string()));
         // Example values are attached.
-        let inception = columns
-            .iter()
-            .find(|c| c.column == "inception")
-            .unwrap();
+        let inception = columns.iter().find(|c| c.column == "inception").unwrap();
         assert!(!inception.examples.is_empty());
     }
 
     #[test]
     fn lexical_relevance_is_narrow_for_relational_queries() {
         let lake = generate_rotowire(&RotowireConfig::small()).lake;
-        let columns = lexical_relevant_columns(&lake, "How many teams are in the Eastern conference?", 3);
+        let columns =
+            lexical_relevant_columns(&lake, "How many teams are in the Eastern conference?", 3);
         assert!(columns.iter().any(|c| c.column == "conference"));
         assert!(!columns.iter().any(|c| c.column == "report"));
     }

@@ -17,6 +17,7 @@ use caesura_modal::operators::{
 use caesura_modal::{
     ImageSelectModel, ImageStore, OperatorKind, Plot, TextQaModel, TransformCodegen, VisualQaModel,
 };
+use std::sync::Arc;
 
 /// The result of executing one physical step.
 #[derive(Debug, Clone)]
@@ -34,8 +35,8 @@ pub enum StepOutcome {
     Plot {
         /// The plot.
         plot: Plot,
-        /// The table the plot was rendered from.
-        table: Table,
+        /// The table the plot was rendered from (shared, not copied).
+        table: Arc<Table>,
     },
 }
 
@@ -106,8 +107,8 @@ impl Executor {
         &self.base
     }
 
-    /// The most recently produced table, if any.
-    pub fn last_table(&self) -> Option<&Table> {
+    /// The most recently produced table, if any (shared handle).
+    pub fn last_table(&self) -> Option<&Arc<Table>> {
         let name = self.last_output.as_ref()?;
         self.intermediate.table(name).ok()
     }
@@ -120,42 +121,52 @@ impl Executor {
     }
 
     /// Base and intermediate tables merged into one catalog for SQL execution.
+    /// Every registration is an `Arc` bump — no table data moves.
     fn combined(&self) -> Catalog {
         let mut combined = self.base.clone();
         for table in self.intermediate.tables() {
-            combined.register(table.clone());
+            combined.register_shared(Arc::clone(table));
         }
         combined
     }
 
     /// Resolve an input table by name, searching intermediate tables first.
-    fn input_table(&self, name: &str) -> CoreResult<Table> {
-        if let Ok(table) = self.intermediate.table(name) {
-            return Ok(table.clone());
+    /// Returns a shared handle; the columns stay owned by the catalogs.
+    fn input_table(&self, name: &str) -> CoreResult<Arc<Table>> {
+        if let Ok(table) = self.intermediate.table_shared(name) {
+            return Ok(table);
         }
-        if let Ok(table) = self.base.table(name) {
-            return Ok(table.clone());
+        if let Ok(table) = self.base.table_shared(name) {
+            return Ok(table);
         }
         // Fall back to the most recent output (plans sometimes refer to the
         // "current" table by a stale name).
         if let Some(table) = self.last_table() {
-            return Ok(table.clone());
+            return Ok(Arc::clone(table));
         }
         Err(CoreError::MissingInput {
             table: name.to_string(),
         })
     }
 
-    fn step_input(&self, step: &LogicalStep) -> CoreResult<Table> {
+    fn step_input(&self, step: &LogicalStep) -> CoreResult<Arc<Table>> {
         match step.inputs.first() {
             Some(name) => self.input_table(name),
-            None => self.last_table().cloned().ok_or(CoreError::MissingInput {
-                table: "(no input specified)".to_string(),
-            }),
+            None => self
+                .last_table()
+                .map(Arc::clone)
+                .ok_or(CoreError::MissingInput {
+                    table: "(no input specified)".to_string(),
+                }),
         }
     }
 
-    fn register_result(&mut self, step: &LogicalStep, table: Table, new_columns: &[String]) -> StepOutcome {
+    fn register_result(
+        &mut self,
+        step: &LogicalStep,
+        table: Table,
+        new_columns: &[String],
+    ) -> StepOutcome {
         let name = if step.output.is_empty() || step.output == "plot" {
             format!("step_{}_result", step.number)
         } else {
@@ -174,14 +185,20 @@ impl Executor {
     }
 
     /// Execute one operator decision for one logical step.
-    pub fn execute(&mut self, step: &LogicalStep, decision: &OperatorDecision) -> CoreResult<StepOutcome> {
+    pub fn execute(
+        &mut self,
+        step: &LogicalStep,
+        decision: &OperatorDecision,
+    ) -> CoreResult<StepOutcome> {
         let args = &decision.arguments;
         let expect_args = |n: usize| -> CoreResult<()> {
             if args.len() < n {
-                Err(CoreError::Modal(caesura_modal::ModalError::InvalidArguments {
-                    operator: decision.operator.name().to_string(),
-                    message: format!("expected at least {n} argument(s), got {}", args.len()),
-                }))
+                Err(CoreError::Modal(
+                    caesura_modal::ModalError::InvalidArguments {
+                        operator: decision.operator.name().to_string(),
+                        message: format!("expected at least {n} argument(s), got {}", args.len()),
+                    },
+                ))
             } else {
                 Ok(())
             }
@@ -200,7 +217,7 @@ impl Executor {
                     sql::run_sql(&self.combined(), &args[0])?
                 } else {
                     let condition = sql::parse_expression(&args[0])?;
-                    caesura_engine::ops::filter(&input, &condition)?
+                    caesura_engine::ops::filter(input.as_ref(), &condition)?
                 };
                 Ok(self.register_result(step, result, &[]))
             }
@@ -209,7 +226,7 @@ impl Executor {
                 let input = self.step_input(step)?;
                 let dtype = parse_result_dtype(args.get(3).map(String::as_str).unwrap_or("str"));
                 let result = apply_visual_qa(
-                    &input,
+                    input.as_ref(),
                     &self.images,
                     &self.visual_qa,
                     &args[0],
@@ -224,7 +241,7 @@ impl Executor {
                 let input = self.step_input(step)?;
                 let dtype = parse_result_dtype(args.get(3).map(String::as_str).unwrap_or("str"));
                 let result = apply_text_qa(
-                    &input,
+                    input.as_ref(),
                     &self.text_qa,
                     &args[0],
                     &args[1],
@@ -236,20 +253,25 @@ impl Executor {
             OperatorKind::ImageSelect => {
                 expect_args(2)?;
                 let input = self.step_input(step)?;
-                let result =
-                    apply_image_select(&input, &self.images, &self.image_select, &args[0], &args[1])?;
+                let result = apply_image_select(
+                    input.as_ref(),
+                    &self.images,
+                    &self.image_select,
+                    &args[0],
+                    &args[1],
+                )?;
                 Ok(self.register_result(step, result, &[]))
             }
             OperatorKind::PythonUdf => {
                 expect_args(2)?;
                 let input = self.step_input(step)?;
-                let result = apply_python_udf(&input, &self.codegen, &args[0], &args[1])?;
+                let result = apply_python_udf(input.as_ref(), &self.codegen, &args[0], &args[1])?;
                 Ok(self.register_result(step, result, &[args[1].clone()]))
             }
             OperatorKind::Plot => {
                 expect_args(3)?;
                 let input = self.step_input(step)?;
-                let plot = apply_plot(&input, &args[0], &args[1], &args[2])?;
+                let plot = apply_plot(input.as_ref(), &args[0], &args[1], &args[2])?;
                 Ok(StepOutcome::Plot { plot, table: input })
             }
         }
@@ -267,7 +289,13 @@ mod tests {
         Executor::new(data.lake.catalog().clone(), data.lake.images().clone())
     }
 
-    fn step(number: usize, description: &str, inputs: Vec<&str>, output: &str, new: Vec<&str>) -> LogicalStep {
+    fn step(
+        number: usize,
+        description: &str,
+        inputs: Vec<&str>,
+        output: &str,
+        new: Vec<&str>,
+    ) -> LogicalStep {
         LogicalStep::new(
             number,
             description,
@@ -304,10 +332,21 @@ mod tests {
         // Step 2: VisualQA sword count.
         let outcome = executor
             .execute(
-                &step(2, "Extract swords", vec!["joined_table"], "joined_table", vec!["num_swords"]),
+                &step(
+                    2,
+                    "Extract swords",
+                    vec!["joined_table"],
+                    "joined_table",
+                    vec!["num_swords"],
+                ),
                 &decision(
                     OperatorKind::VisualQa,
-                    vec!["image", "num_swords", "How many swords are depicted?", "int"],
+                    vec![
+                        "image",
+                        "num_swords",
+                        "How many swords are depicted?",
+                        "int",
+                    ],
                 ),
             )
             .unwrap();
@@ -316,10 +355,19 @@ mod tests {
         // Step 3: Python century.
         executor
             .execute(
-                &step(3, "Extract century", vec!["joined_table"], "joined_table", vec!["century"]),
+                &step(
+                    3,
+                    "Extract century",
+                    vec!["joined_table"],
+                    "joined_table",
+                    vec!["century"],
+                ),
                 &decision(
                     OperatorKind::PythonUdf,
-                    vec!["Extract the century from the dates in the 'inception' column", "century"],
+                    vec![
+                        "Extract the century from the dates in the 'inception' column",
+                        "century",
+                    ],
                 ),
             )
             .unwrap();

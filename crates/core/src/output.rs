@@ -27,7 +27,7 @@ impl QueryOutput {
     /// a single value.
     pub fn from_table(table: Table) -> QueryOutput {
         if table.num_rows() == 1 && table.num_columns() == 1 {
-            QueryOutput::Value(table.cell(0, 0).cloned().unwrap_or(Value::Null))
+            QueryOutput::Value(table.cell(0, 0).unwrap_or(Value::Null))
         } else {
             QueryOutput::Table(table)
         }

@@ -136,7 +136,12 @@ impl Caesura {
         }
     }
 
-    fn complete(&self, conversation: &Conversation, trace: &mut ExecutionTrace, phase: Phase) -> CoreResult<String> {
+    fn complete(
+        &self,
+        conversation: &Conversation,
+        trace: &mut ExecutionTrace,
+        phase: Phase,
+    ) -> CoreResult<String> {
         trace.record(phase, "prompt", conversation.render());
         trace.record_llm_call(conversation.approx_tokens());
         let response = self.llm.complete(conversation)?;
@@ -158,11 +163,24 @@ impl Caesura {
         let mut replans = 0usize;
         let mut planning_note: Option<String> = None;
         loop {
-            let plan = self.plan(query, &catalog, &relevant_columns, planning_note.as_deref(), trace)?;
+            let plan = self.plan(
+                query,
+                &catalog,
+                &relevant_columns,
+                planning_note.as_deref(),
+                trace,
+            )?;
             *logical_plan_out = Some(plan.clone());
 
             // ---- Mapping phase + interleaved execution ----------------------
-            match self.map_and_execute(query, &catalog, &relevant_columns, &plan, decisions_out, trace) {
+            match self.map_and_execute(
+                query,
+                &catalog,
+                &relevant_columns,
+                &plan,
+                decisions_out,
+                trace,
+            ) {
                 Ok(output) => return Ok(output),
                 Err((error, replan_requested)) => {
                     if replan_requested && replans < self.config.max_replans {
@@ -170,7 +188,11 @@ impl Caesura {
                         planning_note = Some(format!(
                             "A previous plan failed with the error: {error}. Produce a corrected plan."
                         ));
-                        trace.record(Phase::Recovery, "replan", format!("attempt {replans}: {error}"));
+                        trace.record(
+                            Phase::Recovery,
+                            "replan",
+                            format!("attempt {replans}: {error}"),
+                        );
                         decisions_out.clear();
                         continue;
                     }
@@ -196,7 +218,7 @@ impl Caesura {
         let mut catalog = Catalog::new();
         for name in &top {
             if let Ok(table) = self.lake.catalog().table(name) {
-                catalog.register(table.clone());
+                catalog.register_shared(std::sync::Arc::clone(table));
             }
         }
         for fk in self.lake.catalog().foreign_keys() {
@@ -227,8 +249,12 @@ impl Caesura {
     fn parse_relevant_response(&self, response: &str, catalog: &Catalog) -> Vec<RelevantColumn> {
         let mut out = Vec::new();
         for line in response.lines() {
-            let Some(rest) = line.trim().strip_prefix("Relevant:") else { continue };
-            let Some((table, column)) = rest.trim().split_once('.') else { continue };
+            let Some(rest) = line.trim().strip_prefix("Relevant:") else {
+                continue;
+            };
+            let Some((table, column)) = rest.trim().split_once('.') else {
+                continue;
+            };
             let (table, column) = (table.trim().to_string(), column.trim().to_string());
             let examples = catalog
                 .table(&table)
@@ -294,7 +320,16 @@ impl Caesura {
             let mut all = Vec::new();
             for step in &plan.steps {
                 let decision = self
-                    .decide_step(query, catalog, &Catalog::new(), relevant_columns, step, &[], None, trace)
+                    .decide_step(
+                        query,
+                        catalog,
+                        &Catalog::new(),
+                        relevant_columns,
+                        step,
+                        &[],
+                        None,
+                        trace,
+                    )
                     .map_err(|e| (e, false))?;
                 all.push(decision);
             }
@@ -370,22 +405,23 @@ impl Caesura {
                                 true,
                             ));
                         }
-                        error_note = Some(format!(
-                            "The error was: {error}. {}",
-                            analysis.fix
-                        ));
+                        error_note = Some(format!("The error was: {error}. {}", analysis.fix));
                     }
                 }
             }
         }
 
         match last_outcome {
-            Some(StepOutcome::Plot { plot, table }) => Ok(QueryOutput::Plot { plot, table }),
+            Some(StepOutcome::Plot { plot, table }) => Ok(QueryOutput::Plot {
+                plot,
+                // Shallow: the plot table's columns stay shared.
+                table: table.as_ref().clone(),
+            }),
             Some(StepOutcome::Table { name, .. }) => {
                 let table = executor
                     .intermediate()
                     .table(&name)
-                    .cloned()
+                    .map(|t| t.as_ref().clone())
                     .map_err(|e| (CoreError::Engine(e), false))?;
                 Ok(QueryOutput::from_table(table))
             }
@@ -465,7 +501,8 @@ mod tests {
     #[test]
     fn figure1_query_runs_end_to_end_and_produces_a_plot() {
         let session = artwork_session();
-        let run = session.run("Plot the number of paintings depicting Madonna and Child for each century!");
+        let run = session
+            .run("Plot the number of paintings depicting Madonna and Child for each century!");
         let output = run.output.expect("the figure-1 query should execute");
         assert_eq!(output.kind(), "plot");
         let plot = output.plot().unwrap();
@@ -478,7 +515,9 @@ mod tests {
     fn simple_count_query_returns_a_single_value() {
         let session = artwork_session();
         let data = generate_artwork(&ArtworkConfig::small());
-        let output = session.query("How many paintings are in the museum?").unwrap();
+        let output = session
+            .query("How many paintings are in the museum?")
+            .unwrap();
         assert_eq!(output.kind(), "value");
         assert_eq!(
             output.as_value().unwrap(),
@@ -496,8 +535,8 @@ mod tests {
         let table = output.table().expect("expected a table output").clone();
         // Every team that played at least one game appears with its ground-truth maximum.
         for row in table.rows() {
-            let team = row[0].as_str().unwrap().to_string();
-            let reported = row[1].as_int().unwrap();
+            let team = row.get(0).as_str().unwrap().to_string();
+            let reported = row.get(1).as_int().unwrap();
             let expected = data.max_points_of(&team).unwrap();
             assert_eq!(reported, expected, "wrong maximum for {team}");
         }

@@ -116,7 +116,11 @@ impl ExecutionTrace {
             }
             if !include_prompts && (event.label == "prompt" || event.label == "response") {
                 let preview: String = event.detail.chars().take(120).collect();
-                out.push_str(&format!("  [{}] {}...\n", event.label, preview.replace('\n', " ")));
+                out.push_str(&format!(
+                    "  [{}] {}...\n",
+                    event.label,
+                    preview.replace('\n', " ")
+                ));
             } else {
                 out.push_str(&format!("  [{}] {}\n", event.label, event.detail));
             }

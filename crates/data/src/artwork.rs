@@ -126,7 +126,7 @@ pub fn generate_artwork(config: &ArtworkConfig) -> ArtworkData {
         let mut objects = BTreeMap::new();
         if madonna_and_child {
             objects.insert("madonna".to_string(), 1);
-            objects.insert("child".to_string(), 1 + rng.gen_range(0..2));
+            objects.insert("child".to_string(), 1 + rng.gen_range(0..2u32));
         }
         // A few additional depicted objects.
         let extra_objects = rng.gen_range(1..4usize);
@@ -179,8 +179,7 @@ fn movement_for_year(year: i32, rng: &mut StdRng) -> String {
     // Movements roughly track time; add jitter of ±1 slot.
     let slot = ((year - 1300) as usize * names::MOVEMENTS.len()) / 651;
     let jitter: i64 = rng.gen_range(-1..=1);
-    let index = (slot as i64 + jitter)
-        .clamp(0, names::MOVEMENTS.len() as i64 - 1) as usize;
+    let index = (slot as i64 + jitter).clamp(0, names::MOVEMENTS.len() as i64 - 1) as usize;
     names::MOVEMENTS[index].to_string()
 }
 
@@ -258,8 +257,16 @@ mod tests {
         let b = generate_artwork(&ArtworkConfig::small());
         assert_eq!(a.records, b.records);
         assert_eq!(
-            a.lake.catalog().table("paintings_metadata").unwrap().rows(),
-            b.lake.catalog().table("paintings_metadata").unwrap().rows()
+            a.lake
+                .catalog()
+                .table("paintings_metadata")
+                .unwrap()
+                .to_rows(),
+            b.lake
+                .catalog()
+                .table("paintings_metadata")
+                .unwrap()
+                .to_rows()
         );
     }
 

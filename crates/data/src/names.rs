@@ -7,41 +7,92 @@
 
 /// Painting title fragments (combined into titles like "Madonna of the Grove").
 pub const TITLE_SUBJECTS: &[&str] = &[
-    "Madonna", "Irises", "The Scream", "Starry Night", "The Kiss", "Liberty", "The Hunters",
-    "Venus", "Saint George", "The Tower", "Composition", "Nocturne", "The Bridge", "Sunflowers",
-    "The Harvest", "Judith", "The Storm", "Lady", "Knight", "Allegory",
+    "Madonna",
+    "Irises",
+    "The Scream",
+    "Starry Night",
+    "The Kiss",
+    "Liberty",
+    "The Hunters",
+    "Venus",
+    "Saint George",
+    "The Tower",
+    "Composition",
+    "Nocturne",
+    "The Bridge",
+    "Sunflowers",
+    "The Harvest",
+    "Judith",
+    "The Storm",
+    "Lady",
+    "Knight",
+    "Allegory",
 ];
 
 /// Painting title suffixes.
 pub const TITLE_SUFFIXES: &[&str] = &[
-    "of the Grove", "in Blue", "at Dusk", "with Child", "of Delft", "in Winter", "by the Sea",
-    "of the Rocks", "in the Garden", "at the Window", "of the North", "with Swords",
-    "in the Meadow", "of the Annunciation", "at Dawn", "with a Pearl",
+    "of the Grove",
+    "in Blue",
+    "at Dusk",
+    "with Child",
+    "of Delft",
+    "in Winter",
+    "by the Sea",
+    "of the Rocks",
+    "in the Garden",
+    "at the Window",
+    "of the North",
+    "with Swords",
+    "in the Meadow",
+    "of the Annunciation",
+    "at Dawn",
+    "with a Pearl",
 ];
 
 /// Artist names (synthetic, loosely old-masters flavoured).
 pub const ARTISTS: &[&str] = &[
-    "Giovanni Alberti", "Pieter van Hoorn", "Clara Moreau", "Diego Navarro", "Anna Lindqvist",
-    "Matthias Keller", "Sofia Rinaldi", "Jan de Witte", "Elena Petrova", "Lucas Brandt",
-    "Isabella Conti", "Henrik Dahl",
+    "Giovanni Alberti",
+    "Pieter van Hoorn",
+    "Clara Moreau",
+    "Diego Navarro",
+    "Anna Lindqvist",
+    "Matthias Keller",
+    "Sofia Rinaldi",
+    "Jan de Witte",
+    "Elena Petrova",
+    "Lucas Brandt",
+    "Isabella Conti",
+    "Henrik Dahl",
 ];
 
 /// Art movements (paired loosely with centuries by the generator).
 pub const MOVEMENTS: &[&str] = &[
-    "Renaissance", "Baroque", "Rococo", "Romanticism", "Realism", "Impressionism",
-    "Expressionism", "Cubism", "Surrealism",
+    "Renaissance",
+    "Baroque",
+    "Rococo",
+    "Romanticism",
+    "Realism",
+    "Impressionism",
+    "Expressionism",
+    "Cubism",
+    "Surrealism",
 ];
 
 /// Painting genres.
 pub const GENRES: &[&str] = &[
-    "religious art", "portrait", "landscape", "still life", "history painting", "genre painting",
+    "religious art",
+    "portrait",
+    "landscape",
+    "still life",
+    "history painting",
+    "genre painting",
     "mythological painting",
 ];
 
 /// Entities that can be depicted in a painting (besides Madonna and Child).
 pub const DEPICTABLE_OBJECTS: &[&str] = &[
-    "sword", "horse", "dog", "angel", "tree", "flower", "crown", "ship", "bird", "book",
-    "skull", "apple", "violin", "candle",
+    "sword", "horse", "dog", "angel", "tree", "flower", "crown", "ship", "bird", "book", "skull",
+    "apple", "violin", "candle",
 ];
 
 /// Dominant colours used as image attributes.
@@ -50,28 +101,74 @@ pub const COLORS: &[&str] = &["red", "blue", "gold", "green", "ochre", "grey"];
 /// NBA-flavoured team nicknames. These are the values of the `name` column of
 /// the `teams` table, and the subjects of TextQA questions.
 pub const TEAM_NAMES: &[&str] = &[
-    "Heat", "Spurs", "Bulls", "Lakers", "Celtics", "Warriors", "Hawks", "Nets", "Knicks",
-    "Suns", "Jazz", "Magic", "Kings", "Pistons", "Rockets", "Thunder", "Raptors", "Mavericks",
-    "Nuggets", "Clippers", "Grizzlies", "Pelicans", "Wizards", "Bucks",
+    "Heat",
+    "Spurs",
+    "Bulls",
+    "Lakers",
+    "Celtics",
+    "Warriors",
+    "Hawks",
+    "Nets",
+    "Knicks",
+    "Suns",
+    "Jazz",
+    "Magic",
+    "Kings",
+    "Pistons",
+    "Rockets",
+    "Thunder",
+    "Raptors",
+    "Mavericks",
+    "Nuggets",
+    "Clippers",
+    "Grizzlies",
+    "Pelicans",
+    "Wizards",
+    "Bucks",
 ];
 
 /// Home cities paired positionally with [`TEAM_NAMES`].
 pub const TEAM_CITIES: &[&str] = &[
-    "Miami", "San Antonio", "Chicago", "Los Angeles", "Boston", "Golden State", "Atlanta",
-    "Brooklyn", "New York", "Phoenix", "Utah", "Orlando", "Sacramento", "Detroit", "Houston",
-    "Oklahoma City", "Toronto", "Dallas", "Denver", "Los Angeles", "Memphis", "New Orleans",
-    "Washington", "Milwaukee",
+    "Miami",
+    "San Antonio",
+    "Chicago",
+    "Los Angeles",
+    "Boston",
+    "Golden State",
+    "Atlanta",
+    "Brooklyn",
+    "New York",
+    "Phoenix",
+    "Utah",
+    "Orlando",
+    "Sacramento",
+    "Detroit",
+    "Houston",
+    "Oklahoma City",
+    "Toronto",
+    "Dallas",
+    "Denver",
+    "Los Angeles",
+    "Memphis",
+    "New Orleans",
+    "Washington",
+    "Milwaukee",
 ];
 
 /// Division names per conference.
 pub const DIVISIONS: &[&str] = &[
-    "Atlantic", "Central", "Southeast", "Northwest", "Pacific", "Southwest",
+    "Atlantic",
+    "Central",
+    "Southeast",
+    "Northwest",
+    "Pacific",
+    "Southwest",
 ];
 
 /// Player first names.
 pub const PLAYER_FIRST_NAMES: &[&str] = &[
-    "Marcus", "Jalen", "Devin", "Tyrese", "Andre", "Luka", "Nikola", "Giannis", "Trae",
-    "Damian", "Victor", "Jaylen", "Kawhi", "Zion", "Darius", "Malik", "Jordan", "Aaron",
+    "Marcus", "Jalen", "Devin", "Tyrese", "Andre", "Luka", "Nikola", "Giannis", "Trae", "Damian",
+    "Victor", "Jaylen", "Kawhi", "Zion", "Darius", "Malik", "Jordan", "Aaron",
 ];
 
 /// Player last names (deliberately disjoint from team nicknames).
@@ -83,7 +180,15 @@ pub const PLAYER_LAST_NAMES: &[&str] = &[
 
 /// Player nationalities.
 pub const NATIONALITIES: &[&str] = &[
-    "USA", "Canada", "France", "Germany", "Serbia", "Greece", "Australia", "Spain", "Slovenia",
+    "USA",
+    "Canada",
+    "France",
+    "Germany",
+    "Serbia",
+    "Greece",
+    "Australia",
+    "Spain",
+    "Slovenia",
     "Nigeria",
 ];
 

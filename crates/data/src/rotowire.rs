@@ -202,10 +202,7 @@ impl RotowireData {
     /// Highest number of points a team scored in any of its games
     /// (the ground truth of Figure 4 Query 1).
     pub fn max_points_of(&self, team: &str) -> Option<i64> {
-        self.games
-            .iter()
-            .filter_map(|g| g.points_of(team))
-            .max()
+        self.games.iter().filter_map(|g| g.points_of(team)).max()
     }
 
     /// Number of games a team lost (the "hard query" of §4.3).
@@ -237,9 +234,9 @@ pub fn generate_rotowire(config: &RotowireConfig) -> RotowireData {
     for team in &teams {
         for _ in 0..config.players_per_team {
             let first = names::PLAYER_FIRST_NAMES[name_counter % names::PLAYER_FIRST_NAMES.len()];
-            let last = names::PLAYER_LAST_NAMES
-                [(name_counter / names::PLAYER_FIRST_NAMES.len() + name_counter)
-                    % names::PLAYER_LAST_NAMES.len()];
+            let last = names::PLAYER_LAST_NAMES[(name_counter / names::PLAYER_FIRST_NAMES.len()
+                + name_counter)
+                % names::PLAYER_LAST_NAMES.len()];
             name_counter += 1;
             players.push(PlayerRecord {
                 name: format!("{first} {last}"),

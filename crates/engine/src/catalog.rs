@@ -1,9 +1,15 @@
 //! The catalog: a named collection of tables plus the metadata CAESURA needs
 //! to describe a data lake to the language model (descriptions, foreign keys).
+//!
+//! Tables are stored behind [`Arc`], so lookups and catalog clones hand out
+//! shared references instead of deep copies — the interleaved executor
+//! re-reads base tables after every mapping step, which previously cloned
+//! every row each time.
 
 use crate::error::{EngineError, EngineResult};
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A declared foreign-key style relationship between two tables. The paper's
 /// mapping-phase prompt lists `foreign_keys=[...]` for every table, which
@@ -51,7 +57,7 @@ impl ForeignKey {
 /// and therefore the behaviour of the simulated LLM — are reproducible.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
     foreign_keys: Vec<ForeignKey>,
 }
 
@@ -63,17 +69,25 @@ impl Catalog {
 
     /// Register (or replace) a table under its own name.
     pub fn register(&mut self, table: Table) {
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Register (or replace) an already-shared table under its own name —
+    /// an `Arc` bump, no table data is touched.
+    pub fn register_shared(&mut self, table: Arc<Table>) {
         self.tables.insert(table.name().to_string(), table);
     }
 
     /// Register a table under an explicit name.
     pub fn register_as(&mut self, name: impl Into<String>, table: Table) {
         let name = name.into();
-        self.tables.insert(name.clone(), table.renamed(name));
+        self.tables
+            .insert(name.clone(), Arc::new(table.renamed(name)));
     }
 
     /// Remove a table.
-    pub fn remove(&mut self, name: &str) -> Option<Table> {
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Table>> {
         self.tables.remove(name)
     }
 
@@ -95,8 +109,9 @@ impl Catalog {
             .collect()
     }
 
-    /// Look a table up by name (case-insensitive fallback).
-    pub fn table(&self, name: &str) -> EngineResult<&Table> {
+    /// Look a table up by name (case-insensitive fallback). The returned
+    /// `Arc` can be cloned to share the table without copying any data.
+    pub fn table(&self, name: &str) -> EngineResult<&Arc<Table>> {
         if let Some(table) = self.tables.get(name) {
             return Ok(table);
         }
@@ -113,6 +128,11 @@ impl Catalog {
         })
     }
 
+    /// Look a table up and return a shared handle (an `Arc` bump).
+    pub fn table_shared(&self, name: &str) -> EngineResult<Arc<Table>> {
+        self.table(name).map(Arc::clone)
+    }
+
     /// Whether a table exists.
     pub fn contains(&self, name: &str) -> bool {
         self.table(name).is_ok()
@@ -124,7 +144,7 @@ impl Catalog {
     }
 
     /// All tables, sorted by name.
-    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+    pub fn tables(&self) -> impl Iterator<Item = &Arc<Table>> {
         self.tables.values()
     }
 
@@ -146,8 +166,7 @@ impl Catalog {
             let mut line = format!(" - {}", table.prompt_summary());
             let fks = self.foreign_keys_for(table.name());
             if !fks.is_empty() {
-                let rendered: Vec<String> =
-                    fks.iter().map(|fk| fk.prompt_notation()).collect();
+                let rendered: Vec<String> = fks.iter().map(|fk| fk.prompt_notation()).collect();
                 line.push_str(&format!(" foreign_keys=[{}]", rendered.join(", ")));
             }
             lines.push(line);
@@ -182,7 +201,10 @@ mod tests {
     fn register_as_renames_the_table() {
         let mut catalog = Catalog::new();
         catalog.register_as("game_reports", sample_table("raw"));
-        assert_eq!(catalog.table("game_reports").unwrap().name(), "game_reports");
+        assert_eq!(
+            catalog.table("game_reports").unwrap().name(),
+            "game_reports"
+        );
     }
 
     #[test]

@@ -220,7 +220,10 @@ mod tests {
             EngineError::schema("bad"),
             EngineError::SchemaError { .. }
         ));
-        assert!(matches!(EngineError::sql("bad"), EngineError::SqlParse { .. }));
+        assert!(matches!(
+            EngineError::sql("bad"),
+            EngineError::SqlParse { .. }
+        ));
         assert!(matches!(
             EngineError::type_mismatch("op", "Int", "Str"),
             EngineError::TypeMismatch { .. }

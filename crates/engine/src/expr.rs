@@ -1,14 +1,23 @@
 //! Scalar expressions and their evaluation.
 //!
 //! Expressions are produced by the SQL front-end (`sql` module) and by the
-//! transform-DSL of the Python-UDF substitute in `caesura-modal`. They are
-//! evaluated row-at-a-time against a [`Schema`] + [`Row`] pair.
+//! transform-DSL of the Python-UDF substitute in `caesura-modal`. They can be
+//! evaluated two ways:
+//!
+//! * **column-at-a-time** via [`Expr::evaluate_batch`] — the vectorized path
+//!   the physical operators use: every sub-expression produces a whole
+//!   [`Column`], with typed kernels (and scalar broadcasting for literals)
+//!   for the common numeric and string cases, falling back to element-wise
+//!   evaluation where per-row dynamic typing demands it;
+//! * **row-at-a-time** via [`Expr::evaluate`] against a [`Schema`] + value
+//!   slice — kept for per-row consumers such as the perception operators.
 
+use crate::column::{Bitmap, Column};
 use crate::error::{EngineError, EngineResult};
 use crate::schema::Schema;
-use crate::table::Row;
 use crate::value::{DataType, DateValue, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,8 +299,9 @@ impl Expr {
         }
     }
 
-    /// Evaluate the expression against one row.
-    pub fn evaluate(&self, schema: &Schema, row: &Row) -> EngineResult<Value> {
+    /// Evaluate the expression against one row (a slice of cell values in
+    /// schema order).
+    pub fn evaluate(&self, schema: &Schema, row: &[Value]) -> EngineResult<Value> {
         match self {
             Expr::Literal(value) => Ok(value.clone()),
             Expr::Column(name) => {
@@ -352,9 +362,192 @@ impl Expr {
     }
 
     /// Evaluate the expression as a boolean predicate (NULL counts as false).
-    pub fn evaluate_predicate(&self, schema: &Schema, row: &Row) -> EngineResult<bool> {
+    pub fn evaluate_predicate(&self, schema: &Schema, row: &[Value]) -> EngineResult<bool> {
         let value = self.evaluate(schema, row)?;
         Ok(value.as_bool().unwrap_or(false))
+    }
+
+    /// Evaluate the expression for every row at once, producing one column.
+    ///
+    /// `columns` are the input table's columns in schema order and `num_rows`
+    /// its row count. Column references resolve to `Arc` bumps (zero-copy);
+    /// literals broadcast as scalars; binary operations use typed kernels
+    /// where both operands are numeric/string vectors and fall back to
+    /// element-wise evaluation otherwise.
+    pub fn evaluate_batch(
+        &self,
+        schema: &Schema,
+        columns: &[Arc<Column>],
+        num_rows: usize,
+    ) -> EngineResult<Arc<Column>> {
+        Ok(self
+            .evaluate_batch_inner(schema, columns, num_rows)?
+            .materialize(num_rows))
+    }
+
+    /// Evaluate the expression as a predicate over all rows and return the
+    /// selection vector of row indices where it is true (NULL = not selected).
+    pub fn selection_vector(
+        &self,
+        schema: &Schema,
+        columns: &[Arc<Column>],
+        num_rows: usize,
+    ) -> EngineResult<Vec<usize>> {
+        match self.evaluate_batch_inner(schema, columns, num_rows)? {
+            Batch::Scalar(v) => Ok(if v.as_bool() == Some(true) {
+                (0..num_rows).collect()
+            } else {
+                Vec::new()
+            }),
+            Batch::Col(col) => {
+                let mut selected = Vec::new();
+                if let Some((data, validity)) = col.as_bools() {
+                    for (i, &b) in data.iter().enumerate() {
+                        if b && validity.is_valid(i) {
+                            selected.push(i);
+                        }
+                    }
+                } else {
+                    for i in 0..num_rows {
+                        if col.get(i).as_bool() == Some(true) {
+                            selected.push(i);
+                        }
+                    }
+                }
+                Ok(selected)
+            }
+        }
+    }
+
+    /// Evaluate the expression at one row, reading cells directly from the
+    /// columns. Used for constructs whose branches must stay lazy per row
+    /// (CASE) and as the general per-row fallback.
+    pub fn evaluate_at(
+        &self,
+        schema: &Schema,
+        columns: &[Arc<Column>],
+        i: usize,
+    ) -> EngineResult<Value> {
+        match self {
+            Expr::Literal(value) => Ok(value.clone()),
+            Expr::Column(name) => {
+                let idx = schema.resolve(name)?;
+                Ok(columns[idx].get(i))
+            }
+            Expr::Binary { left, op, right } => {
+                let lhs = left.evaluate_at(schema, columns, i)?;
+                let rhs = right.evaluate_at(schema, columns, i)?;
+                eval_binary(&lhs, *op, &rhs)
+            }
+            Expr::Unary { op, operand } => {
+                let value = operand.evaluate_at(schema, columns, i)?;
+                eval_unary(*op, &value)
+            }
+            Expr::Func { func, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(arg.evaluate_at(schema, columns, i)?);
+                }
+                eval_func(*func, &values)
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let needle = expr.evaluate_at(schema, columns, i)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut found = false;
+                for item in list {
+                    let candidate = item.evaluate_at(schema, columns, i)?;
+                    if needle.sql_eq(&candidate) == Some(true) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
+                for (cond, result) in branches {
+                    if cond.evaluate_at(schema, columns, i)?.as_bool() == Some(true) {
+                        return result.evaluate_at(schema, columns, i);
+                    }
+                }
+                match otherwise {
+                    Some(e) => e.evaluate_at(schema, columns, i),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    fn evaluate_batch_inner(
+        &self,
+        schema: &Schema,
+        columns: &[Arc<Column>],
+        num_rows: usize,
+    ) -> EngineResult<Batch> {
+        match self {
+            Expr::Literal(value) => Ok(Batch::Scalar(value.clone())),
+            Expr::Column(name) => {
+                let idx = schema.resolve(name)?;
+                Ok(Batch::Col(Arc::clone(&columns[idx])))
+            }
+            Expr::Binary { left, op, right } => {
+                let lhs = left.evaluate_batch_inner(schema, columns, num_rows)?;
+                let rhs = right.evaluate_batch_inner(schema, columns, num_rows)?;
+                eval_binary_batch(&lhs, *op, &rhs, num_rows)
+            }
+            Expr::Unary { op, operand } => {
+                match operand.evaluate_batch_inner(schema, columns, num_rows)? {
+                    Batch::Scalar(v) => Ok(Batch::Scalar(eval_unary(*op, &v)?)),
+                    Batch::Col(col) => {
+                        let mut out = Vec::with_capacity(num_rows);
+                        for i in 0..num_rows {
+                            out.push(eval_unary(*op, &col.get(i))?);
+                        }
+                        Ok(Batch::Col(Arc::new(Column::from_values(out))))
+                    }
+                }
+            }
+            Expr::Func { func, args } => {
+                let mut batches = Vec::with_capacity(args.len());
+                for arg in args {
+                    batches.push(arg.evaluate_batch_inner(schema, columns, num_rows)?);
+                }
+                if batches.iter().all(|b| matches!(b, Batch::Scalar(_))) {
+                    let argv: Vec<Value> = batches.iter().map(|b| b.get(0)).collect();
+                    return Ok(Batch::Scalar(eval_func(*func, &argv)?));
+                }
+                let mut out = Vec::with_capacity(num_rows);
+                let mut argv: Vec<Value> = Vec::with_capacity(batches.len());
+                for i in 0..num_rows {
+                    argv.clear();
+                    for batch in &batches {
+                        argv.push(batch.get(i));
+                    }
+                    out.push(eval_func(*func, &argv)?);
+                }
+                Ok(Batch::Col(Arc::new(Column::from_values(out))))
+            }
+            // IN-list items and CASE branches must only be evaluated as far
+            // as each row needs them (the row engine short-circuits on the
+            // first match / taken branch; a vectorized evaluation of every
+            // item could raise errors — e.g. division by zero — the row
+            // engine never would), so both stay per-row.
+            Expr::InList { .. } | Expr::Case { .. } => {
+                let mut out = Vec::with_capacity(num_rows);
+                for i in 0..num_rows {
+                    out.push(self.evaluate_at(schema, columns, i)?);
+                }
+                Ok(Batch::Col(Arc::new(Column::from_values(out))))
+            }
+        }
     }
 
     /// Best-effort static output type of the expression against a schema.
@@ -451,6 +644,269 @@ impl fmt::Display for Expr {
             }
         }
     }
+}
+
+/// The result of evaluating a sub-expression over a batch of rows: either a
+/// whole column or a scalar broadcast across every row (literals and
+/// constant-folded sub-trees). Keeping scalars unexpanded lets the binary
+/// kernels run column-vs-constant loops without allocating literal columns.
+enum Batch {
+    /// A per-row column.
+    Col(Arc<Column>),
+    /// One value standing for every row.
+    Scalar(Value),
+}
+
+impl Batch {
+    #[inline]
+    fn get(&self, i: usize) -> Value {
+        match self {
+            Batch::Col(col) => col.get(i),
+            Batch::Scalar(v) => v.clone(),
+        }
+    }
+
+    fn materialize(self, num_rows: usize) -> Arc<Column> {
+        match self {
+            Batch::Col(col) => col,
+            Batch::Scalar(v) => Arc::new(Column::from_values(vec![v; num_rows])),
+        }
+    }
+}
+
+/// A unified numeric view of a batch operand for the typed kernels.
+enum NumericOperand<'a> {
+    IntCol(&'a [i64], &'a Bitmap),
+    FloatCol(&'a [f64], &'a Bitmap),
+    IntScalar(i64),
+    FloatScalar(f64),
+}
+
+impl NumericOperand<'_> {
+    fn from_batch(batch: &Batch) -> Option<NumericOperand<'_>> {
+        match batch {
+            Batch::Col(col) => match col.as_ref() {
+                Column::Int64(v, b) => Some(NumericOperand::IntCol(v, b)),
+                Column::Float64(v, b) => Some(NumericOperand::FloatCol(v, b)),
+                _ => None,
+            },
+            Batch::Scalar(Value::Int(i)) => Some(NumericOperand::IntScalar(*i)),
+            Batch::Scalar(Value::Float(f)) => Some(NumericOperand::FloatScalar(*f)),
+            _ => None,
+        }
+    }
+
+    fn is_int(&self) -> bool {
+        matches!(
+            self,
+            NumericOperand::IntCol(..) | NumericOperand::IntScalar(_)
+        )
+    }
+
+    #[inline]
+    fn valid(&self, i: usize) -> bool {
+        match self {
+            NumericOperand::IntCol(_, b) => b.is_valid(i),
+            NumericOperand::FloatCol(_, b) => b.is_valid(i),
+            _ => true,
+        }
+    }
+
+    #[inline]
+    fn int_at(&self, i: usize) -> i64 {
+        match self {
+            NumericOperand::IntCol(v, _) => v[i],
+            NumericOperand::IntScalar(s) => *s,
+            _ => unreachable!("int_at on a float operand"),
+        }
+    }
+
+    #[inline]
+    fn float_at(&self, i: usize) -> f64 {
+        match self {
+            NumericOperand::IntCol(v, _) => v[i] as f64,
+            NumericOperand::FloatCol(v, _) => v[i],
+            NumericOperand::IntScalar(s) => *s as f64,
+            NumericOperand::FloatScalar(s) => *s,
+        }
+    }
+}
+
+/// Evaluate a binary operation over two batches, using typed vector kernels
+/// for numeric arithmetic/comparisons and string equality, and falling back
+/// to element-wise [`eval_binary`] everywhere else.
+fn eval_binary_batch(
+    lhs: &Batch,
+    op: BinaryOp,
+    rhs: &Batch,
+    num_rows: usize,
+) -> EngineResult<Batch> {
+    use BinaryOp::*;
+    if let (Batch::Scalar(a), Batch::Scalar(b)) = (lhs, rhs) {
+        return Ok(Batch::Scalar(eval_binary(a, op, b)?));
+    }
+
+    // Typed numeric kernels: + - * and the orderings.
+    if let (Some(a), Some(b)) = (
+        NumericOperand::from_batch(lhs),
+        NumericOperand::from_batch(rhs),
+    ) {
+        match op {
+            Add | Sub | Mul => {
+                let column = if a.is_int() && b.is_int() {
+                    let mut data = Vec::with_capacity(num_rows);
+                    let mut validity = Bitmap::new();
+                    for i in 0..num_rows {
+                        let valid = a.valid(i) && b.valid(i);
+                        // The row engine computes int arithmetic through f64
+                        // and casts back (saturating, 53-bit precision);
+                        // mirror that exactly so both evaluation paths agree.
+                        let (x, y) = (a.int_at(i) as f64, b.int_at(i) as f64);
+                        data.push(match op {
+                            Add => (x + y) as i64,
+                            Sub => (x - y) as i64,
+                            _ => (x * y) as i64,
+                        });
+                        validity.push(valid);
+                    }
+                    Column::Int64(data, validity)
+                } else {
+                    let mut data = Vec::with_capacity(num_rows);
+                    let mut validity = Bitmap::new();
+                    for i in 0..num_rows {
+                        let valid = a.valid(i) && b.valid(i);
+                        let (x, y) = (a.float_at(i), b.float_at(i));
+                        data.push(match op {
+                            Add => x + y,
+                            Sub => x - y,
+                            _ => x * y,
+                        });
+                        validity.push(valid);
+                    }
+                    Column::Float64(data, validity)
+                };
+                return Ok(Batch::Col(Arc::new(column)));
+            }
+            Lt | LtEq | Gt | GtEq | Eq | NotEq => {
+                let mut data = Vec::with_capacity(num_rows);
+                let mut validity = Bitmap::new();
+                if a.is_int() && b.is_int() {
+                    for i in 0..num_rows {
+                        let valid = a.valid(i) && b.valid(i);
+                        let (x, y) = (a.int_at(i), b.int_at(i));
+                        data.push(int_cmp_result(op, x.cmp(&y)));
+                        validity.push(valid);
+                    }
+                } else {
+                    // sql_eq compares a mixed int/float pair with `==` but a
+                    // float/float pair with total_cmp — mirror that exactly.
+                    let mixed = a.is_int() != b.is_int();
+                    for i in 0..num_rows {
+                        let valid = a.valid(i) && b.valid(i);
+                        let (x, y) = (a.float_at(i), b.float_at(i));
+                        data.push(match op {
+                            Eq if mixed => x == y,
+                            NotEq if mixed => x != y,
+                            _ => int_cmp_result(op, x.total_cmp(&y)),
+                        });
+                        validity.push(valid);
+                    }
+                }
+                return Ok(Batch::Col(Arc::new(Column::Bool(data, validity))));
+            }
+            _ => {}
+        }
+    }
+
+    // Typed string kernels: orderings, equality, and LIKE over UTF-8.
+    if let Some(batch) = eval_utf8_batch(lhs, op, rhs, num_rows)? {
+        return Ok(batch);
+    }
+
+    // Element-wise fallback preserves the exact dynamic-typing semantics
+    // (including the per-row type errors the planner relies on observing).
+    let mut out = Vec::with_capacity(num_rows);
+    for i in 0..num_rows {
+        out.push(eval_binary(&lhs.get(i), op, &rhs.get(i))?);
+    }
+    Ok(Batch::Col(Arc::new(Column::from_values(out))))
+}
+
+#[inline]
+fn int_cmp_result(op: BinaryOp, ordering: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinaryOp::Lt => ordering == Less,
+        BinaryOp::LtEq => ordering != Greater,
+        BinaryOp::Gt => ordering == Greater,
+        BinaryOp::GtEq => ordering != Less,
+        BinaryOp::Eq => ordering == Equal,
+        BinaryOp::NotEq => ordering != Equal,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn eval_utf8_batch(
+    lhs: &Batch,
+    op: BinaryOp,
+    rhs: &Batch,
+    num_rows: usize,
+) -> EngineResult<Option<Batch>> {
+    use BinaryOp::*;
+    if !matches!(op, Lt | LtEq | Gt | GtEq | Eq | NotEq | Like) {
+        return Ok(None);
+    }
+    let str_col = |batch: &Batch| match batch {
+        Batch::Col(col) => match col.as_ref() {
+            Column::Utf8(..) => Some(Arc::clone(col)),
+            _ => None,
+        },
+        _ => None,
+    };
+    let str_scalar = |batch: &Batch| match batch {
+        Batch::Scalar(Value::Str(s)) => Some(Arc::clone(s)),
+        _ => None,
+    };
+    // Column vs scalar — the common predicate shape (`movement = 'Baroque'`).
+    if let (Some(col), Some(s)) = (str_col(lhs), str_scalar(rhs)) {
+        let (data, bitmap) = col.as_utf8().expect("checked Utf8 above");
+        let mut out = Vec::with_capacity(num_rows);
+        let mut validity = Bitmap::new();
+        for (i, v) in data.iter().enumerate() {
+            let valid = bitmap.is_valid(i);
+            out.push(if valid {
+                match op {
+                    Like => like_match(v, &s),
+                    _ => int_cmp_result(op, v.as_ref().cmp(s.as_ref())),
+                }
+            } else {
+                false
+            });
+            validity.push(valid);
+        }
+        return Ok(Some(Batch::Col(Arc::new(Column::Bool(out, validity)))));
+    }
+    // Column vs column.
+    if let (Some(left), Some(right)) = (str_col(lhs), str_col(rhs)) {
+        let (ldata, lbitmap) = left.as_utf8().expect("checked Utf8 above");
+        let (rdata, rbitmap) = right.as_utf8().expect("checked Utf8 above");
+        let mut out = Vec::with_capacity(num_rows);
+        let mut validity = Bitmap::new();
+        for i in 0..num_rows {
+            let valid = lbitmap.is_valid(i) && rbitmap.is_valid(i);
+            out.push(if valid {
+                match op {
+                    Like => like_match(&ldata[i], &rdata[i]),
+                    _ => int_cmp_result(op, ldata[i].as_ref().cmp(rdata[i].as_ref())),
+                }
+            } else {
+                false
+            });
+            validity.push(valid);
+        }
+        return Ok(Some(Batch::Col(Arc::new(Column::Bool(out, validity)))));
+    }
+    Ok(None)
 }
 
 fn numeric_pair(lhs: &Value, rhs: &Value, context: &str) -> EngineResult<(f64, f64, bool)> {
@@ -749,7 +1205,10 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> EngineResult<Value> {
             _ => arity_error("1"),
         },
         ScalarFunc::Round => match args {
-            [v] => Ok(v.as_float().map(|f| Value::Float(f.round())).unwrap_or(Value::Null)),
+            [v] => Ok(v
+                .as_float()
+                .map(|f| Value::Float(f.round()))
+                .unwrap_or(Value::Null)),
             [v, digits] => {
                 let d = digits.as_int().unwrap_or(0);
                 let factor = 10f64.powi(d as i32);
@@ -840,6 +1299,7 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> EngineResult<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::Row;
     use crate::value::DataType;
 
     fn schema() -> Schema {
@@ -854,11 +1314,52 @@ mod tests {
         vec![Value::str("Madonna"), Value::Int(1889), Value::Float(0.75)]
     }
 
+    /// Evaluate an expression over a one-column Int64 table via the batch
+    /// path, returning the value for row 0.
+    fn batch_eval_one(expr: &Expr, x: i64) -> EngineResult<Value> {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let columns = vec![Arc::new(Column::from_values(vec![Value::Int(x)]))];
+        expr.evaluate_batch(&schema, &columns, 1).map(|c| c.get(0))
+    }
+
+    #[test]
+    fn in_list_short_circuits_in_batch_evaluation() {
+        // The row engine stops at the first matching list item; an erroring
+        // later item (1/0) must not abort the batch path either.
+        let expr = Expr::InList {
+            expr: Box::new(Expr::col("x")),
+            list: vec![
+                Expr::lit(7),
+                Expr::binary(Expr::lit(1), BinaryOp::Div, Expr::lit(0)),
+            ],
+            negated: false,
+        };
+        assert_eq!(batch_eval_one(&expr, 7).unwrap(), Value::Bool(true));
+        // A non-matching needle still reaches — and reports — the error,
+        // exactly like the row path.
+        assert!(batch_eval_one(&expr, 8).is_err());
+    }
+
+    #[test]
+    fn batch_int_arithmetic_matches_row_path_at_extremes() {
+        // The row engine routes int arithmetic through f64 (saturating,
+        // 53-bit precision); the typed kernel must agree exactly.
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let expr = Expr::binary(Expr::col("x"), BinaryOp::Add, Expr::col("x"));
+        for x in [2i64.pow(62), i64::MAX, 2i64.pow(53) + 1, 3, -5] {
+            let row_result = expr.evaluate(&schema, &[Value::Int(x)]).unwrap();
+            assert_eq!(batch_eval_one(&expr, x).unwrap(), row_result, "x = {x}");
+        }
+    }
+
     #[test]
     fn column_and_literal_evaluation() {
         let s = schema();
         let r = row();
-        assert_eq!(Expr::col("year").evaluate(&s, &r).unwrap(), Value::Int(1889));
+        assert_eq!(
+            Expr::col("year").evaluate(&s, &r).unwrap(),
+            Value::Int(1889)
+        );
         assert_eq!(Expr::lit(5).evaluate(&s, &r).unwrap(), Value::Int(5));
         assert!(Expr::col("missing").evaluate(&s, &r).is_err());
     }
@@ -889,11 +1390,7 @@ mod tests {
         let r = row();
         let gt = Expr::binary(Expr::col("year"), BinaryOp::Gt, Expr::lit(1800));
         assert_eq!(gt.evaluate(&s, &r).unwrap(), Value::Bool(true));
-        let and_null = Expr::binary(
-            Expr::lit(Value::Null),
-            BinaryOp::And,
-            Expr::lit(false),
-        );
+        let and_null = Expr::binary(Expr::lit(Value::Null), BinaryOp::And, Expr::lit(false));
         assert_eq!(and_null.evaluate(&s, &r).unwrap(), Value::Bool(false));
         let or_null = Expr::binary(Expr::lit(Value::Null), BinaryOp::Or, Expr::lit(true));
         assert_eq!(or_null.evaluate(&s, &r).unwrap(), Value::Bool(true));
@@ -958,8 +1455,14 @@ mod tests {
         let s = Schema::empty();
         let r: Row = vec![];
         let call = |func, args: Vec<Expr>| Expr::Func { func, args }.evaluate(&s, &r).unwrap();
-        assert_eq!(call(ScalarFunc::Lower, vec![Expr::lit("ABC")]), Value::str("abc"));
-        assert_eq!(call(ScalarFunc::Length, vec![Expr::lit("abcd")]), Value::Int(4));
+        assert_eq!(
+            call(ScalarFunc::Lower, vec![Expr::lit("ABC")]),
+            Value::str("abc")
+        );
+        assert_eq!(
+            call(ScalarFunc::Length, vec![Expr::lit("abcd")]),
+            Value::Int(4)
+        );
         assert_eq!(
             call(
                 ScalarFunc::Substr,
@@ -967,7 +1470,10 @@ mod tests {
             ),
             Value::str("1889")
         );
-        assert_eq!(call(ScalarFunc::CastInt, vec![Expr::lit("1889")]), Value::Int(1889));
+        assert_eq!(
+            call(ScalarFunc::CastInt, vec![Expr::lit("1889")]),
+            Value::Int(1889)
+        );
         assert_eq!(
             call(ScalarFunc::CastInt, vec![Expr::lit("c. 1503")]),
             Value::Int(1503)
@@ -977,7 +1483,10 @@ mod tests {
             Value::Int(19)
         );
         assert_eq!(
-            call(ScalarFunc::ExtractYear, vec![Expr::lit("painted in 1480, restored")]),
+            call(
+                ScalarFunc::ExtractYear,
+                vec![Expr::lit("painted in 1480, restored")]
+            ),
             Value::Int(1480)
         );
         assert_eq!(

@@ -9,11 +9,15 @@
 //!
 //! * [`Value`] / [`DataType`] — dynamically typed cells, including the
 //!   multi-modal `IMAGE` and `TEXT` types the planner reasons about,
-//! * [`Schema`] / [`Table`] — row-oriented tables with the prompt-rendering
-//!   helpers CAESURA uses to describe data to the language model,
-//! * [`Expr`] — scalar expressions and their evaluator,
-//! * [`ops`] — physical relational operators (filter, project, hash join,
-//!   aggregation, sort, limit, distinct, union),
+//! * [`Column`] / [`Bitmap`] — typed, `Arc`-shared columnar storage with
+//!   validity bitmaps,
+//! * [`Schema`] / [`Table`] — columnar tables (with a row-view iterator) and
+//!   the prompt-rendering helpers CAESURA uses to describe data to the
+//!   language model,
+//! * [`Expr`] — scalar expressions with both a vectorized column-at-a-time
+//!   evaluator and a row-at-a-time evaluator,
+//! * [`ops`] — vectorized physical relational operators (filter, project,
+//!   hash join, aggregation, sort, limit, distinct, union),
 //! * [`sql`] — a read-only SQL subset (parser + executor) used by the SQL
 //!   physical operators of CAESURA's plans,
 //! * [`Catalog`] — the named-table registry backing a data lake.
@@ -35,6 +39,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod expr;
 pub mod ops;
@@ -44,9 +49,10 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Catalog, ForeignKey};
+pub use column::{Bitmap, Column, ColumnBuilder};
 pub use error::{EngineError, EngineResult};
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
 pub use ops::{AggCall, AggFunc, JoinType, Projection, SortKey, SortOrder};
 pub use schema::{Field, Schema};
-pub use table::{Row, Table, TableBuilder};
+pub use table::{Row, RowRef, Rows, Table, TableBuilder};
 pub use value::{DataType, DateValue, Value};

@@ -3,13 +3,20 @@
 //! Supports the aggregates the paper's physical plans use (`MAX(points_scored)
 //! GROUP BY name`, `MAX(num_swords) GROUP BY century`, counts for the
 //! Madonna-and-Child query) plus SUM/AVG/MIN and COUNT(*).
+//!
+//! Vectorized: the group-by expressions and every aggregated expression are
+//! evaluated column-at-a-time first; the grouping pass then walks those
+//! columns once, hashing `i64` keys directly when a single integer group
+//! column allows it and the rendered group key otherwise.
 
+use crate::column::{Column, ColumnBuilder};
 use crate::error::{EngineError, EngineResult};
 use crate::expr::Expr;
 use crate::schema::{Field, Schema};
-use crate::table::{Row, Table};
+use crate::table::Table;
 use crate::value::{DataType, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +89,15 @@ impl AggCall {
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
-    Sum { total: f64, any: bool, all_int: bool },
-    Avg { total: f64, count: i64 },
+    Sum {
+        total: f64,
+        any: bool,
+        all_int: bool,
+    },
+    Avg {
+        total: f64,
+        count: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -97,73 +111,94 @@ impl AggState {
                 any: false,
                 all_int: true,
             },
-            AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+            AggFunc::Avg => AggState::Avg {
+                total: 0.0,
+                count: 0,
+            },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
         }
     }
 
-    fn update(&mut self, value: Option<&Value>, context: &str) -> EngineResult<()> {
+    /// Fold the value at `row` of the evaluated aggregate column into the
+    /// state. `column` is `None` for `COUNT(*)`.
+    fn update(&mut self, column: Option<&Column>, row: usize, context: &str) -> EngineResult<()> {
         match self {
             AggState::Count(c) => {
-                match value {
+                match column {
                     // COUNT(*): every row counts.
                     None => *c += 1,
                     // COUNT(expr): only non-null values count.
-                    Some(v) if !v.is_null() => *c += 1,
+                    Some(col) if col.is_valid(row) => *c += 1,
                     Some(_) => {}
                 }
             }
-            AggState::Sum { total, any, all_int } => {
-                if let Some(v) = value {
-                    if v.is_null() {
+            AggState::Sum {
+                total,
+                any,
+                all_int,
+            } => {
+                if let Some(col) = column {
+                    if !col.is_valid(row) {
                         return Ok(());
                     }
-                    let f = v.as_float().ok_or_else(|| {
-                        EngineError::type_mismatch(context, "a numeric value", v.data_type().prompt_name())
+                    let value = col.get(row);
+                    let f = value.as_float().ok_or_else(|| {
+                        EngineError::type_mismatch(
+                            context,
+                            "a numeric value",
+                            value.data_type().prompt_name(),
+                        )
                     })?;
                     *total += f;
                     *any = true;
-                    if !matches!(v, Value::Int(_)) {
+                    if !matches!(value, Value::Int(_)) {
                         *all_int = false;
                     }
                 }
             }
             AggState::Avg { total, count } => {
-                if let Some(v) = value {
-                    if v.is_null() {
+                if let Some(col) = column {
+                    if !col.is_valid(row) {
                         return Ok(());
                     }
-                    let f = v.as_float().ok_or_else(|| {
-                        EngineError::type_mismatch(context, "a numeric value", v.data_type().prompt_name())
+                    let value = col.get(row);
+                    let f = value.as_float().ok_or_else(|| {
+                        EngineError::type_mismatch(
+                            context,
+                            "a numeric value",
+                            value.data_type().prompt_name(),
+                        )
                     })?;
                     *total += f;
                     *count += 1;
                 }
             }
             AggState::Min(best) => {
-                if let Some(v) = value {
-                    if v.is_null() {
+                if let Some(col) = column {
+                    if !col.is_valid(row) {
                         return Ok(());
                     }
+                    let value = col.get(row);
                     match best {
-                        None => *best = Some(v.clone()),
-                        Some(b) if v.total_cmp(b) == std::cmp::Ordering::Less => {
-                            *best = Some(v.clone())
+                        None => *best = Some(value),
+                        Some(b) if value.total_cmp(b) == std::cmp::Ordering::Less => {
+                            *best = Some(value)
                         }
                         _ => {}
                     }
                 }
             }
             AggState::Max(best) => {
-                if let Some(v) = value {
-                    if v.is_null() {
+                if let Some(col) = column {
+                    if !col.is_valid(row) {
                         return Ok(());
                     }
+                    let value = col.get(row);
                     match best {
-                        None => *best = Some(v.clone()),
-                        Some(b) if v.total_cmp(b) == std::cmp::Ordering::Greater => {
-                            *best = Some(v.clone())
+                        None => *best = Some(value),
+                        Some(b) if value.total_cmp(b) == std::cmp::Ordering::Greater => {
+                            *best = Some(value)
                         }
                         _ => {}
                     }
@@ -176,7 +211,11 @@ impl AggState {
     fn finish(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
-            AggState::Sum { total, any, all_int } => {
+            AggState::Sum {
+                total,
+                any,
+                all_int,
+            } => {
                 if !any {
                     Value::Null
                 } else if all_int {
@@ -197,6 +236,12 @@ impl AggState {
     }
 }
 
+/// One group's accumulated state: the key values plus one state per aggregate.
+struct Group {
+    key_values: Vec<Value>,
+    states: Vec<AggState>,
+}
+
 /// Group `input` by the `group_by` expressions and compute `aggs` per group.
 ///
 /// With an empty `group_by` the whole table forms a single group (global
@@ -208,6 +253,7 @@ pub fn aggregate(
     aggs: &[AggCall],
 ) -> EngineResult<Table> {
     let in_schema = input.schema();
+    let num_rows = input.num_rows();
 
     let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
     for (expr, alias) in group_by {
@@ -234,51 +280,123 @@ pub fn aggregate(
     }
     let schema = Schema::new(fields)?;
 
-    // Group rows by the rendered key of the group-by expressions.
-    let mut groups: HashMap<String, (Vec<Value>, Vec<AggState>)> = HashMap::new();
-    let mut order: Vec<String> = Vec::new();
-
-    for row in input.iter() {
-        let mut key_values = Vec::with_capacity(group_by.len());
-        let mut key = String::new();
-        for (expr, _) in group_by {
-            let v = expr.evaluate(in_schema, row)?;
-            key.push_str(&v.group_key());
-            key.push('\u{1}');
-            key_values.push(v);
-        }
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            (
-                key_values.clone(),
-                aggs.iter().map(|a| AggState::new(a.func)).collect(),
-            )
+    // Vectorized evaluation of every expression, once per column.
+    let mut key_columns: Vec<Arc<Column>> = Vec::with_capacity(group_by.len());
+    for (expr, _) in group_by {
+        key_columns.push(expr.evaluate_batch(in_schema, input.columns(), num_rows)?);
+    }
+    let mut agg_columns: Vec<Option<Arc<Column>>> = Vec::with_capacity(aggs.len());
+    let mut contexts: Vec<String> = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        agg_columns.push(match &agg.expr {
+            Some(expr) => Some(expr.evaluate_batch(in_schema, input.columns(), num_rows)?),
+            None => None,
         });
-        for (agg, state) in aggs.iter().zip(entry.1.iter_mut()) {
-            let value = match &agg.expr {
-                Some(expr) => Some(expr.evaluate(in_schema, row)?),
-                None => None,
+        contexts.push(format!("{}({})", agg.func.name(), agg.alias));
+    }
+
+    // Grouping pass: map each row to its group, folding aggregate states.
+    let mut groups: Vec<Group> = Vec::new();
+    let fresh_states = |groups: &mut Vec<Group>, key_values: Vec<Value>| -> usize {
+        groups.push(Group {
+            key_values,
+            states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        });
+        groups.len() - 1
+    };
+
+    // Single integer group column: hash i64 keys directly.
+    let single_int_key = if key_columns.len() == 1 {
+        key_columns[0].as_int64()
+    } else {
+        None
+    };
+    if let Some((data, validity)) = single_int_key {
+        let mut index: HashMap<i64, usize> = HashMap::new();
+        let mut null_group: Option<usize> = None;
+        for (row, &key) in data.iter().enumerate().take(num_rows) {
+            let group = if validity.is_valid(row) {
+                *index
+                    .entry(key)
+                    .or_insert_with(|| fresh_states(&mut groups, vec![Value::Int(key)]))
+            } else {
+                match null_group {
+                    Some(g) => g,
+                    None => {
+                        let g = fresh_states(&mut groups, vec![Value::Null]);
+                        null_group = Some(g);
+                        g
+                    }
+                }
             };
-            state.update(value.as_ref(), &format!("{}({})", agg.func.name(), agg.alias))?;
+            fold_row(&mut groups[group], &agg_columns, &contexts, row)?;
+        }
+    } else {
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut key_buf = String::new();
+        for row in 0..num_rows {
+            key_buf.clear();
+            for col in &key_columns {
+                col.write_group_key(row, &mut key_buf);
+                key_buf.push('\u{1}');
+            }
+            let group = match index.get(&key_buf) {
+                Some(&g) => g,
+                None => {
+                    let key_values: Vec<Value> = key_columns.iter().map(|c| c.get(row)).collect();
+                    let g = fresh_states(&mut groups, key_values);
+                    index.insert(key_buf.clone(), g);
+                    g
+                }
+            };
+            fold_row(&mut groups[group], &agg_columns, &contexts, row)?;
         }
     }
 
     // Global aggregation over an empty input still yields one row.
     if groups.is_empty() && group_by.is_empty() {
-        let states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.func)).collect();
-        let row: Row = states.into_iter().map(AggState::finish).collect();
-        return Table::new(format!("{}_aggregated", input.name()), schema, vec![row]);
+        fresh_states(&mut groups, Vec::new());
     }
 
-    let mut rows = Vec::with_capacity(groups.len());
-    for key in order {
-        let (key_values, states) = groups.remove(&key).expect("group recorded in order");
-        let mut row: Row = key_values;
-        row.extend(states.into_iter().map(AggState::finish));
-        rows.push(row);
+    // Emit columns in first-seen group order.
+    let mut builders: Vec<ColumnBuilder> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::with_capacity(f.data_type, groups.len()))
+        .collect();
+    for group in groups {
+        let mut slot = 0;
+        for key in group.key_values {
+            builders[slot].push(key);
+            slot += 1;
+        }
+        for state in group.states {
+            builders[slot].push(state.finish());
+            slot += 1;
+        }
     }
+    Table::from_columns(
+        format!("{}_aggregated", input.name()),
+        schema,
+        builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+    )
+}
 
-    Table::new(format!("{}_aggregated", input.name()), schema, rows)
+fn fold_row(
+    group: &mut Group,
+    agg_columns: &[Option<Arc<Column>>],
+    contexts: &[String],
+    row: usize,
+) -> EngineResult<()> {
+    for ((state, column), context) in group
+        .states
+        .iter_mut()
+        .zip(agg_columns.iter())
+        .zip(contexts.iter())
+    {
+        state.update(column.as_deref(), row, context)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -288,10 +406,7 @@ mod tests {
     use crate::table::TableBuilder;
 
     fn scores() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("name", DataType::Str),
-            ("points", DataType::Int),
-        ]);
+        let schema = Schema::from_pairs(&[("name", DataType::Str), ("points", DataType::Int)]);
         let mut b = TableBuilder::new("final_joined_table", schema);
         for (name, points) in [
             ("Heat", 102),
@@ -320,9 +435,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 2);
-        assert_eq!(out.value(0, "name").unwrap(), &Value::str("Heat"));
-        assert_eq!(out.value(0, "max_points").unwrap(), &Value::Int(102));
-        assert_eq!(out.value(1, "max_points").unwrap(), &Value::Int(110));
+        assert_eq!(out.value(0, "name").unwrap(), Value::str("Heat"));
+        assert_eq!(out.value(0, "max_points").unwrap(), Value::Int(102));
+        assert_eq!(out.value(1, "max_points").unwrap(), Value::Int(110));
     }
 
     #[test]
@@ -342,8 +457,8 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(out.value(0, "n").unwrap(), &Value::Int(3));
-        assert_eq!(out.value(0, "n_x").unwrap(), &Value::Int(2));
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(3));
+        assert_eq!(out.value(0, "n_x").unwrap(), Value::Int(2));
     }
 
     #[test]
@@ -358,9 +473,9 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(out.value(0, "total").unwrap(), &Value::Int(197));
-        assert_eq!(out.value(1, "total").unwrap(), &Value::Int(296));
-        assert_eq!(out.value(1, "min").unwrap(), &Value::Int(87));
+        assert_eq!(out.value(0, "total").unwrap(), Value::Int(197));
+        assert_eq!(out.value(1, "total").unwrap(), Value::Int(296));
+        assert_eq!(out.value(1, "min").unwrap(), Value::Int(87));
         let avg = out.value(1, "avg").unwrap().as_float().unwrap();
         assert!((avg - 296.0 / 3.0).abs() < 1e-9);
     }
@@ -371,7 +486,7 @@ mod tests {
         let empty = Table::empty("t", schema);
         let out = aggregate(&empty, &[], &[AggCall::count_star("n")]).unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, "n").unwrap(), &Value::Int(0));
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(0));
     }
 
     #[test]
@@ -405,10 +520,29 @@ mod tests {
             &[AggCall::count_star("games")],
         )
         .unwrap();
-        assert_eq!(out.value(0, "team").unwrap(), &Value::str("Heat"));
-        assert_eq!(out.value(1, "team").unwrap(), &Value::str("Spurs"));
-        assert_eq!(out.value(0, "games").unwrap(), &Value::Int(2));
-        assert_eq!(out.value(1, "games").unwrap(), &Value::Int(3));
+        assert_eq!(out.value(0, "team").unwrap(), Value::str("Heat"));
+        assert_eq!(out.value(1, "team").unwrap(), Value::str("Spurs"));
+        assert_eq!(out.value(0, "games").unwrap(), Value::Int(2));
+        assert_eq!(out.value(1, "games").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn integer_group_keys_use_the_typed_path_and_group_nulls_together() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        for v in [Value::Int(1), Value::Null, Value::Int(1), Value::Null] {
+            b.push_row(vec![v]).unwrap();
+        }
+        let out = aggregate(
+            &b.build(),
+            &[(Expr::col("x"), "x".to_string())],
+            &[AggCall::count_star("n")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
+        assert_eq!(out.value(1, "n").unwrap(), Value::Int(2));
+        assert!(out.value(1, "x").unwrap().is_null());
     }
 
     #[test]

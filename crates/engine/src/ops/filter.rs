@@ -1,4 +1,9 @@
 //! Selection (σ): keep the rows that satisfy a predicate expression.
+//!
+//! Vectorized: the predicate is evaluated column-at-a-time into a selection
+//! vector of surviving row indices, which is then gathered in one pass per
+//! column. If every row survives, the output shares the input's columns
+//! zero-copy.
 
 use crate::error::EngineResult;
 use crate::expr::Expr;
@@ -8,8 +13,12 @@ use crate::table::Table;
 ///
 /// NULL predicate results count as "not selected", matching SQL semantics.
 pub fn filter(input: &Table, predicate: &Expr) -> EngineResult<Table> {
-    let schema = input.schema().clone();
-    let filtered = input.filter_rows(|row| predicate.evaluate_predicate(&schema, row))?;
+    let selected = predicate.selection_vector(input.schema(), input.columns(), input.num_rows())?;
+    let filtered = if selected.len() == input.num_rows() {
+        input.shared_copy()
+    } else {
+        input.take(&selected)
+    };
     Ok(filtered.renamed(format!("{}_filtered", input.name())))
 }
 
@@ -22,10 +31,7 @@ mod tests {
     use crate::value::{DataType, Value};
 
     fn table() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("name", DataType::Str),
-            ("points", DataType::Int),
-        ]);
+        let schema = Schema::from_pairs(&[("name", DataType::Str), ("points", DataType::Int)]);
         let mut b = TableBuilder::new("scores", schema);
         b.push_values::<_, Value>(vec![Value::str("Heat"), Value::Int(102)])
             .unwrap();
@@ -44,7 +50,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, "name").unwrap(), &Value::str("Heat"));
+        assert_eq!(out.value(0, "name").unwrap(), Value::str("Heat"));
     }
 
     #[test]
@@ -72,5 +78,16 @@ mod tests {
         let out = filter(&table(), &Expr::lit(true)).unwrap();
         assert_eq!(out.name(), "scores_filtered");
         assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn string_equality_predicate_uses_the_utf8_kernel() {
+        let out = filter(
+            &table(),
+            &Expr::binary(Expr::col("name"), BinaryOp::Eq, Expr::lit("Spurs")),
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "points").unwrap(), Value::Int(95));
     }
 }

@@ -2,14 +2,19 @@
 //!
 //! The paper's example plans join the metadata table with the
 //! `painting_images` collection on `img_path`, and the rotowire `teams` table
-//! with `team_to_games` / `game_reports`. All of those are equi-joins, which we
-//! implement with a classic build/probe hash join. A left-outer variant is
-//! provided for completeness.
+//! with `team_to_games` / `game_reports`. All of those are equi-joins,
+//! implemented as a classic build/probe hash join over the key *columns*:
+//! the probe phase produces matching index vectors for both sides, and the
+//! output columns are gathered in one pass each (strings move as `Arc` bumps,
+//! never as character copies). Typed fast paths hash `i64` and `&str` keys
+//! directly; other key types fall back to the stable rendered group key.
+//! A left-outer variant is provided for completeness.
 
+use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
-use crate::table::{Row, Table};
-use crate::value::Value;
+use crate::table::Table;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The supported join types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,55 +43,147 @@ pub fn hash_join(
         .schema()
         .join(left.name(), right.schema(), right.name());
 
-    // Build phase: hash the right side (usually the smaller collection table).
-    let mut build: HashMap<String, Vec<&Row>> = HashMap::with_capacity(right.num_rows());
-    for row in right.iter() {
-        let key = &row[right_idx];
-        if key.is_null() {
-            continue; // NULL keys never join.
+    let (left_indices, right_indices) = probe_indices(
+        &left.columns()[left_idx],
+        &right.columns()[right_idx],
+        join_type,
+    );
+
+    // Gather both sides. For inner joins every right index is present, so the
+    // cheaper non-optional take kernel applies.
+    let mut columns: Vec<Arc<Column>> = Vec::with_capacity(schema.len());
+    for col in left.columns() {
+        columns.push(Arc::new(col.take(&left_indices)));
+    }
+    let all_matched = right_indices.iter().all(|i| i.is_some());
+    if all_matched {
+        let plain: Vec<usize> = right_indices.iter().map(|i| i.unwrap()).collect();
+        for col in right.columns() {
+            columns.push(Arc::new(col.take(&plain)));
         }
-        build.entry(key.group_key()).or_default().push(row);
+    } else {
+        for col in right.columns() {
+            columns.push(Arc::new(col.take_opt(&right_indices)));
+        }
     }
 
-    let mut rows: Vec<Row> = Vec::new();
-    for lrow in left.iter() {
-        let key = &lrow[left_idx];
-        let matches = if key.is_null() {
-            None
-        } else {
-            build.get(&key.group_key())
-        };
-        match matches {
+    Table::from_columns(
+        format!("{}_{}_joined", left.name(), right.name()),
+        schema,
+        columns,
+    )
+    .map_err(|_| {
+        EngineError::execution(
+            "internal error: join produced columns that do not match the joined schema",
+        )
+    })
+}
+
+/// Build a hash table over the right key column, probe with the left key
+/// column, and emit matching index pairs (right index `None` = NULL padding
+/// for unmatched left rows under a left-outer join).
+fn probe_indices(
+    left_key: &Column,
+    right_key: &Column,
+    join_type: JoinType,
+) -> (Vec<usize>, Vec<Option<usize>>) {
+    // Typed fast path: both sides are i64 keys.
+    if let (Some((ldata, lvalid)), Some((rdata, rvalid))) =
+        (left_key.as_int64(), right_key.as_int64())
+    {
+        let mut build: HashMap<i64, Vec<usize>> = HashMap::with_capacity(rdata.len());
+        for (i, &key) in rdata.iter().enumerate() {
+            if rvalid.is_valid(i) {
+                build.entry(key).or_default().push(i);
+            }
+        }
+        return emit(
+            ldata.len(),
+            |i| {
+                if lvalid.is_valid(i) {
+                    build.get(&ldata[i]).map(Vec::as_slice)
+                } else {
+                    None
+                }
+            },
+            join_type,
+        );
+    }
+    // Typed fast path: both sides are string keys.
+    if let (Some((ldata, lvalid)), Some((rdata, rvalid))) =
+        (left_key.as_utf8(), right_key.as_utf8())
+    {
+        let mut build: HashMap<&str, Vec<usize>> = HashMap::with_capacity(rdata.len());
+        for (i, key) in rdata.iter().enumerate() {
+            if rvalid.is_valid(i) {
+                build.entry(key.as_ref()).or_default().push(i);
+            }
+        }
+        return emit(
+            ldata.len(),
+            |i| {
+                if lvalid.is_valid(i) {
+                    build.get(ldata[i].as_ref()).map(Vec::as_slice)
+                } else {
+                    None
+                }
+            },
+            join_type,
+        );
+    }
+    // Generic path: hash the rendered group key (numeric unification included).
+    let mut build: HashMap<String, Vec<usize>> = HashMap::with_capacity(right_key.len());
+    let mut key_buf = String::new();
+    for i in 0..right_key.len() {
+        if right_key.is_valid(i) {
+            key_buf.clear();
+            right_key.write_group_key(i, &mut key_buf);
+            build.entry(key_buf.clone()).or_default().push(i);
+        }
+    }
+    let mut probe_buf = String::new();
+    emit(
+        left_key.len(),
+        |i| {
+            if left_key.is_valid(i) {
+                probe_buf.clear();
+                left_key.write_group_key(i, &mut probe_buf);
+                build.get(probe_buf.as_str()).map(Vec::as_slice)
+            } else {
+                None
+            }
+        },
+        join_type,
+    )
+}
+
+fn emit<'a, F>(
+    left_len: usize,
+    mut matches_of: F,
+    join_type: JoinType,
+) -> (Vec<usize>, Vec<Option<usize>>)
+where
+    F: FnMut(usize) -> Option<&'a [usize]> + 'a,
+{
+    let mut left_indices = Vec::new();
+    let mut right_indices = Vec::new();
+    for i in 0..left_len {
+        match matches_of(i) {
             Some(found) if !found.is_empty() => {
-                for rrow in found {
-                    let mut out = Vec::with_capacity(lrow.len() + rrow.len());
-                    out.extend(lrow.iter().cloned());
-                    out.extend(rrow.iter().cloned());
-                    rows.push(out);
+                for &j in found {
+                    left_indices.push(i);
+                    right_indices.push(Some(j));
                 }
             }
             _ => {
                 if join_type == JoinType::Left {
-                    let mut out = Vec::with_capacity(lrow.len() + right.num_columns());
-                    out.extend(lrow.iter().cloned());
-                    out.extend(std::iter::repeat_n(Value::Null, right.num_columns()));
-                    rows.push(out);
+                    left_indices.push(i);
+                    right_indices.push(None);
                 }
             }
         }
     }
-
-    Table::new(
-        format!("{}_{}_joined", left.name(), right.name()),
-        schema,
-        rows,
-    )
-    .map_err(|e| match e {
-        EngineError::ArityMismatch { .. } => EngineError::execution(
-            "internal error: join produced rows that do not match the joined schema",
-        ),
-        other => other,
-    })
+    (left_indices, right_indices)
 }
 
 #[cfg(test)]
@@ -94,13 +191,10 @@ mod tests {
     use super::*;
     use crate::schema::Schema;
     use crate::table::TableBuilder;
-    use crate::value::DataType;
+    use crate::value::{DataType, Value};
 
     fn metadata() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("title", DataType::Str),
-            ("img_path", DataType::Str),
-        ]);
+        let schema = Schema::from_pairs(&[("title", DataType::Str), ("img_path", DataType::Str)]);
         let mut b = TableBuilder::new("paintings_metadata", schema);
         b.push_values(["Madonna", "img/1.png"]).unwrap();
         b.push_values(["Irises", "img/2.png"]).unwrap();
@@ -109,10 +203,7 @@ mod tests {
     }
 
     fn images() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("img_path", DataType::Str),
-            ("image", DataType::Image),
-        ]);
+        let schema = Schema::from_pairs(&[("img_path", DataType::Str), ("image", DataType::Image)]);
         let mut b = TableBuilder::new("painting_images", schema);
         b.push_row(vec![Value::str("img/1.png"), Value::image("img/1.png")])
             .unwrap();
@@ -123,8 +214,14 @@ mod tests {
 
     #[test]
     fn inner_join_on_img_path_matches_figure4() {
-        let joined = hash_join(&metadata(), &images(), "img_path", "img_path", JoinType::Inner)
-            .unwrap();
+        let joined = hash_join(
+            &metadata(),
+            &images(),
+            "img_path",
+            "img_path",
+            JoinType::Inner,
+        )
+        .unwrap();
         assert_eq!(joined.num_rows(), 2);
         assert_eq!(joined.num_columns(), 4);
         assert!(joined.schema().contains("paintings_metadata.img_path"));
@@ -134,15 +231,21 @@ mod tests {
 
     #[test]
     fn left_join_pads_missing_matches_with_nulls() {
-        let joined =
-            hash_join(&metadata(), &images(), "img_path", "img_path", JoinType::Left).unwrap();
+        let joined = hash_join(
+            &metadata(),
+            &images(),
+            "img_path",
+            "img_path",
+            JoinType::Left,
+        )
+        .unwrap();
         assert_eq!(joined.num_rows(), 3);
         let lost_row = joined
             .iter()
-            .find(|r| r[0] == Value::str("Lost"))
+            .find(|r| r.get(0) == Value::str("Lost"))
             .expect("row for 'Lost' painting");
-        assert!(lost_row[2].is_null());
-        assert!(lost_row[3].is_null());
+        assert!(lost_row.get(2).is_null());
+        assert!(lost_row.get(3).is_null());
     }
 
     #[test]
@@ -164,20 +267,46 @@ mod tests {
     fn duplicate_keys_produce_cross_products_per_key() {
         let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Str)]);
         let mut b = TableBuilder::new("games", schema.clone());
-        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("a")]).unwrap();
-        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("b")]).unwrap();
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("a")])
+            .unwrap();
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("b")])
+            .unwrap();
         let left = b.build();
         let mut b = TableBuilder::new("reports", schema);
-        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("x")]).unwrap();
-        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("y")]).unwrap();
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("x")])
+            .unwrap();
+        b.push_values::<_, Value>(vec![Value::Int(1), Value::str("y")])
+            .unwrap();
         let right = b.build();
         let joined = hash_join(&left, &right, "k", "k", JoinType::Inner).unwrap();
         assert_eq!(joined.num_rows(), 4);
     }
 
     #[test]
+    fn mixed_numeric_keys_join_through_the_generic_path() {
+        // An int column joined against a float column: 2 must match 2.0,
+        // exactly as the rendered group keys unify them.
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut b = TableBuilder::new("l", schema);
+        b.push_row(vec![Value::Int(2)]).unwrap();
+        let left = b.build();
+        let schema = Schema::from_pairs(&[("k", DataType::Float)]);
+        let mut b = TableBuilder::new("r", schema);
+        b.push_row(vec![Value::Float(2.0)]).unwrap();
+        let right = b.build();
+        let joined = hash_join(&left, &right, "k", "k", JoinType::Inner).unwrap();
+        assert_eq!(joined.num_rows(), 1);
+    }
+
+    #[test]
     fn unknown_key_column_is_reported() {
-        let err = hash_join(&metadata(), &images(), "imgpath", "img_path", JoinType::Inner);
+        let err = hash_join(
+            &metadata(),
+            &images(),
+            "imgpath",
+            "img_path",
+            JoinType::Inner,
+        );
         assert!(matches!(err, Err(EngineError::UnknownColumn { .. })));
     }
 }

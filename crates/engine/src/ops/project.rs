@@ -1,4 +1,8 @@
 //! Projection (π): compute output columns from expressions.
+//!
+//! Vectorized and zero-copy where possible: a projection that simply selects
+//! an existing column re-uses the input's `Arc`-shared column without copying
+//! any row data; computed expressions are evaluated column-at-a-time.
 
 use crate::error::EngineResult;
 use crate::expr::Expr;
@@ -34,7 +38,7 @@ impl Projection {
     }
 }
 
-/// Evaluate the projections for every row of `input`.
+/// Evaluate the projections over all rows of `input` at once.
 pub fn project(input: &Table, projections: &[Projection]) -> EngineResult<Table> {
     let in_schema = input.schema();
     let mut fields = Vec::with_capacity(projections.len());
@@ -50,15 +54,16 @@ pub fn project(input: &Table, projections: &[Projection]) -> EngineResult<Table>
         fields.push(Field::new(name, data_type));
     }
     let schema = Schema::new(fields)?;
-    let mut rows = Vec::with_capacity(input.num_rows());
-    for row in input.iter() {
-        let mut out_row = Vec::with_capacity(projections.len());
-        for p in projections {
-            out_row.push(p.expr.evaluate(in_schema, row)?);
-        }
-        rows.push(out_row);
+    let mut columns = Vec::with_capacity(projections.len());
+    for p in projections {
+        // evaluate_batch resolves plain column references to Arc bumps, so a
+        // narrowing projection copies no row data at all.
+        columns.push(
+            p.expr
+                .evaluate_batch(in_schema, input.columns(), input.num_rows())?,
+        );
     }
-    Table::new(format!("{}_projected", input.name()), schema, rows)
+    Table::from_columns(format!("{}_projected", input.name()), schema, columns)
 }
 
 #[cfg(test)]
@@ -68,12 +73,10 @@ mod tests {
     use crate::schema::Schema;
     use crate::table::TableBuilder;
     use crate::value::{DataType, Value};
+    use std::sync::Arc;
 
     fn table() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("title", DataType::Str),
-            ("inception", DataType::Str),
-        ]);
+        let schema = Schema::from_pairs(&[("title", DataType::Str), ("inception", DataType::Str)]);
         let mut b = TableBuilder::new("paintings", schema);
         b.push_values(["Madonna", "1889-01-05"]).unwrap();
         b.push_values(["Irises", "1480-05-12"]).unwrap();
@@ -97,8 +100,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.schema().names(), vec!["title", "century"]);
-        assert_eq!(out.value(0, "century").unwrap(), &Value::Int(19));
-        assert_eq!(out.value(1, "century").unwrap(), &Value::Int(15));
+        assert_eq!(out.value(0, "century").unwrap(), Value::Int(19));
+        assert_eq!(out.value(1, "century").unwrap(), Value::Int(15));
+    }
+
+    #[test]
+    fn plain_column_projection_shares_column_storage() {
+        let input = table();
+        let out = project(&input, &[Projection::column("title")]).unwrap();
+        assert!(Arc::ptr_eq(
+            input.column_at(0).unwrap(),
+            out.column_at(0).unwrap()
+        ));
     }
 
     #[test]
@@ -112,7 +125,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.schema().field(0).unwrap().data_type, DataType::Int);
-        assert_eq!(out.value(0, "three").unwrap(), &Value::Int(3));
+        assert_eq!(out.value(0, "three").unwrap(), Value::Int(3));
     }
 
     #[test]

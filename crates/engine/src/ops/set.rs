@@ -1,38 +1,44 @@
-//! LIMIT, DISTINCT, and UNION ALL.
+//! LIMIT, DISTINCT, and UNION ALL — vectorized over the columnar layout.
 
+use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
 use crate::table::Table;
 use std::collections::HashSet;
+use std::sync::Arc;
 
-/// Keep only the first `n` rows.
+/// Keep only the first `n` rows. When `n` covers the whole table the columns
+/// are shared zero-copy.
 pub fn limit(input: &Table, n: usize) -> EngineResult<Table> {
-    let rows = input.rows().iter().take(n).cloned().collect();
-    Table::new(
-        format!("{}_limited", input.name()),
-        input.schema().clone(),
-        rows,
-    )
+    let out = if n >= input.num_rows() {
+        input.shared_copy()
+    } else {
+        let indices: Vec<usize> = (0..n).collect();
+        input.take(&indices)
+    };
+    Ok(out.renamed(format!("{}_limited", input.name())))
 }
 
 /// Remove duplicate rows (keeping the first occurrence of each).
 pub fn distinct(input: &Table) -> EngineResult<Table> {
     let mut seen: HashSet<String> = HashSet::with_capacity(input.num_rows());
-    let mut rows = Vec::new();
-    for row in input.iter() {
-        let key: String = row
-            .iter()
-            .map(|v| v.group_key())
-            .collect::<Vec<_>>()
-            .join("\u{1}");
-        if seen.insert(key) {
-            rows.push(row.clone());
+    let mut indices = Vec::new();
+    let mut key = String::new();
+    for row in 0..input.num_rows() {
+        key.clear();
+        for column in input.columns() {
+            column.write_group_key(row, &mut key);
+            key.push('\u{1}');
+        }
+        if seen.insert(key.clone()) {
+            indices.push(row);
         }
     }
-    Table::new(
-        format!("{}_distinct", input.name()),
-        input.schema().clone(),
-        rows,
-    )
+    let out = if indices.len() == input.num_rows() {
+        input.shared_copy()
+    } else {
+        input.take(&indices)
+    };
+    Ok(out.renamed(format!("{}_distinct", input.name())))
 }
 
 /// Concatenate two tables with compatible schemas (same arity and column types).
@@ -44,12 +50,16 @@ pub fn union_all(left: &Table, right: &Table) -> EngineResult<Table> {
             right.num_columns()
         )));
     }
-    let mut rows = left.rows().to_vec();
-    rows.extend(right.rows().iter().cloned());
-    Table::new(
+    let columns: Vec<Arc<Column>> = left
+        .columns()
+        .iter()
+        .zip(right.columns())
+        .map(|(l, r)| Arc::new(Column::concat(&[l, r])))
+        .collect();
+    Table::from_columns(
         format!("{}_union", left.name()),
         left.schema().clone(),
-        rows,
+        columns,
     )
 }
 
@@ -75,6 +85,16 @@ mod tests {
         assert_eq!(out.num_rows(), 2);
         let out = limit(&table("t", &[1]), 10).unwrap();
         assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn limit_covering_all_rows_shares_columns() {
+        let input = table("t", &[1, 2]);
+        let out = limit(&input, 5).unwrap();
+        assert!(Arc::ptr_eq(
+            input.column_at(0).unwrap(),
+            out.column_at(0).unwrap()
+        ));
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! ORDER BY: sort a table by one or more keys.
+//!
+//! Vectorized: the key expressions are evaluated column-at-a-time, a row
+//! index permutation is sorted against those key columns (a typed comparator
+//! for a single integer key, materialized key rows otherwise), and the output
+//! gathers every column once through the permutation.
 
 use crate::error::EngineResult;
 use crate::expr::Expr;
@@ -44,34 +49,54 @@ impl SortKey {
 
 /// Sort `input` by the given keys (stable sort).
 pub fn sort(input: &Table, keys: &[SortKey]) -> EngineResult<Table> {
-    let schema = input.schema().clone();
-    // Pre-compute the key values so evaluation errors surface before sorting.
-    let mut decorated: Vec<(Vec<Value>, usize)> = Vec::with_capacity(input.num_rows());
-    for (i, row) in input.iter().enumerate() {
-        let mut key_values = Vec::with_capacity(keys.len());
-        for key in keys {
-            key_values.push(key.expr.evaluate(&schema, row)?);
-        }
-        decorated.push((key_values, i));
+    let schema = input.schema();
+    let num_rows = input.num_rows();
+
+    // Evaluate every key column up front so evaluation errors surface before
+    // any comparison runs.
+    let mut key_columns = Vec::with_capacity(keys.len());
+    for key in keys {
+        key_columns.push(key.expr.evaluate_batch(schema, input.columns(), num_rows)?);
     }
-    decorated.sort_by(|(a, ai), (b, bi)| {
-        for (idx, key) in keys.iter().enumerate() {
-            let ord = a[idx].total_cmp(&b[idx]);
-            let ord = match key.order {
-                SortOrder::Asc => ord,
-                SortOrder::Desc => ord.reverse(),
-            };
-            if ord != Ordering::Equal {
-                return ord;
-            }
+
+    let mut indices: Vec<usize> = (0..num_rows).collect();
+
+    // Typed fast path: one integer key with no NULLs.
+    let typed = if keys.len() == 1 {
+        key_columns[0]
+            .as_int64()
+            .filter(|(_, validity)| validity.is_all_valid())
+    } else {
+        None
+    };
+    if let Some((data, _)) = typed {
+        match keys[0].order {
+            SortOrder::Asc => indices.sort_by_key(|&i| (data[i], i)),
+            SortOrder::Desc => indices.sort_by_key(|&i| (std::cmp::Reverse(data[i]), i)),
         }
-        ai.cmp(bi) // stability tie-break
-    });
-    let rows = decorated
-        .into_iter()
-        .map(|(_, i)| input.rows()[i].clone())
-        .collect();
-    Table::new(format!("{}_sorted", input.name()), schema, rows)
+    } else {
+        // Materialize the key rows once (decorate), then sort the indices.
+        let decorated: Vec<Vec<Value>> = (0..num_rows)
+            .map(|i| key_columns.iter().map(|c| c.get(i)).collect())
+            .collect();
+        indices.sort_by(|&a, &b| {
+            for (idx, key) in keys.iter().enumerate() {
+                let ord = decorated[a][idx].total_cmp(&decorated[b][idx]);
+                let ord = match key.order {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b) // stability tie-break
+        });
+    }
+
+    Ok(input
+        .take(&indices)
+        .renamed(format!("{}_sorted", input.name())))
 }
 
 #[cfg(test)]
@@ -82,10 +107,8 @@ mod tests {
     use crate::value::DataType;
 
     fn table() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("century", DataType::Int),
-            ("max_swords", DataType::Int),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("century", DataType::Int), ("max_swords", DataType::Int)]);
         let mut b = TableBuilder::new("result_table", schema);
         for (c, s) in [(19, 2), (15, 5), (17, 3), (15, 1)] {
             b.push_values::<_, Value>(vec![Value::Int(c), Value::Int(s)])
@@ -116,16 +139,16 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(out.value(0, "max_swords").unwrap(), &Value::Int(5));
-        assert_eq!(out.value(1, "max_swords").unwrap(), &Value::Int(1));
+        assert_eq!(out.value(0, "max_swords").unwrap(), Value::Int(5));
+        assert_eq!(out.value(1, "max_swords").unwrap(), Value::Int(1));
     }
 
     #[test]
     fn sort_is_stable_for_equal_keys() {
         let out = sort(&table(), &[SortKey::asc(Expr::lit(1))]).unwrap();
         // All keys equal → original order preserved.
-        assert_eq!(out.value(0, "century").unwrap(), &Value::Int(19));
-        assert_eq!(out.value(3, "century").unwrap(), &Value::Int(15));
+        assert_eq!(out.value(0, "century").unwrap(), Value::Int(19));
+        assert_eq!(out.value(3, "century").unwrap(), Value::Int(15));
     }
 
     #[test]
@@ -136,5 +159,23 @@ mod tests {
         b.push_row(vec![Value::Null]).unwrap();
         let out = sort(&b.build(), &[SortKey::asc(Expr::col("x"))]).unwrap();
         assert!(out.value(0, "x").unwrap().is_null());
+    }
+
+    #[test]
+    fn descending_int_fast_path_is_stable() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int), ("tag", DataType::Str)]);
+        let mut b = TableBuilder::new("t", schema);
+        for (x, tag) in [(1, "a"), (2, "b"), (1, "c"), (2, "d")] {
+            b.push_values::<_, Value>(vec![Value::Int(x), Value::str(tag)])
+                .unwrap();
+        }
+        let out = sort(&b.build(), &[SortKey::desc(Expr::col("x"))]).unwrap();
+        let tags: Vec<String> = out
+            .column("tag")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(tags, vec!["b", "d", "a", "c"]);
     }
 }

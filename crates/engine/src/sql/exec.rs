@@ -71,7 +71,8 @@ pub fn execute_select(catalog: &Catalog, statement: &SelectStatement) -> EngineR
 }
 
 fn load_table(catalog: &Catalog, table_ref: &TableRef) -> EngineResult<Table> {
-    let table = catalog.table(&table_ref.name)?.clone();
+    // Shallow copy: the columns stay Arc-shared with the catalog's table.
+    let table = catalog.table(&table_ref.name)?.as_ref().clone();
     Ok(table.renamed(table_ref.effective_name()))
 }
 
@@ -114,19 +115,28 @@ fn cross_join(left: &Table, right: &Table) -> EngineResult<Table> {
     let schema = left
         .schema()
         .join(left.name(), right.schema(), right.name());
-    let mut rows = Vec::with_capacity(left.num_rows() * right.num_rows());
-    for lrow in left.iter() {
-        for rrow in right.iter() {
-            let mut row = Vec::with_capacity(lrow.len() + rrow.len());
-            row.extend(lrow.iter().cloned());
-            row.extend(rrow.iter().cloned());
-            rows.push(row);
+    // Vectorized: build the two index vectors of the cross product and gather
+    // each column once.
+    let pairs = left.num_rows() * right.num_rows();
+    let mut left_indices = Vec::with_capacity(pairs);
+    let mut right_indices = Vec::with_capacity(pairs);
+    for i in 0..left.num_rows() {
+        for j in 0..right.num_rows() {
+            left_indices.push(i);
+            right_indices.push(j);
         }
     }
-    Table::new(
+    let mut columns = Vec::with_capacity(schema.len());
+    for col in left.columns() {
+        columns.push(std::sync::Arc::new(col.take(&left_indices)));
+    }
+    for col in right.columns() {
+        columns.push(std::sync::Arc::new(col.take(&right_indices)));
+    }
+    Table::from_columns(
         format!("{}_{}_cross", left.name(), right.name()),
         schema,
-        rows,
+        columns,
     )
 }
 
@@ -271,12 +281,13 @@ mod tests {
     fn catalog() -> Catalog {
         let mut catalog = Catalog::new();
 
-        let schema = Schema::from_pairs(&[
-            ("name", DataType::Str),
-            ("conference", DataType::Str),
-        ]);
+        let schema = Schema::from_pairs(&[("name", DataType::Str), ("conference", DataType::Str)]);
         let mut b = TableBuilder::new("teams", schema);
-        for (n, c) in [("Heat", "Eastern"), ("Spurs", "Western"), ("Bulls", "Eastern")] {
+        for (n, c) in [
+            ("Heat", "Eastern"),
+            ("Spurs", "Western"),
+            ("Bulls", "Eastern"),
+        ] {
             b.push_values([n, c]).unwrap();
         }
         catalog.register(b.build());
@@ -318,52 +329,48 @@ mod tests {
     #[test]
     fn join_then_aggregate_matches_rotowire_plan_shape() {
         // Mirrors Figure 4 Query 1: join teams with games, then MAX per team.
-        let out = run(
-            "SELECT t.name, MAX(g.points) AS max_points \
+        let out = run("SELECT t.name, MAX(g.points) AS max_points \
              FROM teams t JOIN team_to_games g ON t.name = g.name \
-             GROUP BY t.name ORDER BY max_points DESC",
-        )
+             GROUP BY t.name ORDER BY max_points DESC")
         .unwrap();
         assert_eq!(out.num_rows(), 3);
-        assert_eq!(out.value(0, "name").unwrap(), &Value::str("Spurs"));
-        assert_eq!(out.value(0, "max_points").unwrap(), &Value::Int(110));
+        assert_eq!(out.value(0, "name").unwrap(), Value::str("Spurs"));
+        assert_eq!(out.value(0, "max_points").unwrap(), Value::Int(110));
     }
 
     #[test]
     fn where_and_order_and_limit() {
-        let out = run(
-            "SELECT name, points FROM team_to_games WHERE points > 90 \
-             ORDER BY points DESC LIMIT 2",
-        )
+        let out = run("SELECT name, points FROM team_to_games WHERE points > 90 \
+             ORDER BY points DESC LIMIT 2")
         .unwrap();
         assert_eq!(out.num_rows(), 2);
-        assert_eq!(out.value(0, "points").unwrap(), &Value::Int(110));
-        assert_eq!(out.value(1, "points").unwrap(), &Value::Int(105));
+        assert_eq!(out.value(0, "points").unwrap(), Value::Int(110));
+        assert_eq!(out.value(1, "points").unwrap(), Value::Int(105));
     }
 
     #[test]
     fn order_by_column_not_in_projection() {
         let out = run("SELECT name FROM team_to_games ORDER BY points DESC").unwrap();
-        assert_eq!(out.value(0, "name").unwrap(), &Value::str("Spurs"));
+        assert_eq!(out.value(0, "name").unwrap(), Value::str("Spurs"));
         assert_eq!(out.schema().names(), vec!["name"]);
     }
 
     #[test]
     fn group_by_with_having() {
-        let out = run(
-            "SELECT conference, COUNT(*) AS n FROM teams GROUP BY conference HAVING n > 1",
-        )
-        .unwrap();
+        let out =
+            run("SELECT conference, COUNT(*) AS n FROM teams GROUP BY conference HAVING n > 1")
+                .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, "conference").unwrap(), &Value::str("Eastern"));
-        assert_eq!(out.value(0, "n").unwrap(), &Value::Int(2));
+        assert_eq!(out.value(0, "conference").unwrap(), Value::str("Eastern"));
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
     }
 
     #[test]
     fn global_aggregate_without_group_by() {
-        let out = run("SELECT COUNT(*) AS n, AVG(points) AS avg_points FROM team_to_games").unwrap();
+        let out =
+            run("SELECT COUNT(*) AS n, AVG(points) AS avg_points FROM team_to_games").unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, "n").unwrap(), &Value::Int(6));
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(6));
     }
 
     #[test]
@@ -405,6 +412,6 @@ mod tests {
     #[test]
     fn expression_projection_with_alias() {
         let out = run("SELECT UPPER(name) AS shout FROM teams ORDER BY shout").unwrap();
-        assert_eq!(out.value(0, "shout").unwrap(), &Value::str("BULLS"));
+        assert_eq!(out.value(0, "shout").unwrap(), Value::str("BULLS"));
     }
 }

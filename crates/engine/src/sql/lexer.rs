@@ -59,7 +59,9 @@ impl Token {
 
     /// Whether this token is the given keyword (case-insensitive).
     pub fn is_keyword(&self, kw: &str) -> bool {
-        self.keyword().map(|k| k == kw.to_ascii_uppercase()).unwrap_or(false)
+        self.keyword()
+            .map(|k| k == kw.to_ascii_uppercase())
+            .unwrap_or(false)
     }
 }
 

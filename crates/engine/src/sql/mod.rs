@@ -83,7 +83,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(table.num_rows(), 2);
-        assert_eq!(table.value(0, "name").unwrap(), &Value::str("Heat"));
+        assert_eq!(table.value(0, "name").unwrap(), Value::str("Heat"));
     }
 
     #[test]

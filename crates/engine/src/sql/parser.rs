@@ -546,10 +546,9 @@ mod tests {
 
     #[test]
     fn parses_the_figure4_aggregation_query() {
-        let stmt = parse_select(
-            "SELECT name, MAX(points_scored) FROM final_joined_table GROUP BY name",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT name, MAX(points_scored) FROM final_joined_table GROUP BY name")
+                .unwrap();
         assert_eq!(stmt.from.name, "final_joined_table");
         assert_eq!(stmt.items.len(), 2);
         assert!(stmt.items[1].is_aggregate());
@@ -613,9 +612,7 @@ mod tests {
         assert!(parse_expression("title NOT LIKE '%Madonna%'").is_ok());
         assert!(parse_expression("movement IN ('Impressionism', 'Cubism')").is_ok());
         assert!(parse_expression("x NOT IN (1, 2)").is_ok());
-        assert!(
-            parse_expression("CASE WHEN year < 1500 THEN 'old' ELSE 'new' END").is_ok()
-        );
+        assert!(parse_expression("CASE WHEN year < 1500 THEN 'old' ELSE 'new' END").is_ok());
         assert!(parse_expression("inception IS NOT NULL").is_ok());
     }
 

@@ -1,31 +1,153 @@
-//! In-memory row-oriented tables.
+//! In-memory columnar tables with `Arc`-shared columns.
 //!
 //! Tables are the unit of data that flows through CAESURA's physical plans:
-//! every operator consumes one or more tables and produces a new table. They
-//! also know how to describe themselves to the language model (`prompt
-//! summary`, example values, observation strings).
+//! every operator consumes one or more tables and produces a new table. Since
+//! the interleaved planner (§3.1 of the paper) re-executes operators after
+//! every mapping step, tables are stored column-oriented — one typed
+//! [`Column`] per schema field, each behind an [`Arc`] — so projections,
+//! catalog lookups, and intermediate results share column data zero-copy
+//! instead of deep-cloning rows.
+//!
+//! Row-oriented consumers (prompt summaries, observations, the perception
+//! operators, tests) use the [`RowRef`] view returned by [`Table::rows`],
+//! which materializes cells lazily from the underlying columns.
+//!
+//! Tables also know how to describe themselves to the language model
+//! (`prompt_summary`, example values, observation strings).
 
+use crate::column::{Column, ColumnBuilder};
 use crate::error::{EngineError, EngineResult};
 use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
 use std::fmt;
+use std::sync::Arc;
 
-/// A row is simply an ordered vector of values matching the table schema.
+/// A materialized row: an ordered vector of values matching the table schema.
 pub type Row = Vec<Value>;
 
-/// An immutable, in-memory, row-oriented table.
-#[derive(Debug, Clone, PartialEq)]
+/// An immutable, in-memory, column-oriented table.
+///
+/// Cloning a `Table` is cheap: it bumps one `Arc` per column and copies the
+/// name/schema metadata, never the cell data.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    columns: Vec<Arc<Column>>,
+    num_rows: usize,
     description: Option<String>,
 }
 
+impl PartialEq for Table {
+    /// Logical equality: same name, schema, and cell values (`NULL` equals
+    /// `NULL` here, matching the previous row-derived implementation).
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.num_rows == other.num_rows
+            && self
+                .columns
+                .iter()
+                .zip(&other.columns)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || columns_logically_equal(a, b))
+    }
+}
+
+fn columns_logically_equal(a: &Column, b: &Column) -> bool {
+    a.len() == b.len() && (0..a.len()).all(|i| a.get(i) == b.get(i))
+}
+
+/// A lightweight view of one table row, materializing cells on demand.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    table: &'a Table,
+    index: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// The row index inside the table.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.table.num_columns()
+    }
+
+    /// Whether the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the cell in column `col` (string payloads are Arc-shared).
+    #[inline]
+    pub fn get(&self, col: usize) -> Value {
+        self.table.columns[col].get(self.index)
+    }
+
+    /// Whether the cell in column `col` is NULL.
+    pub fn is_null(&self, col: usize) -> bool {
+        !self.table.columns[col].is_valid(self.index)
+    }
+
+    /// Materialize the whole row.
+    pub fn to_vec(&self) -> Row {
+        (0..self.len()).map(|c| self.get(c)).collect()
+    }
+
+    /// Iterate over the row's cells.
+    pub fn values(&self) -> impl Iterator<Item = Value> + 'a {
+        let table = self.table;
+        let index = self.index;
+        (0..table.num_columns()).map(move |c| table.columns[c].get(index))
+    }
+}
+
+/// Iterator over the rows of a table, yielding [`RowRef`] views.
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    table: &'a Table,
+    next: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = RowRef<'a>;
+
+    fn next(&mut self) -> Option<RowRef<'a>> {
+        if self.next < self.table.num_rows {
+            let row = RowRef {
+                table: self.table,
+                index: self.next,
+            };
+            self.next += 1;
+            Some(row)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.table.num_rows - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
 impl Table {
-    /// Create a table, validating that every row matches the schema arity.
+    /// Create a table from rows, validating that every row matches the schema
+    /// arity. The rows are transposed into typed columns.
     pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> EngineResult<Self> {
-        for (i, row) in rows.iter().enumerate() {
+        // Track the row count independently of the builders so a degenerate
+        // zero-column schema still reports its rows.
+        let num_rows = rows.len();
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::with_capacity(f.data_type, num_rows))
+            .collect();
+        for (i, row) in rows.into_iter().enumerate() {
             if row.len() != schema.len() {
                 return Err(EngineError::ArityMismatch {
                     expected: schema.len(),
@@ -33,21 +155,63 @@ impl Table {
                     row: i,
                 });
             }
+            for (builder, value) in builders.iter_mut().zip(row) {
+                builder.push(value);
+            }
         }
         Ok(Table {
             name: name.into(),
             schema,
-            rows,
+            columns: builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            num_rows,
+            description: None,
+        })
+    }
+
+    /// Create a table directly from columns (the zero-copy constructor used by
+    /// the vectorized operators). Columns must all have the same length and
+    /// match the schema arity.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Arc<Column>>,
+    ) -> EngineResult<Self> {
+        if columns.len() != schema.len() {
+            return Err(EngineError::schema(format!(
+                "table has {} columns but the schema declares {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        if let Some(bad) = columns.iter().find(|c| c.len() != num_rows) {
+            return Err(EngineError::schema(format!(
+                "column length mismatch: expected {} rows, found a column with {}",
+                num_rows,
+                bad.len()
+            )));
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            columns,
+            num_rows,
             description: None,
         })
     }
 
     /// Create an empty table with the given schema.
     pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Arc::new(Column::empty(f.data_type)))
+            .collect();
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            columns,
+            num_rows: 0,
             description: None,
         }
     }
@@ -63,7 +227,8 @@ impl Table {
         &self.name
     }
 
-    /// Rename the table (used when operators produce derived tables).
+    /// Rename the table (used when operators produce derived tables). Cheap:
+    /// column data stays shared.
     pub fn renamed(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
@@ -79,14 +244,39 @@ impl Table {
         self.description.as_deref()
     }
 
-    /// All rows.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// The `Arc`-shared columns in schema order.
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    /// The column at a schema position.
+    pub fn column_at(&self, index: usize) -> Option<&Arc<Column>> {
+        self.columns.get(index)
+    }
+
+    /// Resolve a column by name and return its `Arc`-shared storage
+    /// (zero-copy; bump the `Arc` to keep it).
+    pub fn column_data(&self, column: &str) -> EngineResult<&Arc<Column>> {
+        let idx = self.schema.resolve(column)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Iterate over rows as lightweight [`RowRef`] views.
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            table: self,
+            next: 0,
+        }
+    }
+
+    /// Iterate over rows (alias of [`Table::rows`]).
+    pub fn iter(&self) -> Rows<'_> {
+        self.rows()
     }
 
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.num_rows
     }
 
     /// Number of columns.
@@ -96,42 +286,107 @@ impl Table {
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.num_rows == 0
     }
 
-    /// Get a cell by row and column index.
-    pub fn cell(&self, row: usize, col: usize) -> Option<&Value> {
-        self.rows.get(row).and_then(|r| r.get(col))
+    /// Materialize a cell by row and column index.
+    pub fn cell(&self, row: usize, col: usize) -> Option<Value> {
+        if row < self.num_rows {
+            self.columns.get(col).map(|c| c.get(row))
+        } else {
+            None
+        }
     }
 
-    /// Get the value of a named column in a given row.
-    pub fn value(&self, row: usize, column: &str) -> EngineResult<&Value> {
+    /// Materialize the value of a named column in a given row.
+    pub fn value(&self, row: usize, column: &str) -> EngineResult<Value> {
         let idx = self.schema.resolve(column)?;
-        self.rows
-            .get(row)
-            .map(|r| &r[idx])
-            .ok_or_else(|| EngineError::execution(format!("row index {row} out of bounds")))
+        if row >= self.num_rows {
+            return Err(EngineError::execution(format!(
+                "row index {row} out of bounds"
+            )));
+        }
+        Ok(self.columns[idx].get(row))
     }
 
-    /// Extract an entire column by name.
+    /// Materialize an entire column by name.
     pub fn column(&self, column: &str) -> EngineResult<Vec<Value>> {
-        let idx = self.schema.resolve(column)?;
-        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+        Ok(self.column_data(column)?.to_values())
     }
 
-    /// Iterate over rows.
-    pub fn iter(&self) -> impl Iterator<Item = &Row> {
-        self.rows.iter()
+    /// Materialize all rows.
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.rows().map(|r| r.to_vec()).collect()
     }
 
-    /// Consume the table and return its rows.
+    /// Consume the table and return its rows, materialized.
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        self.to_rows()
+    }
+
+    /// Gather the rows at `indices` into a new table (the "take" kernel);
+    /// all metadata is preserved.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.take(indices)))
+                .collect(),
+            num_rows: indices.len(),
+            description: self.description.clone(),
+        }
+    }
+
+    /// A table sharing this table's columns zero-copy (same data, same
+    /// schema), used by operators whose selection keeps every row.
+    pub fn shared_copy(&self) -> Table {
+        self.clone()
+    }
+
+    /// Replace the column set (used by the vectorized operators). The new
+    /// columns must match `schema`.
+    pub fn with_columns(&self, schema: Schema, columns: Vec<Arc<Column>>) -> EngineResult<Table> {
+        let mut table = Table::from_columns(self.name.clone(), schema, columns)?;
+        table.description = self.description.clone();
+        Ok(table)
+    }
+
+    /// Append an already-evaluated column, returning a new table whose
+    /// existing columns are `Arc`-shared with the input (the vectorized
+    /// sibling of [`Table::with_new_column`]).
+    pub fn append_column(
+        &self,
+        name: impl Into<String>,
+        data_type: DataType,
+        column: Arc<Column>,
+    ) -> EngineResult<Table> {
+        if column.len() != self.num_rows {
+            return Err(EngineError::schema(format!(
+                "appended column has {} rows but the table has {}",
+                column.len(),
+                self.num_rows
+            )));
+        }
+        let mut schema = self.schema.clone();
+        schema.push(Field::new(name, data_type))?;
+        let mut columns = self.columns.clone();
+        columns.push(column);
+        Ok(Table {
+            name: self.name.clone(),
+            schema,
+            columns,
+            num_rows: self.num_rows,
+            description: self.description.clone(),
+        })
     }
 
     /// Append a new column computed per-row by `f`, returning a new table.
-    /// This is how multi-modal operators (VisualQA, TextQA, Python) add their
-    /// extracted columns.
+    /// The existing columns are `Arc`-shared with the input — only the new
+    /// column is materialized. This is how multi-modal operators (VisualQA,
+    /// TextQA, Python) add their extracted columns.
     pub fn with_new_column<F>(
         &self,
         name: impl Into<String>,
@@ -139,20 +394,21 @@ impl Table {
         mut f: F,
     ) -> EngineResult<Table>
     where
-        F: FnMut(usize, &Row) -> EngineResult<Value>,
+        F: FnMut(usize, RowRef<'_>) -> EngineResult<Value>,
     {
         let mut schema = self.schema.clone();
         schema.push(Field::new(name, data_type))?;
-        let mut rows = Vec::with_capacity(self.rows.len());
-        for (i, row) in self.rows.iter().enumerate() {
-            let mut new_row = row.clone();
-            new_row.push(f(i, row)?);
-            rows.push(new_row);
+        let mut builder = ColumnBuilder::with_capacity(data_type, self.num_rows);
+        for row in self.rows() {
+            builder.push(f(row.index(), row)?);
         }
+        let mut columns = self.columns.clone();
+        columns.push(Arc::new(builder.finish()));
         Ok(Table {
             name: self.name.clone(),
             schema,
-            rows,
+            columns,
+            num_rows: self.num_rows,
             description: self.description.clone(),
         })
     }
@@ -160,30 +416,28 @@ impl Table {
     /// Keep only the rows for which the predicate returns true.
     pub fn filter_rows<F>(&self, mut predicate: F) -> EngineResult<Table>
     where
-        F: FnMut(&Row) -> EngineResult<bool>,
+        F: FnMut(RowRef<'_>) -> EngineResult<bool>,
     {
-        let mut rows = Vec::new();
-        for row in &self.rows {
+        let mut indices = Vec::new();
+        for row in self.rows() {
             if predicate(row)? {
-                rows.push(row.clone());
+                indices.push(row.index());
             }
         }
-        Ok(Table {
-            name: self.name.clone(),
-            schema: self.schema.clone(),
-            rows,
-            description: self.description.clone(),
-        })
+        if indices.len() == self.num_rows {
+            return Ok(self.shared_copy());
+        }
+        Ok(self.take(&indices))
     }
 
     /// Up to `n` example values of a column, unique, in first-seen order.
     /// This feeds the "These are some relevant values for the column" part of
     /// the discovery/planning prompts and the observations after execution.
     pub fn example_values(&self, column: &str, n: usize) -> EngineResult<Vec<String>> {
-        let idx = self.schema.resolve(column)?;
+        let col = self.column_data(column)?;
         let mut seen = Vec::new();
-        for row in &self.rows {
-            let rendered = row[idx].preview(40);
+        for i in 0..self.num_rows {
+            let rendered = col.get(i).preview(40);
             if !seen.contains(&rendered) {
                 seen.push(rendered);
                 if seen.len() >= n {
@@ -213,10 +467,9 @@ impl Table {
     pub fn pretty(&self, max_rows: usize) -> String {
         let names = self.schema.names();
         let mut widths: Vec<usize> = names.iter().map(|n| n.chars().count()).collect();
-        let shown = self.rows.iter().take(max_rows).collect::<Vec<_>>();
-        let rendered: Vec<Vec<String>> = shown
-            .iter()
-            .map(|row| row.iter().map(|v| v.preview(30)).collect())
+        let shown = self.num_rows.min(max_rows);
+        let rendered: Vec<Vec<String>> = (0..shown)
+            .map(|i| self.columns.iter().map(|c| c.get(i).preview(30)).collect())
             .collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
@@ -240,8 +493,8 @@ impl Table {
                 .collect();
             out.push_str(&format!("| {} |\n", cells.join(" | ")));
         }
-        if self.rows.len() > max_rows {
-            out.push_str(&format!("... ({} rows total)\n", self.rows.len()));
+        if self.num_rows > max_rows {
+            out.push_str(&format!("... ({} rows total)\n", self.num_rows));
         }
         out
     }
@@ -251,9 +504,9 @@ impl Table {
         let mut out = String::new();
         out.push_str(&self.schema.names().join(","));
         out.push('\n');
-        for row in &self.rows {
+        for row in self.rows() {
             let cells: Vec<String> = row
-                .iter()
+                .values()
                 .map(|v| {
                     let s = v.to_string();
                     if s.contains(',') || s.contains('"') || s.contains('\n') {
@@ -298,22 +551,30 @@ impl fmt::Display for Table {
     }
 }
 
-/// Incremental builder for tables.
+/// Incremental builder for tables: rows are distributed into per-column
+/// [`ColumnBuilder`]s as they are pushed, so `build()` never transposes.
 #[derive(Debug, Clone)]
 pub struct TableBuilder {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    builders: Vec<ColumnBuilder>,
+    num_rows: usize,
     description: Option<String>,
 }
 
 impl TableBuilder {
     /// Start building a table with the given name and schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let builders = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.data_type))
+            .collect();
         TableBuilder {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            builders,
+            num_rows: 0,
             description: None,
         }
     }
@@ -330,10 +591,13 @@ impl TableBuilder {
             return Err(EngineError::ArityMismatch {
                 expected: self.schema.len(),
                 found: row.len(),
-                row: self.rows.len(),
+                row: self.num_rows,
             });
         }
-        self.rows.push(row);
+        for (builder, value) in self.builders.iter_mut().zip(row) {
+            builder.push(value);
+        }
+        self.num_rows += 1;
         Ok(self)
     }
 
@@ -349,12 +613,12 @@ impl TableBuilder {
 
     /// Number of rows added so far.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.num_rows
     }
 
     /// Whether no rows have been added.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.num_rows == 0
     }
 
     /// Finish building.
@@ -362,7 +626,12 @@ impl TableBuilder {
         Table {
             name: self.name,
             schema: self.schema,
-            rows: self.rows,
+            columns: self
+                .builders
+                .into_iter()
+                .map(|b| Arc::new(b.finish()))
+                .collect(),
+            num_rows: self.num_rows,
             description: self.description,
         }
     }
@@ -403,35 +672,50 @@ mod tests {
         let table = paintings();
         assert_eq!(table.num_rows(), 3);
         assert_eq!(table.num_columns(), 3);
-        assert_eq!(
-            table.value(0, "title").unwrap(),
-            &Value::str("Madonna")
-        );
+        assert_eq!(table.value(0, "title").unwrap(), Value::str("Madonna"));
     }
 
     #[test]
-    fn with_new_column_appends_values() {
+    fn with_new_column_appends_values_and_shares_existing_columns() {
         let table = paintings();
         let extended = table
             .with_new_column("century", DataType::Int, |_, row| {
-                let inception = row[1].as_str().unwrap();
-                let year: i32 = inception[..4].parse().unwrap();
+                let inception = row.get(1);
+                let year: i32 = inception.as_str().unwrap()[..4].parse().unwrap();
                 Ok(Value::Int(((year - 1) / 100 + 1) as i64))
             })
             .unwrap();
         assert_eq!(extended.num_columns(), 4);
-        assert_eq!(extended.value(0, "century").unwrap(), &Value::Int(19));
-        assert_eq!(extended.value(1, "century").unwrap(), &Value::Int(15));
+        assert_eq!(extended.value(0, "century").unwrap(), Value::Int(19));
+        assert_eq!(extended.value(1, "century").unwrap(), Value::Int(15));
+        // The untouched columns are shared, not copied.
+        for i in 0..3 {
+            assert!(Arc::ptr_eq(
+                table.column_at(i).unwrap(),
+                extended.column_at(i).unwrap()
+            ));
+        }
     }
 
     #[test]
     fn filter_rows_keeps_matching_rows() {
         let table = paintings();
         let filtered = table
-            .filter_rows(|row| Ok(row[0].as_str() == Some("Madonna")))
+            .filter_rows(|row| Ok(row.get(0).as_str() == Some("Madonna")))
             .unwrap();
         assert_eq!(filtered.num_rows(), 1);
         assert_eq!(filtered.schema(), table.schema());
+    }
+
+    #[test]
+    fn filter_rows_keeping_everything_shares_columns() {
+        let table = paintings();
+        let all = table.filter_rows(|_| Ok(true)).unwrap();
+        assert_eq!(all.num_rows(), 3);
+        assert!(Arc::ptr_eq(
+            table.column_at(0).unwrap(),
+            all.column_at(0).unwrap()
+        ));
     }
 
     #[test]
@@ -488,7 +772,43 @@ mod tests {
         let table = paintings();
         let titles = table.column("title").unwrap();
         assert_eq!(titles.len(), 3);
-        assert_eq!(table.cell(2, 0), Some(&Value::str("Scream")));
+        assert_eq!(table.cell(2, 0), Some(Value::str("Scream")));
         assert_eq!(table.cell(9, 0), None);
+    }
+
+    #[test]
+    fn rows_round_trip_through_columns() {
+        let table = paintings();
+        let rows = table.to_rows();
+        let rebuilt = Table::new("paintings_metadata", table.schema().clone(), rows).unwrap();
+        assert_eq!(rebuilt, table);
+    }
+
+    #[test]
+    fn take_gathers_rows() {
+        let table = paintings();
+        let taken = table.take(&[2, 0]);
+        assert_eq!(taken.num_rows(), 2);
+        assert_eq!(taken.value(0, "title").unwrap(), Value::str("Scream"));
+        assert_eq!(taken.value(1, "title").unwrap(), Value::str("Madonna"));
+    }
+
+    #[test]
+    fn zero_column_tables_keep_their_row_count() {
+        let table = Table::new("z", Schema::empty(), vec![vec![], vec![]]).unwrap();
+        assert_eq!(table.num_rows(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let table = paintings();
+        let copy = table.clone();
+        for i in 0..table.num_columns() {
+            assert!(Arc::ptr_eq(
+                table.column_at(i).unwrap(),
+                copy.column_at(i).unwrap()
+            ));
+        }
     }
 }

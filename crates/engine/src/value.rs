@@ -253,10 +253,7 @@ impl Value {
             (Date(a), Date(b)) => (a.year, a.month, a.day).cmp(&(b.year, b.month, b.day)),
             (Image(a), Image(b)) => a.cmp(b),
             (Text(a), Text(b)) => a.cmp(b),
-            (a, b) => a
-                .data_type()
-                .prompt_name()
-                .cmp(b.data_type().prompt_name()),
+            (a, b) => a.data_type().prompt_name().cmp(b.data_type().prompt_name()),
         }
     }
 
@@ -275,23 +272,66 @@ impl Value {
     /// A stable key usable for hashing in joins and group-by. Floats are
     /// keyed by their bit pattern; strings by content.
     pub fn group_key(&self) -> String {
+        let mut out = String::new();
+        self.write_group_key(&mut out);
+        out
+    }
+
+    /// Append this value's grouping key to `out`. This is the single source
+    /// of truth for the key encoding — the columnar kernels
+    /// ([`Column::write_group_key`](crate::column::Column::write_group_key))
+    /// call the same per-type writers below, so typed and mixed columns can
+    /// never drift apart.
+    pub fn write_group_key(&self, out: &mut String) {
         match self {
-            Value::Null => "\u{0}null".to_string(),
-            Value::Bool(b) => format!("b:{b}"),
-            Value::Int(i) => format!("i:{i}"),
-            Value::Float(f) => {
-                if f.fract() == 0.0 && f.abs() < 1e15 {
-                    // Make 2.0 group together with the integer 2.
-                    format!("i:{}", *f as i64)
-                } else {
-                    format!("f:{}", f.to_bits())
-                }
-            }
-            Value::Str(s) => format!("s:{s}"),
-            Value::Date(d) => format!("d:{d}"),
-            Value::Image(s) => format!("img:{s}"),
-            Value::Text(s) => format!("t:{s}"),
+            Value::Null => key_writers::null(out),
+            Value::Bool(b) => key_writers::bool(*b, out),
+            Value::Int(i) => key_writers::int(*i, out),
+            Value::Float(f) => key_writers::float(*f, out),
+            Value::Str(s) => key_writers::str("s:", s, out),
+            Value::Date(d) => key_writers::date(d, out),
+            Value::Image(s) => key_writers::str("img:", s, out),
+            Value::Text(s) => key_writers::str("t:", s, out),
         }
+    }
+}
+
+/// The per-type grouping-key writers shared by [`Value::write_group_key`]
+/// and the typed columnar kernels. Kept in one module so the encoding (and
+/// in particular the float/int unification rule) cannot diverge between the
+/// row and columnar paths.
+pub(crate) mod key_writers {
+    use super::DateValue;
+    use std::fmt::Write;
+
+    pub(crate) fn null(out: &mut String) {
+        out.push_str("\u{0}null");
+    }
+
+    pub(crate) fn bool(b: bool, out: &mut String) {
+        let _ = write!(out, "b:{b}");
+    }
+
+    pub(crate) fn int(i: i64, out: &mut String) {
+        let _ = write!(out, "i:{i}");
+    }
+
+    pub(crate) fn float(f: f64, out: &mut String) {
+        if f.fract() == 0.0 && f.abs() < 1e15 {
+            // Make 2.0 group together with the integer 2.
+            let _ = write!(out, "i:{}", f as i64);
+        } else {
+            let _ = write!(out, "f:{}", f.to_bits());
+        }
+    }
+
+    pub(crate) fn str(prefix: &'static str, s: &str, out: &mut String) {
+        out.push_str(prefix);
+        out.push_str(s);
+    }
+
+    pub(crate) fn date(d: &DateValue, out: &mut String) {
+        let _ = write!(out, "d:{d}");
     }
 }
 

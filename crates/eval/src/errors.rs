@@ -105,11 +105,7 @@ pub fn classify(
         // talks about images or reports.
         run.logical_plan
             .as_ref()
-            .and_then(|plan| {
-                plan.steps
-                    .iter()
-                    .find(|s| s.number == decision.step_number)
-            })
+            .and_then(|plan| plan.steps.iter().find(|s| s.number == decision.step_number))
             .map(|step| {
                 let d = step.description.to_lowercase();
                 d.contains("'image' column") || d.contains("'report' column")
@@ -131,7 +127,10 @@ mod tests {
     use caesura_llm::{LogicalPlan, LogicalStep, OperatorDecision};
 
     fn query(id: &str) -> BenchmarkQuery {
-        benchmark_queries().into_iter().find(|q| q.id == id).unwrap()
+        benchmark_queries()
+            .into_iter()
+            .find(|q| q.id == id)
+            .unwrap()
     }
 
     fn run_with(plan: Option<LogicalPlan>, decisions: Vec<OperatorDecision>) -> QueryRun {
@@ -158,7 +157,15 @@ mod tests {
         let q = query("A01");
         let run = run_with(None, vec![]);
         assert_eq!(
-            classify(&q, &run, Grade { logical: true, physical: true }, &known()),
+            classify(
+                &q,
+                &run,
+                Grade {
+                    logical: true,
+                    physical: true
+                },
+                &known()
+            ),
             None
         );
     }
@@ -178,7 +185,15 @@ mod tests {
         };
         let run = run_with(Some(plan), vec![]);
         assert_eq!(
-            classify(&q, &run, Grade { logical: false, physical: false }, &known()),
+            classify(
+                &q,
+                &run,
+                Grade {
+                    logical: false,
+                    physical: false
+                },
+                &known()
+            ),
             Some(ErrorCategory::DataMisunderstanding)
         );
     }
@@ -198,7 +213,15 @@ mod tests {
         };
         let run = run_with(Some(plan), vec![]);
         assert_eq!(
-            classify(&q, &run, Grade { logical: false, physical: false }, &known()),
+            classify(
+                &q,
+                &run,
+                Grade {
+                    logical: false,
+                    physical: false
+                },
+                &known()
+            ),
             Some(ErrorCategory::ImpossibleActions)
         );
     }
@@ -224,7 +247,15 @@ mod tests {
         };
         let run = run_with(Some(plan.clone()), vec![wrong_tool_decision]);
         assert_eq!(
-            classify(&q, &run, Grade { logical: true, physical: false }, &known()),
+            classify(
+                &q,
+                &run,
+                Grade {
+                    logical: true,
+                    physical: false
+                },
+                &known()
+            ),
             Some(ErrorCategory::WrongTool)
         );
 
@@ -232,11 +263,23 @@ mod tests {
             step_number: 2,
             reasoning: String::new(),
             operator: OperatorKind::VisualQa,
-            arguments: vec!["image".into(), "x".into(), "How many objects are depicted?".into()],
+            arguments: vec![
+                "image".into(),
+                "x".into(),
+                "How many objects are depicted?".into(),
+            ],
         };
         let run = run_with(Some(plan), vec![ok_decision]);
         assert_eq!(
-            classify(&q, &run, Grade { logical: true, physical: false }, &known()),
+            classify(
+                &q,
+                &run,
+                Grade {
+                    logical: true,
+                    physical: false
+                },
+                &known()
+            ),
             Some(ErrorCategory::WrongArguments)
         );
     }

@@ -110,7 +110,9 @@ fn column_references(description: &str) -> Vec<String> {
 /// Physical-plan correctness: execution succeeded, produced the requested
 /// output format, and the result matches the reference answer.
 pub fn grade_physical(query: &BenchmarkQuery, run: &QueryRun, reference: &Reference) -> bool {
-    let Ok(output) = &run.output else { return false };
+    let Ok(output) = &run.output else {
+        return false;
+    };
     if output.kind() != query.output.kind() {
         return false;
     }
@@ -148,8 +150,8 @@ fn keyed_numbers_match(table: &Table, expected: &std::collections::BTreeMap<Stri
     }
     let mut actual = std::collections::BTreeMap::new();
     for row in table.rows() {
-        let key = render_key(&row[0]);
-        let Some(value) = row[row.len() - 1].as_float() else {
+        let key = render_key(&row.get(0));
+        let Some(value) = row.get(row.len() - 1).as_float() else {
             return false;
         };
         actual.insert(key, value);
@@ -181,8 +183,7 @@ fn string_set_matches(table: &Table, expected: &BTreeSet<String>) -> bool {
         .unwrap_or(0);
     let actual: BTreeSet<String> = table
         .rows()
-        .iter()
-        .map(|row| row[column_index].to_string())
+        .map(|row| row.get(column_index).to_string())
         .collect();
     actual == *expected
 }
@@ -216,7 +217,10 @@ mod tests {
     use caesura_llm::LogicalStep;
 
     fn query(id: &str) -> BenchmarkQuery {
-        benchmark_queries().into_iter().find(|q| q.id == id).unwrap()
+        benchmark_queries()
+            .into_iter()
+            .find(|q| q.id == id)
+            .unwrap()
     }
 
     fn known() -> BTreeSet<String> {
@@ -316,9 +320,15 @@ mod tests {
         b.push_row(vec![Value::Int(19), Value::Int(7)]).unwrap();
         let table = b.build();
         let reference = Reference::keyed(vec![("15", 3.0), ("19", 7.0)]);
-        assert!(matches_reference(&QueryOutput::Table(table.clone()), &reference));
+        assert!(matches_reference(
+            &QueryOutput::Table(table.clone()),
+            &reference
+        ));
         let wrong = Reference::keyed(vec![("15", 3.0), ("19", 8.0)]);
-        assert!(!matches_reference(&QueryOutput::Table(table.clone()), &wrong));
+        assert!(!matches_reference(
+            &QueryOutput::Table(table.clone()),
+            &wrong
+        ));
         let missing = Reference::keyed(vec![("15", 3.0)]);
         assert!(!matches_reference(&QueryOutput::Table(table), &missing));
     }
@@ -330,7 +340,10 @@ mod tests {
         b.push_values(["1889", "Madonna"]).unwrap();
         b.push_values(["1480", "Irises"]).unwrap();
         let table = b.build();
-        let expected: BTreeSet<String> = ["Madonna", "Irises"].iter().map(|s| s.to_string()).collect();
+        let expected: BTreeSet<String> = ["Madonna", "Irises"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(matches_reference(
             &QueryOutput::Table(table),
             &Reference::StringSet(expected)

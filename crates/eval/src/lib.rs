@@ -16,7 +16,9 @@ pub mod queries;
 pub mod report;
 
 pub use errors::{classify, ErrorCategory};
-pub use grade::{grade, grade_logical, grade_physical, known_identifiers, matches_reference, Grade};
+pub use grade::{
+    grade, grade_logical, grade_physical, known_identifiers, matches_reference, Grade,
+};
 pub use oracle::{reference_for, Reference};
 pub use queries::{benchmark_queries, BenchmarkQuery, Capability, Dataset, ExpectedOutput};
 pub use report::{

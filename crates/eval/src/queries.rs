@@ -119,65 +119,401 @@ pub fn benchmark_queries() -> Vec<BenchmarkQuery> {
     };
     vec![
         // ---- Artwork: single value, relational --------------------------------
-        q("A01", Artwork, "How many paintings are in the museum?", SingleValue, false, &[Aggregate]),
-        q("A02", Artwork, "How many paintings belong to the Impressionism movement?", SingleValue, false, &[Filter, Aggregate]),
-        q("A03", Artwork, "What is the earliest inception year of any painting?", SingleValue, false, &[Aggregate]),
-        q("A04", Artwork, "How many paintings did Clara Moreau paint?", SingleValue, false, &[Filter, Aggregate]),
+        q(
+            "A01",
+            Artwork,
+            "How many paintings are in the museum?",
+            SingleValue,
+            false,
+            &[Aggregate],
+        ),
+        q(
+            "A02",
+            Artwork,
+            "How many paintings belong to the Impressionism movement?",
+            SingleValue,
+            false,
+            &[Filter, Aggregate],
+        ),
+        q(
+            "A03",
+            Artwork,
+            "What is the earliest inception year of any painting?",
+            SingleValue,
+            false,
+            &[Aggregate],
+        ),
+        q(
+            "A04",
+            Artwork,
+            "How many paintings did Clara Moreau paint?",
+            SingleValue,
+            false,
+            &[Filter, Aggregate],
+        ),
         // ---- Artwork: single value, multi-modal -------------------------------
-        q("A05", Artwork, "How many paintings depict Madonna and Child?", SingleValue, true, &[Join, Image, Aggregate]),
-        q("A06", Artwork, "How many paintings depict at least two swords?", SingleValue, true, &[Join, Image, Aggregate]),
-        q("A07", Artwork, "What is the maximum number of dogs depicted in any painting?", SingleValue, true, &[Join, Image, Aggregate]),
-        q("A08", Artwork, "How many paintings of the Baroque movement depict a skull?", SingleValue, true, &[Join, Image, Filter, Aggregate]),
+        q(
+            "A05",
+            Artwork,
+            "How many paintings depict Madonna and Child?",
+            SingleValue,
+            true,
+            &[Join, Image, Aggregate],
+        ),
+        q(
+            "A06",
+            Artwork,
+            "How many paintings depict at least two swords?",
+            SingleValue,
+            true,
+            &[Join, Image, Aggregate],
+        ),
+        q(
+            "A07",
+            Artwork,
+            "What is the maximum number of dogs depicted in any painting?",
+            SingleValue,
+            true,
+            &[Join, Image, Aggregate],
+        ),
+        q(
+            "A08",
+            Artwork,
+            "How many paintings of the Baroque movement depict a skull?",
+            SingleValue,
+            true,
+            &[Join, Image, Filter, Aggregate],
+        ),
         // ---- Artwork: table, relational ----------------------------------------
-        q("A09", Artwork, "For each movement, how many paintings are there?", Table, false, &[Aggregate]),
-        q("A10", Artwork, "List the title and artist of all paintings of the Renaissance movement.", Table, false, &[Filter]),
-        q("A11", Artwork, "For each artist, what is the earliest year they painted a painting?", Table, false, &[Aggregate]),
-        q("A12", Artwork, "For each genre, how many paintings are there?", Table, false, &[Aggregate]),
+        q(
+            "A09",
+            Artwork,
+            "For each movement, how many paintings are there?",
+            Table,
+            false,
+            &[Aggregate],
+        ),
+        q(
+            "A10",
+            Artwork,
+            "List the title and artist of all paintings of the Renaissance movement.",
+            Table,
+            false,
+            &[Filter],
+        ),
+        q(
+            "A11",
+            Artwork,
+            "For each artist, what is the earliest year they painted a painting?",
+            Table,
+            false,
+            &[Aggregate],
+        ),
+        q(
+            "A12",
+            Artwork,
+            "For each genre, how many paintings are there?",
+            Table,
+            false,
+            &[Aggregate],
+        ),
         // ---- Artwork: table, multi-modal ---------------------------------------
-        q("A13", Artwork, "For each century, how many paintings depict Madonna and Child?", Table, true, &[Join, Image, Aggregate]),
-        q("A14", Artwork, "List the titles of all paintings that depict a horse.", Table, true, &[Join, Image, Filter]),
-        q("A15", Artwork, "For each movement, what is the maximum number of flowers depicted in a painting?", Table, true, &[Join, Image, Aggregate]),
-        q("A16", Artwork, "List the title and inception of the paintings that depict a crown.", Table, true, &[Join, Image, Filter]),
+        q(
+            "A13",
+            Artwork,
+            "For each century, how many paintings depict Madonna and Child?",
+            Table,
+            true,
+            &[Join, Image, Aggregate],
+        ),
+        q(
+            "A14",
+            Artwork,
+            "List the titles of all paintings that depict a horse.",
+            Table,
+            true,
+            &[Join, Image, Filter],
+        ),
+        q(
+            "A15",
+            Artwork,
+            "For each movement, what is the maximum number of flowers depicted in a painting?",
+            Table,
+            true,
+            &[Join, Image, Aggregate],
+        ),
+        q(
+            "A16",
+            Artwork,
+            "List the title and inception of the paintings that depict a crown.",
+            Table,
+            true,
+            &[Join, Image, Filter],
+        ),
         // ---- Artwork: plot, relational -----------------------------------------
-        q("A17", Artwork, "Plot the number of paintings for each movement.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
-        q("A18", Artwork, "Plot the number of paintings for each genre.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
-        q("A19", Artwork, "Plot the number of paintings for each century.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
-        q("A20", Artwork, "Plot the number of paintings painted by each artist.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
+        q(
+            "A17",
+            Artwork,
+            "Plot the number of paintings for each movement.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
+        q(
+            "A18",
+            Artwork,
+            "Plot the number of paintings for each genre.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
+        q(
+            "A19",
+            Artwork,
+            "Plot the number of paintings for each century.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
+        q(
+            "A20",
+            Artwork,
+            "Plot the number of paintings painted by each artist.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
         // ---- Artwork: plot, multi-modal ----------------------------------------
-        q("A21", Artwork, "Plot the number of paintings depicting Madonna and Child for each century!", ExpectedOutput::Plot, true, &[Join, Image, Aggregate, Capability::Plot]),
-        q("A22", Artwork, "Plot the maximum number of swords depicted on the paintings of each century.", ExpectedOutput::Plot, true, &[Join, Image, Aggregate, Capability::Plot]),
-        q("A23", Artwork, "Plot the number of paintings that depict an angel for each movement.", ExpectedOutput::Plot, true, &[Join, Image, Aggregate, Capability::Plot]),
-        q("A24", Artwork, "Plot the average number of birds depicted in the paintings of each genre.", ExpectedOutput::Plot, true, &[Join, Image, Aggregate, Capability::Plot]),
+        q(
+            "A21",
+            Artwork,
+            "Plot the number of paintings depicting Madonna and Child for each century!",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        q(
+            "A22",
+            Artwork,
+            "Plot the maximum number of swords depicted on the paintings of each century.",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        q(
+            "A23",
+            Artwork,
+            "Plot the number of paintings that depict an angel for each movement.",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        q(
+            "A24",
+            Artwork,
+            "Plot the average number of birds depicted in the paintings of each genre.",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
         // ---- Rotowire: single value, relational --------------------------------
-        q("R01", Rotowire, "How many teams are in the Eastern conference?", SingleValue, false, &[Filter, Aggregate]),
-        q("R02", Rotowire, "What is the height of the tallest player?", SingleValue, false, &[Aggregate]),
-        q("R03", Rotowire, "How many players are from the USA?", SingleValue, false, &[Filter, Aggregate]),
-        q("R04", Rotowire, "How many teams are there?", SingleValue, false, &[Aggregate]),
+        q(
+            "R01",
+            Rotowire,
+            "How many teams are in the Eastern conference?",
+            SingleValue,
+            false,
+            &[Filter, Aggregate],
+        ),
+        q(
+            "R02",
+            Rotowire,
+            "What is the height of the tallest player?",
+            SingleValue,
+            false,
+            &[Aggregate],
+        ),
+        q(
+            "R03",
+            Rotowire,
+            "How many players are from the USA?",
+            SingleValue,
+            false,
+            &[Filter, Aggregate],
+        ),
+        q(
+            "R04",
+            Rotowire,
+            "How many teams are there?",
+            SingleValue,
+            false,
+            &[Aggregate],
+        ),
         // ---- Rotowire: single value, multi-modal -------------------------------
-        q("R05", Rotowire, "What is the highest number of points the Heat scored in a game?", SingleValue, true, &[Join, Text, Aggregate]),
-        q("R06", Rotowire, "How many games did the Heat win?", SingleValue, true, &[Join, Text, Aggregate]),
-        q("R07", Rotowire, "What is the average number of points the Bulls scored in their games?", SingleValue, true, &[Join, Text, Aggregate]),
-        q("R08", Rotowire, "How many games did the Lakers lose?", SingleValue, true, &[Join, Text, Aggregate]),
+        q(
+            "R05",
+            Rotowire,
+            "What is the highest number of points the Heat scored in a game?",
+            SingleValue,
+            true,
+            &[Join, Text, Aggregate],
+        ),
+        q(
+            "R06",
+            Rotowire,
+            "How many games did the Heat win?",
+            SingleValue,
+            true,
+            &[Join, Text, Aggregate],
+        ),
+        q(
+            "R07",
+            Rotowire,
+            "What is the average number of points the Bulls scored in their games?",
+            SingleValue,
+            true,
+            &[Join, Text, Aggregate],
+        ),
+        q(
+            "R08",
+            Rotowire,
+            "How many games did the Lakers lose?",
+            SingleValue,
+            true,
+            &[Join, Text, Aggregate],
+        ),
         // ---- Rotowire: table, relational ---------------------------------------
-        q("R09", Rotowire, "For each conference, how many teams are there?", Table, false, &[Aggregate]),
-        q("R10", Rotowire, "List the name and height of all players of the Heat team.", Table, false, &[Filter]),
-        q("R11", Rotowire, "For each division, how many teams are there?", Table, false, &[Aggregate]),
-        q("R12", Rotowire, "For each position, what is the average height of the players?", Table, false, &[Aggregate]),
+        q(
+            "R09",
+            Rotowire,
+            "For each conference, how many teams are there?",
+            Table,
+            false,
+            &[Aggregate],
+        ),
+        q(
+            "R10",
+            Rotowire,
+            "List the name and height of all players of the Heat team.",
+            Table,
+            false,
+            &[Filter],
+        ),
+        q(
+            "R11",
+            Rotowire,
+            "For each division, how many teams are there?",
+            Table,
+            false,
+            &[Aggregate],
+        ),
+        q(
+            "R12",
+            Rotowire,
+            "For each position, what is the average height of the players?",
+            Table,
+            false,
+            &[Aggregate],
+        ),
         // ---- Rotowire: table, multi-modal --------------------------------------
-        q("R13", Rotowire, "For every team, what is the highest number of points they scored in a game?", Table, true, &[Join, Text, Aggregate]),
-        q("R14", Rotowire, "For each team, what is the average number of points they scored in their games?", Table, true, &[Join, Text, Aggregate]),
-        q("R15", Rotowire, "How many games did each team lose?", Table, true, &[Join, Text, Aggregate]),
-        q("R16", Rotowire, "For each team, how many games did they win?", Table, true, &[Join, Text, Aggregate]),
+        q(
+            "R13",
+            Rotowire,
+            "For every team, what is the highest number of points they scored in a game?",
+            Table,
+            true,
+            &[Join, Text, Aggregate],
+        ),
+        q(
+            "R14",
+            Rotowire,
+            "For each team, what is the average number of points they scored in their games?",
+            Table,
+            true,
+            &[Join, Text, Aggregate],
+        ),
+        q(
+            "R15",
+            Rotowire,
+            "How many games did each team lose?",
+            Table,
+            true,
+            &[Join, Text, Aggregate],
+        ),
+        q(
+            "R16",
+            Rotowire,
+            "For each team, how many games did they win?",
+            Table,
+            true,
+            &[Join, Text, Aggregate],
+        ),
         // ---- Rotowire: plot, relational ----------------------------------------
-        q("R17", Rotowire, "Plot the number of teams for each conference.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
-        q("R18", Rotowire, "Plot the average height of the players for each position.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
-        q("R19", Rotowire, "Plot the number of players for each nationality.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
-        q("R20", Rotowire, "Plot the number of teams for each division.", ExpectedOutput::Plot, false, &[Aggregate, Capability::Plot]),
+        q(
+            "R17",
+            Rotowire,
+            "Plot the number of teams for each conference.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
+        q(
+            "R18",
+            Rotowire,
+            "Plot the average height of the players for each position.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
+        q(
+            "R19",
+            Rotowire,
+            "Plot the number of players for each nationality.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
+        q(
+            "R20",
+            Rotowire,
+            "Plot the number of teams for each division.",
+            ExpectedOutput::Plot,
+            false,
+            &[Aggregate, Capability::Plot],
+        ),
         // ---- Rotowire: plot, multi-modal ---------------------------------------
-        q("R21", Rotowire, "Plot the highest number of points scored by each team.", ExpectedOutput::Plot, true, &[Join, Text, Aggregate, Capability::Plot]),
-        q("R22", Rotowire, "Plot the average number of points scored by each team.", ExpectedOutput::Plot, true, &[Join, Text, Aggregate, Capability::Plot]),
-        q("R23", Rotowire, "Plot the number of games won by each team.", ExpectedOutput::Plot, true, &[Join, Text, Aggregate, Capability::Plot]),
-        q("R24", Rotowire, "Plot the number of games lost by each team.", ExpectedOutput::Plot, true, &[Join, Text, Aggregate, Capability::Plot]),
+        q(
+            "R21",
+            Rotowire,
+            "Plot the highest number of points scored by each team.",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Text, Aggregate, Capability::Plot],
+        ),
+        q(
+            "R22",
+            Rotowire,
+            "Plot the average number of points scored by each team.",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Text, Aggregate, Capability::Plot],
+        ),
+        q(
+            "R23",
+            Rotowire,
+            "Plot the number of games won by each team.",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Text, Aggregate, Capability::Plot],
+        ),
+        q(
+            "R24",
+            Rotowire,
+            "Plot the number of games lost by each team.",
+            ExpectedOutput::Plot,
+            true,
+            &[Join, Text, Aggregate, Capability::Plot],
+        ),
     ]
 }
 
@@ -196,7 +532,13 @@ mod tests {
             16
         );
         assert_eq!(queries.iter().filter(|q| q.output == Table).count(), 16);
-        assert_eq!(queries.iter().filter(|q| q.output == ExpectedOutput::Plot).count(), 16);
+        assert_eq!(
+            queries
+                .iter()
+                .filter(|q| q.output == ExpectedOutput::Plot)
+                .count(),
+            16
+        );
         assert_eq!(queries.iter().filter(|q| q.multimodal).count(), 24);
         assert_eq!(queries.iter().filter(|q| !q.multimodal).count(), 24);
     }

@@ -121,16 +121,10 @@ pub fn evaluate_model(profile: ModelProfile, config: &EvaluationConfig) -> Evalu
     let rotowire = generate_rotowire(&config.rotowire);
     let llm = Arc::new(SimulatedLlm::new(profile, config.seed));
 
-    let artwork_session = Caesura::with_config(
-        artwork.lake.clone(),
-        llm.clone(),
-        config.caesura.clone(),
-    );
-    let rotowire_session = Caesura::with_config(
-        rotowire.lake.clone(),
-        llm.clone(),
-        config.caesura.clone(),
-    );
+    let artwork_session =
+        Caesura::with_config(artwork.lake.clone(), llm.clone(), config.caesura.clone());
+    let rotowire_session =
+        Caesura::with_config(rotowire.lake.clone(), llm.clone(), config.caesura.clone());
     let artwork_known = known_identifiers(artwork.lake.catalog());
     let rotowire_known = known_identifiers(rotowire.lake.catalog());
 
@@ -183,7 +177,9 @@ pub fn reference_for_default(query: &BenchmarkQuery, config: &EvaluationConfig) 
 /// paper: one row per query group, logical/physical accuracy per model.
 pub fn render_table1(reports: &[EvaluationReport]) -> String {
     let mut out = String::new();
-    out.push_str("Table 1: Correctly translated plans per dataset, modality, and output format\n\n");
+    out.push_str(
+        "Table 1: Correctly translated plans per dataset, modality, and output format\n\n",
+    );
     // Header.
     out.push_str(&format!("{:<24}", "Models"));
     for report in reports {
@@ -198,14 +194,36 @@ pub fn render_table1(reports: &[EvaluationReport]) -> String {
     out.push_str(&"-".repeat(24 + reports.len() * 26));
     out.push('\n');
 
-    let rows: Vec<(&str, Box<dyn Fn(&QueryEvaluation) -> bool>)> = vec![
-        ("Artwork overall", Box::new(|r: &QueryEvaluation| r.dataset == Dataset::Artwork)),
-        ("Rotowire overall", Box::new(|r: &QueryEvaluation| r.dataset == Dataset::Rotowire)),
-        ("Single modality", Box::new(|r: &QueryEvaluation| !r.multimodal)),
-        ("Multiple modalities", Box::new(|r: &QueryEvaluation| r.multimodal)),
-        ("Single value", Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::SingleValue)),
-        ("Table", Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::Table)),
-        ("Plot", Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::Plot)),
+    type RowFilter = Box<dyn Fn(&QueryEvaluation) -> bool>;
+    let rows: Vec<(&str, RowFilter)> = vec![
+        (
+            "Artwork overall",
+            Box::new(|r: &QueryEvaluation| r.dataset == Dataset::Artwork),
+        ),
+        (
+            "Rotowire overall",
+            Box::new(|r: &QueryEvaluation| r.dataset == Dataset::Rotowire),
+        ),
+        (
+            "Single modality",
+            Box::new(|r: &QueryEvaluation| !r.multimodal),
+        ),
+        (
+            "Multiple modalities",
+            Box::new(|r: &QueryEvaluation| r.multimodal),
+        ),
+        (
+            "Single value",
+            Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::SingleValue),
+        ),
+        (
+            "Table",
+            Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::Table),
+        ),
+        (
+            "Plot",
+            Box::new(|r: &QueryEvaluation| r.output == ExpectedOutput::Plot),
+        ),
         ("All", Box::new(|_: &QueryEvaluation| true)),
     ];
     for (label, filter) in rows {
@@ -238,10 +256,18 @@ pub fn render_table2(reports: &[EvaluationReport]) -> String {
         out.push_str(&format!(
             "{:<28}{:<10}",
             category.name(),
-            if category.is_logical() { "logical" } else { "physical" }
+            if category.is_logical() {
+                "logical"
+            } else {
+                "physical"
+            }
         ));
         for report in reports {
-            let count = report.error_counts().get(category.name()).copied().unwrap_or(0);
+            let count = report
+                .error_counts()
+                .get(category.name())
+                .copied()
+                .unwrap_or(0);
             out.push_str(&format!("{count:>18}"));
         }
         out.push('\n');
@@ -281,7 +307,10 @@ mod tests {
         assert_eq!(report.results.len(), 48);
         let (logical, physical) = report.accuracy(|_| true);
         assert!(logical >= 0.80, "GPT-4 logical accuracy too low: {logical}");
-        assert!(physical >= 0.70, "GPT-4 physical accuracy too low: {physical}");
+        assert!(
+            physical >= 0.70,
+            "GPT-4 physical accuracy too low: {physical}"
+        );
         // Physical correctness requires logical correctness in our grading.
         assert!(logical >= physical);
     }
@@ -298,7 +327,10 @@ mod tests {
         // The dominant 3.5 error category is data misunderstanding (§4.3).
         let counts = gpt35.error_counts();
         let dm = counts.get("Data Misunderstanding").copied().unwrap_or(0);
-        assert!(dm >= 2, "expected several data-misunderstanding errors, got {dm}");
+        assert!(
+            dm >= 2,
+            "expected several data-misunderstanding errors, got {dm}"
+        );
     }
 
     #[test]

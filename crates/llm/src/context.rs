@@ -76,7 +76,9 @@ pub struct TableSketch {
 impl TableSketch {
     /// Whether the table has a column with this name.
     pub fn has_column(&self, name: &str) -> bool {
-        self.columns.iter().any(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .any(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Type of a column, if present.
@@ -347,8 +349,12 @@ fn parse_relevant_columns(human: &str) -> Vec<RelevantColumn> {
         if !line.starts_with("- The '") {
             continue;
         }
-        let Some(column) = between(line, "- The '", "'") else { continue };
-        let Some(table) = between(line, "column of the '", "'") else { continue };
+        let Some(column) = between(line, "- The '", "'") else {
+            continue;
+        };
+        let Some(table) = between(line, "column of the '", "'") else {
+            continue;
+        };
         let examples = extract_bracketed(line, "Example values: [")
             .map(|inner| {
                 inner
@@ -378,25 +384,29 @@ fn parse_step_to_map(human: &str) -> Option<LogicalStep> {
         })
         .map(|(i, _)| i)
         .last()?;
-    let block: String = human
-        .lines()
-        .skip(start)
-        .collect::<Vec<_>>()
-        .join("\n");
+    let block: String = human.lines().skip(start).collect::<Vec<_>>().join("\n");
     LogicalPlan::parse(&block)
         .ok()
         .and_then(|plan| plan.steps.into_iter().next())
 }
 
 fn parse_error_context(human: &str) -> ErrorContext {
-    let plan_text = between(human, "The logical plan was:\n", "The step being executed was:")
-        .unwrap_or_default()
-        .trim()
-        .to_string();
-    let step_text = between(human, "The step being executed was:", "The chosen operator was:")
-        .unwrap_or_default()
-        .trim()
-        .to_string();
+    let plan_text = between(
+        human,
+        "The logical plan was:\n",
+        "The step being executed was:",
+    )
+    .unwrap_or_default()
+    .trim()
+    .to_string();
+    let step_text = between(
+        human,
+        "The step being executed was:",
+        "The chosen operator was:",
+    )
+    .unwrap_or_default()
+    .trim()
+    .to_string();
     let decision_text = between(human, "The chosen operator was:", "The error message is:")
         .unwrap_or_default()
         .trim()
@@ -513,7 +523,10 @@ mod tests {
         let context = PromptContext::parse(&prompt);
         assert_eq!(context.kind, PromptKind::Mapping);
         assert_eq!(context.intermediate_tables.len(), 1);
-        assert!(context.find_table("joined_table").unwrap().has_column("madonna_depicted"));
+        assert!(context
+            .find_table("joined_table")
+            .unwrap()
+            .has_column("madonna_depicted"));
         let step = context.step.unwrap();
         assert_eq!(step.number, 3);
         assert!(step.description.contains("Madonna and Child"));

@@ -235,10 +235,7 @@ impl QueryIntent {
     /// Whether any part of the query needs a non-relational operator.
     pub fn is_multimodal(&self) -> bool {
         self.group_by.iter().any(AttributeRef::is_multimodal)
-            || self
-                .aggregate
-                .iter()
-                .any(|a| a.target.is_multimodal())
+            || self.aggregate.iter().any(|a| a.target.is_multimodal())
             || self.filters.iter().any(|f| f.attribute.is_multimodal())
             || self.projection.iter().any(AttributeRef::is_multimodal)
     }
@@ -309,8 +306,11 @@ impl<'a> Analyzer<'a> {
 
     fn output_kind(&self) -> OutputKind {
         let q = &self.lower;
-        if q.starts_with("plot") || q.starts_with("draw") || q.contains(" plot ")
-            || q.contains("chart") || q.starts_with("visualize")
+        if q.starts_with("plot")
+            || q.starts_with("draw")
+            || q.contains(" plot ")
+            || q.contains("chart")
+            || q.starts_with("visualize")
         {
             return OutputKind::Plot;
         }
@@ -376,27 +376,38 @@ impl<'a> Analyzer<'a> {
 
     fn mentions_column(&self, column: &str) -> bool {
         let column = column.to_lowercase();
-        if column == "name" || column == "img_path" || column == "image" || column == "report"
+        if column == "name"
+            || column == "img_path"
+            || column == "image"
+            || column == "report"
             || column == "game_id"
         {
             // Too generic / internal to count as a signal.
             return false;
         }
-        self.words()
-            .iter()
-            .any(|w| singular(w) == singular(&column) || column.replace('_', " ").contains(w.as_str()) && w.len() > 4)
+        self.words().iter().any(|w| {
+            singular(w) == singular(&column)
+                || column.replace('_', " ").contains(w.as_str()) && w.len() > 4
+        })
     }
 
     /// The phrase after "for each" / "for every" / "per" / "of each".
     fn group_phrase(&self) -> Option<String> {
         for marker in [
-            "for each ", "for every ", " per ", "of each ", "by each ", "for the paintings of each ",
-            "in each ", "did each ", " each ",
+            "for each ",
+            "for every ",
+            " per ",
+            "of each ",
+            "by each ",
+            "for the paintings of each ",
+            "in each ",
+            "did each ",
+            " each ",
         ] {
             if let Some(pos) = self.lower.find(marker) {
                 let rest = &self.lower[pos + marker.len()..];
                 let phrase: String = rest
-                    .split(|c: char| c == ',' || c == '.' || c == '!' || c == '?')
+                    .split([',', '.', '!', '?'])
                     .next()
                     .unwrap_or("")
                     .trim()
@@ -511,11 +522,16 @@ impl<'a> Analyzer<'a> {
         let q = &self.lower;
 
         // Determine the aggregate function from keywords.
-        let func = if q.contains("maximum") || q.contains("highest") || q.contains("most")
-            || q.contains("tallest") || q.contains("latest")
+        let func = if q.contains("maximum")
+            || q.contains("highest")
+            || q.contains("most")
+            || q.contains("tallest")
+            || q.contains("latest")
         {
             Some(AggKind::Max)
-        } else if q.contains("minimum") || q.contains("lowest") || q.contains("earliest")
+        } else if q.contains("minimum")
+            || q.contains("lowest")
+            || q.contains("earliest")
             || q.contains("shortest")
         {
             Some(AggKind::Min)
@@ -749,8 +765,8 @@ impl<'a> Analyzer<'a> {
             .map(str::to_lowercase)
             .collect();
         for table in self.tables {
-            if table.is_multimodal() && table.image_columns().len() + table.text_columns().len()
-                == table.columns.len()
+            if table.is_multimodal()
+                && table.image_columns().len() + table.text_columns().len() == table.columns.len()
             {
                 continue;
             }
@@ -795,11 +811,7 @@ impl<'a> Analyzer<'a> {
         None
     }
 
-    fn filters(
-        &self,
-        main_table: &str,
-        aggregate: Option<&AggregateIntent>,
-    ) -> Vec<FilterIntent> {
+    fn filters(&self, main_table: &str, aggregate: Option<&AggregateIntent>) -> Vec<FilterIntent> {
         let mut filters = Vec::new();
 
         // 1. Depiction filters ("depicting X", "that depict X", "depict a X").
@@ -850,7 +862,11 @@ impl<'a> Analyzer<'a> {
 
         // 3. "from the USA" → nationality.
         if let Some(value) = self.value_after_keyword("from the ") {
-            if value.chars().next().map(char::is_uppercase).unwrap_or(false)
+            if value
+                .chars()
+                .next()
+                .map(char::is_uppercase)
+                .unwrap_or(false)
                 && !self.lower.contains("nationality")
             {
                 if let Some(attr) = self.column_ref("nationality") {
@@ -881,7 +897,11 @@ impl<'a> Analyzer<'a> {
                 .tables
                 .iter()
                 .find(|t| t.name.eq_ignore_ascii_case(main_table) && t.has_column("name"))
-                .or_else(|| self.tables.iter().find(|t| t.has_column("name") && !t.is_multimodal()));
+                .or_else(|| {
+                    self.tables
+                        .iter()
+                        .find(|t| t.has_column("name") && !t.is_multimodal())
+                });
             if let Some(table) = name_table {
                 filters.push(FilterIntent {
                     attribute: AttributeRef::Column {
@@ -968,7 +988,10 @@ impl<'a> Analyzer<'a> {
     fn value_before_keyword(&self, keyword: &str) -> Option<String> {
         let pos = self.lower.find(&format!(" {keyword}"))?;
         let before = &self.query[..pos];
-        let candidate = before.split_whitespace().last()?.trim_matches(['\'', '"', ','].as_ref());
+        let candidate = before
+            .split_whitespace()
+            .last()?
+            .trim_matches(['\'', '"', ','].as_ref());
         if candidate.chars().next()?.is_uppercase()
             && !NON_VALUE_WORDS.contains(&candidate.to_lowercase().as_str())
         {
@@ -1006,12 +1029,7 @@ impl<'a> Analyzer<'a> {
         let rest = &self.query[marker_pos..];
         let words: Vec<&str> = rest
             .split_whitespace()
-            .take_while(|w| {
-                w.chars()
-                    .next()
-                    .map(|c| c.is_uppercase())
-                    .unwrap_or(false)
-            })
+            .take_while(|w| w.chars().next().map(|c| c.is_uppercase()).unwrap_or(false))
             .collect();
         if words.is_empty() {
             None
@@ -1056,7 +1074,10 @@ impl<'a> Analyzer<'a> {
                 continue;
             }
             // Skip values already consumed by other filters (e.g. "Impressionism").
-            if existing.iter().any(|f| f.value.eq_ignore_ascii_case(cleaned)) {
+            if existing
+                .iter()
+                .any(|f| f.value.eq_ignore_ascii_case(cleaned))
+            {
                 continue;
             }
             return Some(cleaned.to_string());
@@ -1141,10 +1162,9 @@ impl<'a> Analyzer<'a> {
             _ => 1,
         });
         out.dedup_by(|a, b| match (&a, &b) {
-            (
-                AttributeRef::Column { column: ca, .. },
-                AttributeRef::Column { column: cb, .. },
-            ) => ca == cb,
+            (AttributeRef::Column { column: ca, .. }, AttributeRef::Column { column: cb, .. }) => {
+                ca == cb
+            }
             _ => false,
         });
         out
@@ -1178,9 +1198,37 @@ impl<'a> Analyzer<'a> {
 /// the entity ("the number of swords depicted on the paintings" → "swords").
 fn strip_depiction_words(phrase: &str) -> String {
     const STOP: &[&str] = &[
-        "a", "an", "the", "of", "on", "in", "is", "are", "at", "least", "any", "number",
-        "depicted", "depicting", "painting", "paintings", "image", "images", "shown", "visible",
-        "each", "every", "all", "that", "there", "one", "two", "three", "four", "five", "six",
+        "a",
+        "an",
+        "the",
+        "of",
+        "on",
+        "in",
+        "is",
+        "are",
+        "at",
+        "least",
+        "any",
+        "number",
+        "depicted",
+        "depicting",
+        "painting",
+        "paintings",
+        "image",
+        "images",
+        "shown",
+        "visible",
+        "each",
+        "every",
+        "all",
+        "that",
+        "there",
+        "one",
+        "two",
+        "three",
+        "four",
+        "five",
+        "six",
     ];
     let mut words: Vec<&str> = phrase
         .split(|c: char| !c.is_alphanumeric())
@@ -1189,12 +1237,10 @@ fn strip_depiction_words(phrase: &str) -> String {
         .filter(|w| w.parse::<i64>().is_err())
         .collect();
     // "madonna and child" keeps the "and"; re-insert it for two-entity phrases.
-    let joined = if words.len() == 2
-        && phrase.contains(&format!("{} and {}", words[0], words[1]))
-    {
+    let joined = if words.len() == 2 && phrase.contains(&format!("{} and {}", words[0], words[1])) {
         format!("{} and {}", words[0], words[1])
     } else {
-        words.drain(..).collect::<Vec<_>>().join(" ")
+        std::mem::take(&mut words).join(" ")
     };
     joined.trim().to_string()
 }
@@ -1221,13 +1267,20 @@ mod tests {
             TableSketch {
                 name: "paintings_metadata".into(),
                 num_rows: 150,
-                columns: ["title", "artist", "inception", "movement", "genre", "img_path"]
-                    .iter()
-                    .map(|n| ColumnSketch {
-                        name: n.to_string(),
-                        dtype: "str".into(),
-                    })
-                    .collect(),
+                columns: [
+                    "title",
+                    "artist",
+                    "inception",
+                    "movement",
+                    "genre",
+                    "img_path",
+                ]
+                .iter()
+                .map(|n| ColumnSketch {
+                    name: n.to_string(),
+                    dtype: "str".into(),
+                })
+                .collect(),
                 description: "Metadata about paintings".into(),
                 foreign_keys: vec![],
             },
@@ -1344,10 +1397,12 @@ mod tests {
         let agg = intent.aggregate.unwrap();
         assert_eq!(agg.func, AggKind::Max);
         assert!(matches!(&agg.target, AttributeRef::TextStat { stat } if stat == "points"));
-        assert!(matches!(
-            intent.group_by,
-            Some(AttributeRef::Column { ref column, .. }) if column == "name" || column == "team"
-        ) || intent.group_by.is_some());
+        assert!(
+            matches!(
+                intent.group_by,
+                Some(AttributeRef::Column { ref column, .. }) if column == "name" || column == "team"
+            ) || intent.group_by.is_some()
+        );
     }
 
     #[test]
@@ -1391,11 +1446,10 @@ mod tests {
             "How many paintings did Clara Moreau paint?",
             &artwork_tables(),
         );
-        assert!(intent
-            .filters
-            .iter()
-            .any(|f| matches!(&f.attribute, AttributeRef::Column { column, .. } if column == "artist")
-                && f.value == "Clara Moreau"));
+        assert!(intent.filters.iter().any(
+            |f| matches!(&f.attribute, AttributeRef::Column { column, .. } if column == "artist")
+                && f.value == "Clara Moreau"
+        ));
     }
 
     #[test]
@@ -1426,10 +1480,9 @@ mod tests {
             &artwork_tables(),
         );
         assert_eq!(intent.projection.len(), 1);
-        assert!(intent
-            .filters
-            .iter()
-            .any(|f| matches!(&f.attribute, AttributeRef::ImageDepicts { entity } if entity == "horse")));
+        assert!(intent.filters.iter().any(
+            |f| matches!(&f.attribute, AttributeRef::ImageDepicts { entity } if entity == "horse")
+        ));
     }
 
     #[test]
@@ -1442,10 +1495,15 @@ mod tests {
         assert!(intent.filters.iter().any(|f| f.value == "Eastern"));
         assert!(!intent.is_multimodal());
 
-        let intent = analyze("What is the height of the tallest player?", &rotowire_tables());
+        let intent = analyze(
+            "What is the height of the tallest player?",
+            &rotowire_tables(),
+        );
         let agg = intent.aggregate.as_ref().unwrap();
         assert_eq!(agg.func, AggKind::Max);
-        assert!(matches!(&agg.target, AttributeRef::Column { column, .. } if column == "height_cm"));
+        assert!(
+            matches!(&agg.target, AttributeRef::Column { column, .. } if column == "height_cm")
+        );
 
         let intent = analyze(
             "For each position, what is the average height of the players?",
@@ -1467,18 +1525,18 @@ mod tests {
         let agg = intent.aggregate.as_ref().unwrap();
         assert_eq!(agg.func, AggKind::Max);
         assert!(matches!(&agg.target, AttributeRef::TextStat { stat } if stat == "points"));
-        assert!(intent
-            .filters
-            .iter()
-            .any(|f| f.value == "Heat"
-                && matches!(&f.attribute, AttributeRef::Column { column, .. } if column == "name")));
+        assert!(intent.filters.iter().any(|f| f.value == "Heat"
+            && matches!(&f.attribute, AttributeRef::Column { column, .. } if column == "name")));
     }
 
     #[test]
     fn games_lost_query_resolves_to_text_outcome() {
         let intent = analyze("How many games did each team lose?", &rotowire_tables());
         let agg = intent.aggregate.unwrap();
-        assert!(matches!(agg.target, AttributeRef::TextOutcome { win: false }));
+        assert!(matches!(
+            agg.target,
+            AttributeRef::TextOutcome { win: false }
+        ));
         assert!(intent.group_by.is_some());
     }
 
@@ -1518,7 +1576,10 @@ mod tests {
             .column_name(),
             "points_scored"
         );
-        assert_eq!(AttributeRef::TextOutcome { win: false }.column_name(), "lost_game");
+        assert_eq!(
+            AttributeRef::TextOutcome { win: false }.column_name(),
+            "lost_game"
+        );
     }
 
     #[test]

@@ -28,23 +28,28 @@ pub fn decide(step: &LogicalStep, context: &PromptContext) -> OperatorDecision {
     {
         decide_visual_qa(step, &lower)
     } else if lower.contains("'report' column")
-        || ((lower.contains("scored") || lower.contains("won the game") || lower.contains("lost the game"))
+        || ((lower.contains("scored")
+            || lower.contains("won the game")
+            || lower.contains("lost the game"))
             && lower.contains("extract"))
     {
         decide_text_qa(step, &lower, input_sketch)
-    } else if lower.starts_with("extract the century") || lower.starts_with("extract the year")
+    } else if lower.starts_with("extract the century")
+        || lower.starts_with("extract the year")
         || (lower.starts_with("extract") && (lower.contains("century") || lower.contains("year")))
     {
         decide_python(step, &description)
     } else if lower.starts_with("select only") || lower.starts_with("keep only the rows") {
         decide_selection(step, &quoted, &lower, input_sketch)
-    } else if lower.starts_with("group the") || lower.starts_with("count the number of rows")
+    } else if lower.starts_with("group the")
+        || lower.starts_with("count the number of rows")
         || lower.starts_with("compute the")
     {
         decide_aggregation(step, &quoted, &lower, input_sketch)
     } else if lower.starts_with("keep only") || lower.starts_with("project") {
         decide_projection(step, &quoted, input_sketch)
-    } else if lower.starts_with("plot") || lower.contains("bar plot") || lower.contains("line plot") {
+    } else if lower.starts_with("plot") || lower.contains("bar plot") || lower.contains("line plot")
+    {
         decide_plot(&quoted, &lower)
     } else {
         // Fallback: pass the input through unchanged.
@@ -98,9 +103,8 @@ fn decide_join(quoted: &[String], lower: &str) -> (OperatorKind, Vec<String>, St
         (Some(k), None) => (k.clone(), k.clone()),
         _ => ("id".to_string(), "id".to_string()),
     };
-    let sql = format!(
-        "SELECT * FROM {left} JOIN {right} ON {left}.{left_key} = {right}.{right_key}"
-    );
+    let sql =
+        format!("SELECT * FROM {left} JOIN {right} ON {left}.{left_key} = {right}.{right_key}");
     let _ = lower;
     (
         OperatorKind::SqlJoin,
@@ -129,12 +133,7 @@ fn decide_visual_qa(step: &LogicalStep, lower: &str) -> (OperatorKind, Vec<Strin
     };
     (
         OperatorKind::VisualQa,
-        vec![
-            "image".to_string(),
-            new_column,
-            question,
-            dtype.to_string(),
-        ],
+        vec!["image".to_string(), new_column, question, dtype.to_string()],
         "The step asks about the content of images (IMAGE column), so Visual Question Answering \
          must be used."
             .to_string(),
@@ -175,7 +174,10 @@ fn decide_text_qa(
     } else if lower.contains("lost the game") || lower.contains(" lost ") {
         (format!("Did <{subject_column}> lose?"), "str")
     } else {
-        (format!("How many points did <{subject_column}> score?"), "int")
+        (
+            format!("How many points did <{subject_column}> score?"),
+            "int",
+        )
     };
     let text_column = input_sketch
         .and_then(|t| t.text_columns().first().map(|c| c.to_string()))
@@ -196,11 +198,7 @@ fn subject_column(input_sketch: Option<&TableSketch>) -> String {
         if sketch.columns.iter().any(|c| c.name == "name") {
             return "name".to_string();
         }
-        if let Some(column) = sketch
-            .columns
-            .iter()
-            .find(|c| c.name.ends_with(".name"))
-        {
+        if let Some(column) = sketch.columns.iter().find(|c| c.name.ends_with(".name")) {
             return column.name.clone();
         }
         if let Some(column) = sketch
@@ -347,7 +345,11 @@ fn decide_aggregation(
     let sql = if lower.contains(" by ") && grouped {
         let group_column = quoted.get(1).cloned().unwrap_or_else(|| "name".to_string());
         let group_q = qualify(input_sketch, &group_column);
-        let group_alias = group_column.rsplit('.').next().unwrap_or(&group_column).to_string();
+        let group_alias = group_column
+            .rsplit('.')
+            .next()
+            .unwrap_or(&group_column)
+            .to_string();
         format!(
             "SELECT {group_q} AS {group_alias}, {agg} AS {output_column} FROM {table} GROUP BY {group_q}"
         )
@@ -518,7 +520,12 @@ mod tests {
         assert_eq!(decision.operator, OperatorKind::VisualQa);
         assert_eq!(
             decision.arguments,
-            vec!["image", "num_swords", "How many swords are depicted?", "int"]
+            vec![
+                "image",
+                "num_swords",
+                "How many swords are depicted?",
+                "int"
+            ]
         );
     }
 
@@ -549,13 +556,20 @@ mod tests {
         // After the join the name column is only available in qualified form.
         let context = context_with_sketch(
             "final_joined_table",
-            vec![("teams.name", "str"), ("game_id", "int"), ("report", "TEXT")],
+            vec![
+                ("teams.name", "str"),
+                ("game_id", "int"),
+                ("report", "TEXT"),
+            ],
         );
         let decision = decide(&step, &context);
         assert_eq!(decision.operator, OperatorKind::TextQa);
         assert_eq!(decision.arguments[0], "report");
         assert_eq!(decision.arguments[1], "points_scored");
-        assert_eq!(decision.arguments[2], "How many points did <teams.name> score?");
+        assert_eq!(
+            decision.arguments[2],
+            "How many points did <teams.name> score?"
+        );
     }
 
     #[test]

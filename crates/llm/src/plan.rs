@@ -121,7 +121,9 @@ impl LogicalPlan {
                 ));
                 continue;
             }
-            let Some(step) = current.as_mut() else { continue };
+            let Some(step) = current.as_mut() else {
+                continue;
+            };
             if let Some(rest) = line.strip_prefix("Input:") {
                 step.inputs = split_list(rest);
             } else if let Some(rest) = line.strip_prefix("Output:") {
@@ -172,20 +174,31 @@ impl LogicalPlan {
                     "join"
                 } else if d.contains("plot") || d.contains("chart") || d.contains("visualiz") {
                     "plot"
-                } else if d.contains("'image' column") || d.contains("depicted") || d.contains(" images")
+                } else if d.contains("'image' column")
+                    || d.contains("depicted")
+                    || d.contains(" images")
                     || d.contains("each image")
                 {
                     "image"
-                } else if d.contains("'report' column") || d.contains(" reports")
-                    || d.contains("document") || d.contains(" the text")
+                } else if d.contains("'report' column")
+                    || d.contains(" reports")
+                    || d.contains("document")
+                    || d.contains(" the text")
                 {
                     "text"
-                } else if d.contains("group") || d.contains("aggregate") || d.contains("maximum")
-                    || d.contains("count") || d.contains("average") || d.contains("minimum")
+                } else if d.contains("group")
+                    || d.contains("aggregate")
+                    || d.contains("maximum")
+                    || d.contains("count")
+                    || d.contains("average")
+                    || d.contains("minimum")
                     || d.contains("sum of")
                 {
                     "aggregate"
-                } else if d.contains("select only") || d.contains("filter") || d.contains("keep only the rows") {
+                } else if d.contains("select only")
+                    || d.contains("filter")
+                    || d.contains("keep only the rows")
+                {
                     "filter"
                 } else {
                     "transform"
@@ -489,7 +502,12 @@ mod tests {
     fn argument_splitting_handles_parentheses_and_quotes() {
         assert_eq!(
             split_arguments("('image'; 'num_swords'; 'How many swords are depicted?'; 'int')"),
-            vec!["image", "num_swords", "How many swords are depicted?", "int"]
+            vec![
+                "image",
+                "num_swords",
+                "How many swords are depicted?",
+                "int"
+            ]
         );
         assert_eq!(split_arguments("a; b"), vec!["a", "b"]);
         assert_eq!(

@@ -225,7 +225,10 @@ mod tests {
                 )
             })
             .count();
-        assert!(weak_errors > strong_errors * 3, "{weak_errors} vs {strong_errors}");
+        assert!(
+            weak_errors > strong_errors * 3,
+            "{weak_errors} vs {strong_errors}"
+        );
     }
 
     #[test]

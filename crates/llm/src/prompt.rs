@@ -111,9 +111,7 @@ impl PromptBuilder {
         relevant_columns: &[RelevantColumn],
     ) -> Conversation {
         let mut system = String::new();
-        system.push_str(&format!(
-            "You are CAESURA and {PLANNING_MARKER}.\n"
-        ));
+        system.push_str(&format!("You are CAESURA and {PLANNING_MARKER}.\n"));
         system.push_str("The database contains the following tables:\n");
         system.push_str(&catalog.prompt_summary());
         system.push_str("\n\nYou have the following capabilities:\n");
@@ -222,7 +220,9 @@ impl PromptBuilder {
     /// already narrowed the candidate tables; the LLM picks relevant columns.)
     pub fn discovery_prompt(&self, catalog: &Catalog, query: &str) -> Conversation {
         let mut system = String::new();
-        system.push_str(&format!("You are CAESURA, and {DISCOVERY_MARKER} for a user request.\n"));
+        system.push_str(&format!(
+            "You are CAESURA, and {DISCOVERY_MARKER} for a user request.\n"
+        ));
         system.push_str("The candidate tables are:\n");
         system.push_str(&catalog.prompt_summary());
         system.push_str(

@@ -55,19 +55,19 @@ impl SimulatedLlm {
         let intent = analyze(&context.query, &context.tables);
         let multimodal = intent.is_multimodal();
         let mut plan = synthesize(&intent, &context.tables);
-        if let Some(corruption) = self
-            .injector
-            .plan_corruption(&context.query, multimodal)
-        {
+        if let Some(corruption) = self.injector.plan_corruption(&context.query, multimodal) {
             plan = corrupt_plan(plan, corruption);
         }
         plan.render()
     }
 
     fn respond_mapping(&self, context: &PromptContext) -> LlmResult<String> {
-        let step = context.step.clone().ok_or_else(|| LlmError::MalformedPrompt {
-            message: "the mapping prompt does not contain a step to map".into(),
-        })?;
+        let step = context
+            .step
+            .clone()
+            .ok_or_else(|| LlmError::MalformedPrompt {
+                message: "the mapping prompt does not contain a step to map".into(),
+            })?;
         let mut decision = decide(&step, context);
         let multimodal_step = decision.operator.is_multimodal();
         if let Some(corruption) =
@@ -87,15 +87,24 @@ impl SimulatedLlm {
             .filter(|w| !w.is_empty())
             .map(singular)
             .collect();
-        let needs_dates = query.contains("century") || query.contains("year")
-            || query.contains("earliest") || query.contains("latest");
-        let needs_images = query.contains("depict") || query.contains("shown")
-            || query.contains("image");
-        let needs_text = query.contains("points") || query.contains("score")
-            || query.contains("win") || query.contains("won") || query.contains("lose")
-            || query.contains("lost") || query.contains("rebound") || query.contains("assist");
-        let grouped_by_entity = query.contains("each team") || query.contains("every team")
-            || query.contains("each player") || query.contains("each artist");
+        let needs_dates = query.contains("century")
+            || query.contains("year")
+            || query.contains("earliest")
+            || query.contains("latest");
+        let needs_images =
+            query.contains("depict") || query.contains("shown") || query.contains("image");
+        let needs_text = query.contains("points")
+            || query.contains("score")
+            || query.contains("win")
+            || query.contains("won")
+            || query.contains("lose")
+            || query.contains("lost")
+            || query.contains("rebound")
+            || query.contains("assist");
+        let grouped_by_entity = query.contains("each team")
+            || query.contains("every team")
+            || query.contains("each player")
+            || query.contains("each artist");
 
         let mut lines = Vec::new();
         for table in &context.tables {
@@ -103,7 +112,9 @@ impl SimulatedLlm {
                 let name = column.name.to_lowercase();
                 let mentioned = query_words.iter().any(|w| *w == singular(&name));
                 let date_like = needs_dates
-                    && (name.contains("inception") || name.contains("date") || name.contains("year"));
+                    && (name.contains("inception")
+                        || name.contains("date")
+                        || name.contains("year"));
                 let modality = (needs_images && column.dtype == "IMAGE")
                     || (needs_text && column.dtype == "TEXT");
                 let join_key = grouped_by_entity && (name == "name" || name == "game_id");
@@ -336,8 +347,15 @@ mod tests {
             ("img_path", DataType::Str),
         ]);
         let mut b = TableBuilder::new("paintings_metadata", schema);
-        b.push_values(["Madonna", "Giovanni Alberti", "1889", "Baroque", "religious art", "img/1.png"])
-            .unwrap();
+        b.push_values([
+            "Madonna",
+            "Giovanni Alberti",
+            "1889",
+            "Baroque",
+            "religious art",
+            "img/1.png",
+        ])
+        .unwrap();
         catalog.register(b.build());
         let schema = Schema::from_pairs(&[("img_path", DataType::Str), ("image", DataType::Image)]);
         catalog.register(TableBuilder::new("painting_images", schema).build());
@@ -465,7 +483,9 @@ mod tests {
         };
         let corrupted = corrupt_plan(plan, PlanCorruption::DataMisunderstanding);
         assert_eq!(corrupted.steps.len(), 2);
-        assert!(corrupted.steps[1].description.contains("'title' column contains"));
+        assert!(corrupted.steps[1]
+            .description
+            .contains("'title' column contains"));
         assert!(corrupted.steps[1].new_columns.is_empty());
     }
 
@@ -474,8 +494,20 @@ mod tests {
         let plan = LogicalPlan {
             thought: String::new(),
             steps: vec![
-                LogicalStep::new(1, "Join the 'a' and 'b' tables on the 'k' column.", vec![], "j", vec![]),
-                LogicalStep::new(2, "Count the number of rows in the 'j' table.", vec![], "r", vec![]),
+                LogicalStep::new(
+                    1,
+                    "Join the 'a' and 'b' tables on the 'k' column.",
+                    vec![],
+                    "j",
+                    vec![],
+                ),
+                LogicalStep::new(
+                    2,
+                    "Count the number of rows in the 'j' table.",
+                    vec![],
+                    "r",
+                    vec![],
+                ),
             ],
         };
         let corrupted = corrupt_plan(plan, PlanCorruption::MissingJoin);
@@ -490,7 +522,12 @@ mod tests {
             step_number: 2,
             reasoning: String::new(),
             operator: OperatorKind::VisualQa,
-            arguments: vec!["image".into(), "num_swords".into(), "How many swords are depicted?".into(), "int".into()],
+            arguments: vec![
+                "image".into(),
+                "num_swords".into(),
+                "How many swords are depicted?".into(),
+                "int".into(),
+            ],
         };
         let corrupted = corrupt_decision(decision, MappingCorruption::WrongTool, false);
         assert_eq!(corrupted.operator, OperatorKind::Sql);
@@ -504,7 +541,8 @@ mod tests {
             operator: OperatorKind::SqlSelection,
             arguments: vec!["madonna_depicted = 'yes'".into()],
         };
-        let corrupted = corrupt_decision(decision.clone(), MappingCorruption::RecoverableTypo, false);
+        let corrupted =
+            corrupt_decision(decision.clone(), MappingCorruption::RecoverableTypo, false);
         assert!(corrupted.arguments[0].starts_with("wrong_"));
         let fixed = corrupt_decision(decision.clone(), MappingCorruption::RecoverableTypo, true);
         assert_eq!(fixed, decision);

@@ -76,20 +76,20 @@ impl<'a> Synthesizer<'a> {
 
     fn thought(&self) -> String {
         let mut needs = Vec::new();
-        if self
-            .intent
-            .all_attributes()
-            .iter()
-            .any(|a| matches!(a, AttributeRef::ImageCount { .. } | AttributeRef::ImageDepicts { .. }))
-        {
+        if self.intent.all_attributes().iter().any(|a| {
+            matches!(
+                a,
+                AttributeRef::ImageCount { .. } | AttributeRef::ImageDepicts { .. }
+            )
+        }) {
             needs.push("look at the images");
         }
-        if self
-            .intent
-            .all_attributes()
-            .iter()
-            .any(|a| matches!(a, AttributeRef::TextStat { .. } | AttributeRef::TextOutcome { .. }))
-        {
+        if self.intent.all_attributes().iter().any(|a| {
+            matches!(
+                a,
+                AttributeRef::TextStat { .. } | AttributeRef::TextOutcome { .. }
+            )
+        }) {
             needs.push("read the game reports");
         }
         if self.intent.all_attributes().iter().any(|a| a.is_derived()) {
@@ -127,7 +127,9 @@ impl<'a> Synthesizer<'a> {
     }
 
     fn find_table(&self, name: &str) -> Option<&TableSketch> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     /// The modality tables the query needs besides the main table.
@@ -163,9 +165,7 @@ impl<'a> Synthesizer<'a> {
             | AttributeRef::DerivedCentury { table, .. }
             | AttributeRef::DerivedYear { table, .. } = attr
             {
-                if !table.eq_ignore_ascii_case(&self.intent.main_table)
-                    && !needed.contains(table)
-                {
+                if !table.eq_ignore_ascii_case(&self.intent.main_table) && !needed.contains(table) {
                     // Only join if a foreign-key path exists; otherwise assume
                     // the column is reachable in the main table.
                     if !self.join_path(&self.intent.main_table, table).is_empty() {
@@ -439,7 +439,9 @@ impl<'a> Synthesizer<'a> {
     }
 
     fn add_aggregation(&mut self) {
-        let Some(agg) = &self.intent.aggregate else { return };
+        let Some(agg) = &self.intent.aggregate else {
+            return;
+        };
         let current = self.current.clone();
         let group_column = self.intent.group_by.as_ref().map(|g| g.column_name());
 
@@ -566,13 +568,20 @@ mod tests {
             TableSketch {
                 name: "paintings_metadata".into(),
                 num_rows: 150,
-                columns: ["title", "artist", "inception", "movement", "genre", "img_path"]
-                    .iter()
-                    .map(|n| ColumnSketch {
-                        name: n.to_string(),
-                        dtype: "str".into(),
-                    })
-                    .collect(),
+                columns: [
+                    "title",
+                    "artist",
+                    "inception",
+                    "movement",
+                    "genre",
+                    "img_path",
+                ]
+                .iter()
+                .map(|n| ColumnSketch {
+                    name: n.to_string(),
+                    dtype: "str".into(),
+                })
+                .collect(),
                 description: String::new(),
                 foreign_keys: vec![ForeignKeySketch {
                     from_table: "paintings_metadata".into(),
@@ -601,27 +610,28 @@ mod tests {
     }
 
     fn rotowire_tables() -> Vec<TableSketch> {
-        let mk = |name: &str, cols: Vec<(&str, &str)>, fks: Vec<(&str, &str, &str, &str)>| TableSketch {
-            name: name.into(),
-            num_rows: 10,
-            columns: cols
-                .into_iter()
-                .map(|(n, t)| ColumnSketch {
-                    name: n.into(),
-                    dtype: t.into(),
-                })
-                .collect(),
-            description: String::new(),
-            foreign_keys: fks
-                .into_iter()
-                .map(|(ft, fc, tt, tc)| ForeignKeySketch {
-                    from_table: ft.into(),
-                    from_column: fc.into(),
-                    to_table: tt.into(),
-                    to_column: tc.into(),
-                })
-                .collect(),
-        };
+        let mk =
+            |name: &str, cols: Vec<(&str, &str)>, fks: Vec<(&str, &str, &str, &str)>| TableSketch {
+                name: name.into(),
+                num_rows: 10,
+                columns: cols
+                    .into_iter()
+                    .map(|(n, t)| ColumnSketch {
+                        name: n.into(),
+                        dtype: t.into(),
+                    })
+                    .collect(),
+                description: String::new(),
+                foreign_keys: fks
+                    .into_iter()
+                    .map(|(ft, fc, tt, tc)| ForeignKeySketch {
+                        from_table: ft.into(),
+                        from_column: fc.into(),
+                        to_table: tt.into(),
+                        to_column: tc.into(),
+                    })
+                    .collect(),
+            };
         vec![
             mk(
                 "teams",
@@ -694,8 +704,9 @@ mod tests {
         assert!(descriptions[0].contains("Join"));
         assert!(descriptions.iter().any(|d| d.contains("century")));
         assert!(descriptions.iter().any(|d| d.contains("number of sword")));
-        assert!(descriptions.iter().any(|d| d.contains("Group the")
-            && d.contains("maximum")));
+        assert!(descriptions
+            .iter()
+            .any(|d| d.contains("Group the") && d.contains("maximum")));
         assert!(descriptions.last().unwrap().contains("Plot"));
         // No selection step: swords are aggregated, not filtered.
         assert!(!descriptions.iter().any(|d| d.contains("Select only")));
@@ -767,7 +778,9 @@ mod tests {
             &rotowire_tables(),
         );
         let last = plan.steps.last().unwrap();
-        assert!(last.description.contains("'position' should be on the X-axis"));
+        assert!(last
+            .description
+            .contains("'position' should be on the X-axis"));
         assert!(last.description.contains("average_height_cm"));
     }
 

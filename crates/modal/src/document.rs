@@ -85,7 +85,8 @@ mod tests {
 
     #[test]
     fn sentences_are_split_on_terminators() {
-        let text = "The Spurs defeated the Heat 110-102. Tim Duncan scored 24 points! A great game?";
+        let text =
+            "The Spurs defeated the Heat 110-102. Tim Duncan scored 24 points! A great game?";
         let sentences = split_sentences(text);
         assert_eq!(sentences.len(), 3);
         assert!(sentences[0].starts_with("The Spurs"));

@@ -79,7 +79,9 @@ impl ImageObject {
 
     /// Attribute lookup (case-insensitive key).
     pub fn attribute(&self, name: &str) -> Option<&str> {
-        self.attributes.get(&name.to_lowercase()).map(String::as_str)
+        self.attributes
+            .get(&name.to_lowercase())
+            .map(String::as_str)
     }
 
     /// All depicted entity names, sorted.

@@ -10,9 +10,35 @@ use crate::noise::NoiseModel;
 
 /// Words that carry no selective content and are ignored when matching.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "with", "and", "or", "that", "which", "is", "are",
-    "painting", "paintings", "image", "images", "picture", "pictures", "depicting", "depicted",
-    "showing", "shown", "containing", "contains", "where", "all", "only", "select",
+    "a",
+    "an",
+    "the",
+    "of",
+    "in",
+    "on",
+    "with",
+    "and",
+    "or",
+    "that",
+    "which",
+    "is",
+    "are",
+    "painting",
+    "paintings",
+    "image",
+    "images",
+    "picture",
+    "pictures",
+    "depicting",
+    "depicted",
+    "showing",
+    "shown",
+    "containing",
+    "contains",
+    "where",
+    "all",
+    "only",
+    "select",
 ];
 
 /// The simulated image-selection model.
@@ -54,11 +80,7 @@ impl ImageSelectModel {
             true
         } else {
             terms.iter().all(|term| {
-                image.depicts(term)
-                    || image
-                        .attributes
-                        .values()
-                        .any(|v| v.to_lowercase() == *term)
+                image.depicts(term) || image.attributes.values().any(|v| v.to_lowercase() == *term)
             })
         };
         let noise_key = format!("{}\u{1}{}", image.key, description);

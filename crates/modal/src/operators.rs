@@ -84,7 +84,9 @@ impl OperatorKind {
                 OperatorKind::SqlAggregation
             }
             "sql query" | "sql" | "query" | "projection" | "sort" => OperatorKind::Sql,
-            "visual question answering" | "visualqa" | "visual qa" | "vqa" => OperatorKind::VisualQa,
+            "visual question answering" | "visualqa" | "visual qa" | "vqa" => {
+                OperatorKind::VisualQa
+            }
             "text question answering" | "textqa" | "text qa" | "tqa" => OperatorKind::TextQa,
             "image select" | "imageselect" | "image selection" => OperatorKind::ImageSelect,
             "python" | "python udf" | "udf" | "transform" => OperatorKind::PythonUdf,
@@ -194,7 +196,7 @@ pub fn apply_visual_qa(
     }
     table
         .with_new_column(new_column, result_type, |_, row| {
-            let key = match &row[idx] {
+            let key = match row.get(idx) {
                 Value::Image(key) => key.to_string(),
                 Value::Null => return Ok(Value::Null),
                 other => other.to_string(),
@@ -250,12 +252,12 @@ pub fn apply_text_qa(
     }
     table
         .with_new_column(new_column, result_type, |_, row| {
-            let document = match &row[idx] {
+            let document = match row.get(idx) {
                 Value::Text(text) => text.to_string(),
                 Value::Null => return Ok(Value::Null),
                 other => other.to_string(),
             };
-            let question = instantiate_template(question_template, &schema, row)?;
+            let question = instantiate_template(question_template, &schema, &row)?;
             let answer = model
                 .answer(&document, &question)
                 .map_err(|e| caesura_engine::EngineError::execution(e.to_string()))?;
@@ -283,7 +285,7 @@ pub fn apply_image_select(
     }
     table
         .filter_rows(|row| {
-            let key = match &row[idx] {
+            let key = match row.get(idx) {
                 Value::Image(key) => key.to_string(),
                 Value::Null => return Ok(false),
                 other => other.to_string(),
@@ -337,12 +339,12 @@ pub fn template_placeholders(template: &str) -> Vec<String> {
 fn instantiate_template(
     template: &str,
     schema: &caesura_engine::Schema,
-    row: &[Value],
+    row: &caesura_engine::RowRef<'_>,
 ) -> Result<String, caesura_engine::EngineError> {
     let mut question = template.to_string();
     for placeholder in template_placeholders(template) {
         let idx = schema.resolve(&placeholder)?;
-        question = question.replace(&format!("<{placeholder}>"), &row[idx].to_string());
+        question = question.replace(&format!("<{placeholder}>"), &row.get(idx).to_string());
     }
     Ok(question)
 }
@@ -350,17 +352,11 @@ fn instantiate_template(
 /// Coerce a model answer into the declared result type where possible.
 fn coerce(value: Value, target: DataType) -> Value {
     match (target, &value) {
-        (DataType::Int, Value::Str(s)) => s
-            .trim()
-            .parse::<i64>()
-            .map(Value::Int)
-            .unwrap_or(value),
+        (DataType::Int, Value::Str(s)) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(value),
         (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
-        (DataType::Float, Value::Str(s)) => s
-            .trim()
-            .parse::<f64>()
-            .map(Value::Float)
-            .unwrap_or(value),
+        (DataType::Float, Value::Str(s)) => {
+            s.trim().parse::<f64>().map(Value::Float).unwrap_or(value)
+        }
         (DataType::Bool, Value::Str(s)) => match s.to_lowercase().as_str() {
             "yes" | "true" => Value::Bool(true),
             "no" | "false" => Value::Bool(false),
@@ -412,15 +408,14 @@ mod tests {
     }
 
     fn reports_table() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("name", DataType::Str),
-            ("report", DataType::Text),
-        ]);
+        let schema = Schema::from_pairs(&[("name", DataType::Str), ("report", DataType::Text)]);
         let mut b = TableBuilder::new("final_joined_table", schema);
         let report = "The Spurs defeated the Heat 110-102. The Heat scored 102 points \
                       while the Spurs scored 110 points.";
-        b.push_row(vec![Value::str("Heat"), Value::text(report)]).unwrap();
-        b.push_row(vec![Value::str("Spurs"), Value::text(report)]).unwrap();
+        b.push_row(vec![Value::str("Heat"), Value::text(report)])
+            .unwrap();
+        b.push_row(vec![Value::str("Spurs"), Value::text(report)])
+            .unwrap();
         b.build()
     }
 
@@ -436,8 +431,8 @@ mod tests {
             DataType::Int,
         )
         .unwrap();
-        assert_eq!(out.value(0, "num_swords").unwrap(), &Value::Int(2));
-        assert_eq!(out.value(1, "num_swords").unwrap(), &Value::Int(0));
+        assert_eq!(out.value(0, "num_swords").unwrap(), Value::Int(2));
+        assert_eq!(out.value(1, "num_swords").unwrap(), Value::Int(0));
     }
 
     #[test]
@@ -466,8 +461,8 @@ mod tests {
             DataType::Int,
         )
         .unwrap();
-        assert_eq!(out.value(0, "points_scored").unwrap(), &Value::Int(102));
-        assert_eq!(out.value(1, "points_scored").unwrap(), &Value::Int(110));
+        assert_eq!(out.value(0, "points_scored").unwrap(), Value::Int(102));
+        assert_eq!(out.value(1, "points_scored").unwrap(), Value::Int(110));
     }
 
     #[test]
@@ -495,18 +490,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, "title").unwrap(), &Value::str("Madonna"));
+        assert_eq!(out.value(0, "title").unwrap(), Value::str("Madonna"));
     }
 
     #[test]
     fn python_udf_and_plot_round_trip() {
-        let schema = Schema::from_pairs(&[
-            ("inception", DataType::Str),
-            ("num_swords", DataType::Int),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("inception", DataType::Str), ("num_swords", DataType::Int)]);
         let mut b = TableBuilder::new("t", schema);
-        b.push_values::<_, Value>(vec![Value::str("1480-05-12"), Value::Int(5)]).unwrap();
-        b.push_values::<_, Value>(vec![Value::str("1889-01-05"), Value::Int(2)]).unwrap();
+        b.push_values::<_, Value>(vec![Value::str("1480-05-12"), Value::Int(5)])
+            .unwrap();
+        b.push_values::<_, Value>(vec![Value::str("1889-01-05"), Value::Int(2)])
+            .unwrap();
         let table = b.build();
         let with_century = apply_python_udf(
             &table,

@@ -323,8 +323,8 @@ mod tests {
         let schema = Schema::from_pairs(&[("a", DataType::Str), ("b", DataType::Str)]);
         let mut builder = TableBuilder::new("t", schema);
         builder.push_values(["x", "y"]).unwrap();
-        let err = Plot::from_table(&builder.build(), PlotSpec::new(PlotKind::Bar, "a", "b"))
-            .unwrap_err();
+        let err =
+            Plot::from_table(&builder.build(), PlotSpec::new(PlotKind::Bar, "a", "b")).unwrap_err();
         assert!(err.to_string().contains("must be numeric"));
     }
 

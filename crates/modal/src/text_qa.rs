@@ -246,7 +246,12 @@ fn clean_team_phrase(phrase: &str) -> String {
         .split_whitespace()
         .filter(|w| {
             let lower = w.to_lowercase();
-            lower != "the" && !w.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)
+            lower != "the"
+                && !w
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
         })
         .collect();
     words
@@ -335,7 +340,10 @@ mod tests {
             model.answer(REPORT, "Did Spurs lose the game?").unwrap(),
             Value::str("no")
         );
-        assert_eq!(model.answer(REPORT, "Did Lakers win?").unwrap(), Value::Null);
+        assert_eq!(
+            model.answer(REPORT, "Did Lakers win?").unwrap(),
+            Value::Null
+        );
     }
 
     #[test]

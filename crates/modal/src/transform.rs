@@ -9,11 +9,9 @@
 //! and strengthens — the security posture of §5 of the paper.
 
 use crate::error::{ModalError, ModalResult};
-use caesura_engine::{
-    sql::parse_expression, BinaryOp, DataType, Expr, ScalarFunc, Schema, Table,
-};
 #[cfg(test)]
 use caesura_engine::Value;
+use caesura_engine::{sql::parse_expression, BinaryOp, DataType, Expr, ScalarFunc, Schema, Table};
 
 /// A compiled transformation: one new column computed from existing columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,12 +38,12 @@ impl TransformProgram {
     }
 
     /// Apply the program to a table, appending the result as `new_column`.
+    /// The expression is evaluated column-at-a-time (vectorized) and the
+    /// existing columns are shared with the input.
     pub fn apply(&self, table: &Table, new_column: &str) -> ModalResult<Table> {
-        let schema = table.schema().clone();
-        table
-            .with_new_column(new_column, self.output_type, |_, row| {
-                self.expr.evaluate(&schema, row)
-            })
+        self.expr
+            .evaluate_batch(table.schema(), table.columns(), table.num_rows())
+            .and_then(|column| table.append_column(new_column, self.output_type, column))
             .map_err(|e| ModalError::TransformRuntime {
                 message: e.to_string(),
             })
@@ -85,10 +83,7 @@ impl TransformCodegen {
         // 1. The description may already be a valid expression
         //    (e.g. "CENTURY(inception)" or "points / 2").
         if let Ok(expr) = parse_expression(desc) {
-            if expr
-                .referenced_columns()
-                .iter()
-                .all(|c| schema.contains(c))
+            if expr.referenced_columns().iter().all(|c| schema.contains(c))
                 && !expr.referenced_columns().is_empty()
             {
                 return Ok(TransformProgram::from_expr(expr, schema));
@@ -138,10 +133,7 @@ impl TransformCodegen {
                 None => return fail("could not identify which yes/no column to encode"),
             };
             let expr = Expr::Case {
-                branches: vec![(
-                    Expr::col(column.clone()).eq(Expr::lit("yes")),
-                    Expr::lit(1),
-                )],
+                branches: vec![(Expr::col(column.clone()).eq(Expr::lit("yes")), Expr::lit(1))],
                 otherwise: Some(Box::new(Expr::lit(0))),
             };
             return Ok(TransformProgram::from_expr(expr, schema));
@@ -320,8 +312,8 @@ mod tests {
             )
             .unwrap();
         let out = program.apply(&table(), "century").unwrap();
-        assert_eq!(out.value(0, "century").unwrap(), &Value::Int(19));
-        assert_eq!(out.value(1, "century").unwrap(), &Value::Int(15));
+        assert_eq!(out.value(0, "century").unwrap(), Value::Int(19));
+        assert_eq!(out.value(1, "century").unwrap(), Value::Int(15));
         assert!(program.source.contains("century_of"));
     }
 
@@ -332,7 +324,7 @@ mod tests {
         assert_eq!(program.output_type, DataType::Int);
         let program = codegen.compile("points * 2", &schema()).unwrap();
         let out = program.apply(&table(), "double_points").unwrap();
-        assert_eq!(out.value(1, "double_points").unwrap(), &Value::Int(40));
+        assert_eq!(out.value(1, "double_points").unwrap(), Value::Int(40));
     }
 
     #[test]
@@ -345,8 +337,8 @@ mod tests {
             )
             .unwrap();
         let out = program.apply(&table(), "madonna_flag").unwrap();
-        assert_eq!(out.value(0, "madonna_flag").unwrap(), &Value::Int(1));
-        assert_eq!(out.value(1, "madonna_flag").unwrap(), &Value::Int(0));
+        assert_eq!(out.value(0, "madonna_flag").unwrap(), Value::Int(1));
+        assert_eq!(out.value(1, "madonna_flag").unwrap(), Value::Int(0));
     }
 
     #[test]
@@ -356,12 +348,12 @@ mod tests {
             .compile("Divide the values in the points column by 2", &schema())
             .unwrap();
         let out = program.apply(&table(), "half").unwrap();
-        assert_eq!(out.value(0, "half").unwrap(), &Value::Int(5));
+        assert_eq!(out.value(0, "half").unwrap(), Value::Int(5));
         let program = codegen
             .compile("Multiply the points by 3", &schema())
             .unwrap();
         let out = program.apply(&table(), "triple").unwrap();
-        assert_eq!(out.value(1, "triple").unwrap(), &Value::Int(60));
+        assert_eq!(out.value(1, "triple").unwrap(), Value::Int(60));
     }
 
     #[test]
@@ -371,7 +363,7 @@ mod tests {
             .compile("Extract the year from the 'inception' column", &schema())
             .unwrap();
         let out = program.apply(&table(), "year").unwrap();
-        assert_eq!(out.value(1, "year").unwrap(), &Value::Int(1480));
+        assert_eq!(out.value(1, "year").unwrap(), Value::Int(1480));
     }
 
     #[test]
@@ -381,12 +373,12 @@ mod tests {
             .compile("Convert the 'title' column to lowercase", &schema())
             .unwrap();
         let out = program.apply(&table(), "title_lower").unwrap();
-        assert_eq!(out.value(0, "title_lower").unwrap(), &Value::str("madonna"));
+        assert_eq!(out.value(0, "title_lower").unwrap(), Value::str("madonna"));
         let program = codegen
             .compile("Compute the length of the 'title' column", &schema())
             .unwrap();
         let out = program.apply(&table(), "title_len").unwrap();
-        assert_eq!(out.value(0, "title_len").unwrap(), &Value::Int(7));
+        assert_eq!(out.value(0, "title_len").unwrap(), Value::Int(7));
     }
 
     #[test]
@@ -407,15 +399,16 @@ mod tests {
             .compile("Extract the century from each painting", &schema())
             .unwrap();
         // Picks the `inception` column because of the date hint in its name.
-        assert!(program.expr.referenced_columns().contains(&"inception".to_string()));
+        assert!(program
+            .expr
+            .referenced_columns()
+            .contains(&"inception".to_string()));
     }
 
     #[test]
     fn difference_between_two_columns() {
-        let schema = Schema::from_pairs(&[
-            ("height_cm", DataType::Int),
-            ("width_cm", DataType::Int),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("height_cm", DataType::Int), ("width_cm", DataType::Int)]);
         let codegen = TransformCodegen::new();
         let program = codegen
             .compile(
@@ -424,9 +417,10 @@ mod tests {
             )
             .unwrap();
         let mut b = TableBuilder::new("t", schema);
-        b.push_values::<_, Value>(vec![Value::Int(30), Value::Int(20)]).unwrap();
+        b.push_values::<_, Value>(vec![Value::Int(30), Value::Int(20)])
+            .unwrap();
         let out = program.apply(&b.build(), "diff").unwrap();
-        assert_eq!(out.value(0, "diff").unwrap(), &Value::Int(10));
+        assert_eq!(out.value(0, "diff").unwrap(), Value::Int(10));
     }
 
     #[test]

@@ -290,7 +290,9 @@ mod tests {
     #[test]
     fn unparseable_questions_are_rejected_with_reason() {
         let model = VisualQaModel::new();
-        let err = model.answer(&image(), "Please transcribe the signature").unwrap_err();
+        let err = model
+            .answer(&image(), "Please transcribe the signature")
+            .unwrap_err();
         assert!(matches!(err, ModalError::UnanswerableQuestion { .. }));
         assert!(err.to_string().contains("VisualQA"));
     }

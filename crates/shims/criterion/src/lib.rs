@@ -1,0 +1,255 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! It implements the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! the `criterion_group!`/`criterion_main!` macros and `Bencher::iter` — with
+//! a simple warmup + timed-samples measurement loop. Results are printed as
+//! `bench: <group>/<name> ... median <time> (n=<samples>)` lines and, when the
+//! `CRITERION_JSON` environment variable names a file, appended to it as JSON
+//! lines so scripts can collect machine-readable numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            measurement_time: Duration::from_millis(600),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a free-standing benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark("", name, 30, Duration::from_millis(600), f);
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Set the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &self.name,
+            &name.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of a parameterized benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing helper handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure a closure: a few warmup runs, then timed samples.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup + calibration: find how many iterations fit in ~1ms.
+        let calibrate_start = Instant::now();
+        black_box(routine());
+        let once = calibrate_start.elapsed().max(Duration::from_nanos(50));
+        let per_sample_budget = self.measurement_time / (self.sample_size as u32);
+        let iters = (per_sample_budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / (iters as u32));
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    group: &str,
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if bencher.samples.is_empty() {
+        println!("bench: {label:<50} (no samples)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    println!(
+        "bench: {label:<50} median {:>12} (n={})",
+        format_duration(median),
+        bencher.samples.len()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{label}\",\"median_ns\":{}}}",
+                median.as_nanos()
+            );
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runner (API-compatible with criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a set of benchmark groups (API-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("filter", 100).to_string(), "filter/100");
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal, deterministic stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! small API subset the workspace actually uses (`StdRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges, `Rng::gen_bool`) is provided here.
+//! The generator is a SplitMix64-seeded xoshiro256++, which is a real,
+//! well-distributed PRNG — streams are deterministic per seed, which is
+//! exactly what the synthetic data generators need for reproducible lakes.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Pseudo-random number generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// The standard PRNG: xoshiro256++ behind the same name `rand` uses.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that can be sampled uniformly from an integer range.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)` (`high` exclusive).
+    fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                debug_assert!(low < high, "gen_range called with an empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift reduction of a 64-bit draw onto the span.
+                let draw = rng.next_u64() as u128;
+                let offset = (draw.wrapping_mul(span)) >> 64;
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Range sampling (mirrors the parts of `rand::Rng` the workspace uses).
+pub trait Rng {
+    /// Sample uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoSampleRange<T>;
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoSampleRange<T>,
+    {
+        let (low, high) = range.into_bounds();
+        T::sample_range(self, low, high)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+}
+
+/// Conversion of `Range`/`RangeInclusive` into half-open bounds.
+pub trait IntoSampleRange<T> {
+    /// `(low, high)` with `high` exclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+macro_rules! impl_into_sample_range {
+    ($($t:ty),*) => {$(
+        impl IntoSampleRange<$t> for Range<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                (self.start, self.end)
+            }
+        }
+        impl IntoSampleRange<$t> for RangeInclusive<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end() + 1)
+            }
+        }
+    )*};
+}
+
+impl_into_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u64), b.gen_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i32 = rng.gen_range(1300..=1950);
+            assert!((1300..=1950).contains(&v));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -68,9 +68,13 @@ fn figure4_query1_table_matches_ground_truth_maxima() {
     let table = output.table().expect("expected a table");
     assert!(table.num_rows() > 0);
     for row in table.rows() {
-        let team = row[0].as_str().unwrap().to_string();
-        let max = row[row.len() - 1].as_int().unwrap();
-        assert_eq!(Some(max), data.max_points_of(&team), "wrong maximum for {team}");
+        let team = row.get(0).as_str().unwrap().to_string();
+        let max = row.get(row.len() - 1).as_int().unwrap();
+        assert_eq!(
+            Some(max),
+            data.max_points_of(&team),
+            "wrong maximum for {team}"
+        );
     }
 }
 
@@ -80,10 +84,16 @@ fn single_value_queries_return_scalars_consistent_with_ground_truth() {
     let output = session
         .query("How many teams are in the Eastern conference?")
         .unwrap();
-    let expected = data.teams.iter().filter(|t| t.conference == "Eastern").count() as i64;
+    let expected = data
+        .teams
+        .iter()
+        .filter(|t| t.conference == "Eastern")
+        .count() as i64;
     assert_eq!(output.as_value().unwrap().as_int(), Some(expected));
 
-    let output = session.query("What is the height of the tallest player?").unwrap();
+    let output = session
+        .query("What is the height of the tallest player?")
+        .unwrap();
     let expected = data.players.iter().map(|p| p.height_cm).max().unwrap();
     assert_eq!(output.as_value().unwrap().as_int(), Some(expected));
 }
@@ -95,11 +105,8 @@ fn list_queries_return_the_right_titles() {
         .query("List the titles of all paintings that depict a horse.")
         .unwrap();
     let table = output.table().expect("expected a table");
-    let titles: std::collections::BTreeSet<String> = table
-        .rows()
-        .iter()
-        .map(|row| row[0].to_string())
-        .collect();
+    let titles: std::collections::BTreeSet<String> =
+        table.rows().map(|row| row.get(0).to_string()).collect();
     let expected: std::collections::BTreeSet<String> = data
         .records
         .iter()

@@ -1,9 +1,7 @@
 //! Integration tests of the evaluation harness: the benchmark reproduces the
 //! qualitative findings of the paper's Table 1 and Table 2.
 
-use caesura::eval::{
-    evaluate_model, render_table1, render_table2, Dataset, EvaluationConfig,
-};
+use caesura::eval::{evaluate_model, render_table1, render_table2, Dataset, EvaluationConfig};
 use caesura::llm::ModelProfile;
 
 fn config() -> EvaluationConfig {
@@ -49,8 +47,14 @@ fn table2_shape_data_misunderstanding_dominates_for_the_weaker_model() {
     let gpt35_counts = gpt35.error_counts();
 
     // The weaker model misunderstands the data far more often (paper: 9 vs 1).
-    let dm35 = gpt35_counts.get("Data Misunderstanding").copied().unwrap_or(0);
-    let dm4 = gpt4_counts.get("Data Misunderstanding").copied().unwrap_or(0);
+    let dm35 = gpt35_counts
+        .get("Data Misunderstanding")
+        .copied()
+        .unwrap_or(0);
+    let dm4 = gpt4_counts
+        .get("Data Misunderstanding")
+        .copied()
+        .unwrap_or(0);
     assert!(dm35 > dm4, "expected 3.5 ({dm35}) > 4 ({dm4})");
 
     // GPT-4's mistakes are few and mostly in the mapping phase (wrong arguments).
@@ -86,6 +90,9 @@ fn reports_render_and_cover_all_queries() {
         "Wrong Arguments",
         "Wrong Tool",
     ] {
-        assert!(table2.contains(category), "Table 2 misses category {category}");
+        assert!(
+            table2.contains(category),
+            "Table 2 misses category {category}"
+        );
     }
 }

@@ -1,115 +1,159 @@
 //! Property-based tests of the plan grammar and the simulated-planner
 //! plumbing: whatever the planner synthesizes must survive the render → parse
 //! round trip through text, exactly as it would with a remote LLM.
+//!
+//! Runs over deterministic pseudo-random inputs from the in-repo `rand` shim
+//! (the build environment has no network access for proptest).
 
 use caesura::llm::{plan::split_arguments, LogicalPlan, LogicalStep, OperatorDecision};
 use caesura::modal::OperatorKind;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng, StdRng};
 
-fn identifier() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,14}".prop_map(|s| s)
+const CASES: usize = 300;
+
+fn identifier(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut out = String::new();
+    out.push(FIRST[rng.gen_range(0..FIRST.len())] as char);
+    for _ in 0..rng.gen_range(0..14usize) {
+        out.push(REST[rng.gen_range(0..REST.len())] as char);
+    }
+    out
 }
 
-fn description() -> impl Strategy<Value = String> {
-    "[A-Za-z0-9 ,']{1,60}".prop_map(|s| s.trim().replace('\n', " "))
+fn description(rng: &mut StdRng) -> String {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,'";
+    let len = rng.gen_range(1..60usize);
+    let text: String = (0..len)
+        .map(|_| CHARSET[rng.gen_range(0..CHARSET.len())] as char)
+        .collect();
+    let text = text.trim().to_string();
+    if text.is_empty() {
+        "do something".to_string()
+    } else {
+        text
+    }
 }
 
-fn logical_step(number: usize) -> impl Strategy<Value = LogicalStep> {
-    (
-        description(),
-        prop::collection::vec(identifier(), 0..3),
-        identifier(),
-        prop::collection::vec(identifier(), 0..3),
+fn identifiers(rng: &mut StdRng, max: usize) -> Vec<String> {
+    (0..rng.gen_range(0..max))
+        .map(|_| identifier(rng))
+        .collect()
+}
+
+fn logical_step(rng: &mut StdRng, number: usize) -> LogicalStep {
+    LogicalStep::new(
+        number,
+        description(rng),
+        identifiers(rng, 3),
+        identifier(rng),
+        identifiers(rng, 3),
     )
-        .prop_map(move |(description, inputs, output, new_columns)| {
-            // Descriptions must not be empty or start with a field keyword that
-            // the grammar treats specially.
-            let description = if description.is_empty() {
-                "do something".to_string()
-            } else {
-                description
-            };
-            LogicalStep::new(number, description, inputs, output, new_columns)
-        })
 }
 
-fn operator_kind() -> impl Strategy<Value = OperatorKind> {
-    prop::sample::select(OperatorKind::all().to_vec())
+fn operator_kind(rng: &mut StdRng) -> OperatorKind {
+    let all = OperatorKind::all();
+    all[rng.gen_range(0..all.len())]
 }
 
-proptest! {
-    /// Logical plans survive the text round trip: the parsed plan has the same
-    /// number of steps, the same inputs/outputs/new columns.
-    #[test]
-    fn logical_plans_round_trip_through_text(steps in prop::collection::vec(logical_step(1), 1..6), thought in description()) {
+/// Logical plans survive the text round trip: the parsed plan has the same
+/// number of steps, the same inputs/outputs/new columns.
+#[test]
+fn logical_plans_round_trip_through_text() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for _ in 0..CASES {
+        let steps: Vec<LogicalStep> = (0..rng.gen_range(1..6usize))
+            .map(|i| logical_step(&mut rng, i + 1))
+            .collect();
         let plan = LogicalPlan {
-            thought,
-            steps: steps
-                .into_iter()
-                .enumerate()
-                .map(|(i, mut s)| {
-                    s.number = i + 1;
-                    s
-                })
-                .collect(),
+            thought: description(&mut rng),
+            steps,
         };
         let text = plan.render();
         let parsed = LogicalPlan::parse(&text).unwrap();
-        prop_assert_eq!(parsed.steps.len(), plan.steps.len());
+        assert_eq!(parsed.steps.len(), plan.steps.len());
         for (parsed_step, original) in parsed.steps.iter().zip(plan.steps.iter()) {
-            prop_assert_eq!(&parsed_step.inputs, &original.inputs);
-            prop_assert_eq!(&parsed_step.output, &original.output);
-            prop_assert_eq!(&parsed_step.new_columns, &original.new_columns);
-            prop_assert!(parsed_step.description.starts_with(original.description.trim()));
+            assert_eq!(&parsed_step.inputs, &original.inputs);
+            assert_eq!(&parsed_step.output, &original.output);
+            assert_eq!(&parsed_step.new_columns, &original.new_columns);
+            assert!(parsed_step
+                .description
+                .starts_with(original.description.trim()));
         }
     }
+}
 
-    /// Operator decisions survive the text round trip for every operator kind.
-    #[test]
-    fn operator_decisions_round_trip_through_text(
-        operator in operator_kind(),
-        step_number in 1usize..9,
-        arguments in prop::collection::vec("[A-Za-z0-9_ =<>]{1,30}", 1..5),
-        reasoning in description(),
-    ) {
+/// Operator decisions survive the text round trip for every operator kind.
+#[test]
+fn operator_decisions_round_trip_through_text() {
+    let mut rng = StdRng::seed_from_u64(101);
+    const ARG_CHARSET: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ =<>";
+    for _ in 0..CASES {
+        let operator = operator_kind(&mut rng);
+        let step_number = rng.gen_range(1..9usize);
         // Arguments must not contain the separator or parentheses that the
         // grammar uses.
-        let arguments: Vec<String> = arguments
-            .into_iter()
-            .map(|a| a.replace([';', '(', ')'], " ").trim().to_string())
+        let arguments: Vec<String> = (0..rng.gen_range(1..5usize))
+            .map(|_| {
+                let len = rng.gen_range(1..30usize);
+                (0..len)
+                    .map(|_| ARG_CHARSET[rng.gen_range(0..ARG_CHARSET.len())] as char)
+                    .collect::<String>()
+                    .trim()
+                    .to_string()
+            })
             .filter(|a| !a.is_empty())
             .collect();
-        prop_assume!(!arguments.is_empty());
+        if arguments.is_empty() {
+            continue;
+        }
         let decision = OperatorDecision {
             step_number,
-            reasoning,
+            reasoning: description(&mut rng),
             operator,
             arguments: arguments.clone(),
         };
         let text = decision.render("some step");
         let parsed = OperatorDecision::parse(&text).unwrap();
-        prop_assert_eq!(parsed.operator, operator);
-        prop_assert_eq!(parsed.step_number, step_number);
-        prop_assert_eq!(parsed.arguments, arguments);
+        assert_eq!(parsed.operator, operator);
+        assert_eq!(parsed.step_number, step_number);
+        assert_eq!(parsed.arguments, arguments);
     }
+}
 
-    /// Argument splitting is the inverse of joining with "; " for
-    /// separator-free arguments.
-    #[test]
-    fn argument_splitting_inverts_joining(arguments in prop::collection::vec("[A-Za-z0-9_ =<>]{1,20}", 1..6)) {
-        let arguments: Vec<String> = arguments
-            .into_iter()
-            .map(|a| a.trim().to_string())
+/// Argument splitting is the inverse of joining with "; " for separator-free
+/// arguments.
+#[test]
+fn argument_splitting_inverts_joining() {
+    let mut rng = StdRng::seed_from_u64(102);
+    const ARG_CHARSET: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ =<>";
+    for _ in 0..CASES {
+        let arguments: Vec<String> = (0..rng.gen_range(1..6usize))
+            .map(|_| {
+                let len = rng.gen_range(1..20usize);
+                (0..len)
+                    .map(|_| ARG_CHARSET[rng.gen_range(0..ARG_CHARSET.len())] as char)
+                    .collect::<String>()
+                    .trim()
+                    .to_string()
+            })
             .filter(|a| !a.is_empty())
             .collect();
-        prop_assume!(!arguments.is_empty());
+        if arguments.is_empty() {
+            continue;
+        }
         let joined = format!("({})", arguments.join("; "));
-        prop_assert_eq!(split_arguments(&joined), arguments);
+        assert_eq!(split_arguments(&joined), arguments);
     }
+}
 
-    /// Operator names round trip through the prompt vocabulary.
-    #[test]
-    fn operator_names_round_trip(operator in operator_kind()) {
-        prop_assert_eq!(OperatorKind::from_name(operator.name()), Some(operator));
+/// Operator names round trip through the prompt vocabulary.
+#[test]
+fn operator_names_round_trip() {
+    for operator in OperatorKind::all() {
+        assert_eq!(OperatorKind::from_name(operator.name()), Some(*operator));
     }
 }
