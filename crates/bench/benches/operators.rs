@@ -2,6 +2,7 @@
 //! at several input cardinalities.
 
 use caesura_data::{generate_artwork, ArtworkConfig};
+use caesura_engine::parallel::{self, ExecConfig};
 use caesura_engine::{ops, sql, DataType, Expr, Schema, Table, TableBuilder, Value};
 use caesura_modal::operators::{apply_python_udf, apply_visual_qa};
 use caesura_modal::{TransformCodegen, VisualQaModel};
@@ -116,6 +117,93 @@ fn bench_columnar_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// Morsel-parallel scaling benches: filter / aggregate / join / sort at
+/// 100k and 1M rows with a threads axis (1/2/4/8 workers, default morsel
+/// size). `threads = 1` is the sequential baseline the speedups in
+/// BENCH_operators.json are measured against. The configuration is pinned
+/// per measurement with a scoped override, so the other groups keep running
+/// under the process default.
+fn bench_parallel_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for &size in &[100_000usize, 1_000_000] {
+        let scores = scores_table(size);
+        let teams = teams_table();
+        let predicate = sql::parse_expression("points > 100").unwrap();
+        for &threads in &[1usize, 2, 4, 8] {
+            let config = ExecConfig::with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("filter_t{threads}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        parallel::with_config(config, || {
+                            ops::filter(black_box(&scores), &predicate).unwrap()
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("aggregate_t{threads}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        parallel::with_config(config, || {
+                            ops::aggregate(
+                                black_box(&scores),
+                                &[(Expr::col("team"), "team".to_string())],
+                                &[
+                                    ops::AggCall::new(
+                                        ops::AggFunc::Max,
+                                        Some(Expr::col("points")),
+                                        "max_points",
+                                    ),
+                                    ops::AggCall::count_star("games"),
+                                ],
+                            )
+                            .unwrap()
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("join_t{threads}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        parallel::with_config(config, || {
+                            ops::hash_join(
+                                black_box(&scores),
+                                black_box(&teams),
+                                "team",
+                                "team",
+                                ops::JoinType::Inner,
+                            )
+                            .unwrap()
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("sort_t{threads}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        parallel::with_config(config, || {
+                            ops::sort(
+                                black_box(&scores),
+                                &[ops::SortKey::desc(Expr::col("points"))],
+                            )
+                            .unwrap()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_operators(c: &mut Criterion) {
     let mut group = c.benchmark_group("operators");
     for &size in &[100usize, 1000] {
@@ -202,5 +290,10 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators, bench_columnar_scale);
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_columnar_scale,
+    bench_parallel_scale
+);
 criterion_main!(benches);

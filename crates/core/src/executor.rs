@@ -8,7 +8,7 @@
 //! mapping prompt.
 
 use crate::error::{CoreError, CoreResult};
-use caesura_engine::{sql, Catalog, Table};
+use caesura_engine::{parallel, sql, Catalog, ExecConfig, Table};
 use caesura_llm::{LogicalStep, OperatorDecision};
 use caesura_modal::operators::{
     apply_image_select, apply_plot, apply_python_udf, apply_text_qa, apply_visual_qa,
@@ -66,6 +66,8 @@ pub struct Executor {
     codegen: TransformCodegen,
     /// The most recently produced table name.
     last_output: Option<String>,
+    /// Optional pinned execution configuration for the relational operators.
+    exec: Option<ExecConfig>,
 }
 
 impl Executor {
@@ -80,7 +82,15 @@ impl Executor {
             image_select: ImageSelectModel::new(),
             codegen: TransformCodegen::new(),
             last_output: None,
+            exec: None,
         }
+    }
+
+    /// Pin the execution configuration (worker threads, morsel size) every
+    /// operator executed by this executor runs under.
+    pub fn with_exec_config(mut self, config: ExecConfig) -> Self {
+        self.exec = Some(config);
+        self
     }
 
     /// Replace the perception models (e.g. to attach a noise model).
@@ -186,6 +196,17 @@ impl Executor {
 
     /// Execute one operator decision for one logical step.
     pub fn execute(
+        &mut self,
+        step: &LogicalStep,
+        decision: &OperatorDecision,
+    ) -> CoreResult<StepOutcome> {
+        match self.exec {
+            Some(config) => parallel::with_config(config, || self.execute_inner(step, decision)),
+            None => self.execute_inner(step, decision),
+        }
+    }
+
+    fn execute_inner(
         &mut self,
         step: &LogicalStep,
         decision: &OperatorDecision,
@@ -395,7 +416,7 @@ mod tests {
                 assert!(!plot.points.is_empty());
                 assert!(table.schema().contains("max_num_swords"));
             }
-            _ => panic!("expected a plot outcome"),
+            other => panic!("expected a plot outcome, got: {other:?}"),
         }
     }
 
@@ -413,7 +434,7 @@ mod tests {
                 assert_eq!(name, "filtered");
                 assert!(num_rows < 40);
             }
-            _ => panic!("expected a table"),
+            other => panic!("expected a table outcome, got: {other:?}"),
         }
     }
 

@@ -8,7 +8,7 @@ use crate::executor::{Executor, StepOutcome};
 use crate::output::QueryOutput;
 use crate::trace::{ExecutionTrace, Phase};
 use caesura_data::DataLake;
-use caesura_engine::Catalog;
+use caesura_engine::{parallel, Catalog, ExecConfig};
 use caesura_llm::{
     Conversation, ErrorAnalysis, LlmClient, LogicalPlan, LogicalStep, OperatorDecision,
     PromptBuilder, PromptConfig, RelevantColumn,
@@ -36,6 +36,11 @@ pub struct CaesuraConfig {
     pub max_step_attempts: usize,
     /// Maximum full replans after an unrecoverable error.
     pub max_replans: usize,
+    /// Execution configuration (worker threads, morsel size) pinned for the
+    /// relational operators of this session's queries. `None` uses the
+    /// process default (`CAESURA_THREADS` / hardware parallelism);
+    /// `Some(ExecConfig::sequential())` forces the single-threaded paths.
+    pub exec: Option<ExecConfig>,
 }
 
 impl Default for CaesuraConfig {
@@ -48,6 +53,7 @@ impl Default for CaesuraConfig {
             example_values: 3,
             max_step_attempts: 3,
             max_replans: 1,
+            exec: None,
         }
     }
 }
@@ -126,7 +132,15 @@ impl Caesura {
         let mut trace = ExecutionTrace::new();
         let mut decisions = Vec::new();
         let mut logical_plan = None;
-        let output = self.run_inner(query, &mut trace, &mut logical_plan, &mut decisions);
+        let output = {
+            let (trace, logical_plan, decisions) = (&mut trace, &mut logical_plan, &mut decisions);
+            let mut run = move || self.run_inner(query, trace, logical_plan, decisions);
+            match self.config.exec {
+                // Pin the session's thread/morsel knobs for the whole query.
+                Some(config) => parallel::with_config(config, run),
+                None => run(),
+            }
+        };
         QueryRun {
             query: query.to_string(),
             logical_plan,
@@ -309,6 +323,9 @@ impl Caesura {
         decisions_out: &mut Vec<OperatorDecision>,
         trace: &mut ExecutionTrace,
     ) -> Result<QueryOutput, (CoreError, bool)> {
+        // No per-executor pin here: `run` already scopes the session's
+        // `exec` override around the whole query, and `Executor::
+        // with_exec_config` remains available for direct executor users.
         let mut executor = Executor::new(self.lake.catalog().clone(), self.lake.images().clone());
         let mut observations: Vec<String> = Vec::new();
         let mut last_outcome: Option<StepOutcome> = None;

@@ -87,6 +87,18 @@ impl Bitmap {
         self.unset == 0
     }
 
+    /// The validity bits of `range`, as a new bitmap.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bitmap {
+        if self.is_all_valid() {
+            return Bitmap::all_valid(range.len());
+        }
+        let mut out = Bitmap::new();
+        for i in range {
+            out.push(self.is_valid(i));
+        }
+        out
+    }
+
     /// Gather the bits at `indices` into a new bitmap.
     pub fn take(&self, indices: &[usize]) -> Bitmap {
         if self.is_all_valid() {
@@ -313,6 +325,26 @@ impl Column {
         match self {
             Column::Utf8(v, b) => Some((v, b)),
             _ => None,
+        }
+    }
+
+    /// Copy the slots of `range` into a new column, **preserving the storage
+    /// representation** (a sliced `Mixed` column stays `Mixed`, placeholder
+    /// values in invalid slots are copied verbatim). Preserving the
+    /// representation matters for the morsel-driven parallel kernels: every
+    /// chunk must take exactly the code path the full column would, so that
+    /// reassembled results are byte-identical to sequential execution.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Bool(v, b) => Column::Bool(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Int64(v, b) => Column::Int64(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Float64(v, b) => Column::Float64(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Utf8(v, b) => Column::Utf8(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Date(v, b) => Column::Date(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Image(v, b) => Column::Image(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Text(v, b) => Column::Text(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Null(_) => Column::Null(range.len()),
+            Column::Mixed(v) => Column::Mixed(v[range].to_vec()),
         }
     }
 

@@ -380,9 +380,57 @@ impl Expr {
         columns: &[Arc<Column>],
         num_rows: usize,
     ) -> EngineResult<Arc<Column>> {
+        let config = crate::parallel::exec_config();
+        // Literals stay scalar and plain column references stay zero-copy
+        // `Arc` bumps — chunking either would only add work.
+        if config.should_parallelize(num_rows)
+            && !matches!(self, Expr::Literal(_) | Expr::Column(_))
+        {
+            return self.evaluate_batch_morsels(schema, columns, num_rows, &config);
+        }
         Ok(self
             .evaluate_batch_inner(schema, columns, num_rows)?
             .materialize(num_rows))
+    }
+
+    /// Morsel-parallel batch evaluation: slice the referenced input columns
+    /// per morsel, run the (sequential) vectorized evaluator on each chunk on
+    /// the worker pool, and concatenate the chunk columns in morsel order.
+    /// Because [`Column::slice`] preserves storage representations, every
+    /// chunk takes exactly the kernel the full column would, so the
+    /// reassembled column is byte-identical to sequential evaluation.
+    fn evaluate_batch_morsels(
+        &self,
+        schema: &Schema,
+        columns: &[Arc<Column>],
+        num_rows: usize,
+        config: &crate::parallel::ExecConfig,
+    ) -> EngineResult<Arc<Column>> {
+        let referenced = self.referenced_column_mask(schema, columns.len());
+        let chunks: Vec<Arc<Column>> =
+            crate::parallel::try_map_morsels(config, num_rows, |range| {
+                let chunk_columns = chunk_input_columns(columns, &referenced, range.clone());
+                // Chunk lengths never exceed `morsel_rows`, so this nested
+                // call always takes the sequential path.
+                self.evaluate_batch(schema, &chunk_columns, range.len())
+            })?;
+        let parts: Vec<&Column> = chunks.iter().map(|c| c.as_ref()).collect();
+        Ok(Arc::new(Column::concat(&parts)))
+    }
+
+    /// Which input columns the expression reads, as a positional mask.
+    /// Unresolvable references are simply left out — the chunk evaluation
+    /// raises exactly the error the sequential evaluation would.
+    fn referenced_column_mask(&self, schema: &Schema, num_columns: usize) -> Vec<bool> {
+        let mut mask = vec![false; num_columns];
+        for name in self.referenced_columns() {
+            if let Ok(idx) = schema.resolve(&name) {
+                if idx < num_columns {
+                    mask[idx] = true;
+                }
+            }
+        }
+        mask
     }
 
     /// Evaluate the expression as a predicate over all rows and return the
@@ -393,6 +441,20 @@ impl Expr {
         columns: &[Arc<Column>],
         num_rows: usize,
     ) -> EngineResult<Vec<usize>> {
+        let config = crate::parallel::exec_config();
+        if config.should_parallelize(num_rows) && !matches!(self, Expr::Literal(_)) {
+            let referenced = self.referenced_column_mask(schema, columns.len());
+            let chunks = crate::parallel::try_map_morsels(&config, num_rows, |range| {
+                let chunk_columns = chunk_input_columns(columns, &referenced, range.clone());
+                self.selection_vector(schema, &chunk_columns, range.len())
+                    .map(|selected| (range.start, selected))
+            })?;
+            let mut selected = Vec::new();
+            for (offset, chunk) in chunks {
+                selected.extend(chunk.into_iter().map(|i| i + offset));
+            }
+            return Ok(selected);
+        }
         match self.evaluate_batch_inner(schema, columns, num_rows)? {
             Batch::Scalar(v) => Ok(if v.as_bool() == Some(true) {
                 (0..num_rows).collect()
@@ -644,6 +706,28 @@ impl fmt::Display for Expr {
             }
         }
     }
+}
+
+/// Slice the input columns an expression actually reads down to `range`,
+/// substituting a shared all-NULL placeholder for untouched positions so the
+/// chunk keeps the schema's column arity without copying unread data.
+fn chunk_input_columns(
+    columns: &[Arc<Column>],
+    referenced: &[bool],
+    range: std::ops::Range<usize>,
+) -> Vec<Arc<Column>> {
+    let placeholder = Arc::new(Column::Null(range.len()));
+    columns
+        .iter()
+        .zip(referenced)
+        .map(|(column, &read)| {
+            if read {
+                Arc::new(column.slice(range.clone()))
+            } else {
+                Arc::clone(&placeholder)
+            }
+        })
+        .collect()
 }
 
 /// The result of evaluating a sub-expression over a batch of rows: either a

@@ -18,9 +18,34 @@
 //!   evaluator and a row-at-a-time evaluator,
 //! * [`ops`] — vectorized physical relational operators (filter, project,
 //!   hash join, aggregation, sort, limit, distinct, union),
+//! * [`parallel`] — the morsel-driven parallel execution subsystem (see
+//!   below),
 //! * [`sql`] — a read-only SQL subset (parser + executor) used by the SQL
 //!   physical operators of CAESURA's plans,
 //! * [`Catalog`] — the named-table registry backing a data lake.
+//!
+//! ## Parallel execution and `ExecConfig`
+//!
+//! The hot kernels (expression evaluation, filter selection vectors,
+//! take/gather, hash-join build/probe, grouped aggregation, sort) run
+//! morsel-parallel on a scoped `std::thread` worker pool: row ranges are
+//! split into fixed-size morsels that workers claim from a shared cursor.
+//! All merges happen in morsel order, so results are deterministic and —
+//! with the floating-point SUM/AVG caveat documented in [`parallel`] —
+//! byte-identical to sequential execution.
+//!
+//! The knob is [`ExecConfig`] `{ threads, morsel_rows }`:
+//!
+//! * `threads = 1` disables the pool entirely and runs the original
+//!   sequential code paths;
+//! * the process default comes from the `CAESURA_THREADS` /
+//!   `CAESURA_MORSEL_ROWS` environment variables (hardware parallelism and
+//!   4096 rows otherwise) and can be replaced with
+//!   [`parallel::set_exec_config`];
+//! * a configuration can be pinned per catalog
+//!   ([`Catalog::set_exec_config`]) or per scope
+//!   ([`parallel::with_config`]); the `caesura-core` session and executor
+//!   expose the same knob for whole queries.
 //!
 //! ```
 //! use caesura_engine::{Catalog, Schema, TableBuilder, DataType, Value, sql::run_sql};
@@ -43,6 +68,7 @@ pub mod column;
 pub mod error;
 pub mod expr;
 pub mod ops;
+pub mod parallel;
 pub mod schema;
 pub mod sql;
 pub mod table;
@@ -53,6 +79,7 @@ pub use column::{Bitmap, Column, ColumnBuilder};
 pub use error::{EngineError, EngineResult};
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
 pub use ops::{AggCall, AggFunc, JoinType, Projection, SortKey, SortOrder};
+pub use parallel::ExecConfig;
 pub use schema::{Field, Schema};
 pub use table::{Row, RowRef, Rows, Table, TableBuilder};
 pub use value::{DataType, DateValue, Value};

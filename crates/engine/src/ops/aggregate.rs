@@ -208,6 +208,68 @@ impl AggState {
         Ok(())
     }
 
+    /// Merge another partial state for the same group into this one (the
+    /// combine step of morsel-parallel aggregation). `other` must come from
+    /// later rows than `self`, so first-seen semantics (MIN/MAX keep the
+    /// earliest extremum) are preserved. Floating-point SUM/AVG totals are
+    /// combined by adding per-morsel partial sums in morsel order —
+    /// deterministic, and exact whenever the addends are exactly
+    /// representable (integers below 2^53, dyadic rationals).
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::Sum {
+                    total,
+                    any,
+                    all_int,
+                },
+                AggState::Sum {
+                    total: other_total,
+                    any: other_any,
+                    all_int: other_all_int,
+                },
+            ) => {
+                *total += other_total;
+                *any |= other_any;
+                *all_int &= other_all_int;
+            }
+            (
+                AggState::Avg { total, count },
+                AggState::Avg {
+                    total: other_total,
+                    count: other_count,
+                },
+            ) => {
+                *total += other_total;
+                *count += other_count;
+            }
+            (AggState::Min(best), AggState::Min(other)) => {
+                if let Some(candidate) = other {
+                    match best {
+                        None => *best = Some(candidate),
+                        Some(b) if candidate.total_cmp(b) == std::cmp::Ordering::Less => {
+                            *best = Some(candidate)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            (AggState::Max(best), AggState::Max(other)) => {
+                if let Some(candidate) = other {
+                    match best {
+                        None => *best = Some(candidate),
+                        Some(b) if candidate.total_cmp(b) == std::cmp::Ordering::Greater => {
+                            *best = Some(candidate)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
     fn finish(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
@@ -240,6 +302,32 @@ impl AggState {
 struct Group {
     key_values: Vec<Value>,
     states: Vec<AggState>,
+}
+
+impl Group {
+    fn new(key_values: Vec<Value>, aggs: &[AggCall]) -> Group {
+        Group {
+            key_values,
+            states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        }
+    }
+
+    /// Merge a later partial group with the same key into this one.
+    fn merge(&mut self, other: Group) {
+        for (state, other_state) in self.states.iter_mut().zip(other.states) {
+            state.merge(other_state);
+        }
+    }
+}
+
+/// The lookup key a group is merged under when partial (per-morsel) results
+/// are combined: the typed integer key of the single-int fast path, or the
+/// rendered composite key of the generic path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    Int(i64),
+    Null,
+    Composite(String),
 }
 
 /// Group `input` by the `group_by` expressions and compute `aggs` per group.
@@ -296,66 +384,24 @@ pub fn aggregate(
     }
 
     // Grouping pass: map each row to its group, folding aggregate states.
-    let mut groups: Vec<Group> = Vec::new();
-    let fresh_states = |groups: &mut Vec<Group>, key_values: Vec<Value>| -> usize {
-        groups.push(Group {
-            key_values,
-            states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
-        });
-        groups.len() - 1
-    };
-
-    // Single integer group column: hash i64 keys directly.
-    let single_int_key = if key_columns.len() == 1 {
-        key_columns[0].as_int64()
+    // Large inputs aggregate morsel-parallel: each worker folds its row
+    // range into partial groups, which are then merged in morsel order —
+    // first-seen group order and all folds stay identical to a sequential
+    // row-order pass.
+    let config = crate::parallel::exec_config();
+    let keyed_groups = if config.should_parallelize(num_rows) {
+        let partials = crate::parallel::try_map_morsels(&config, num_rows, |range| {
+            group_rows(range, &key_columns, &agg_columns, &contexts, aggs)
+        })?;
+        merge_partial_groups(partials)
     } else {
-        None
+        group_rows(0..num_rows, &key_columns, &agg_columns, &contexts, aggs)?
     };
-    if let Some((data, validity)) = single_int_key {
-        let mut index: HashMap<i64, usize> = HashMap::new();
-        let mut null_group: Option<usize> = None;
-        for (row, &key) in data.iter().enumerate().take(num_rows) {
-            let group = if validity.is_valid(row) {
-                *index
-                    .entry(key)
-                    .or_insert_with(|| fresh_states(&mut groups, vec![Value::Int(key)]))
-            } else {
-                match null_group {
-                    Some(g) => g,
-                    None => {
-                        let g = fresh_states(&mut groups, vec![Value::Null]);
-                        null_group = Some(g);
-                        g
-                    }
-                }
-            };
-            fold_row(&mut groups[group], &agg_columns, &contexts, row)?;
-        }
-    } else {
-        let mut index: HashMap<String, usize> = HashMap::new();
-        let mut key_buf = String::new();
-        for row in 0..num_rows {
-            key_buf.clear();
-            for col in &key_columns {
-                col.write_group_key(row, &mut key_buf);
-                key_buf.push('\u{1}');
-            }
-            let group = match index.get(&key_buf) {
-                Some(&g) => g,
-                None => {
-                    let key_values: Vec<Value> = key_columns.iter().map(|c| c.get(row)).collect();
-                    let g = fresh_states(&mut groups, key_values);
-                    index.insert(key_buf.clone(), g);
-                    g
-                }
-            };
-            fold_row(&mut groups[group], &agg_columns, &contexts, row)?;
-        }
-    }
+    let mut groups: Vec<Group> = keyed_groups.into_iter().map(|(_, group)| group).collect();
 
     // Global aggregation over an empty input still yields one row.
     if groups.is_empty() && group_by.is_empty() {
-        fresh_states(&mut groups, Vec::new());
+        groups.push(Group::new(Vec::new(), aggs));
     }
 
     // Emit columns in first-seen group order.
@@ -380,6 +426,96 @@ pub fn aggregate(
         schema,
         builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
     )
+}
+
+/// Fold one row range into groups in first-seen order, each tagged with its
+/// merge key. This is both the sequential grouping pass (over `0..num_rows`)
+/// and the per-morsel partial pass of parallel aggregation.
+fn group_rows(
+    range: std::ops::Range<usize>,
+    key_columns: &[Arc<Column>],
+    agg_columns: &[Option<Arc<Column>>],
+    contexts: &[String],
+    aggs: &[AggCall],
+) -> EngineResult<Vec<(GroupKey, Group)>> {
+    let mut groups: Vec<(GroupKey, Group)> = Vec::new();
+
+    // Single integer group column: hash i64 keys directly.
+    let single_int_key = if key_columns.len() == 1 {
+        key_columns[0].as_int64()
+    } else {
+        None
+    };
+    if let Some((data, validity)) = single_int_key {
+        let mut index: HashMap<i64, usize> = HashMap::new();
+        let mut null_group: Option<usize> = None;
+        for row in range {
+            let key = data[row];
+            let group = if validity.is_valid(row) {
+                *index.entry(key).or_insert_with(|| {
+                    groups.push((GroupKey::Int(key), Group::new(vec![Value::Int(key)], aggs)));
+                    groups.len() - 1
+                })
+            } else {
+                match null_group {
+                    Some(g) => g,
+                    None => {
+                        groups.push((GroupKey::Null, Group::new(vec![Value::Null], aggs)));
+                        let g = groups.len() - 1;
+                        null_group = Some(g);
+                        g
+                    }
+                }
+            };
+            fold_row(&mut groups[group].1, agg_columns, contexts, row)?;
+        }
+    } else {
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut key_buf = String::new();
+        for row in range {
+            key_buf.clear();
+            for col in key_columns {
+                col.write_group_key(row, &mut key_buf);
+                key_buf.push('\u{1}');
+            }
+            let group = match index.get(&key_buf) {
+                Some(&g) => g,
+                None => {
+                    let key_values: Vec<Value> = key_columns.iter().map(|c| c.get(row)).collect();
+                    groups.push((
+                        GroupKey::Composite(key_buf.clone()),
+                        Group::new(key_values, aggs),
+                    ));
+                    let g = groups.len() - 1;
+                    index.insert(key_buf.clone(), g);
+                    g
+                }
+            };
+            fold_row(&mut groups[group].1, agg_columns, contexts, row)?;
+        }
+    }
+    Ok(groups)
+}
+
+/// Merge per-morsel partial groups in morsel order. A group's first
+/// occurrence over the morsel-ordered traversal is its first occurrence in
+/// row order, so the merged first-seen order — and every folded state — is
+/// identical to a sequential pass.
+fn merge_partial_groups(partials: Vec<Vec<(GroupKey, Group)>>) -> Vec<(GroupKey, Group)> {
+    let mut index: HashMap<GroupKey, usize> = HashMap::new();
+    let mut merged: Vec<(GroupKey, Group)> = Vec::new();
+    for partial in partials {
+        for (key, group) in partial {
+            match index.get(&key) {
+                Some(&slot) => merged[slot].1.merge(group),
+                None => {
+                    index.insert(key.clone(), merged.len());
+                    merged.push((key, group));
+                }
+            }
+        }
+    }
+    merged
 }
 
 fn fold_row(

@@ -49,21 +49,31 @@ pub fn hash_join(
         join_type,
     );
 
-    // Gather both sides. For inner joins every right index is present, so the
-    // cheaper non-optional take kernel applies.
+    // Gather both sides (morsel-parallel for large outputs). For inner joins
+    // every right index is present, so the cheaper non-optional take kernel
+    // applies.
+    let config = crate::parallel::exec_config();
     let mut columns: Vec<Arc<Column>> = Vec::with_capacity(schema.len());
     for col in left.columns() {
-        columns.push(Arc::new(col.take(&left_indices)));
+        columns.push(Arc::new(crate::parallel::take_column(
+            col,
+            &left_indices,
+            &config,
+        )));
     }
     let all_matched = right_indices.iter().all(|i| i.is_some());
     if all_matched {
         let plain: Vec<usize> = right_indices.iter().map(|i| i.unwrap()).collect();
         for col in right.columns() {
-            columns.push(Arc::new(col.take(&plain)));
+            columns.push(Arc::new(crate::parallel::take_column(col, &plain, &config)));
         }
     } else {
         for col in right.columns() {
-            columns.push(Arc::new(col.take_opt(&right_indices)));
+            columns.push(Arc::new(crate::parallel::take_opt_column(
+                col,
+                &right_indices,
+                &config,
+            )));
         }
     }
 
@@ -82,106 +92,167 @@ pub fn hash_join(
 /// Build a hash table over the right key column, probe with the left key
 /// column, and emit matching index pairs (right index `None` = NULL padding
 /// for unmatched left rows under a left-outer join).
+///
+/// Both phases are morsel-parallel on large inputs: the build side is
+/// partitioned into per-morsel hash tables that are merged in morsel order
+/// (so each key's match list stays in ascending row order, exactly as the
+/// sequential build produces it), and the probe side emits per-morsel index
+/// chunks that are concatenated in morsel order. The result is byte-identical
+/// to the sequential build/probe.
 fn probe_indices(
     left_key: &Column,
     right_key: &Column,
     join_type: JoinType,
 ) -> (Vec<usize>, Vec<Option<usize>>) {
+    let config = crate::parallel::exec_config();
     // Typed fast path: both sides are i64 keys.
     if let (Some((ldata, lvalid)), Some((rdata, rvalid))) =
         (left_key.as_int64(), right_key.as_int64())
     {
-        let mut build: HashMap<i64, Vec<usize>> = HashMap::with_capacity(rdata.len());
-        for (i, &key) in rdata.iter().enumerate() {
-            if rvalid.is_valid(i) {
-                build.entry(key).or_default().push(i);
-            }
-        }
-        return emit(
-            ldata.len(),
-            |i| {
-                if lvalid.is_valid(i) {
-                    build.get(&ldata[i]).map(Vec::as_slice)
-                } else {
-                    None
+        let build = build_partitioned(
+            rdata.len(),
+            &config,
+            |range, map: &mut HashMap<i64, Vec<usize>>| {
+                for i in range {
+                    if rvalid.is_valid(i) {
+                        map.entry(rdata[i]).or_default().push(i);
+                    }
                 }
             },
-            join_type,
         );
+        return emit_partitioned(ldata.len(), join_type, &config, |i, _buf: &mut String| {
+            if lvalid.is_valid(i) {
+                build.get(&ldata[i]).map(Vec::as_slice)
+            } else {
+                None
+            }
+        });
     }
     // Typed fast path: both sides are string keys.
     if let (Some((ldata, lvalid)), Some((rdata, rvalid))) =
         (left_key.as_utf8(), right_key.as_utf8())
     {
-        let mut build: HashMap<&str, Vec<usize>> = HashMap::with_capacity(rdata.len());
-        for (i, key) in rdata.iter().enumerate() {
-            if rvalid.is_valid(i) {
-                build.entry(key.as_ref()).or_default().push(i);
-            }
-        }
-        return emit(
-            ldata.len(),
-            |i| {
-                if lvalid.is_valid(i) {
-                    build.get(ldata[i].as_ref()).map(Vec::as_slice)
-                } else {
-                    None
+        let build = build_partitioned(
+            rdata.len(),
+            &config,
+            |range, map: &mut HashMap<&str, Vec<usize>>| {
+                for i in range {
+                    if rvalid.is_valid(i) {
+                        map.entry(rdata[i].as_ref()).or_default().push(i);
+                    }
                 }
             },
-            join_type,
         );
-    }
-    // Generic path: hash the rendered group key (numeric unification included).
-    let mut build: HashMap<String, Vec<usize>> = HashMap::with_capacity(right_key.len());
-    let mut key_buf = String::new();
-    for i in 0..right_key.len() {
-        if right_key.is_valid(i) {
-            key_buf.clear();
-            right_key.write_group_key(i, &mut key_buf);
-            build.entry(key_buf.clone()).or_default().push(i);
-        }
-    }
-    let mut probe_buf = String::new();
-    emit(
-        left_key.len(),
-        |i| {
-            if left_key.is_valid(i) {
-                probe_buf.clear();
-                left_key.write_group_key(i, &mut probe_buf);
-                build.get(probe_buf.as_str()).map(Vec::as_slice)
+        return emit_partitioned(ldata.len(), join_type, &config, |i, _buf: &mut String| {
+            if lvalid.is_valid(i) {
+                build.get(ldata[i].as_ref()).map(Vec::as_slice)
             } else {
                 None
             }
-        },
-        join_type,
-    )
-}
-
-fn emit<'a, F>(
-    left_len: usize,
-    mut matches_of: F,
-    join_type: JoinType,
-) -> (Vec<usize>, Vec<Option<usize>>)
-where
-    F: FnMut(usize) -> Option<&'a [usize]> + 'a,
-{
-    let mut left_indices = Vec::new();
-    let mut right_indices = Vec::new();
-    for i in 0..left_len {
-        match matches_of(i) {
-            Some(found) if !found.is_empty() => {
-                for &j in found {
-                    left_indices.push(i);
-                    right_indices.push(Some(j));
+        });
+    }
+    // Generic path: hash the rendered group key (numeric unification included).
+    let build = build_partitioned(
+        right_key.len(),
+        &config,
+        |range, map: &mut HashMap<String, Vec<usize>>| {
+            let mut key_buf = String::new();
+            for i in range {
+                if right_key.is_valid(i) {
+                    key_buf.clear();
+                    right_key.write_group_key(i, &mut key_buf);
+                    map.entry(key_buf.clone()).or_default().push(i);
                 }
             }
-            _ => {
-                if join_type == JoinType::Left {
-                    left_indices.push(i);
-                    right_indices.push(None);
+        },
+    );
+    emit_partitioned(left_key.len(), join_type, &config, |i, buf: &mut String| {
+        if left_key.is_valid(i) {
+            buf.clear();
+            left_key.write_group_key(i, buf);
+            build.get(buf.as_str()).map(Vec::as_slice)
+        } else {
+            None
+        }
+    })
+}
+
+/// Build the join hash table, partitioned over morsels of the build side.
+/// Partial tables are merged in morsel order, so every key's match list is
+/// identical to the one a sequential scan builds.
+fn build_partitioned<K, F>(
+    build_len: usize,
+    config: &crate::parallel::ExecConfig,
+    fill: F,
+) -> HashMap<K, Vec<usize>>
+where
+    K: std::hash::Hash + Eq + Send,
+    F: Fn(std::ops::Range<usize>, &mut HashMap<K, Vec<usize>>) + Sync,
+{
+    if !config.should_parallelize(build_len) {
+        let mut map = HashMap::with_capacity(build_len);
+        fill(0..build_len, &mut map);
+        return map;
+    }
+    let partials = crate::parallel::map_morsels(config, build_len, |range| {
+        let mut map = HashMap::new();
+        fill(range, &mut map);
+        map
+    });
+    let mut build: HashMap<K, Vec<usize>> = HashMap::with_capacity(build_len);
+    for partial in partials {
+        for (key, mut indices) in partial {
+            build.entry(key).or_default().append(&mut indices);
+        }
+    }
+    build
+}
+
+/// Probe and emit matching index pairs, partitioned over morsels of the
+/// probe side; per-morsel chunks are concatenated in morsel order. The
+/// `String` scratch buffer is per-morsel state for the generic rendered-key
+/// path (the typed paths ignore it).
+fn emit_partitioned<'a, F>(
+    left_len: usize,
+    join_type: JoinType,
+    config: &crate::parallel::ExecConfig,
+    matches_of: F,
+) -> (Vec<usize>, Vec<Option<usize>>)
+where
+    F: Fn(usize, &mut String) -> Option<&'a [usize]> + Sync,
+{
+    let emit_range = |range: std::ops::Range<usize>| {
+        let mut left_indices = Vec::new();
+        let mut right_indices = Vec::new();
+        let mut buf = String::new();
+        for i in range {
+            match matches_of(i, &mut buf) {
+                Some(found) if !found.is_empty() => {
+                    for &j in found {
+                        left_indices.push(i);
+                        right_indices.push(Some(j));
+                    }
+                }
+                _ => {
+                    if join_type == JoinType::Left {
+                        left_indices.push(i);
+                        right_indices.push(None);
+                    }
                 }
             }
         }
+        (left_indices, right_indices)
+    };
+    if !config.should_parallelize(left_len) {
+        return emit_range(0..left_len);
+    }
+    let chunks = crate::parallel::map_morsels(config, left_len, emit_range);
+    let total: usize = chunks.iter().map(|(l, _)| l.len()).sum();
+    let mut left_indices = Vec::with_capacity(total);
+    let mut right_indices = Vec::with_capacity(total);
+    for (mut l, mut r) in chunks {
+        left_indices.append(&mut l);
+        right_indices.append(&mut r);
     }
     (left_indices, right_indices)
 }

@@ -59,7 +59,7 @@ pub fn sort(input: &Table, keys: &[SortKey]) -> EngineResult<Table> {
         key_columns.push(key.expr.evaluate_batch(schema, input.columns(), num_rows)?);
     }
 
-    let mut indices: Vec<usize> = (0..num_rows).collect();
+    let config = crate::parallel::exec_config();
 
     // Typed fast path: one integer key with no NULLs.
     let typed = if keys.len() == 1 {
@@ -69,17 +69,37 @@ pub fn sort(input: &Table, keys: &[SortKey]) -> EngineResult<Table> {
     } else {
         None
     };
-    if let Some((data, _)) = typed {
+    // Both comparators end in an index tie-break, so they define a total
+    // order: the sorted permutation is unique, a parallel run-sort + merge
+    // (`parallel::sort_indices`) produces exactly the stable-sort result,
+    // and under `threads = 1` `sort_indices` is a plain sequential sort.
+    let indices = if let Some((data, _)) = typed {
         match keys[0].order {
-            SortOrder::Asc => indices.sort_by_key(|&i| (data[i], i)),
-            SortOrder::Desc => indices.sort_by_key(|&i| (std::cmp::Reverse(data[i]), i)),
+            SortOrder::Asc => crate::parallel::sort_indices(&config, num_rows, |a, b| {
+                (data[a], a).cmp(&(data[b], b))
+            }),
+            SortOrder::Desc => crate::parallel::sort_indices(&config, num_rows, |a, b| {
+                (std::cmp::Reverse(data[a]), a).cmp(&(std::cmp::Reverse(data[b]), b))
+            }),
         }
     } else {
         // Materialize the key rows once (decorate), then sort the indices.
-        let decorated: Vec<Vec<Value>> = (0..num_rows)
-            .map(|i| key_columns.iter().map(|c| c.get(i)).collect())
-            .collect();
-        indices.sort_by(|&a, &b| {
+        // The decoration itself is embarrassingly parallel over row morsels.
+        let decorated: Vec<Vec<Value>> = if config.should_parallelize(num_rows) {
+            crate::parallel::map_morsels(&config, num_rows, |range| {
+                range
+                    .map(|i| key_columns.iter().map(|c| c.get(i)).collect::<Vec<Value>>())
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            (0..num_rows)
+                .map(|i| key_columns.iter().map(|c| c.get(i)).collect())
+                .collect()
+        };
+        crate::parallel::sort_indices(&config, num_rows, |a, b| {
             for (idx, key) in keys.iter().enumerate() {
                 let ord = decorated[a][idx].total_cmp(&decorated[b][idx]);
                 let ord = match key.order {
@@ -91,8 +111,8 @@ pub fn sort(input: &Table, keys: &[SortKey]) -> EngineResult<Table> {
                 }
             }
             a.cmp(&b) // stability tie-break
-        });
-    }
+        })
+    };
 
     Ok(input
         .take(&indices)

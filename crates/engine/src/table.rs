@@ -325,15 +325,18 @@ impl Table {
     }
 
     /// Gather the rows at `indices` into a new table (the "take" kernel);
-    /// all metadata is preserved.
+    /// all metadata is preserved. Large gathers run morsel-parallel per
+    /// column (see [`parallel`](crate::parallel)); the output is
+    /// byte-identical to the sequential gather.
     pub fn take(&self, indices: &[usize]) -> Table {
+        let config = crate::parallel::exec_config();
         Table {
             name: self.name.clone(),
             schema: self.schema.clone(),
             columns: self
                 .columns
                 .iter()
-                .map(|c| Arc::new(c.take(indices)))
+                .map(|c| Arc::new(crate::parallel::take_column(c, indices, &config)))
                 .collect(),
             num_rows: indices.len(),
             description: self.description.clone(),

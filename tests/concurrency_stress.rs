@@ -1,0 +1,90 @@
+//! Concurrency stress: many threads issuing `Caesura::query` against one
+//! shared catalog of `Arc`-shared tables, with the morsel-driven parallel
+//! operators enabled, must produce exactly the results of serial sequential
+//! execution — no data races (the columns are immutable behind `Arc`; the
+//! scoped worker pools never outlive an operator call) and no
+//! cross-query interference (execution configuration is pinned per thread
+//! via a scoped override, not global mutation).
+
+use caesura::engine::parallel::{self, ExecConfig};
+use caesura::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+const QUERIES: &[&str] = &[
+    "For every team, what is the highest number of points they scored in a game?",
+    "For each conference, how many teams are there?",
+];
+
+#[test]
+fn concurrent_queries_over_one_shared_catalog_match_serial_results() {
+    let data = generate_rotowire(&RotowireConfig::small());
+
+    // Serial reference under the sequential configuration.
+    let reference_session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+    let expected: Vec<QueryOutput> = parallel::with_config(ExecConfig::sequential(), || {
+        QUERIES
+            .iter()
+            .map(|q| reference_session.query(q).expect("serial query failed"))
+            .collect()
+    });
+
+    // One session (and therefore one catalog of Arc-shared tables) shared by
+    // every thread; small morsels + several workers per query maximise
+    // interleaving inside each operator while the queries race each other.
+    let config = CaesuraConfig {
+        exec: Some(ExecConfig::new(4, 16)),
+        ..CaesuraConfig::default()
+    };
+    let session = Caesura::with_config(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()), config);
+
+    // The shared lake really is shared: the session's catalog holds the same
+    // Arc-backed tables as the reference session's.
+    for name in data.lake.catalog().table_names() {
+        assert!(Arc::ptr_eq(
+            session.lake().catalog().table(&name).unwrap(),
+            reference_session.lake().catalog().table(&name).unwrap(),
+        ));
+    }
+
+    thread::scope(|scope| {
+        for _ in 0..8 {
+            let session = &session;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for (query, expected_output) in QUERIES.iter().zip(expected) {
+                        let output = session
+                            .query(query)
+                            .unwrap_or_else(|e| panic!("query '{query}' failed: {e}"));
+                        assert_eq!(
+                            &output, expected_output,
+                            "round {round}: concurrent result diverged for '{query}'"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn per_thread_exec_overrides_do_not_leak_across_threads() {
+    // Two threads pin different configurations simultaneously; each must see
+    // its own, and the spawning thread's default must be untouched.
+    let before = parallel::exec_config();
+    thread::scope(|scope| {
+        for threads in [2usize, 8] {
+            scope.spawn(move || {
+                let pinned = ExecConfig::new(threads, 7);
+                parallel::with_config(pinned, || {
+                    for _ in 0..50 {
+                        assert_eq!(parallel::exec_config(), pinned);
+                        std::thread::yield_now();
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(parallel::exec_config(), before);
+}
