@@ -1,7 +1,12 @@
 //! End-to-end query latency (discovery → planning → mapping → execution) for
-//! representative queries on both data lakes.
+//! representative queries on both data lakes, plus a perception-batch-size
+//! axis (batch 1 vs default) over the multi-modal queries. The companion
+//! LLM-*call* numbers are recorded by the `llm_calls` binary in
+//! `BENCH_llm_calls.json`.
 
+use caesura_core::CaesuraConfig;
 use caesura_llm::ModelProfile;
+use caesura_modal::BatchConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -32,6 +37,25 @@ fn bench_end_to_end(c: &mut Criterion) {
             rotowire
                 .query(black_box(
                     "For every team, what is the highest number of points they scored in a game?",
+                ))
+                .unwrap()
+        })
+    });
+    // Perception batch-size axis on the multi-modal showcase query: the
+    // degenerate one-request-per-dispatch configuration, compared against
+    // the default-config `artwork_figure1_plot` baseline above.
+    let batch1 = caesura_bench::artwork_session_with(
+        ModelProfile::Gpt4,
+        CaesuraConfig {
+            llm_batch: Some(BatchConfig::new(1)),
+            ..CaesuraConfig::default()
+        },
+    );
+    group.bench_function("artwork_figure1_plot_llm_batch_1", |b| {
+        b.iter(|| {
+            batch1
+                .query(black_box(
+                    "Plot the number of paintings depicting Madonna and Child for each century!",
                 ))
                 .unwrap()
         })

@@ -1,20 +1,31 @@
 //! Plan-quality sweep: measures how long the full 48-query Table-1 evaluation
 //! takes per model profile (the wall-clock cost of regenerating the paper's
-//! evaluation) on a reduced data scale.
+//! evaluation) on a reduced data scale, plus a perception-batch-size axis
+//! (batch 1 vs default) over the same workload. The companion LLM-*call*
+//! numbers of this workload are recorded by the `llm_calls` binary in
+//! `BENCH_llm_calls.json`.
 
 use caesura_core::CaesuraConfig;
 use caesura_data::{ArtworkConfig, RotowireConfig};
 use caesura_eval::{evaluate_model, EvaluationConfig};
 use caesura_llm::ModelProfile;
+use caesura_modal::BatchConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_plan_quality(c: &mut Criterion) {
-    let config = EvaluationConfig {
+fn eval_config(llm_batch: Option<BatchConfig>) -> EvaluationConfig {
+    EvaluationConfig {
         seed: 42,
         artwork: ArtworkConfig::small(),
         rotowire: RotowireConfig::small(),
-        caesura: CaesuraConfig::default(),
-    };
+        caesura: CaesuraConfig {
+            llm_batch,
+            ..CaesuraConfig::default()
+        },
+    }
+}
+
+fn bench_plan_quality(c: &mut Criterion) {
+    let config = eval_config(None);
     let mut group = c.benchmark_group("plan_quality");
     group.sample_size(10);
     group.bench_function("table1_gpt4_profile_48_queries", |b| {
@@ -22,6 +33,12 @@ fn bench_plan_quality(c: &mut Criterion) {
     });
     group.bench_function("table1_chatgpt35_profile_48_queries", |b| {
         b.iter(|| evaluate_model(ModelProfile::ChatGpt35, &config))
+    });
+    // Perception batch-size axis: degenerate one-request batches, compared
+    // against the default-config baselines above.
+    let batch1 = eval_config(Some(BatchConfig::new(1)));
+    group.bench_function("table1_gpt4_profile_48_queries_llm_batch_1", |b| {
+        b.iter(|| evaluate_model(ModelProfile::Gpt4, &batch1))
     });
     group.finish();
 }

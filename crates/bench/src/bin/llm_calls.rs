@@ -1,0 +1,304 @@
+//! The LLM-calls axis of the benchmark suite: measures how many model round
+//! trips the batched, deduplicated perception layer issues — versus the
+//! row-at-a-time baseline of one call per row — and writes the numbers to
+//! `BENCH_llm_calls.json` at the repository root.
+//!
+//! Three sections:
+//!
+//! * `end_to_end` — the representative queries of the `end_to_end` criterion
+//!   bench, run with a `CountingLlm`-wrapped simulated model under batch
+//!   sizes 1 and the default. Records planner/mapping round trips
+//!   (`CountingLlm::usage`) and the perception rows / unique calls / batches
+//!   / dedup savings from the execution trace.
+//! * `plan_quality` — the 48-query Table-1 evaluation (the `plan_quality`
+//!   criterion bench's workload), aggregating the same perception axis.
+//! * `duplicate_heavy_operator` — a direct TextQA/VisualQA workload over
+//!   duplicate-heavy tables served by an **LLM-backed** perception backend
+//!   (`PerceptionLlm<CountingLlm<...>>`), demonstrating that `CountingLlm`
+//!   records strictly fewer calls than rows and that batch size only changes
+//!   dispatch granularity.
+//!
+//! Run with `cargo run --release -p caesura-bench --bin llm_calls`.
+
+use caesura_bench::BENCH_SEED;
+use caesura_core::{Caesura, CaesuraConfig, PerceptionCalls};
+use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
+use caesura_engine::{DataType, Schema, TableBuilder, Value};
+use caesura_eval::{evaluate_model, EvaluationConfig};
+use caesura_llm::{
+    Conversation, CountingLlm, LlmClient, LlmResult, ModelProfile, PerceptionLlm, SimulatedLlm,
+};
+use caesura_modal::operators::{apply_text_qa_with, apply_visual_qa_with};
+use caesura_modal::{BatchConfig, ImageObject, ImageStore};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+fn main() {
+    let sections = [
+        end_to_end_section(),
+        plan_quality_section(),
+        duplicate_heavy_section(),
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"LLM-call counts of the batched, deduplicated perception layer \
+         (PR 3). 'llm_calls' are planning/mapping/recovery completions (conversations served; \
+         a complete_batch dispatch can carry several per round trip); 'perception' counts \
+         the per-row perception-operator model calls after gather->dedup->batch->scatter. \
+         'saved' is calls avoided by dedup versus one call per row. Counts are deterministic \
+         (simulated models, fixed seed) and identical across batch sizes; batch size only \
+         changes how many dispatches carry them. Note: the end_to_end / plan_quality plans \
+         instantiate one question per row (e.g. 'How many points did <teams.name> score?'), so \
+         every (input, question) pair is distinct and dedup honestly saves nothing there; the \
+         duplicate_heavy_operator section isolates the Rotowire-style repetition (same document \
+         asked the same question across rows) where dedup collapses calls.\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p caesura-bench --bin llm_calls\",\n");
+    out.push_str(
+        "  \"acceptance\": \"on the duplicate-heavy workload CountingLlm must record strictly \
+         fewer calls than rows, and batched output must be byte-identical to the row-at-a-time \
+         reference (asserted by tests/property_batch.rs)\",\n",
+    );
+    for (i, section) in sections.iter().enumerate() {
+        out.push_str(section);
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_llm_calls.json");
+    std::fs::write(path, &out).expect("write BENCH_llm_calls.json");
+    println!("{out}");
+    println!("wrote {path}");
+}
+
+fn perception_json(p: &PerceptionCalls) -> String {
+    format!(
+        "{{\"rows\": {}, \"calls\": {}, \"batches\": {}, \"saved\": {}}}",
+        p.rows, p.calls, p.batches, p.saved_calls
+    )
+}
+
+fn end_to_end_section() -> String {
+    let queries: &[(&str, &str, bool)] = &[
+        (
+            "artwork_relational_count",
+            "How many paintings are in the museum?",
+            true,
+        ),
+        (
+            "artwork_figure1_plot",
+            "Plot the number of paintings depicting Madonna and Child for each century!",
+            true,
+        ),
+        (
+            "rotowire_figure4_query1",
+            "For every team, what is the highest number of points they scored in a game?",
+            false,
+        ),
+    ];
+    let mut out = String::from("  \"end_to_end\": {\n");
+    for (qi, (name, query, artwork)) in queries.iter().enumerate() {
+        write!(out, "    \"{name}\": {{").unwrap();
+        // Fixed labels: keying by batch_size would emit duplicate JSON keys
+        // when CAESURA_LLM_BATCH=1 makes the default batch size 1 too.
+        for (bi, (label, batch)) in [
+            ("batch_1", BatchConfig::new(1)),
+            ("batch_default", BatchConfig::default()),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let counting = Arc::new(CountingLlm::new(SimulatedLlm::new(
+                ModelProfile::Gpt4,
+                BENCH_SEED,
+            )));
+            let config = CaesuraConfig {
+                llm_batch: Some(*batch),
+                ..CaesuraConfig::default()
+            };
+            let session = if *artwork {
+                Caesura::with_config(
+                    generate_artwork(&ArtworkConfig::default()).lake,
+                    counting.clone(),
+                    config,
+                )
+            } else {
+                Caesura::with_config(
+                    generate_rotowire(&RotowireConfig::default()).lake,
+                    counting.clone(),
+                    config,
+                )
+            };
+            let run = session.run(query);
+            assert!(run.succeeded(), "bench query '{name}' must succeed");
+            let usage = counting.usage();
+            write!(
+                out,
+                "\"{label}\": {{\"batch_size\": {}, \"llm_calls\": {}, \"prompt_tokens\": {}, \
+                 \"perception\": {}}}",
+                batch.batch_size,
+                usage.calls,
+                usage.prompt_tokens,
+                perception_json(&run.trace.perception_calls())
+            )
+            .unwrap();
+            if bi == 0 {
+                out.push_str(", ");
+            }
+        }
+        out.push('}');
+        out.push_str(if qi + 1 < queries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }");
+    out
+}
+
+fn plan_quality_section() -> String {
+    let mut out = String::from("  \"plan_quality\": {\n");
+    for (bi, (label, batch)) in [
+        ("batch_1", BatchConfig::new(1)),
+        ("batch_default", BatchConfig::default()),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let config = EvaluationConfig {
+            seed: BENCH_SEED,
+            artwork: ArtworkConfig::small(),
+            rotowire: RotowireConfig::small(),
+            caesura: CaesuraConfig {
+                llm_batch: Some(*batch),
+                ..CaesuraConfig::default()
+            },
+        };
+        let report = evaluate_model(ModelProfile::Gpt4, &config);
+        let (dispatched, saved) = report.total_perception_calls();
+        let rows: usize = report.results.iter().map(|r| r.perception.rows).sum();
+        let batches: usize = report.results.iter().map(|r| r.perception.batches).sum();
+        write!(
+            out,
+            "    \"table1_gpt4_profile_48_queries_{label}\": {{\"batch_size\": {}, \
+             \"llm_calls\": {}, \"perception\": {{\"rows\": {rows}, \"calls\": {dispatched}, \
+             \"batches\": {batches}, \"saved\": {saved}}}}}",
+            batch.batch_size,
+            report.total_llm_calls(),
+        )
+        .unwrap();
+        out.push_str(if bi == 0 { ",\n" } else { "\n" });
+    }
+    out.push_str("  }");
+    out
+}
+
+/// A deterministic LLM answering every perception prompt with a constant.
+struct ConstLlm;
+
+impl LlmClient for ConstLlm {
+    fn complete(&self, _conversation: &Conversation) -> LlmResult<String> {
+        Ok("42".to_string())
+    }
+    fn name(&self) -> &str {
+        "const"
+    }
+}
+
+fn duplicate_heavy_section() -> String {
+    // TextQA: 48 rows over 4 teams x 3 repeated reports -> 12 unique calls.
+    let teams = ["Heat", "Spurs", "Bulls", "Lakers"];
+    let reports = [
+        "The Heat defeated the Spurs 110-102.",
+        "The Bulls defeated the Lakers 99-95.",
+        "The Spurs defeated the Bulls 120-101.",
+    ];
+    let schema = Schema::from_pairs(&[("name", DataType::Str), ("report", DataType::Text)]);
+    let mut builder = TableBuilder::new("joined_reports", schema);
+    for i in 0..48 {
+        builder
+            .push_row(vec![
+                Value::str(teams[i % teams.len()]),
+                Value::text(reports[i % reports.len()]),
+            ])
+            .unwrap();
+    }
+    let table = builder.build();
+
+    // VisualQA: 64 rows over 8 distinct images -> 8 unique calls.
+    let mut store = ImageStore::new();
+    for i in 0..8 {
+        store.insert(ImageObject::new(format!("img/{i}.png")).with_object("sword", i as u32));
+    }
+    let schema = Schema::from_pairs(&[("image", DataType::Image)]);
+    let mut builder = TableBuilder::new("gallery", schema);
+    for i in 0..64 {
+        builder
+            .push_row(vec![Value::image(format!("img/{}.png", i % 8))])
+            .unwrap();
+    }
+    let gallery = builder.build();
+
+    let mut out = String::from("  \"duplicate_heavy_operator\": {\n");
+    for (bi, (label, batch)) in [
+        ("batch_1", BatchConfig::new(1)),
+        ("batch_default", BatchConfig::default()),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let text_backend = PerceptionLlm::new(CountingLlm::new(ConstLlm));
+        let (text_stats, text_result) = apply_text_qa_with(
+            &table,
+            &text_backend,
+            "report",
+            "points",
+            "How many points did <name> score?",
+            DataType::Int,
+            batch,
+        );
+        text_result.expect("duplicate-heavy TextQA workload");
+        let text_usage = text_backend.inner().usage();
+        assert!(
+            text_usage.calls < table.num_rows(),
+            "dedup must save calls: {} vs {} rows",
+            text_usage.calls,
+            table.num_rows()
+        );
+
+        let visual_backend = PerceptionLlm::new(CountingLlm::new(ConstLlm));
+        let (visual_stats, visual_result) = apply_visual_qa_with(
+            &gallery,
+            &store,
+            &visual_backend,
+            "image",
+            "num_swords",
+            "How many swords are depicted?",
+            DataType::Int,
+            batch,
+        );
+        visual_result.expect("duplicate-heavy VisualQA workload");
+        let visual_usage = visual_backend.inner().usage();
+        assert!(visual_usage.calls < gallery.num_rows());
+
+        write!(
+            out,
+            "    \"{label}\": {{\"batch_size\": {}, \"text_qa\": {{\"rows\": {}, \
+             \"counting_llm_calls\": {}, \"batches\": {}, \"saved\": {}}}, \
+             \"visual_qa\": {{\"rows\": {}, \"counting_llm_calls\": {}, \"batches\": {}, \
+             \"saved\": {}}}}}",
+            batch.batch_size,
+            text_stats.rows,
+            text_usage.calls,
+            text_usage.batches,
+            text_stats.saved_calls,
+            visual_stats.rows,
+            visual_usage.calls,
+            visual_usage.batches,
+            visual_stats.saved_calls,
+        )
+        .unwrap();
+        out.push_str(if bi == 0 { ",\n" } else { "\n" });
+    }
+    out.push_str("  }");
+    out
+}

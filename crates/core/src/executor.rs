@@ -11,11 +11,12 @@ use crate::error::{CoreError, CoreResult};
 use caesura_engine::{parallel, sql, Catalog, ExecConfig, Table};
 use caesura_llm::{LogicalStep, OperatorDecision};
 use caesura_modal::operators::{
-    apply_image_select, apply_plot, apply_python_udf, apply_text_qa, apply_visual_qa,
-    parse_result_dtype,
+    apply_image_select_with, apply_plot, apply_python_udf_with, apply_text_qa_with,
+    apply_visual_qa_with, parse_result_dtype,
 };
 use caesura_modal::{
-    ImageSelectModel, ImageStore, OperatorKind, Plot, TextQaModel, TransformCodegen, VisualQaModel,
+    BatchConfig, BatchStats, ImageSelectModel, ImageStore, OperatorKind, Plot, TextQaModel,
+    TransformCodegen, VisualQaModel,
 };
 use std::sync::Arc;
 
@@ -68,6 +69,10 @@ pub struct Executor {
     last_output: Option<String>,
     /// Optional pinned execution configuration for the relational operators.
     exec: Option<ExecConfig>,
+    /// Batching configuration for the perception-operator model calls.
+    batch: BatchConfig,
+    /// Accumulated perception call accounting across executed steps.
+    perception: BatchStats,
 }
 
 impl Executor {
@@ -83,6 +88,8 @@ impl Executor {
             codegen: TransformCodegen::new(),
             last_output: None,
             exec: None,
+            batch: BatchConfig::default(),
+            perception: BatchStats::default(),
         }
     }
 
@@ -91,6 +98,20 @@ impl Executor {
     pub fn with_exec_config(mut self, config: ExecConfig) -> Self {
         self.exec = Some(config);
         self
+    }
+
+    /// Pin the perception-call batching configuration (batch size) for the
+    /// multi-modal operators executed by this executor.
+    pub fn with_batch_config(mut self, config: BatchConfig) -> Self {
+        self.batch = config;
+        self
+    }
+
+    /// Accumulated perception-operator call accounting (rows walked, unique
+    /// model calls dispatched, batches, calls saved by dedup) across every
+    /// step executed so far.
+    pub fn perception_stats(&self) -> BatchStats {
+        self.perception
     }
 
     /// Replace the perception models (e.g. to attach a noise model).
@@ -246,7 +267,7 @@ impl Executor {
                 expect_args(3)?;
                 let input = self.step_input(step)?;
                 let dtype = parse_result_dtype(args.get(3).map(String::as_str).unwrap_or("str"));
-                let result = apply_visual_qa(
+                let (stats, result) = apply_visual_qa_with(
                     input.as_ref(),
                     &self.images,
                     &self.visual_qa,
@@ -254,40 +275,49 @@ impl Executor {
                     &args[1],
                     &args[2],
                     dtype,
-                )?;
-                Ok(self.register_result(step, result, &[args[1].clone()]))
+                    &self.batch,
+                );
+                // Absorb before `?`: failed dispatches still made their calls.
+                self.perception.absorb(&stats);
+                Ok(self.register_result(step, result?, &[args[1].clone()]))
             }
             OperatorKind::TextQa => {
                 expect_args(3)?;
                 let input = self.step_input(step)?;
                 let dtype = parse_result_dtype(args.get(3).map(String::as_str).unwrap_or("str"));
-                let result = apply_text_qa(
+                let (stats, result) = apply_text_qa_with(
                     input.as_ref(),
                     &self.text_qa,
                     &args[0],
                     &args[1],
                     &args[2],
                     dtype,
-                )?;
-                Ok(self.register_result(step, result, &[args[1].clone()]))
+                    &self.batch,
+                );
+                self.perception.absorb(&stats);
+                Ok(self.register_result(step, result?, &[args[1].clone()]))
             }
             OperatorKind::ImageSelect => {
                 expect_args(2)?;
                 let input = self.step_input(step)?;
-                let result = apply_image_select(
+                let (stats, result) = apply_image_select_with(
                     input.as_ref(),
                     &self.images,
                     &self.image_select,
                     &args[0],
                     &args[1],
-                )?;
-                Ok(self.register_result(step, result, &[]))
+                    &self.batch,
+                );
+                self.perception.absorb(&stats);
+                Ok(self.register_result(step, result?, &[]))
             }
             OperatorKind::PythonUdf => {
                 expect_args(2)?;
                 let input = self.step_input(step)?;
-                let result = apply_python_udf(input.as_ref(), &self.codegen, &args[0], &args[1])?;
-                Ok(self.register_result(step, result, &[args[1].clone()]))
+                let (stats, result) =
+                    apply_python_udf_with(input.as_ref(), &self.codegen, &args[0], &args[1]);
+                self.perception.absorb(&stats);
+                Ok(self.register_result(step, result?, &[args[1].clone()]))
             }
             OperatorKind::Plot => {
                 expect_args(3)?;

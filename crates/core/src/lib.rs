@@ -40,4 +40,4 @@ pub use error::{CoreError, CoreResult};
 pub use executor::{Executor, StepOutcome};
 pub use output::QueryOutput;
 pub use session::{Caesura, CaesuraConfig, QueryRun};
-pub use trace::{ExecutionTrace, Phase, TraceEvent};
+pub use trace::{ExecutionTrace, PerceptionCalls, Phase, TraceEvent};

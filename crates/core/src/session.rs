@@ -13,6 +13,7 @@ use caesura_llm::{
     Conversation, ErrorAnalysis, LlmClient, LogicalPlan, LogicalStep, OperatorDecision,
     PromptBuilder, PromptConfig, RelevantColumn,
 };
+use caesura_modal::BatchConfig;
 use std::sync::Arc;
 
 /// Configuration of a CAESURA session.
@@ -41,6 +42,11 @@ pub struct CaesuraConfig {
     /// process default (`CAESURA_THREADS` / hardware parallelism);
     /// `Some(ExecConfig::sequential())` forces the single-threaded paths.
     pub exec: Option<ExecConfig>,
+    /// Batching configuration (batch size) for the perception-operator model
+    /// calls. `None` uses the environment default (`CAESURA_LLM_BATCH`);
+    /// `Some(BatchConfig::new(1))` forces one dispatch per unique request
+    /// (requests are deduplicated either way).
+    pub llm_batch: Option<BatchConfig>,
 }
 
 impl Default for CaesuraConfig {
@@ -54,6 +60,7 @@ impl Default for CaesuraConfig {
             max_step_attempts: 3,
             max_replans: 1,
             exec: None,
+            llm_batch: None,
         }
     }
 }
@@ -327,28 +334,54 @@ impl Caesura {
         // `exec` override around the whole query, and `Executor::
         // with_exec_config` remains available for direct executor users.
         let mut executor = Executor::new(self.lake.catalog().clone(), self.lake.images().clone());
+        if let Some(batch) = self.config.llm_batch {
+            executor = executor.with_batch_config(batch);
+        }
         let mut observations: Vec<String> = Vec::new();
         let mut last_outcome: Option<StepOutcome> = None;
 
-        // Non-interleaved ablation: decide every operator before executing any.
+        // Non-interleaved ablation: decide every operator before executing
+        // any. Without observations the mapping prompts are independent, so
+        // they are pipelined through one `complete_batch` dispatch instead
+        // of one round trip per step. Trade-off: the whole batch is served
+        // before the first response is inspected, so an early mapping
+        // failure no longer spares the remaining steps' completions (the
+        // per-step loop stopped at the first failure).
         let predecided: Option<Vec<OperatorDecision>> = if self.config.interleaved {
             None
         } else {
-            let mut all = Vec::new();
-            for step in &plan.steps {
-                let decision = self
-                    .decide_step(
-                        query,
+            let prompts: Vec<Conversation> = plan
+                .steps
+                .iter()
+                .map(|step| {
+                    self.prompts.mapping_prompt(
                         catalog,
                         &Catalog::new(),
-                        relevant_columns,
+                        query,
                         step,
+                        relevant_columns,
                         &[],
                         None,
-                        trace,
                     )
-                    .map_err(|e| (e, false))?;
-                all.push(decision);
+                })
+                .collect();
+            for prompt in &prompts {
+                trace.record(Phase::Mapping, "prompt", prompt.render());
+                trace.record_llm_call(prompt.approx_tokens());
+            }
+            let responses = self.llm.complete_batch(&prompts);
+            // Record every completed response before parsing any: the whole
+            // batch was served and billed, so the trace must show it even
+            // when an early response fails to parse.
+            for response in responses.iter().flatten() {
+                trace.record(Phase::Mapping, "response", response.clone());
+            }
+            let mut all = Vec::new();
+            for response in responses {
+                let response = response.map_err(|e| (CoreError::from(e), false))?;
+                all.push(
+                    OperatorDecision::parse(&response).map_err(|e| (CoreError::from(e), false))?,
+                );
             }
             Some(all)
         };
@@ -384,7 +417,21 @@ impl Caesura {
                     ),
                 );
 
-                match executor.execute(step, &decision) {
+                let perception_before = executor.perception_stats();
+                let step_result = executor.execute(step, &decision);
+                // Record the perception-call delta for failed attempts too:
+                // their dispatches were paid just the same.
+                let delta = executor.perception_stats().since(&perception_before);
+                if delta.rows > 0 || delta.unique_requests > 0 {
+                    trace.record(Phase::Execution, "perception", delta.summary());
+                    trace.record_perception(
+                        delta.rows,
+                        delta.unique_requests,
+                        delta.batches,
+                        delta.saved_calls,
+                    );
+                }
+                match step_result {
                     Ok(outcome) => {
                         let observation = outcome.observation();
                         trace.record(Phase::Execution, "observation", observation.clone());

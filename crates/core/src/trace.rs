@@ -46,12 +46,29 @@ pub struct TraceEvent {
     pub detail: String,
 }
 
+/// Per-query accounting of the batched perception-operator model calls
+/// (VisualQA / TextQA / Image Select / transform codegen). Mirrors
+/// `caesura_modal::BatchStats`, kept as plain counters so the trace stays
+/// decoupled from the modal types.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerceptionCalls {
+    /// Input rows the perception operators walked.
+    pub rows: usize,
+    /// Unique model calls actually dispatched.
+    pub calls: usize,
+    /// Batched dispatches carrying those calls.
+    pub batches: usize,
+    /// Model calls avoided by deduplication versus one call per row.
+    pub saved_calls: usize,
+}
+
 /// A full execution trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionTrace {
     events: Vec<TraceEvent>,
     llm_calls: usize,
     prompt_tokens: usize,
+    perception: PerceptionCalls,
 }
 
 impl ExecutionTrace {
@@ -69,10 +86,31 @@ impl ExecutionTrace {
         });
     }
 
-    /// Record one LLM round trip of approximately `tokens` prompt tokens.
+    /// Record one LLM completion of approximately `tokens` prompt tokens.
+    /// (One completion per conversation; a batched dispatch records one call
+    /// per conversation it carries, even though they share a round trip.)
     pub fn record_llm_call(&mut self, tokens: usize) {
         self.llm_calls += 1;
         self.prompt_tokens += tokens;
+    }
+
+    /// Accumulate perception-operator call accounting (batched dispatches,
+    /// dedup savings) into the query totals.
+    pub fn record_perception(&mut self, rows: usize, calls: usize, batches: usize, saved: usize) {
+        self.perception.rows += rows;
+        self.perception.calls += calls;
+        self.perception.batches += batches;
+        self.perception.saved_calls += saved;
+    }
+
+    /// Perception-operator call accounting for the whole query.
+    pub fn perception_calls(&self) -> PerceptionCalls {
+        self.perception
+    }
+
+    /// Model calls the perception batching layer saved by dedup.
+    pub fn saved_llm_calls(&self) -> usize {
+        self.perception.saved_calls
     }
 
     /// All events in order.
@@ -85,7 +123,7 @@ impl ExecutionTrace {
         self.events.iter().filter(|e| e.phase == phase).collect()
     }
 
-    /// Number of LLM round trips.
+    /// Number of LLM completions (see [`ExecutionTrace::record_llm_call`]).
     pub fn llm_calls(&self) -> usize {
         self.llm_calls
     }
@@ -131,6 +169,15 @@ impl ExecutionTrace {
             self.prompt_tokens,
             self.error_count()
         ));
+        if self.perception.rows > 0 || self.perception.calls > 0 {
+            out.push_str(&format!(
+                "== Perception: {} row(s) -> {} model call(s) in {} batch(es), {} saved by dedup ==\n",
+                self.perception.rows,
+                self.perception.calls,
+                self.perception.batches,
+                self.perception.saved_calls
+            ));
+        }
         out
     }
 }
@@ -172,6 +219,22 @@ mod tests {
         assert!(rendered.contains("Execution Phase"));
         assert!(rendered.contains("Recovery Phase"));
         assert!(rendered.contains("unknown column"));
+    }
+
+    #[test]
+    fn perception_calls_accumulate_and_render() {
+        let mut trace = ExecutionTrace::new();
+        assert_eq!(trace.perception_calls(), PerceptionCalls::default());
+        trace.record_perception(10, 4, 1, 6);
+        trace.record_perception(5, 5, 2, 0);
+        let perception = trace.perception_calls();
+        assert_eq!(perception.rows, 15);
+        assert_eq!(perception.calls, 9);
+        assert_eq!(perception.batches, 3);
+        assert_eq!(trace.saved_llm_calls(), 6);
+        let rendered = trace.render(false);
+        assert!(rendered.contains("9 model call(s)"));
+        assert!(rendered.contains("6 saved by dedup"));
     }
 
     #[test]

@@ -64,8 +64,13 @@ pub struct QueryEvaluation {
     pub grade: Grade,
     /// The error category, if the run was not fully correct.
     pub category: Option<ErrorCategory>,
-    /// Number of LLM round trips the run needed.
+    /// Number of LLM completions the run needed (planning/mapping/recovery
+    /// conversations served; a `complete_batch` dispatch can carry several
+    /// completions in one round trip).
     pub llm_calls: usize,
+    /// Batched perception-operator call accounting of the run (rows walked,
+    /// unique model calls, batches, calls saved by dedup).
+    pub perception: caesura_core::PerceptionCalls,
     /// The execution error message, if execution failed.
     pub error: Option<String>,
 }
@@ -113,6 +118,14 @@ impl EvaluationReport {
     pub fn total_llm_calls(&self) -> usize {
         self.results.iter().map(|r| r.llm_calls).sum()
     }
+
+    /// Total perception-operator model calls dispatched across the benchmark
+    /// (after dedup), and the calls dedup saved versus one call per row.
+    pub fn total_perception_calls(&self) -> (usize, usize) {
+        let dispatched = self.results.iter().map(|r| r.perception.calls).sum();
+        let saved = self.results.iter().map(|r| r.perception.saved_calls).sum();
+        (dispatched, saved)
+    }
 }
 
 /// Run the 48-query benchmark for one model profile.
@@ -147,6 +160,7 @@ pub fn evaluate_model(profile: ModelProfile, config: &EvaluationConfig) -> Evalu
             grade: query_grade,
             category,
             llm_calls: run.trace.llm_calls(),
+            perception: run.trace.perception_calls(),
             error: run.output.err().map(|e| e.to_string()),
         });
     }

@@ -15,6 +15,17 @@ pub trait LlmClient: Send + Sync {
     /// Complete a conversation, returning the model's text response.
     fn complete(&self, conversation: &Conversation) -> LlmResult<String>;
 
+    /// Complete a batch of independent conversations with one dispatch,
+    /// returning one result per conversation, in order.
+    ///
+    /// The default implementation loops over [`LlmClient::complete`]; remote
+    /// backends override it to serve the whole batch in a single round trip
+    /// (this is what the perception-operator batching layer in
+    /// `caesura-modal` dispatches through — see `modal::batch`).
+    fn complete_batch(&self, conversations: &[Conversation]) -> Vec<LlmResult<String>> {
+        conversations.iter().map(|c| self.complete(c)).collect()
+    }
+
     /// Human-readable model name (appears in traces and reports).
     fn name(&self) -> &str;
 }
@@ -22,8 +33,13 @@ pub trait LlmClient: Send + Sync {
 /// Usage statistics collected by [`CountingLlm`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LlmUsage {
-    /// Number of completed calls.
+    /// Number of completed conversations (batched or not).
     pub calls: usize,
+    /// Number of physical dispatches: one per [`LlmClient::complete`] call
+    /// plus one per [`LlmClient::complete_batch`] call, however many
+    /// conversations the batch carried. `calls - batches` conversations rode
+    /// along in batches without their own round trip.
+    pub batches: usize,
     /// Approximate prompt tokens across all calls.
     pub prompt_tokens: usize,
 }
@@ -33,6 +49,7 @@ pub struct LlmUsage {
 pub struct CountingLlm<C> {
     inner: C,
     calls: AtomicUsize,
+    batches: AtomicUsize,
     prompt_tokens: AtomicUsize,
 }
 
@@ -42,6 +59,7 @@ impl<C: LlmClient> CountingLlm<C> {
         CountingLlm {
             inner,
             calls: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
             prompt_tokens: AtomicUsize::new(0),
         }
     }
@@ -50,6 +68,7 @@ impl<C: LlmClient> CountingLlm<C> {
     pub fn usage(&self) -> LlmUsage {
         LlmUsage {
             calls: self.calls.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
             prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
         }
     }
@@ -63,9 +82,22 @@ impl<C: LlmClient> CountingLlm<C> {
 impl<C: LlmClient> LlmClient for CountingLlm<C> {
     fn complete(&self, conversation: &Conversation) -> LlmResult<String> {
         self.calls.fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
         self.prompt_tokens
             .fetch_add(conversation.approx_tokens(), Ordering::Relaxed);
         self.inner.complete(conversation)
+    }
+
+    fn complete_batch(&self, conversations: &[Conversation]) -> Vec<LlmResult<String>> {
+        self.calls.fetch_add(conversations.len(), Ordering::Relaxed);
+        if !conversations.is_empty() {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.prompt_tokens.fetch_add(
+            conversations.iter().map(|c| c.approx_tokens()).sum(),
+            Ordering::Relaxed,
+        );
+        self.inner.complete_batch(conversations)
     }
 
     fn name(&self) -> &str {
@@ -76,6 +108,10 @@ impl<C: LlmClient> LlmClient for CountingLlm<C> {
 impl<C: LlmClient + ?Sized> LlmClient for Arc<C> {
     fn complete(&self, conversation: &Conversation) -> LlmResult<String> {
         (**self).complete(conversation)
+    }
+
+    fn complete_batch(&self, conversations: &[Conversation]) -> Vec<LlmResult<String>> {
+        (**self).complete_batch(conversations)
     }
 
     fn name(&self) -> &str {
@@ -117,6 +153,32 @@ impl LlmClient for ScriptedLlm {
         Ok(responses.remove(0))
     }
 
+    /// Serve a whole batch under one lock acquisition, so concurrent batch
+    /// dispatches each drain a contiguous run of scripted responses.
+    ///
+    /// Caveat: *which* contiguous run a batch drains depends on dispatch
+    /// order, so under parallel multi-batch dispatch (e.g. behind
+    /// `PerceptionLlm` with several batches and worker threads) responses
+    /// are not deterministically assigned to requests. Scripted responses
+    /// are positional, not keyed — use a content-keyed test double when a
+    /// deterministic (input → answer) mapping matters.
+    fn complete_batch(&self, conversations: &[Conversation]) -> Vec<LlmResult<String>> {
+        let mut responses = self.responses.lock().expect("scripted responses lock");
+        conversations
+            .iter()
+            .map(|_| {
+                if responses.is_empty() {
+                    Err(LlmError::ModelFailure {
+                        model: self.name.clone(),
+                        message: "the scripted model ran out of responses".into(),
+                    })
+                } else {
+                    Ok(responses.remove(0))
+                }
+            })
+            .collect()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -144,7 +206,52 @@ mod tests {
         llm.complete(&convo).unwrap();
         let usage = llm.usage();
         assert_eq!(usage.calls, 2);
+        assert_eq!(usage.batches, 2);
         assert_eq!(usage.prompt_tokens, 6);
+    }
+
+    #[test]
+    fn batch_completion_counts_one_dispatch_for_many_calls() {
+        let llm = CountingLlm::new(ScriptedLlm::new(vec!["a".into(), "b".into(), "c".into()]));
+        let convo = Conversation::new().with(ChatMessage::human("one two"));
+        let batch = vec![convo.clone(), convo.clone(), convo.clone()];
+        let results = llm.complete_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_deref().unwrap(), "a");
+        assert_eq!(results[2].as_deref().unwrap(), "c");
+        let usage = llm.usage();
+        assert_eq!(usage.calls, 3);
+        assert_eq!(usage.batches, 1);
+        assert_eq!(usage.prompt_tokens, 6);
+    }
+
+    #[test]
+    fn scripted_batch_reports_exhaustion_per_conversation() {
+        let llm = ScriptedLlm::new(vec!["only".into()]);
+        let convo = Conversation::new();
+        let results = llm.complete_batch(&[convo.clone(), convo.clone()]);
+        assert_eq!(results[0].as_deref().unwrap(), "only");
+        assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn default_complete_batch_loops_over_complete() {
+        struct Echo;
+        impl LlmClient for Echo {
+            fn complete(&self, conversation: &Conversation) -> LlmResult<String> {
+                Ok(conversation.human_text())
+            }
+            fn name(&self) -> &str {
+                "echo"
+            }
+        }
+        let convos = vec![
+            Conversation::new().with(ChatMessage::human("x")),
+            Conversation::new().with(ChatMessage::human("y")),
+        ];
+        let results = Echo.complete_batch(&convos);
+        assert_eq!(results[0].as_deref().unwrap(), "x");
+        assert_eq!(results[1].as_deref().unwrap(), "y");
     }
 
     #[test]

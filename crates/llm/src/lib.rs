@@ -26,6 +26,7 @@ pub mod context;
 pub mod error;
 pub mod intent;
 pub mod mapping;
+pub mod perception;
 pub mod plan;
 pub mod profile;
 pub mod prompt;
@@ -37,6 +38,7 @@ pub use client::{CountingLlm, LlmClient, LlmUsage, ScriptedLlm};
 pub use context::{PromptContext, PromptKind, TableSketch};
 pub use error::{LlmError, LlmResult};
 pub use intent::{analyze, AggKind, AttributeRef, OutputKind, QueryIntent};
+pub use perception::PerceptionLlm;
 pub use plan::{ErrorAnalysis, LogicalPlan, LogicalStep, OperatorDecision};
 pub use profile::{ErrorInjector, ModelProfile};
 pub use prompt::{PromptBuilder, PromptConfig, RelevantColumn};

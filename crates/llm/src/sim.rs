@@ -191,6 +191,13 @@ impl LlmClient for SimulatedLlm {
         }
     }
 
+    /// Serve a batch in one dispatch. The simulated model answers each
+    /// prompt independently (its error injection keys on prompt content, not
+    /// call order), so batching changes neither the answers nor their order.
+    fn complete_batch(&self, conversations: &[Conversation]) -> Vec<LlmResult<String>> {
+        conversations.iter().map(|c| self.complete(c)).collect()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -5,8 +5,11 @@
 //! image against a free-text description by checking which content words of
 //! the description are depicted or appear as attribute values.
 
+use crate::batch::{PerceptionBackend, PerceptionInput, PerceptionRequest};
+use crate::error::{ModalError, ModalResult};
 use crate::image::{normalize_entity, ImageObject};
 use crate::noise::NoiseModel;
+use caesura_engine::Value;
 
 /// Words that carry no selective content and are ignored when matching.
 const STOPWORDS: &[&str] = &[
@@ -88,6 +91,26 @@ impl ImageSelectModel {
             result = !result;
         }
         result
+    }
+}
+
+impl PerceptionBackend for ImageSelectModel {
+    /// Decide a batch request-by-request; the request's `question` carries
+    /// the free-text description and the answer is a boolean keep/drop.
+    fn answer_batch(&self, requests: &[PerceptionRequest]) -> Vec<ModalResult<Value>> {
+        requests
+            .iter()
+            .map(|request| match &request.input {
+                PerceptionInput::Image(image) => {
+                    Ok(Value::Bool(self.matches(image, &request.question)))
+                }
+                PerceptionInput::Document(_) => Err(ModalError::InvalidArguments {
+                    operator: "Image Select".to_string(),
+                    message: "the Image Select model looks at images, not TEXT documents"
+                        .to_string(),
+                }),
+            })
+            .collect()
     }
 }
 

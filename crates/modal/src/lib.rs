@@ -13,10 +13,17 @@
 //! the paper's, which is what CAESURA's planner (and the evaluation of plan
 //! quality) depends on. A deterministic [`NoiseModel`] can be attached to any
 //! model to study the effect of imperfect extraction.
+//!
+//! Perception-operator model calls are gathered, deduplicated, and dispatched
+//! in configurable batches by the [`batch`] layer (see its module docs for
+//! the knobs and the saved-call accounting); the operators in [`operators`]
+//! are written against the [`PerceptionBackend`] trait, so the simulated
+//! models and LLM-backed backends are interchangeable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod document;
 pub mod error;
 pub mod image;
@@ -28,6 +35,9 @@ pub mod text_qa;
 pub mod transform;
 pub mod visual_qa;
 
+pub use batch::{
+    BatchConfig, BatchStats, PerceptionBackend, PerceptionBatch, PerceptionInput, PerceptionRequest,
+};
 pub use document::TextDocument;
 pub use error::{ModalError, ModalResult};
 pub use image::{ImageObject, ImageStore};

@@ -8,14 +8,13 @@
 //! argument signature) that the mapping-phase prompt presents to the language
 //! model (Figure 3, right).
 
+use crate::batch::{BatchConfig, BatchStats, PerceptionBackend, PerceptionBatch};
 use crate::error::{ModalError, ModalResult};
 use crate::image::ImageStore;
-use crate::image_select::ImageSelectModel;
 use crate::plot::{Plot, PlotKind, PlotSpec};
-use crate::text_qa::TextQaModel;
 use crate::transform::TransformCodegen;
-use crate::visual_qa::VisualQaModel;
-use caesura_engine::{DataType, Table, Value};
+use caesura_engine::{ColumnBuilder, DataType, EngineError, Field, Table, Value};
+use std::sync::Arc;
 
 /// Every physical operator CAESURA can place in a plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,16 +170,121 @@ pub fn parse_result_dtype(text: &str) -> DataType {
     }
 }
 
+/// A typed execution error for a cell whose value does not match the
+/// modality its column declares (e.g. an error string landing in a TEXT
+/// column). The row index pins the offending tuple for error analysis.
+fn cell_type_error(row: usize, column: &str, value: &Value, expected: &str) -> EngineError {
+    EngineError::execution(format!(
+        "row {row} of column '{column}' holds the {} value {} where {expected} was expected",
+        value.data_type().prompt_name(),
+        value.preview(40),
+    ))
+}
+
+/// Dispatch a gathered perception batch and scatter the answers into a new
+/// column of `result_type`. The first error in row order wins — dispatch
+/// errors cover rows gathered *before* `pending_error`'s row (the
+/// gather-phase error from a missing image or mistyped cell), so they take
+/// precedence — exactly like the row-at-a-time path. Stats are returned
+/// alongside the result so failed dispatches still account for their calls.
+fn dispatch_into_column(
+    table: &Table,
+    out_schema: caesura_engine::Schema,
+    collector: PerceptionBatch,
+    pending_error: Option<EngineError>,
+    model: &dyn PerceptionBackend,
+    batch: &BatchConfig,
+    result_type: DataType,
+) -> (BatchStats, ModalResult<Table>) {
+    let (answers, stats) = collector.dispatch(model, batch);
+    let result = answers.map_err(ModalError::Engine).and_then(|answers| {
+        if let Some(error) = pending_error {
+            return Err(ModalError::Engine(error));
+        }
+        let mut builder = ColumnBuilder::with_capacity(result_type, table.num_rows());
+        for answer in answers {
+            match answer {
+                None => builder.push(Value::Null),
+                Some(value) => builder.push(coerce(value, result_type)),
+            }
+        }
+        let mut columns = table.columns().to_vec();
+        columns.push(Arc::new(builder.finish()));
+        table
+            .with_columns(out_schema, columns)
+            .map_err(ModalError::Engine)
+    });
+    (stats, result)
+}
+
 /// Apply the VisualQA operator: answer `question` for the image referenced by
 /// `image_column` in every row and store the answer in `new_column`.
+///
+/// The per-row model calls are gathered, deduplicated, and dispatched in
+/// batches by the [`crate::batch`] layer; this wrapper uses the
+/// environment-default [`BatchConfig`] and discards the call stats.
 pub fn apply_visual_qa(
     table: &Table,
     store: &ImageStore,
-    model: &VisualQaModel,
+    model: &dyn PerceptionBackend,
     image_column: &str,
     new_column: &str,
     question: &str,
     result_type: DataType,
+) -> ModalResult<Table> {
+    apply_visual_qa_with(
+        table,
+        store,
+        model,
+        image_column,
+        new_column,
+        question,
+        result_type,
+        &BatchConfig::default(),
+    )
+    .1
+}
+
+/// [`apply_visual_qa`] with an explicit [`BatchConfig`]. The saved-call
+/// statistics ride alongside the result (not inside it) so the calls of a
+/// dispatch that ultimately failed are still accounted for.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_visual_qa_with(
+    table: &Table,
+    store: &ImageStore,
+    model: &dyn PerceptionBackend,
+    image_column: &str,
+    new_column: &str,
+    question: &str,
+    result_type: DataType,
+    batch: &BatchConfig,
+) -> (BatchStats, ModalResult<Table>) {
+    let mut stats = BatchStats::default();
+    let result = visual_qa_inner(
+        table,
+        store,
+        model,
+        image_column,
+        new_column,
+        question,
+        result_type,
+        batch,
+        &mut stats,
+    );
+    (stats, result)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn visual_qa_inner(
+    table: &Table,
+    store: &ImageStore,
+    model: &dyn PerceptionBackend,
+    image_column: &str,
+    new_column: &str,
+    question: &str,
+    result_type: DataType,
+    batch: &BatchConfig,
+    stats: &mut BatchStats,
 ) -> ModalResult<Table> {
     let schema = table.schema().clone();
     let idx = schema.resolve(image_column).map_err(ModalError::Engine)?;
@@ -194,24 +298,60 @@ pub fn apply_visual_qa(
             ),
         });
     }
-    table
-        .with_new_column(new_column, result_type, |_, row| {
-            let key = match row.get(idx) {
-                Value::Image(key) => key.to_string(),
-                Value::Null => return Ok(Value::Null),
-                other => other.to_string(),
-            };
-            let image = store.get(&key).ok_or_else(|| {
-                caesura_engine::EngineError::execution(format!(
-                    "image '{key}' was not found in the image store"
-                ))
-            })?;
-            let answer = model
-                .answer(image, question)
-                .map_err(|e| caesura_engine::EngineError::execution(e.to_string()))?;
-            Ok(coerce(answer, result_type))
-        })
-        .map_err(ModalError::Engine)
+    // Reserve the output field before any model call (the row-at-a-time path
+    // failed on duplicate column names before reading the first row).
+    let mut out_schema = schema.clone();
+    out_schema
+        .push(Field::new(new_column, result_type))
+        .map_err(ModalError::Engine)?;
+
+    let (collector, pending_error) =
+        gather_image_requests(table, store, idx, image_column, question);
+    let (dispatch_stats, result) = dispatch_into_column(
+        table,
+        out_schema,
+        collector,
+        pending_error,
+        model,
+        batch,
+        result_type,
+    );
+    *stats = dispatch_stats;
+    result
+}
+
+/// Gather one image request per non-NULL row of `image_column`, stopping at
+/// the first row whose cell cannot be resolved — a missing image or a
+/// mistyped cell — so no model call is made for later rows, just like the
+/// sequential path. Shared by VisualQA and Image Select.
+fn gather_image_requests(
+    table: &Table,
+    store: &ImageStore,
+    idx: usize,
+    image_column: &str,
+    question: &str,
+) -> (PerceptionBatch, Option<EngineError>) {
+    let mut collector = PerceptionBatch::with_capacity(table.num_rows());
+    for row in table.rows() {
+        match row.get(idx) {
+            Value::Image(key) => match store.get(&key) {
+                Some(image) => collector.push_image(image, question),
+                None => {
+                    let error = EngineError::execution(format!(
+                        "image '{key}' was not found in the image store"
+                    ));
+                    return (collector, Some(error));
+                }
+            },
+            Value::Null => collector.push_null(),
+            other => {
+                let error =
+                    cell_type_error(row.index(), image_column, &other, "an IMAGE reference");
+                return (collector, Some(error));
+            }
+        }
+    }
+    (collector, None)
 }
 
 /// Apply the TextQA operator: instantiate `question_template` per row (filling
@@ -219,11 +359,63 @@ pub fn apply_visual_qa(
 /// `text_column`, storing the answer in `new_column`.
 pub fn apply_text_qa(
     table: &Table,
-    model: &TextQaModel,
+    model: &dyn PerceptionBackend,
     text_column: &str,
     new_column: &str,
     question_template: &str,
     result_type: DataType,
+) -> ModalResult<Table> {
+    apply_text_qa_with(
+        table,
+        model,
+        text_column,
+        new_column,
+        question_template,
+        result_type,
+        &BatchConfig::default(),
+    )
+    .1
+}
+
+/// [`apply_text_qa`] with an explicit [`BatchConfig`]. Dedup pays off
+/// whenever several rows instantiate the same question over the same
+/// document (e.g. game reports repeated once per participating team). The
+/// saved-call statistics ride alongside the result so failed dispatches
+/// still account for their calls.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_text_qa_with(
+    table: &Table,
+    model: &dyn PerceptionBackend,
+    text_column: &str,
+    new_column: &str,
+    question_template: &str,
+    result_type: DataType,
+    batch: &BatchConfig,
+) -> (BatchStats, ModalResult<Table>) {
+    let mut stats = BatchStats::default();
+    let result = text_qa_inner(
+        table,
+        model,
+        text_column,
+        new_column,
+        question_template,
+        result_type,
+        batch,
+        &mut stats,
+    );
+    (stats, result)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn text_qa_inner(
+    table: &Table,
+    model: &dyn PerceptionBackend,
+    text_column: &str,
+    new_column: &str,
+    question_template: &str,
+    result_type: DataType,
+    batch: &BatchConfig,
+    stats: &mut BatchStats,
 ) -> ModalResult<Table> {
     let schema = table.schema().clone();
     let idx = schema.resolve(text_column).map_err(ModalError::Engine)?;
@@ -250,20 +442,51 @@ pub fn apply_text_qa(
             });
         }
     }
-    table
-        .with_new_column(new_column, result_type, |_, row| {
-            let document = match row.get(idx) {
-                Value::Text(text) => text.to_string(),
-                Value::Null => return Ok(Value::Null),
-                other => other.to_string(),
-            };
-            let question = instantiate_template(question_template, &schema, &row)?;
-            let answer = model
-                .answer(&document, &question)
-                .map_err(|e| caesura_engine::EngineError::execution(e.to_string()))?;
-            Ok(coerce(answer, result_type))
-        })
-        .map_err(ModalError::Engine)
+    let mut out_schema = schema.clone();
+    out_schema
+        .push(Field::new(new_column, result_type))
+        .map_err(ModalError::Engine)?;
+
+    let mut collector = PerceptionBatch::with_capacity(table.num_rows());
+    let mut pending_error = None;
+    for row in table.rows() {
+        // Borrow the document for the dedup probe; only genuinely new
+        // (document, question) pairs are copied into a request.
+        let document = match row.get(idx) {
+            Value::Text(text) => text,
+            Value::Null => {
+                collector.push_null();
+                continue;
+            }
+            other => {
+                pending_error = Some(cell_type_error(
+                    row.index(),
+                    text_column,
+                    &other,
+                    "a TEXT document",
+                ));
+                break;
+            }
+        };
+        match instantiate_template(question_template, &schema, &row) {
+            Ok(question) => collector.push_document(&document, &question),
+            Err(error) => {
+                pending_error = Some(error);
+                break;
+            }
+        }
+    }
+    let (dispatch_stats, result) = dispatch_into_column(
+        table,
+        out_schema,
+        collector,
+        pending_error,
+        model,
+        batch,
+        result_type,
+    );
+    *stats = dispatch_stats;
+    result
 }
 
 /// Apply the Image Select operator: keep only rows whose image matches the
@@ -271,9 +494,55 @@ pub fn apply_text_qa(
 pub fn apply_image_select(
     table: &Table,
     store: &ImageStore,
-    model: &ImageSelectModel,
+    model: &dyn PerceptionBackend,
     image_column: &str,
     description: &str,
+) -> ModalResult<Table> {
+    apply_image_select_with(
+        table,
+        store,
+        model,
+        image_column,
+        description,
+        &BatchConfig::default(),
+    )
+    .1
+}
+
+/// [`apply_image_select`] with an explicit [`BatchConfig`]. Because the
+/// description is constant across rows, dedup collapses the calls to one per
+/// *distinct* image regardless of how often an image appears in the input.
+/// The saved-call statistics ride alongside the result so failed dispatches
+/// still account for their calls.
+pub fn apply_image_select_with(
+    table: &Table,
+    store: &ImageStore,
+    model: &dyn PerceptionBackend,
+    image_column: &str,
+    description: &str,
+    batch: &BatchConfig,
+) -> (BatchStats, ModalResult<Table>) {
+    let mut stats = BatchStats::default();
+    let result = image_select_inner(
+        table,
+        store,
+        model,
+        image_column,
+        description,
+        batch,
+        &mut stats,
+    );
+    (stats, result)
+}
+
+fn image_select_inner(
+    table: &Table,
+    store: &ImageStore,
+    model: &dyn PerceptionBackend,
+    image_column: &str,
+    description: &str,
+    batch: &BatchConfig,
+    stats: &mut BatchStats,
 ) -> ModalResult<Table> {
     let schema = table.schema().clone();
     let idx = schema.resolve(image_column).map_err(ModalError::Engine)?;
@@ -283,21 +552,40 @@ pub fn apply_image_select(
             message: format!("column '{image_column}' is not an IMAGE column"),
         });
     }
-    table
-        .filter_rows(|row| {
-            let key = match row.get(idx) {
-                Value::Image(key) => key.to_string(),
-                Value::Null => return Ok(false),
-                other => other.to_string(),
-            };
-            let image = store.get(&key).ok_or_else(|| {
-                caesura_engine::EngineError::execution(format!(
-                    "image '{key}' was not found in the image store"
-                ))
-            })?;
-            Ok(model.matches(image, description))
-        })
-        .map_err(ModalError::Engine)
+    let (collector, pending_error) =
+        gather_image_requests(table, store, idx, image_column, description);
+    let (answers, dispatch_stats) = collector.dispatch(model, batch);
+    *stats = dispatch_stats;
+    let answers = answers.map_err(ModalError::Engine)?;
+    if let Some(error) = pending_error {
+        return Err(ModalError::Engine(error));
+    }
+    let mut indices = Vec::new();
+    for (row, answer) in answers.into_iter().enumerate() {
+        match answer {
+            // NULL images never match (the row-at-a-time path returned false).
+            None => {}
+            Some(value) if truthy_answer(&value) => indices.push(row),
+            Some(_) => {}
+        }
+    }
+    if indices.len() == table.num_rows() {
+        return Ok(table.shared_copy());
+    }
+    Ok(table.take(&indices))
+}
+
+/// Interpret a perception answer as a selection decision: a boolean, or a
+/// yes/true string (what an LLM-backed selection backend produces).
+fn truthy_answer(value: &Value) -> bool {
+    match value {
+        Value::Bool(b) => *b,
+        Value::Str(s) => matches!(
+            s.trim().trim_end_matches('.').to_lowercase().as_str(),
+            "yes" | "true"
+        ),
+        _ => false,
+    }
 }
 
 /// Apply the Python-UDF substitute: compile the description and compute the
@@ -308,8 +596,33 @@ pub fn apply_python_udf(
     description: &str,
     new_column: &str,
 ) -> ModalResult<Table> {
-    let program = codegen.compile(description, table.schema())?;
-    program.apply(table, new_column)
+    apply_python_udf_with(table, codegen, description, new_column).1
+}
+
+/// [`apply_python_udf`] returning call statistics. The operator's only
+/// model-backed path is the description → code compilation — one call per
+/// invocation regardless of row count (the compiled program evaluates
+/// vectorized, without further model calls), which is recorded on the same
+/// stats channel as the batched perception operators. `rows` stays 0: the
+/// compile is invocation-granular, not per-row, so it must not skew per-row
+/// dedup ratios — and the compile call is counted even when it fails.
+pub fn apply_python_udf_with(
+    table: &Table,
+    codegen: &TransformCodegen,
+    description: &str,
+    new_column: &str,
+) -> (BatchStats, ModalResult<Table>) {
+    let stats = BatchStats {
+        rows: 0,
+        null_rows: 0,
+        unique_requests: 1,
+        batches: 1,
+        saved_calls: 0,
+    };
+    let result = codegen
+        .compile(description, table.schema())
+        .and_then(|program| program.apply(table, new_column));
+    (stats, result)
 }
 
 /// Apply the Plot operator to a result table.
@@ -318,19 +631,39 @@ pub fn apply_plot(table: &Table, kind: &str, x_column: &str, y_column: &str) -> 
     Plot::from_table(table, PlotSpec::new(kind, x_column, y_column))
 }
 
+/// Whether a `<...>` span can be a column placeholder: non-empty and free of
+/// whitespace and nested `<` — column names (including qualified ones like
+/// `teams.name`, or names with hyphens) never contain either, while the
+/// literal-`<` spans of comparison text (`"score < 5 for <name>"` yields the
+/// span `" 5 for <name"`) always do. Unknown placeholder *names* still fail
+/// loudly against the schema in the operator layer.
+fn is_placeholder_span(inner: &str) -> bool {
+    !inner.is_empty() && inner.chars().all(|c| !c.is_whitespace() && c != '<')
+}
+
 /// Placeholders (`<name>`) appearing in a question template.
+///
+/// Only `<...>` spans that look like a column name are placeholders (see
+/// [`is_placeholder_span`]); a literal `<` (e.g. in
+/// `"is score < 5 for <name>?"`) is skipped instead of swallowing everything
+/// up to the next `>`.
 pub fn template_placeholders(template: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut rest = template;
     while let Some(start) = rest.find('<') {
-        if let Some(end) = rest[start..].find('>') {
-            let inner = &rest[start + 1..start + end];
-            if !inner.is_empty() && !out.contains(&inner.to_string()) {
-                out.push(inner.to_string());
+        let after = &rest[start + 1..];
+        match after.find('>') {
+            Some(end) if is_placeholder_span(&after[..end]) => {
+                let inner = &after[..end];
+                if !out.contains(&inner.to_string()) {
+                    out.push(inner.to_string());
+                }
+                rest = &after[end + 1..];
             }
-            rest = &rest[start + end + 1..];
-        } else {
-            break;
+            // Not a placeholder: step past the '<' only, so a later
+            // well-formed `<name>` is still recognized.
+            Some(_) => rest = after,
+            None => break,
         }
     }
     out
@@ -349,21 +682,58 @@ fn instantiate_template(
     Ok(question)
 }
 
-/// Coerce a model answer into the declared result type where possible.
+/// Coerce a model answer into the declared result type.
+///
+/// An answer that cannot be parsed into the target type becomes
+/// `Value::Null` (the model "could not extract" the value) instead of being
+/// kept as a raw string: keeping it would produce a mixed-type column whose
+/// declared [`DataType`] lies, breaking downstream typed kernels.
 fn coerce(value: Value, target: DataType) -> Value {
     match (target, &value) {
-        (DataType::Int, Value::Str(s)) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(value),
-        (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
-        (DataType::Float, Value::Str(s)) => {
-            s.trim().parse::<f64>().map(Value::Float).unwrap_or(value)
+        (DataType::Int, Value::Str(s)) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or(Value::Null),
+        // Whole floats within i64 range convert exactly; everything else
+        // (fractions, NaN/inf, out-of-range magnitudes that would saturate)
+        // becomes NULL.
+        (DataType::Int, Value::Float(f))
+            if f.fract() == 0.0
+                && *f >= -9_223_372_036_854_775_808.0
+                && *f < 9_223_372_036_854_775_808.0 =>
+        {
+            Value::Int(*f as i64)
         }
-        (DataType::Bool, Value::Str(s)) => match s.to_lowercase().as_str() {
-            "yes" | "true" => Value::Bool(true),
-            "no" | "false" => Value::Bool(false),
-            _ => value,
-        },
+        (DataType::Int, Value::Float(_)) => Value::Null,
+        (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
+        (DataType::Float, Value::Str(s)) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .unwrap_or(Value::Null),
+        // Same normalization as `truthy_answer`, so an LLM answering "Yes."
+        // reads identically for a bool-typed QA column and for Image Select.
+        (DataType::Bool, Value::Str(s)) => {
+            match s.trim().trim_end_matches('.').to_lowercase().as_str() {
+                "yes" | "true" => Value::Bool(true),
+                "no" | "false" => Value::Bool(false),
+                _ => Value::Null,
+            }
+        }
         (DataType::Str, Value::Int(i)) => Value::str(i.to_string()),
-        _ => value,
+        (DataType::Str, Value::Float(f)) => Value::str(f.to_string()),
+        (DataType::Str, Value::Bool(b)) => Value::str(if *b { "yes" } else { "no" }),
+        // Final guard: never let a value of the wrong type through (it would
+        // flip the column to the mixed representation behind the declared
+        // type's back). NULLs and already-matching values pass.
+        _ => {
+            if value.is_null() || value.data_type() == target {
+                value
+            } else {
+                Value::Null
+            }
+        }
     }
 }
 
@@ -371,6 +741,9 @@ fn coerce(value: Value, target: DataType) -> Value {
 mod tests {
     use super::*;
     use crate::image::ImageObject;
+    use crate::image_select::ImageSelectModel;
+    use crate::text_qa::TextQaModel;
+    use crate::visual_qa::VisualQaModel;
     use caesura_engine::{Schema, TableBuilder};
 
     fn image_store() -> ImageStore {
@@ -540,11 +913,206 @@ mod tests {
     }
 
     #[test]
+    fn unparseable_answers_coerce_to_null_not_mixed_columns() {
+        // A raw string that fails to parse must become NULL, not stay a Str
+        // value inside a column whose declared type says Int/Float/Bool.
+        assert_eq!(coerce(Value::str("unknown"), DataType::Int), Value::Null);
+        assert_eq!(coerce(Value::str("n/a"), DataType::Float), Value::Null);
+        assert_eq!(coerce(Value::str("maybe"), DataType::Bool), Value::Null);
+        // The previously missing Float arms.
+        assert_eq!(coerce(Value::Float(4.0), DataType::Int), Value::Int(4));
+        assert_eq!(coerce(Value::Float(4.5), DataType::Int), Value::Null);
+        assert_eq!(coerce(Value::Float(2.5), DataType::Str), Value::str("2.5"));
+        // Whole floats outside i64 range (and non-finite values) must become
+        // NULL, not saturate to i64::MAX/MIN.
+        assert_eq!(coerce(Value::Float(1e19), DataType::Int), Value::Null);
+        assert_eq!(coerce(Value::Float(-1e19), DataType::Int), Value::Null);
+        assert_eq!(
+            coerce(Value::Float(f64::INFINITY), DataType::Int),
+            Value::Null
+        );
+        assert_eq!(coerce(Value::Float(f64::NAN), DataType::Int), Value::Null);
+        // A mismatched non-Str value never leaks through the final guard.
+        assert_eq!(coerce(Value::Int(1), DataType::Bool), Value::Null);
+    }
+
+    #[test]
+    fn unparseable_answers_produce_a_typed_null_column() {
+        // End to end: a Str answer ("yes"/"no") under a declared Int result
+        // type yields NULLs and a genuinely Int-typed column.
+        let out = apply_visual_qa(
+            &joined_table(),
+            &image_store(),
+            &VisualQaModel::new(),
+            "image",
+            "madonna_depicted",
+            "Is Madonna depicted?",
+            DataType::Int,
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "madonna_depicted").unwrap(), Value::Null);
+        assert_eq!(out.value(1, "madonna_depicted").unwrap(), Value::Null);
+    }
+
+    #[test]
     fn template_placeholder_extraction() {
         assert_eq!(
             template_placeholders("How many points did <name> score in <game_id>?"),
             vec!["name", "game_id"]
         );
         assert!(template_placeholders("no placeholders").is_empty());
+    }
+
+    #[test]
+    fn literal_angle_brackets_are_not_placeholders() {
+        // Regression: a literal '<' used to swallow everything up to the next
+        // '>' ("is score < 5 for <name>?" yielded the bogus placeholder
+        // " 5 for <name" and rejected a valid template).
+        assert_eq!(
+            template_placeholders("is score < 5 for <name>?"),
+            vec!["name"]
+        );
+        assert_eq!(
+            template_placeholders("is 3 < 5 and 7 > 5?"),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            template_placeholders("a <b> c <not a column> d <col_2>"),
+            vec!["b", "col_2"]
+        );
+        assert!(template_placeholders("dangling < bracket").is_empty());
+    }
+
+    #[test]
+    fn literal_comparison_templates_instantiate() {
+        let out = apply_text_qa(
+            &reports_table(),
+            &TextQaModel::new(),
+            "report",
+            "points",
+            "How many points did <name> score?",
+            DataType::Int,
+        );
+        assert!(out.is_ok());
+        // A template with a literal '<' no longer trips placeholder
+        // validation (the bogus span is not looked up as a column).
+        let err = apply_text_qa(
+            &reports_table(),
+            &TextQaModel::new(),
+            "report",
+            "flag",
+            "is score < 5 for <unknown_column>?",
+            DataType::Str,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown_column"));
+        assert!(!err.to_string().contains("5 for"));
+    }
+
+    #[test]
+    fn mistyped_cells_error_with_the_row_index() {
+        // A TEXT column that (via the dynamic-typing escape hatch) holds a
+        // non-text cell must produce a typed execution error naming the row,
+        // not be silently stringified into a model prompt.
+        let schema = Schema::from_pairs(&[("name", DataType::Str), ("report", DataType::Text)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(vec![
+            Value::str("Heat"),
+            Value::text("The Spurs defeated the Heat 110-102."),
+        ])
+        .unwrap();
+        b.push_row(vec![Value::str("Spurs"), Value::Int(7)])
+            .unwrap();
+        let err = apply_text_qa(
+            &b.build(),
+            &TextQaModel::new(),
+            "report",
+            "won",
+            "Did <name> win?",
+            DataType::Str,
+        )
+        .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("row 1"), "got: {message}");
+        assert!(message.contains("report"), "got: {message}");
+
+        let schema = Schema::from_pairs(&[("image", DataType::Image)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(vec![Value::image("img/1.png")]).unwrap();
+        b.push_row(vec![Value::str("not-an-image")]).unwrap();
+        let images = b.build();
+        let err = apply_visual_qa(
+            &images,
+            &image_store(),
+            &VisualQaModel::new(),
+            "image",
+            "n",
+            "How many swords are depicted?",
+            DataType::Int,
+        )
+        .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("row 1"), "got: {message}");
+
+        let err = apply_image_select(
+            &images,
+            &image_store(),
+            &ImageSelectModel::new(),
+            "image",
+            "paintings depicting swords",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("row 1"), "got: {err}");
+    }
+
+    #[test]
+    fn null_inputs_stay_null_without_model_calls() {
+        let schema = Schema::from_pairs(&[("name", DataType::Str), ("report", DataType::Text)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(vec![Value::str("Heat"), Value::Null]).unwrap();
+        b.push_row(vec![
+            Value::str("Spurs"),
+            Value::text("The Spurs defeated the Heat 110-102."),
+        ])
+        .unwrap();
+        let (stats, out) = apply_text_qa_with(
+            &b.build(),
+            &TextQaModel::new(),
+            "report",
+            "won",
+            "Did <name> win?",
+            DataType::Str,
+            &BatchConfig::new(8),
+        );
+        let out = out.unwrap();
+        assert_eq!(out.value(0, "won").unwrap(), Value::Null);
+        assert_eq!(out.value(1, "won").unwrap(), Value::str("yes"));
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.null_rows, 1);
+        assert_eq!(stats.unique_requests, 1);
+    }
+
+    #[test]
+    fn duplicate_rows_are_deduplicated_in_stats() {
+        // Two rows share the same report; the constant question dedups to
+        // one model call.
+        let (stats, out) = apply_text_qa_with(
+            &reports_table(),
+            &TextQaModel::new(),
+            "report",
+            "winner",
+            "Who won the game?",
+            DataType::Str,
+            &BatchConfig::new(8),
+        );
+        let out = out.unwrap();
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.unique_requests, 1);
+        assert_eq!(stats.saved_calls, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(
+            out.value(0, "winner").unwrap(),
+            out.value(1, "winner").unwrap()
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! score?") and answered against the report document of that row. This module
 //! implements the reader; template instantiation happens in the operator layer.
 
+use crate::batch::{PerceptionBackend, PerceptionInput, PerceptionRequest};
 use crate::document::{extract_number_before, split_sentences};
 use crate::error::{ModalError, ModalResult};
 use crate::noise::NoiseModel;
@@ -236,6 +237,23 @@ impl TextQaModel {
                 result
             }
         })
+    }
+}
+
+impl PerceptionBackend for TextQaModel {
+    /// Answer a batch request-by-request; the simulated reader has no
+    /// per-call overhead, so batching only changes the dispatch granularity.
+    fn answer_batch(&self, requests: &[PerceptionRequest]) -> Vec<ModalResult<Value>> {
+        requests
+            .iter()
+            .map(|request| match &request.input {
+                PerceptionInput::Document(document) => self.answer(document, &request.question),
+                PerceptionInput::Image(_) => Err(ModalError::InvalidArguments {
+                    operator: "Text Question Answering".to_string(),
+                    message: "the TextQA model reads TEXT documents, not images".to_string(),
+                }),
+            })
+            .collect()
     }
 }
 

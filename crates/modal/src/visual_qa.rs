@@ -8,6 +8,7 @@
 //! the VisualQA step is called with
 //! `('image', 'num_swords', 'How many swords are depicted?', 'int')`.
 
+use crate::batch::{PerceptionBackend, PerceptionInput, PerceptionRequest};
 use crate::error::{ModalError, ModalResult};
 use crate::image::{normalize_entity, ImageObject};
 use crate::noise::NoiseModel;
@@ -215,6 +216,23 @@ impl VisualQaModel {
                 None => Value::str("unknown"),
             },
         })
+    }
+}
+
+impl PerceptionBackend for VisualQaModel {
+    /// Answer a batch request-by-request; the simulated model has no
+    /// per-call overhead, so batching only changes the dispatch granularity.
+    fn answer_batch(&self, requests: &[PerceptionRequest]) -> Vec<ModalResult<Value>> {
+        requests
+            .iter()
+            .map(|request| match &request.input {
+                PerceptionInput::Image(image) => self.answer(image, &request.question),
+                PerceptionInput::Document(_) => Err(ModalError::InvalidArguments {
+                    operator: "Visual Question Answering".to_string(),
+                    message: "the VisualQA model looks at images, not TEXT documents".to_string(),
+                }),
+            })
+            .collect()
     }
 }
 
