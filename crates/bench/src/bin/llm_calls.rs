@@ -3,7 +3,7 @@
 //! row-at-a-time baseline of one call per row — and writes the numbers to
 //! `BENCH_llm_calls.json` at the repository root.
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! * `end_to_end` — the representative queries of the `end_to_end` criterion
 //!   bench, run with a `CountingLlm`-wrapped simulated model under batch
@@ -11,12 +11,19 @@
 //!   (`CountingLlm::usage`) and the perception rows / unique calls / batches
 //!   / dedup savings from the execution trace.
 //! * `plan_quality` — the 48-query Table-1 evaluation (the `plan_quality`
-//!   criterion bench's workload), aggregating the same perception axis.
+//!   criterion bench's workload), aggregating the same perception axis. The
+//!   evaluation sessions each run 48 queries, so the session-scoped answer
+//!   cache's cross-query hits show up here too.
 //! * `duplicate_heavy_operator` — a direct TextQA/VisualQA workload over
 //!   duplicate-heavy tables served by an **LLM-backed** perception backend
 //!   (`PerceptionLlm<CountingLlm<...>>`), demonstrating that `CountingLlm`
 //!   records strictly fewer calls than rows and that batch size only changes
 //!   dispatch granularity.
+//! * `perception_cache` — the session-scoped answer cache (PR 4) on the two
+//!   workload shapes it targets: a multi-step plan whose later step re-asks
+//!   the same questions (cross-step), and the same query run back-to-back
+//!   over one lake (cross-query). Cache on must show strictly fewer backend
+//!   calls than cache off; the repeated step/query must cost zero.
 //!
 //! Run with `cargo run --release -p caesura-bench --bin llm_calls`.
 
@@ -29,7 +36,7 @@ use caesura_llm::{
     Conversation, CountingLlm, LlmClient, LlmResult, ModelProfile, PerceptionLlm, SimulatedLlm,
 };
 use caesura_modal::operators::{apply_text_qa_with, apply_visual_qa_with};
-use caesura_modal::{BatchConfig, ImageObject, ImageStore};
+use caesura_modal::{BatchConfig, CacheConfig, ImageObject, ImageStore, PerceptionCache};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -38,6 +45,7 @@ fn main() {
         end_to_end_section(),
         plan_quality_section(),
         duplicate_heavy_section(),
+        perception_cache_section(),
     ];
 
     let mut out = String::new();
@@ -53,7 +61,11 @@ fn main() {
          instantiate one question per row (e.g. 'How many points did <teams.name> score?'), so \
          every (input, question) pair is distinct and dedup honestly saves nothing there; the \
          duplicate_heavy_operator section isolates the Rotowire-style repetition (same document \
-         asked the same question across rows) where dedup collapses calls.\",\n",
+         asked the same question across rows) where dedup collapses calls. The \
+         perception_cache section (PR 4) measures the session-scoped answer cache: with the \
+         cache on, a question re-asked by a later plan step or a back-to-back query over the \
+         same lake never reaches the backend, so backend calls are strictly fewer than with \
+         the cache off on repeated-question workloads.\",\n",
     );
     out.push_str("  \"command\": \"cargo run --release -p caesura-bench --bin llm_calls\",\n");
     out.push_str(
@@ -177,11 +189,15 @@ fn plan_quality_section() -> String {
         let (dispatched, saved) = report.total_perception_calls();
         let rows: usize = report.results.iter().map(|r| r.perception.rows).sum();
         let batches: usize = report.results.iter().map(|r| r.perception.batches).sum();
+        // The benchmark's sessions run 48 queries each, so the (default-on)
+        // session-scoped answer cache collapses questions repeated across
+        // queries — surfaced here so "calls" < "rows" is attributable.
+        let cache_hits = report.total_perception_cache_hits();
         write!(
             out,
             "    \"table1_gpt4_profile_48_queries_{label}\": {{\"batch_size\": {}, \
              \"llm_calls\": {}, \"perception\": {{\"rows\": {rows}, \"calls\": {dispatched}, \
-             \"batches\": {batches}, \"saved\": {saved}}}}}",
+             \"batches\": {batches}, \"saved\": {saved}, \"cache_hits\": {cache_hits}}}}}",
             batch.batch_size,
             report.total_llm_calls(),
         )
@@ -255,6 +271,7 @@ fn duplicate_heavy_section() -> String {
             "How many points did <name> score?",
             DataType::Int,
             batch,
+            None,
         );
         text_result.expect("duplicate-heavy TextQA workload");
         let text_usage = text_backend.inner().usage();
@@ -275,6 +292,7 @@ fn duplicate_heavy_section() -> String {
             "How many swords are depicted?",
             DataType::Int,
             batch,
+            None,
         );
         visual_result.expect("duplicate-heavy VisualQA workload");
         let visual_usage = visual_backend.inner().usage();
@@ -298,6 +316,135 @@ fn duplicate_heavy_section() -> String {
         )
         .unwrap();
         out.push_str(if bi == 0 { ",\n" } else { "\n" });
+    }
+    out.push_str("  }");
+    out
+}
+
+fn perception_cache_section() -> String {
+    let mut out = String::from("  \"perception_cache\": {\n");
+
+    // ---- Cross-step axis: a multi-step plan re-asking the same question --
+    // Step 1 extracts points per team; step 2 re-asks the identical template
+    // over the (unchanged) report column of step 1's output — the
+    // Rotowire-style pattern where later plan steps revisit the same
+    // documents. CountingLlm counts the calls that actually reach the model.
+    let teams = ["Heat", "Spurs", "Bulls", "Lakers"];
+    let reports = [
+        "The Heat defeated the Spurs 110-102.",
+        "The Bulls defeated the Lakers 99-95.",
+        "The Spurs defeated the Bulls 120-101.",
+    ];
+    let schema = Schema::from_pairs(&[("name", DataType::Str), ("report", DataType::Text)]);
+    let mut builder = TableBuilder::new("joined_reports", schema);
+    for i in 0..48 {
+        builder
+            .push_row(vec![
+                Value::str(teams[i % teams.len()]),
+                Value::text(reports[i % reports.len()]),
+            ])
+            .unwrap();
+    }
+    let table = builder.build();
+    let template = "How many points did <name> score?";
+
+    for (label, cache) in [
+        ("cache_off", None),
+        ("cache_on", Some(PerceptionCache::with_capacity(1024))),
+    ] {
+        let backend = PerceptionLlm::new(CountingLlm::new(ConstLlm));
+        let (_, step1) = apply_text_qa_with(
+            &table,
+            &backend,
+            "report",
+            "points_step1",
+            template,
+            DataType::Int,
+            &BatchConfig::default(),
+            cache.as_ref(),
+        );
+        let step1 = step1.expect("cross-step bench step 1");
+        let after_step1 = backend.inner().usage().calls;
+        let (step2_stats, step2) = apply_text_qa_with(
+            &step1,
+            &backend,
+            "report",
+            "points_step2",
+            template,
+            DataType::Int,
+            &BatchConfig::default(),
+            cache.as_ref(),
+        );
+        step2.expect("cross-step bench step 2");
+        let total = backend.inner().usage().calls;
+        if cache.is_some() {
+            assert_eq!(
+                total - after_step1,
+                0,
+                "a warm cache must serve the repeated step without backend calls"
+            );
+        } else {
+            assert_eq!(total, 2 * after_step1, "uncached steps repeat every call");
+        }
+        writeln!(
+            out,
+            "    \"cross_step_{label}\": {{\"rows_per_step\": {}, \"step1_backend_calls\": \
+             {after_step1}, \"step2_backend_calls\": {}, \"step2_cache_hits\": {}}},",
+            table.num_rows(),
+            total - after_step1,
+            step2_stats.cache_hits,
+        )
+        .unwrap();
+    }
+
+    // ---- Cross-query axis: back-to-back queries over the same lake -------
+    // One session, the same multi-modal Rotowire query twice. With the
+    // session-scoped cache the second run's perception calls drop to zero.
+    let query = "For every team, what is the highest number of points they scored in a game?";
+    for (ci, (label, cache_config)) in [
+        ("cache_off", CacheConfig::off()),
+        ("cache_on", CacheConfig::new(CacheConfig::DEFAULT_CAPACITY)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let config = CaesuraConfig {
+            perception_cache: Some(*cache_config),
+            ..CaesuraConfig::default()
+        };
+        let session = Caesura::with_config(
+            generate_rotowire(&RotowireConfig::default()).lake,
+            Arc::new(CountingLlm::new(SimulatedLlm::new(
+                ModelProfile::Gpt4,
+                BENCH_SEED,
+            ))),
+            config,
+        );
+        let first = session.run(query);
+        assert!(first.succeeded(), "cross-query bench run 1");
+        let second = session.run(query);
+        assert!(second.succeeded(), "cross-query bench run 2");
+        let (p1, p2) = (
+            first.trace.perception_calls(),
+            second.trace.perception_calls(),
+        );
+        if cache_config.is_enabled() {
+            assert_eq!(
+                p2.calls, 0,
+                "the second identical query must be served entirely from the cache"
+            );
+            assert!(p2.cache_hits > 0);
+        } else {
+            assert_eq!(p1.calls, p2.calls, "without a cache both runs pay in full");
+        }
+        write!(
+            out,
+            "    \"cross_query_{label}\": {{\"query\": \"rotowire_figure4_query1 x2\", \
+             \"run1_backend_calls\": {}, \"run2_backend_calls\": {}, \"run2_cache_hits\": {}}}",
+            p1.calls, p2.calls, p2.cache_hits,
+        )
+        .unwrap();
+        out.push_str(if ci == 0 { ",\n" } else { "\n" });
     }
     out.push_str("  }");
     out

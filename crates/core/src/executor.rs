@@ -6,6 +6,15 @@
 //! immediately after the mapping phase decides it (interleaved execution,
 //! §3.1), and returns an observation string that is fed back into the next
 //! mapping prompt.
+//!
+//! Perception operators (VisualQA / TextQA / Image Select) route through the
+//! gather → dedup → cache → batch → scatter pipeline of
+//! `caesura_modal::batch`: the executor pins the [`BatchConfig`] for the
+//! query, optionally shares the session's
+//! [`PerceptionCache`] (so answers survive across the session's queries),
+//! and accumulates the per-dispatch [`BatchStats`] — including failed
+//! dispatches, whose model calls were paid just the same — behind
+//! [`Executor::perception_stats`].
 
 use crate::error::{CoreError, CoreResult};
 use caesura_engine::{parallel, sql, Catalog, ExecConfig, Table};
@@ -15,8 +24,8 @@ use caesura_modal::operators::{
     apply_visual_qa_with, parse_result_dtype,
 };
 use caesura_modal::{
-    BatchConfig, BatchStats, ImageSelectModel, ImageStore, OperatorKind, Plot, TextQaModel,
-    TransformCodegen, VisualQaModel,
+    BatchConfig, BatchStats, ImageSelectModel, ImageStore, OperatorKind, PerceptionCache, Plot,
+    TextQaModel, TransformCodegen, VisualQaModel,
 };
 use std::sync::Arc;
 
@@ -71,6 +80,9 @@ pub struct Executor {
     exec: Option<ExecConfig>,
     /// Batching configuration for the perception-operator model calls.
     batch: BatchConfig,
+    /// Optional session-scoped perception answer cache, shared (`Arc`) with
+    /// the owning session so answers survive across queries.
+    cache: Option<Arc<PerceptionCache>>,
     /// Accumulated perception call accounting across executed steps.
     perception: BatchStats,
 }
@@ -89,6 +101,7 @@ impl Executor {
             last_output: None,
             exec: None,
             batch: BatchConfig::default(),
+            cache: None,
             perception: BatchStats::default(),
         }
     }
@@ -105,6 +118,22 @@ impl Executor {
     pub fn with_batch_config(mut self, config: BatchConfig) -> Self {
         self.batch = config;
         self
+    }
+
+    /// Attach a perception answer cache. The cache is `Arc`-shared — a
+    /// session passes the same cache to every executor it creates, so
+    /// answers survive across plan steps *and* across queries (see
+    /// `caesura_modal::cache` for why cached answers are provably the
+    /// answers the models would give). Executors without a cache behave
+    /// byte-for-byte as before.
+    pub fn with_perception_cache(mut self, cache: Arc<PerceptionCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached perception answer cache, if any.
+    pub fn perception_cache(&self) -> Option<&Arc<PerceptionCache>> {
+        self.cache.as_ref()
     }
 
     /// Accumulated perception-operator call accounting (rows walked, unique
@@ -276,6 +305,7 @@ impl Executor {
                     &args[2],
                     dtype,
                     &self.batch,
+                    self.cache.as_deref(),
                 );
                 // Absorb before `?`: failed dispatches still made their calls.
                 self.perception.absorb(&stats);
@@ -293,6 +323,7 @@ impl Executor {
                     &args[2],
                     dtype,
                     &self.batch,
+                    self.cache.as_deref(),
                 );
                 self.perception.absorb(&stats);
                 Ok(self.register_result(step, result?, &[args[1].clone()]))
@@ -307,6 +338,7 @@ impl Executor {
                     &args[0],
                     &args[1],
                     &self.batch,
+                    self.cache.as_deref(),
                 );
                 self.perception.absorb(&stats);
                 Ok(self.register_result(step, result?, &[]))

@@ -13,6 +13,12 @@
 //! prompt of §3.2, which decides whether to retry the step with corrected
 //! arguments or to backtrack to the planning phase.
 //!
+//! The session also owns the scaling state that must outlive a single query:
+//! the pinned `ExecConfig`/`BatchConfig` knobs and the session-scoped
+//! perception answer cache (`caesura_modal::cache`), which collapses
+//! repeated perception questions across plan steps and across queries over
+//! the session's `Arc`-shared lake.
+//!
 //! ```
 //! use caesura_core::Caesura;
 //! use caesura_data::{generate_artwork, ArtworkConfig};

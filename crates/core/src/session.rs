@@ -13,7 +13,7 @@ use caesura_llm::{
     Conversation, ErrorAnalysis, LlmClient, LogicalPlan, LogicalStep, OperatorDecision,
     PromptBuilder, PromptConfig, RelevantColumn,
 };
-use caesura_modal::BatchConfig;
+use caesura_modal::{BatchConfig, CacheConfig, PerceptionCache};
 use std::sync::Arc;
 
 /// Configuration of a CAESURA session.
@@ -47,6 +47,13 @@ pub struct CaesuraConfig {
     /// `Some(BatchConfig::new(1))` forces one dispatch per unique request
     /// (requests are deduplicated either way).
     pub llm_batch: Option<BatchConfig>,
+    /// Session-scoped perception answer cache configuration. `None` uses the
+    /// environment default (`CAESURA_PERCEPTION_CACHE`);
+    /// `Some(CacheConfig::off())` disables caching, byte-for-byte preserving
+    /// the uncached dispatch behaviour. When enabled, the session owns one
+    /// cache shared by every query it runs, so a question re-asked by a
+    /// later plan step or a back-to-back query costs zero model calls.
+    pub perception_cache: Option<CacheConfig>,
 }
 
 impl Default for CaesuraConfig {
@@ -61,6 +68,7 @@ impl Default for CaesuraConfig {
             max_replans: 1,
             exec: None,
             llm_batch: None,
+            perception_cache: None,
         }
     }
 }
@@ -95,6 +103,11 @@ pub struct Caesura {
     config: CaesuraConfig,
     prompts: PromptBuilder,
     retriever: Retriever,
+    /// The session-scoped perception answer cache (`None` when disabled).
+    /// Owned here — not per query — so answers survive across queries over
+    /// the session's `Arc`-shared lake; interior mutability (sharded locks)
+    /// keeps `&self` queries concurrent.
+    perception_cache: Option<Arc<PerceptionCache>>,
 }
 
 impl Caesura {
@@ -110,12 +123,18 @@ impl Caesura {
             example_values: config.example_values,
         });
         let retriever = Retriever::index(&lake);
+        let perception_cache = config
+            .perception_cache
+            .unwrap_or_default()
+            .build()
+            .map(Arc::new);
         Caesura {
             lake,
             llm,
             config,
             prompts,
             retriever,
+            perception_cache,
         }
     }
 
@@ -127,6 +146,12 @@ impl Caesura {
     /// The data lake this session queries.
     pub fn lake(&self) -> &DataLake {
         &self.lake
+    }
+
+    /// The session's perception answer cache (`None` when disabled). Useful
+    /// for inspecting hit/miss/eviction counters across queries.
+    pub fn perception_cache(&self) -> Option<&Arc<PerceptionCache>> {
+        self.perception_cache.as_ref()
     }
 
     /// Answer a natural-language query, returning only the output.
@@ -337,6 +362,12 @@ impl Caesura {
         if let Some(batch) = self.config.llm_batch {
             executor = executor.with_batch_config(batch);
         }
+        // Share the session-scoped answer cache: each query gets a fresh
+        // executor, but the cache (and therefore every previously computed
+        // perception answer) survives across queries.
+        if let Some(cache) = &self.perception_cache {
+            executor = executor.with_perception_cache(Arc::clone(cache));
+        }
         let mut observations: Vec<String> = Vec::new();
         let mut last_outcome: Option<StepOutcome> = None;
 
@@ -424,12 +455,17 @@ impl Caesura {
                 let delta = executor.perception_stats().since(&perception_before);
                 if delta.rows > 0 || delta.unique_requests > 0 {
                     trace.record(Phase::Execution, "perception", delta.summary());
-                    trace.record_perception(
-                        delta.rows,
-                        delta.unique_requests,
-                        delta.batches,
-                        delta.saved_calls,
-                    );
+                    trace.record_perception(crate::trace::PerceptionCalls {
+                        rows: delta.rows,
+                        // "calls" are model calls that actually reached the
+                        // backend: cache hits never dispatch.
+                        calls: delta.dispatched_requests(),
+                        batches: delta.batches,
+                        saved_calls: delta.saved_calls,
+                        cache_hits: delta.cache_hits,
+                        cache_misses: delta.cache_misses,
+                        cache_evictions: delta.cache_evictions,
+                    });
                 }
                 match step_result {
                     Ok(outcome) => {

@@ -54,12 +54,19 @@ pub struct TraceEvent {
 pub struct PerceptionCalls {
     /// Input rows the perception operators walked.
     pub rows: usize,
-    /// Unique model calls actually dispatched.
+    /// Unique model calls actually dispatched to the backend (cache hits
+    /// never dispatch, so with a warm cache this can be 0).
     pub calls: usize,
     /// Batched dispatches carrying those calls.
     pub batches: usize,
     /// Model calls avoided by deduplication versus one call per row.
     pub saved_calls: usize,
+    /// Unique requests answered by the session's perception cache.
+    pub cache_hits: usize,
+    /// Unique requests probed against the cache and dispatched instead.
+    pub cache_misses: usize,
+    /// Cache entries evicted while storing this query's answers.
+    pub cache_evictions: usize,
 }
 
 /// A full execution trace.
@@ -95,12 +102,15 @@ impl ExecutionTrace {
     }
 
     /// Accumulate perception-operator call accounting (batched dispatches,
-    /// dedup savings) into the query totals.
-    pub fn record_perception(&mut self, rows: usize, calls: usize, batches: usize, saved: usize) {
-        self.perception.rows += rows;
-        self.perception.calls += calls;
-        self.perception.batches += batches;
-        self.perception.saved_calls += saved;
+    /// dedup savings, cache hits) into the query totals.
+    pub fn record_perception(&mut self, delta: PerceptionCalls) {
+        self.perception.rows += delta.rows;
+        self.perception.calls += delta.calls;
+        self.perception.batches += delta.batches;
+        self.perception.saved_calls += delta.saved_calls;
+        self.perception.cache_hits += delta.cache_hits;
+        self.perception.cache_misses += delta.cache_misses;
+        self.perception.cache_evictions += delta.cache_evictions;
     }
 
     /// Perception-operator call accounting for the whole query.
@@ -169,7 +179,7 @@ impl ExecutionTrace {
             self.prompt_tokens,
             self.error_count()
         ));
-        if self.perception.rows > 0 || self.perception.calls > 0 {
+        if self.perception.rows > 0 || self.perception.calls > 0 || self.perception.cache_hits > 0 {
             out.push_str(&format!(
                 "== Perception: {} row(s) -> {} model call(s) in {} batch(es), {} saved by dedup ==\n",
                 self.perception.rows,
@@ -177,6 +187,14 @@ impl ExecutionTrace {
                 self.perception.batches,
                 self.perception.saved_calls
             ));
+            if self.perception.cache_hits > 0 || self.perception.cache_misses > 0 {
+                out.push_str(&format!(
+                    "== Perception cache: {} hit(s), {} miss(es), {} eviction(s) ==\n",
+                    self.perception.cache_hits,
+                    self.perception.cache_misses,
+                    self.perception.cache_evictions
+                ));
+            }
         }
         out
     }
@@ -225,16 +243,34 @@ mod tests {
     fn perception_calls_accumulate_and_render() {
         let mut trace = ExecutionTrace::new();
         assert_eq!(trace.perception_calls(), PerceptionCalls::default());
-        trace.record_perception(10, 4, 1, 6);
-        trace.record_perception(5, 5, 2, 0);
+        trace.record_perception(PerceptionCalls {
+            rows: 10,
+            calls: 4,
+            batches: 1,
+            saved_calls: 6,
+            ..PerceptionCalls::default()
+        });
+        trace.record_perception(PerceptionCalls {
+            rows: 5,
+            calls: 5,
+            batches: 2,
+            saved_calls: 0,
+            cache_hits: 2,
+            cache_misses: 5,
+            cache_evictions: 1,
+        });
         let perception = trace.perception_calls();
         assert_eq!(perception.rows, 15);
         assert_eq!(perception.calls, 9);
         assert_eq!(perception.batches, 3);
+        assert_eq!(perception.cache_hits, 2);
+        assert_eq!(perception.cache_misses, 5);
+        assert_eq!(perception.cache_evictions, 1);
         assert_eq!(trace.saved_llm_calls(), 6);
         let rendered = trace.render(false);
         assert!(rendered.contains("9 model call(s)"));
         assert!(rendered.contains("6 saved by dedup"));
+        assert!(rendered.contains("2 hit(s)"));
     }
 
     #[test]

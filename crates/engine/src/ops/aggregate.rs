@@ -8,6 +8,17 @@
 //! evaluated column-at-a-time first; the grouping pass then walks those
 //! columns once, hashing `i64` keys directly when a single integer group
 //! column allows it and the rendered group key otherwise.
+//!
+//! ## Parallel float SUM/AVG invariant
+//!
+//! Under the morsel-driven pool ([`crate::parallel`]) each worker folds a
+//! per-morsel partial [`AggState`] and the partials are merged in morsel
+//! order: deterministic for a given `ExecConfig`, but a *different addition
+//! order* than the sequential row-order fold — so float `SUM`/`AVG` totals
+//! can differ in the last ulp between `threads = 1` and parallel configs
+//! whenever addends are not exactly representable. `threads = 1` stays
+//! byte-for-byte the pre-parallel engine on purpose; the property suite uses
+//! dyadic rationals to keep its cross-config comparisons exact.
 
 use crate::column::{Column, ColumnBuilder};
 use crate::error::{EngineError, EngineResult};

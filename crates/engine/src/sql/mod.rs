@@ -4,7 +4,7 @@
 //! The mapping phase of CAESURA emits SQL strings as the arguments of the
 //! *SQL (Join)*, *SQL (Selection)* and *SQL (Aggregation)* physical operators
 //! (see Figure 4 of the paper). This module parses and executes those strings
-//! against an in-memory [`Catalog`](crate::catalog::Catalog).
+//! against an in-memory [`Catalog`].
 //!
 //! Supported grammar (case-insensitive keywords):
 //!

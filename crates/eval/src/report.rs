@@ -120,11 +120,20 @@ impl EvaluationReport {
     }
 
     /// Total perception-operator model calls dispatched across the benchmark
-    /// (after dedup), and the calls dedup saved versus one call per row.
+    /// (after dedup and cache hits), and the calls dedup saved versus one
+    /// call per row.
     pub fn total_perception_calls(&self) -> (usize, usize) {
         let dispatched = self.results.iter().map(|r| r.perception.calls).sum();
         let saved = self.results.iter().map(|r| r.perception.saved_calls).sum();
         (dispatched, saved)
+    }
+
+    /// Total unique perception requests served by the session-scoped answer
+    /// cache instead of a backend dispatch (0 when the cache is disabled;
+    /// the evaluation sessions run 48 queries each, so questions repeated
+    /// across queries hit the cache).
+    pub fn total_perception_cache_hits(&self) -> usize {
+        self.results.iter().map(|r| r.perception.cache_hits).sum()
     }
 }
 

@@ -16,7 +16,13 @@
 //!    rows cost zero extra model calls. The dedup key is exactly the pair the
 //!    simulated models derive their (deterministic) noise from, so dedup can
 //!    never change an answer.
-//! 3. **Batch + dispatch** — the unique requests are split into chunks of
+//! 3. **Cache probe** (optional) — when the session attaches a
+//!    [`PerceptionCache`], every unique request is probed against it first;
+//!    hits resolve immediately and never reach the backend, so questions
+//!    repeated across plan steps or across queries cost zero additional
+//!    model calls (see [`PerceptionBatch::dispatch_cached`] and the
+//!    [`crate::cache`] module docs for why this cannot change an answer).
+//! 4. **Batch + dispatch** — the remaining unique requests are split into chunks of
 //!    [`BatchConfig::batch_size`] and handed to a [`PerceptionBackend`] batch
 //!    by batch, fanned out across the existing morsel worker pool
 //!    ([`caesura_engine::parallel`], honouring the pinned
@@ -24,7 +30,7 @@
 //!    query). A backend receives whole batches, so an LLM-backed
 //!    implementation can serve each chunk with a single `complete_batch`
 //!    round trip.
-//! 4. **Scatter** — answers are mapped back onto the rows in row order. The
+//! 5. **Scatter** — answers are mapped back onto the rows in row order. The
 //!    output (values, NULL placeholders, and the first error in row order)
 //!    is byte-identical to what the sequential row-at-a-time path produces;
 //!    `tests/property_batch.rs` asserts this for every operator across batch
@@ -52,6 +58,7 @@
 //! per query and the session surfaces them in the execution trace; the
 //! `llm_calls` bench binary records them in `BENCH_llm_calls.json`.
 
+use crate::cache::{CacheScope, PerceptionCache};
 use crate::error::ModalResult;
 use crate::image::ImageObject;
 use caesura_engine::{parallel, EngineError, EngineResult, ExecConfig, Value};
@@ -122,6 +129,18 @@ pub struct BatchStats {
     /// Model calls avoided by dedup versus the row-at-a-time path:
     /// `rows - null_rows - unique_requests`.
     pub saved_calls: usize,
+    /// Unique requests answered by the session's perception cache without
+    /// reaching the backend (0 when no cache is attached). The backend
+    /// actually received `unique_requests - cache_hits` requests.
+    pub cache_hits: usize,
+    /// Unique requests probed against a cache and not found (0 when no cache
+    /// is attached; with a cache, `cache_hits + cache_misses ==
+    /// unique_requests`).
+    pub cache_misses: usize,
+    /// Cache entries evicted while storing this dispatch's answers. Under
+    /// parallel dispatch the exact count depends on worker interleaving
+    /// (answers never do).
+    pub cache_evictions: usize,
 }
 
 impl BatchStats {
@@ -132,6 +151,9 @@ impl BatchStats {
         self.unique_requests += other.unique_requests;
         self.batches += other.batches;
         self.saved_calls += other.saved_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
     }
 
     /// The stats accumulated since `earlier` (field-wise difference; both
@@ -143,15 +165,35 @@ impl BatchStats {
             unique_requests: self.unique_requests - earlier.unique_requests,
             batches: self.batches - earlier.batches,
             saved_calls: self.saved_calls - earlier.saved_calls,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
         }
+    }
+
+    /// Requests that actually reached the backend: unique requests minus
+    /// cache hits (equal to `unique_requests` when no cache is attached).
+    pub fn dispatched_requests(&self) -> usize {
+        self.unique_requests - self.cache_hits
     }
 
     /// Render the stats for traces and observations.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} row(s) -> {} unique model call(s) in {} batch(es) ({} saved by dedup, {} NULL row(s))",
-            self.rows, self.unique_requests, self.batches, self.saved_calls, self.null_rows
-        )
+            self.rows,
+            self.dispatched_requests(),
+            self.batches,
+            self.saved_calls,
+            self.null_rows
+        );
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            out.push_str(&format!(
+                "; cache: {} hit(s), {} miss(es), {} eviction(s)",
+                self.cache_hits, self.cache_misses, self.cache_evictions
+            ));
+        }
+        out
     }
 }
 
@@ -163,6 +205,28 @@ pub enum PerceptionInput {
     Document(Arc<str>),
     /// An annotated image (VisualQA / Image Select).
     Image(ImageObject),
+}
+
+impl PerceptionInput {
+    /// The dedup/cache identity of this input: the document text, or the
+    /// image key (annotations are immutable per key within a store). This is
+    /// the input half of the `(input, question)` pair both the dedup index
+    /// and the [`PerceptionCache`] key on.
+    pub fn cache_key(&self) -> &str {
+        match self {
+            PerceptionInput::Document(document) => document,
+            PerceptionInput::Image(image) => &image.key,
+        }
+    }
+
+    /// [`Self::cache_key`] as a shared `Arc<str>`: documents bump the
+    /// existing reference count, image keys are copied (they are short).
+    pub fn shared_key(&self) -> Arc<str> {
+        match self {
+            PerceptionInput::Document(document) => Arc::clone(document),
+            PerceptionInput::Image(image) => Arc::from(image.key.as_str()),
+        }
+    }
 }
 
 /// One unique `(input, question)` pair to be answered by a backend.
@@ -342,21 +406,75 @@ impl PerceptionBatch {
         backend: &dyn PerceptionBackend,
         config: &BatchConfig,
     ) -> (EngineResult<Vec<Option<Value>>>, BatchStats) {
-        let rows = self.slots.len();
-        let null_rows = self
-            .slots
-            .iter()
-            .filter(|s| matches!(s, Slot::Null))
-            .count();
+        self.dispatch_cached(backend, config, None)
+    }
+
+    /// [`PerceptionBatch::dispatch`] through an optional session-scoped
+    /// [`PerceptionCache`]. With `cache = None` the behaviour (and the
+    /// resulting bytes) are exactly those of the uncached dispatch.
+    ///
+    /// With a cache attached, every unique request is probed first — hits
+    /// resolve immediately and **never reach the backend** — and only the
+    /// misses are dispatched in batches (preserving first-seen row order, so
+    /// the first-error-in-row-order guarantee carries over: requests that
+    /// error are never cached, hence always misses, and the miss subsequence
+    /// preserves their relative order). Successful answers populate the
+    /// cache on the way back, including the answers of a dispatch whose
+    /// later batch failed — the row-at-a-time path paid for those calls too.
+    /// [`BatchStats`] gains the hit/miss/eviction counts of this dispatch.
+    pub fn dispatch_cached(
+        self,
+        backend: &dyn PerceptionBackend,
+        config: &BatchConfig,
+        cache: Option<(&PerceptionCache, CacheScope)>,
+    ) -> (EngineResult<Vec<Option<Value>>>, BatchStats) {
+        let PerceptionBatch { slots, unique, .. } = self;
+        let rows = slots.len();
+        let null_rows = slots.iter().filter(|s| matches!(s, Slot::Null)).count();
+        let unique_count = unique.len();
+
+        // Probe phase: resolve hits, keep misses in first-seen order.
+        let mut resolved: Vec<Option<Value>> = vec![None; unique_count];
+        let mut miss_slots: Vec<usize> = Vec::new();
+        let mut miss_requests: Vec<PerceptionRequest> = Vec::new();
+        let mut cache_hits = 0usize;
+        match cache {
+            Some((cache, scope)) => {
+                for (idx, request) in unique.into_iter().enumerate() {
+                    match cache.get(scope, &request.input, &request.question) {
+                        Some(value) => {
+                            resolved[idx] = Some(value);
+                            cache_hits += 1;
+                        }
+                        None => {
+                            miss_slots.push(idx);
+                            miss_requests.push(request);
+                        }
+                    }
+                }
+            }
+            None => {
+                miss_slots.extend(0..unique_count);
+                miss_requests = unique;
+            }
+        }
+        let cache_misses = if cache.is_some() {
+            miss_requests.len()
+        } else {
+            0
+        };
+
+        // Dispatch phase: only the misses reach the backend.
         let dispatched = AtomicUsize::new(0);
-        let result: EngineResult<Vec<Vec<Value>>> = if self.unique.is_empty() {
+        let evicted = AtomicUsize::new(0);
+        let result: EngineResult<Vec<Vec<Value>>> = if miss_requests.is_empty() {
             Ok(Vec::new())
         } else {
             // One morsel = one batch of `batch_size` unique requests.
             let exec = ExecConfig::new(parallel::exec_config().threads, config.batch_size);
-            parallel::try_map_morsels(&exec, self.unique.len(), |range| {
+            parallel::try_map_morsels(&exec, miss_requests.len(), |range| {
                 dispatched.fetch_add(1, Ordering::Relaxed);
-                let batch = &self.unique[range];
+                let batch = &miss_requests[range];
                 let answers = backend.answer_batch(batch);
                 // A malformed backend response (e.g. a remote server
                 // truncating a batch) degrades the query with an execution
@@ -368,6 +486,23 @@ impl PerceptionBatch {
                         batch.len()
                     )));
                 }
+                if let Some((cache, scope)) = cache {
+                    // Only successful answers are cached; errors are
+                    // re-dispatched on every attempt, like the uncached path.
+                    for (request, answer) in batch.iter().zip(&answers) {
+                        if let Ok(value) = answer {
+                            evicted.fetch_add(
+                                cache.insert(
+                                    scope,
+                                    &request.input,
+                                    &request.question,
+                                    value.clone(),
+                                ),
+                                Ordering::Relaxed,
+                            );
+                        }
+                    }
+                }
                 answers
                     .into_iter()
                     .map(|a| a.map_err(|e| EngineError::execution(e.to_string())))
@@ -377,17 +512,26 @@ impl PerceptionBatch {
         let stats = BatchStats {
             rows,
             null_rows,
-            unique_requests: self.unique.len(),
+            unique_requests: unique_count,
             batches: dispatched.into_inner(),
-            saved_calls: rows - null_rows - self.unique.len(),
+            saved_calls: rows - null_rows - unique_count,
+            cache_hits,
+            cache_misses,
+            cache_evictions: evicted.into_inner(),
         };
         let scattered = result.map(|chunks| {
-            let flat: Vec<Value> = chunks.into_iter().flatten().collect();
-            self.slots
+            for (j, value) in chunks.into_iter().flatten().enumerate() {
+                resolved[miss_slots[j]] = Some(value);
+            }
+            slots
                 .iter()
                 .map(|slot| match slot {
                     Slot::Null => None,
-                    Slot::Unique(idx) => Some(flat[*idx].clone()),
+                    Slot::Unique(idx) => Some(
+                        resolved[*idx]
+                            .clone()
+                            .expect("every unique request resolves to an answer"),
+                    ),
                 })
                 .collect()
         });
@@ -571,6 +715,9 @@ mod tests {
             unique_requests: 3,
             batches: 1,
             saved_calls: 1,
+            cache_hits: 1,
+            cache_misses: 2,
+            cache_evictions: 1,
         };
         let b = BatchStats {
             rows: 2,
@@ -578,6 +725,9 @@ mod tests {
             unique_requests: 2,
             batches: 1,
             saved_calls: 0,
+            cache_hits: 0,
+            cache_misses: 2,
+            cache_evictions: 0,
         };
         total.absorb(&a);
         let snapshot = total;
@@ -585,6 +735,111 @@ mod tests {
         assert_eq!(total.since(&snapshot), b);
         assert_eq!(total.rows, 7);
         assert!(total.summary().contains("7 row(s)"));
+    }
+
+    #[test]
+    fn cached_dispatch_skips_the_backend_on_repeats() {
+        let cache = PerceptionCache::with_capacity(16);
+        let backend = CountingBackend::new();
+
+        let mut batch = PerceptionBatch::new();
+        batch.push(doc_request("report A", "Who won?"));
+        batch.push(doc_request("report B", "Who won?"));
+        let (answers, stats) = batch.dispatch_cached(
+            &backend,
+            &BatchConfig::new(8),
+            Some((&cache, CacheScope::TextQa)),
+        );
+        let first = answers.unwrap();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(backend.calls.load(Ordering::Relaxed), 2);
+
+        // A later "plan step" re-asking the same questions: zero new calls.
+        let mut batch = PerceptionBatch::new();
+        batch.push(doc_request("report A", "Who won?"));
+        batch.push_null();
+        batch.push(doc_request("report B", "Who won?"));
+        let (answers, stats) = batch.dispatch_cached(
+            &backend,
+            &BatchConfig::new(8),
+            Some((&cache, CacheScope::TextQa)),
+        );
+        let second = answers.unwrap();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.batches, 0, "hits must not dispatch");
+        assert_eq!(stats.dispatched_requests(), 0);
+        assert_eq!(backend.calls.load(Ordering::Relaxed), 2, "no new calls");
+        assert_eq!(second[0], first[0]);
+        assert!(second[1].is_none());
+        assert_eq!(second[2], first[1]);
+
+        // A different scope must not share the answers.
+        let mut batch = PerceptionBatch::new();
+        batch.push(doc_request("report A", "Who won?"));
+        let (_, stats) = batch.dispatch_cached(
+            &backend,
+            &BatchConfig::new(8),
+            Some((&cache, CacheScope::VisualQa)),
+        );
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(backend.calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn failed_requests_are_never_cached() {
+        /// Fails requests about "bad", answers everything else with 1.
+        struct FailBad;
+        impl PerceptionBackend for FailBad {
+            fn answer_batch(&self, requests: &[PerceptionRequest]) -> Vec<ModalResult<Value>> {
+                requests
+                    .iter()
+                    .map(|r| {
+                        if r.input.cache_key() == "bad" {
+                            Err(crate::error::ModalError::UnanswerableQuestion {
+                                model: "test".into(),
+                                question: r.question.clone(),
+                                reason: "scripted failure".into(),
+                            })
+                        } else {
+                            Ok(Value::Int(1))
+                        }
+                    })
+                    .collect()
+            }
+        }
+        let cache = PerceptionCache::with_capacity(16);
+        // Sequential so the good batch deterministically precedes the bad one.
+        parallel::with_config(ExecConfig::new(1, 4096), || {
+            let mut batch = PerceptionBatch::new();
+            batch.push(doc_request("good", "Q?"));
+            batch.push(doc_request("bad", "Q?"));
+            let (answers, _) = batch.dispatch_cached(
+                &FailBad,
+                &BatchConfig::new(1),
+                Some((&cache, CacheScope::TextQa)),
+            );
+            assert!(answers.is_err());
+        });
+        // The successful answer of the failing dispatch is cached ...
+        assert_eq!(
+            cache.get(
+                CacheScope::TextQa,
+                &PerceptionInput::Document("good".into()),
+                "Q?"
+            ),
+            Some(Value::Int(1))
+        );
+        // ... the failed one is not.
+        assert_eq!(
+            cache.get(
+                CacheScope::TextQa,
+                &PerceptionInput::Document("bad".into()),
+                "Q?"
+            ),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Session-scoped perception answer cache.
+//!
+//! PR 3's batching layer ([`crate::batch`]) deduplicates identical
+//! `(input, question)` perception requests *within* one operator invocation.
+//! This module extends that collapse across plan steps and across queries: a
+//! [`PerceptionCache`] owned by the session (and shared by every executor the
+//! session creates) remembers the answer of every successful perception call,
+//! so a question re-asked by a later plan step — or by a back-to-back query
+//! over the same lake — never reaches the [`PerceptionBackend`](crate::batch::PerceptionBackend) again.
+//!
+//! ## Why caching cannot change an answer
+//!
+//! The cache key is the same modality-separated `(input, question)` identity
+//! the dedup index uses, refined by a per-operator [`CacheScope`]:
+//!
+//! * [`PerceptionBackend`](crate::batch::PerceptionBackend) implementations are required to answer a given
+//!   `(input, question)` pair deterministically (the dedup layer already
+//!   reuses one answer for every duplicate row, and the simulated models
+//!   derive their noise from exactly this pair). A cached answer is therefore
+//!   provably the answer the model would have given.
+//! * The scope keeps *different backends* from sharing answers: VisualQA and
+//!   Image Select both ask about images, but route through different models —
+//!   the same `(image, question)` pair may legitimately produce a typed count
+//!   for one and a yes/no match for the other. Scoping restores the
+//!   per-operator identity under which determinism is guaranteed.
+//! * Errors are **never** cached: a failed request is re-dispatched on every
+//!   attempt, exactly like the uncached path (and NULL-input rows never reach
+//!   the cache at all — they are answered NULL before the batch layer).
+//!
+//! `tests/property_cache.rs` asserts byte-identical outputs versus the
+//! uncached path across cache sizes (including tiny capacities that force
+//! eviction), thread counts, and batch sizes.
+//!
+//! ## Bounded memory, sharded locking
+//!
+//! The cache holds at most [`CacheConfig::capacity`] entries, evicting the
+//! least-recently-used entry on overflow. Entries are distributed over up to
+//! [`PerceptionCache::MAX_SHARDS`] independently locked shards whose
+//! capacities sum to the configured total, so concurrent queries (e.g. the
+//! stress harness racing sessions over one `Arc`-shared catalog) contend on
+//! a shard, never on the whole cache — and never on the morsel worker pool,
+//! which stays lock-free. LRU order is tracked per shard, making eviction an
+//! approximation of global LRU (the approximation affects only *which* entry
+//! is re-computed later, never any answer).
+//!
+//! ## Knobs
+//!
+//! [`CacheConfig`] defaults to the `CAESURA_PERCEPTION_CACHE` environment
+//! variable: unset uses [`CacheConfig::DEFAULT_CAPACITY`], a number sets the
+//! entry capacity, and `0` / `off` / `false` disables caching entirely —
+//! byte-for-byte preserving the pre-cache behaviour (the batch layer then
+//! dispatches every unique request, as before). Sessions pin the knob via
+//! `CaesuraConfig::perception_cache`.
+
+use crate::batch::PerceptionInput;
+use caesura_engine::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Configuration of the session-scoped perception answer cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of cached answers across all shards. `0` disables the
+    /// cache entirely (the byte-for-byte pre-cache behaviour).
+    pub capacity: usize,
+}
+
+impl CacheConfig {
+    /// Default entry capacity when `CAESURA_PERCEPTION_CACHE` is unset.
+    ///
+    /// Entries are small (the input key is `Arc`-shared with the table
+    /// columns; the value is one extracted answer), so the default is sized
+    /// for whole-lake workloads rather than single queries.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A configuration with an explicit entry capacity (`0` = off).
+    pub fn new(capacity: usize) -> Self {
+        CacheConfig { capacity }
+    }
+
+    /// The disabled configuration: no cache is created, and perception
+    /// dispatch behaves exactly as before this subsystem existed.
+    pub fn off() -> Self {
+        CacheConfig { capacity: 0 }
+    }
+
+    /// Whether this configuration creates a cache at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configuration described by the environment:
+    /// `CAESURA_PERCEPTION_CACHE` — unset uses
+    /// [`Self::DEFAULT_CAPACITY`], `0` / `off` / `false` disables the cache,
+    /// any other number is the entry capacity (unparseable values fall back
+    /// to the default, mirroring the other `CAESURA_*` knobs).
+    pub fn from_env() -> Self {
+        match std::env::var("CAESURA_PERCEPTION_CACHE") {
+            Err(_) => CacheConfig::new(Self::DEFAULT_CAPACITY),
+            Ok(raw) => {
+                let value = raw.trim().to_lowercase();
+                if value == "off" || value == "false" || value == "0" {
+                    CacheConfig::off()
+                } else {
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&c| c > 0)
+                        .map(CacheConfig::new)
+                        .unwrap_or(CacheConfig::new(Self::DEFAULT_CAPACITY))
+                }
+            }
+        }
+    }
+
+    /// Build the cache this configuration describes (`None` when disabled).
+    pub fn build(&self) -> Option<PerceptionCache> {
+        if self.is_enabled() {
+            Some(PerceptionCache::with_capacity(self.capacity))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    /// The environment-described configuration, read once per process (the
+    /// same caching pattern as [`crate::BatchConfig`]); use
+    /// [`CacheConfig::from_env`] directly to re-read the environment.
+    fn default() -> Self {
+        static DEFAULT: OnceLock<CacheConfig> = OnceLock::new();
+        *DEFAULT.get_or_init(CacheConfig::from_env)
+    }
+}
+
+/// The per-operator namespace of a cache entry.
+///
+/// Each perception operator routes through its own backend, and answer
+/// determinism is only guaranteed *per backend*: VisualQA and Image Select
+/// both ask about images, but the same `(image, question)` pair may produce
+/// a typed value for one and a match decision for the other. Scoping the key
+/// keeps those keyspaces disjoint, exactly like the dedup index separates
+/// documents from images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheScope {
+    /// TextQA answers about text documents.
+    TextQa,
+    /// VisualQA answers about images.
+    VisualQa,
+    /// Image Select match decisions about images.
+    ImageSelect,
+}
+
+impl CacheScope {
+    const COUNT: usize = 3;
+
+    fn index(self) -> usize {
+        match self {
+            CacheScope::TextQa => 0,
+            CacheScope::VisualQa => 1,
+            CacheScope::ImageSelect => 2,
+        }
+    }
+}
+
+/// Lifetime counters of one [`PerceptionCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache (model calls avoided).
+    pub hits: usize,
+    /// Probes that fell through to the backend.
+    pub misses: usize,
+    /// Entries stored (one per successfully answered miss).
+    pub insertions: usize,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: usize,
+}
+
+/// One cached answer plus its position in the shard's LRU order.
+#[derive(Debug)]
+struct Entry {
+    value: Value,
+    tick: u64,
+}
+
+/// The reverse key stored in the LRU order, pointing back into the index
+/// (`Arc`-shared with the index keys, so touches never copy strings).
+#[derive(Debug)]
+struct LruKey {
+    scope: usize,
+    input: Arc<str>,
+    question: Arc<str>,
+}
+
+/// The scope-separated nested index of one shard (same shape as the dedup
+/// index): input key → question → entry.
+type ScopeIndex = HashMap<Arc<str>, HashMap<Arc<str>, Entry>>;
+
+/// One independently locked slice of the cache.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Entry capacity of this shard (the shard capacities sum to the
+    /// configured total).
+    capacity: usize,
+    /// Monotonic access clock; higher tick = more recently used.
+    tick: u64,
+    /// Nested so probes borrow `&str` and the `Arc<str>` keys share the
+    /// document storage with the requests.
+    index: [ScopeIndex; CacheScope::COUNT],
+    /// LRU order: access tick → key of the entry touched at that tick.
+    /// `lru.len()` is the shard's live entry count.
+    lru: BTreeMap<u64, LruKey>,
+}
+
+impl Shard {
+    /// Move an entry's tick to the front of the LRU order, reusing the
+    /// entry's existing key (no allocation).
+    fn touch(lru: &mut BTreeMap<u64, LruKey>, entry: &mut Entry, tick: u64) {
+        let key = lru
+            .remove(&entry.tick)
+            .expect("a live cache entry has an LRU slot");
+        entry.tick = tick;
+        lru.insert(tick, key);
+    }
+}
+
+/// A bounded, sharded, LRU map from scoped `(input, question)` pairs to the
+/// answers a [`PerceptionBackend`](crate::batch::PerceptionBackend) gave them. See the [module docs](self)
+/// for the correctness argument and locking model.
+#[derive(Debug)]
+pub struct PerceptionCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    insertions: AtomicUsize,
+    evictions: AtomicUsize,
+    capacity: usize,
+}
+
+impl PerceptionCache {
+    /// Upper bound on the number of lock shards. Small capacities use fewer
+    /// shards (down to one) so the configured bound stays exact.
+    pub const MAX_SHARDS: usize = 16;
+
+    /// A cache holding at most `capacity` answers (clamped to ≥ 1; use
+    /// [`CacheConfig::build`] to express "off" as the absence of a cache).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // Small caches use fewer shards (down to one) so per-shard eviction
+        // stays close to true LRU; each shard holds at least a handful of
+        // entries before the shard count maxes out.
+        let shard_count = (capacity / 4).clamp(1, Self::MAX_SHARDS);
+        let base = capacity / shard_count;
+        let extra = capacity % shard_count;
+        let shards = (0..shard_count)
+            .map(|i| {
+                Mutex::new(Shard {
+                    capacity: base + usize::from(i < extra),
+                    ..Shard::default()
+                })
+            })
+            .collect();
+        PerceptionCache {
+            shards,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            insertions: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// The configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of answers currently cached (across all shards; a racing
+    /// snapshot under concurrent use).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("perception cache shard lock").lru.len())
+            .sum()
+    }
+
+    /// Whether no answer is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit/miss/insertion/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// FNV-1a over the scoped key, used only to pick a shard (entry identity
+    /// is decided by the exact nested-index lookup, never by this hash).
+    fn shard_of(&self, scope: CacheScope, input: &str, question: &str) -> usize {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in [scope.index() as u8]
+            .iter()
+            .copied()
+            .chain(input.bytes())
+            .chain([0x1u8])
+            .chain(question.bytes())
+        {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Look up the cached answer of a scoped `(input, question)` pair,
+    /// refreshing its LRU position on a hit.
+    pub fn get(&self, scope: CacheScope, input: &PerceptionInput, question: &str) -> Option<Value> {
+        let key = input.cache_key();
+        let mut guard = self.shards[self.shard_of(scope, key, question)]
+            .lock()
+            .expect("perception cache shard lock");
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        let found = shard.index[scope.index()]
+            .get_mut(key)
+            .and_then(|by_question| by_question.get_mut(question));
+        match found {
+            Some(entry) => {
+                Shard::touch(&mut shard.lru, entry, tick);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store the answer of a scoped `(input, question)` pair, evicting the
+    /// shard's least-recently-used entry if the shard is full. Returns the
+    /// number of evictions performed (0 or 1).
+    ///
+    /// Callers must only insert **successful** answers: errors are never
+    /// cached, so failed requests are re-dispatched on every attempt exactly
+    /// like the uncached path.
+    pub fn insert(
+        &self,
+        scope: CacheScope,
+        input: &PerceptionInput,
+        question: &str,
+        value: Value,
+    ) -> usize {
+        let key = input.cache_key();
+        let mut guard = self.shards[self.shard_of(scope, key, question)]
+            .lock()
+            .expect("perception cache shard lock");
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(entry) = shard.index[scope.index()]
+            .get_mut(key)
+            .and_then(|by_question| by_question.get_mut(question))
+        {
+            // Another worker (or an earlier batch) stored this key already.
+            // Answers are deterministic per key, so only the LRU position
+            // needs refreshing.
+            Shard::touch(&mut shard.lru, entry, tick);
+            return 0;
+        }
+        // Build the scoped key once; index and LRU share it via `Arc`.
+        let input_key = input.shared_key();
+        let question_key: Arc<str> = Arc::from(question);
+        shard.index[scope.index()]
+            .entry(Arc::clone(&input_key))
+            .or_default()
+            .insert(Arc::clone(&question_key), Entry { value, tick });
+        shard.lru.insert(
+            tick,
+            LruKey {
+                scope: scope.index(),
+                input: input_key,
+                question: question_key,
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if shard.lru.len() <= shard.capacity {
+            return 0;
+        }
+        // Evict the least-recently-used entry of this shard.
+        let (_, victim) = shard
+            .lru
+            .pop_first()
+            .expect("a full shard has an LRU entry");
+        if let Some(by_question) = shard.index[victim.scope].get_mut(&victim.input) {
+            by_question.remove(&victim.question);
+            if by_question.is_empty() {
+                shard.index[victim.scope].remove(&victim.input);
+            }
+        }
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> PerceptionInput {
+        PerceptionInput::Document(text.into())
+    }
+
+    #[test]
+    fn config_parses_capacity_and_off_modes() {
+        assert!(CacheConfig::new(10).is_enabled());
+        assert!(!CacheConfig::off().is_enabled());
+        assert!(CacheConfig::off().build().is_none());
+        assert_eq!(
+            CacheConfig::new(10).build().unwrap().capacity(),
+            10,
+            "explicit capacities survive the build"
+        );
+    }
+
+    #[test]
+    fn hits_return_the_stored_answer() {
+        let cache = PerceptionCache::with_capacity(8);
+        let input = doc("report A");
+        assert_eq!(cache.get(CacheScope::TextQa, &input, "Who won?"), None);
+        cache.insert(CacheScope::TextQa, &input, "Who won?", Value::str("Heat"));
+        assert_eq!(
+            cache.get(CacheScope::TextQa, &input, "Who won?"),
+            Some(Value::str("Heat"))
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn scopes_and_modalities_never_share_entries() {
+        let cache = PerceptionCache::with_capacity(8);
+        let image = PerceptionInput::Image(crate::ImageObject::new("img/1.png"));
+        // A document whose text equals an image key, asked the same question.
+        let document = doc("img/1.png");
+        cache.insert(CacheScope::VisualQa, &image, "Q?", Value::Int(1));
+        assert_eq!(cache.get(CacheScope::TextQa, &document, "Q?"), None);
+        // The same image under a different operator scope is a different key.
+        assert_eq!(cache.get(CacheScope::ImageSelect, &image, "Q?"), None);
+        assert_eq!(
+            cache.get(CacheScope::VisualQa, &image, "Q?"),
+            Some(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn capacity_one_evicts_the_previous_entry() {
+        let cache = PerceptionCache::with_capacity(1);
+        let a = doc("a");
+        let b = doc("b");
+        assert_eq!(cache.insert(CacheScope::TextQa, &a, "Q?", Value::Int(1)), 0);
+        assert_eq!(cache.insert(CacheScope::TextQa, &b, "Q?", Value::Int(2)), 1);
+        assert_eq!(cache.get(CacheScope::TextQa, &a, "Q?"), None);
+        assert_eq!(cache.get(CacheScope::TextQa, &b, "Q?"), Some(Value::Int(2)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_entries() {
+        // One shard of capacity 2: touching `a` makes `b` the LRU victim.
+        let cache = PerceptionCache::with_capacity(2);
+        let (a, b, c) = (doc("a"), doc("b"), doc("c"));
+        cache.insert(CacheScope::TextQa, &a, "Q?", Value::Int(1));
+        cache.insert(CacheScope::TextQa, &b, "Q?", Value::Int(2));
+        assert_eq!(cache.get(CacheScope::TextQa, &a, "Q?"), Some(Value::Int(1)));
+        cache.insert(CacheScope::TextQa, &c, "Q?", Value::Int(3));
+        assert_eq!(cache.get(CacheScope::TextQa, &b, "Q?"), None, "b was LRU");
+        assert_eq!(cache.get(CacheScope::TextQa, &a, "Q?"), Some(Value::Int(1)));
+        assert_eq!(cache.get(CacheScope::TextQa, &c, "Q?"), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_grow_or_evict() {
+        let cache = PerceptionCache::with_capacity(1);
+        let a = doc("a");
+        cache.insert(CacheScope::TextQa, &a, "Q?", Value::Int(1));
+        assert_eq!(cache.insert(CacheScope::TextQa, &a, "Q?", Value::Int(1)), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_the_configured_total() {
+        for capacity in [1, 2, 5, 16, 17, 100, 4096] {
+            let cache = PerceptionCache::with_capacity(capacity);
+            let total: usize = cache
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().capacity)
+                .sum();
+            assert_eq!(total, capacity, "capacity {capacity}");
+            assert!(cache.shards.len() <= PerceptionCache::MAX_SHARDS);
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_use_stays_bounded_and_consistent() {
+        let cache = std::sync::Arc::new(PerceptionCache::with_capacity(32));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let input = doc(&format!("doc {}", (t * 7 + i) % 50));
+                        let question = format!("Q{}?", i % 5);
+                        if let Some(value) = cache.get(CacheScope::TextQa, &input, &question) {
+                            assert_eq!(value, Value::Int(((t * 7 + i) % 50) as i64));
+                        } else {
+                            cache.insert(
+                                CacheScope::TextQa,
+                                &input,
+                                &question,
+                                Value::Int(((t * 7 + i) % 50) as i64),
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            cache.len() <= 32,
+            "capacity bound violated: {}",
+            cache.len()
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+    }
+}

@@ -18,12 +18,16 @@
 //! in configurable batches by the [`batch`] layer (see its module docs for
 //! the knobs and the saved-call accounting); the operators in [`operators`]
 //! are written against the [`PerceptionBackend`] trait, so the simulated
-//! models and LLM-backed backends are interchangeable.
+//! models and LLM-backed backends are interchangeable. A session-scoped
+//! [`PerceptionCache`] ([`cache`]) can sit between dedup and dispatch to
+//! collapse repeated `(input, question)` work across plan steps and across
+//! queries over the same lake.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod cache;
 pub mod document;
 pub mod error;
 pub mod image;
@@ -38,6 +42,7 @@ pub mod visual_qa;
 pub use batch::{
     BatchConfig, BatchStats, PerceptionBackend, PerceptionBatch, PerceptionInput, PerceptionRequest,
 };
+pub use cache::{CacheConfig, CacheScope, CacheStats, PerceptionCache};
 pub use document::TextDocument;
 pub use error::{ModalError, ModalResult};
 pub use image::{ImageObject, ImageStore};

@@ -9,6 +9,7 @@
 //! model (Figure 3, right).
 
 use crate::batch::{BatchConfig, BatchStats, PerceptionBackend, PerceptionBatch};
+use crate::cache::{CacheScope, PerceptionCache};
 use crate::error::{ModalError, ModalResult};
 use crate::image::ImageStore;
 use crate::plot::{Plot, PlotKind, PlotSpec};
@@ -187,6 +188,7 @@ fn cell_type_error(row: usize, column: &str, value: &Value, expected: &str) -> E
 /// gather-phase error from a missing image or mistyped cell), so they take
 /// precedence — exactly like the row-at-a-time path. Stats are returned
 /// alongside the result so failed dispatches still account for their calls.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_into_column(
     table: &Table,
     out_schema: caesura_engine::Schema,
@@ -194,9 +196,10 @@ fn dispatch_into_column(
     pending_error: Option<EngineError>,
     model: &dyn PerceptionBackend,
     batch: &BatchConfig,
+    cache: Option<(&PerceptionCache, CacheScope)>,
     result_type: DataType,
 ) -> (BatchStats, ModalResult<Table>) {
-    let (answers, stats) = collector.dispatch(model, batch);
+    let (answers, stats) = collector.dispatch_cached(model, batch, cache);
     let result = answers.map_err(ModalError::Engine).and_then(|answers| {
         if let Some(error) = pending_error {
             return Err(ModalError::Engine(error));
@@ -241,6 +244,7 @@ pub fn apply_visual_qa(
         question,
         result_type,
         &BatchConfig::default(),
+        None,
     )
     .1
 }
@@ -258,6 +262,7 @@ pub fn apply_visual_qa_with(
     question: &str,
     result_type: DataType,
     batch: &BatchConfig,
+    cache: Option<&PerceptionCache>,
 ) -> (BatchStats, ModalResult<Table>) {
     let mut stats = BatchStats::default();
     let result = visual_qa_inner(
@@ -269,6 +274,7 @@ pub fn apply_visual_qa_with(
         question,
         result_type,
         batch,
+        cache,
         &mut stats,
     );
     (stats, result)
@@ -284,6 +290,7 @@ fn visual_qa_inner(
     question: &str,
     result_type: DataType,
     batch: &BatchConfig,
+    cache: Option<&PerceptionCache>,
     stats: &mut BatchStats,
 ) -> ModalResult<Table> {
     let schema = table.schema().clone();
@@ -314,6 +321,7 @@ fn visual_qa_inner(
         pending_error,
         model,
         batch,
+        cache.map(|c| (c, CacheScope::VisualQa)),
         result_type,
     );
     *stats = dispatch_stats;
@@ -373,6 +381,7 @@ pub fn apply_text_qa(
         question_template,
         result_type,
         &BatchConfig::default(),
+        None,
     )
     .1
 }
@@ -391,6 +400,7 @@ pub fn apply_text_qa_with(
     question_template: &str,
     result_type: DataType,
     batch: &BatchConfig,
+    cache: Option<&PerceptionCache>,
 ) -> (BatchStats, ModalResult<Table>) {
     let mut stats = BatchStats::default();
     let result = text_qa_inner(
@@ -401,6 +411,7 @@ pub fn apply_text_qa_with(
         question_template,
         result_type,
         batch,
+        cache,
         &mut stats,
     );
     (stats, result)
@@ -415,6 +426,7 @@ fn text_qa_inner(
     question_template: &str,
     result_type: DataType,
     batch: &BatchConfig,
+    cache: Option<&PerceptionCache>,
     stats: &mut BatchStats,
 ) -> ModalResult<Table> {
     let schema = table.schema().clone();
@@ -483,6 +495,7 @@ fn text_qa_inner(
         pending_error,
         model,
         batch,
+        cache.map(|c| (c, CacheScope::TextQa)),
         result_type,
     );
     *stats = dispatch_stats;
@@ -505,6 +518,7 @@ pub fn apply_image_select(
         image_column,
         description,
         &BatchConfig::default(),
+        None,
     )
     .1
 }
@@ -514,6 +528,7 @@ pub fn apply_image_select(
 /// *distinct* image regardless of how often an image appears in the input.
 /// The saved-call statistics ride alongside the result so failed dispatches
 /// still account for their calls.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_image_select_with(
     table: &Table,
     store: &ImageStore,
@@ -521,6 +536,7 @@ pub fn apply_image_select_with(
     image_column: &str,
     description: &str,
     batch: &BatchConfig,
+    cache: Option<&PerceptionCache>,
 ) -> (BatchStats, ModalResult<Table>) {
     let mut stats = BatchStats::default();
     let result = image_select_inner(
@@ -530,11 +546,13 @@ pub fn apply_image_select_with(
         image_column,
         description,
         batch,
+        cache,
         &mut stats,
     );
     (stats, result)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn image_select_inner(
     table: &Table,
     store: &ImageStore,
@@ -542,6 +560,7 @@ fn image_select_inner(
     image_column: &str,
     description: &str,
     batch: &BatchConfig,
+    cache: Option<&PerceptionCache>,
     stats: &mut BatchStats,
 ) -> ModalResult<Table> {
     let schema = table.schema().clone();
@@ -554,7 +573,8 @@ fn image_select_inner(
     }
     let (collector, pending_error) =
         gather_image_requests(table, store, idx, image_column, description);
-    let (answers, dispatch_stats) = collector.dispatch(model, batch);
+    let (answers, dispatch_stats) =
+        collector.dispatch_cached(model, batch, cache.map(|c| (c, CacheScope::ImageSelect)));
     *stats = dispatch_stats;
     let answers = answers.map_err(ModalError::Engine)?;
     if let Some(error) = pending_error {
@@ -618,6 +638,7 @@ pub fn apply_python_udf_with(
         unique_requests: 1,
         batches: 1,
         saved_calls: 0,
+        ..BatchStats::default()
     };
     let result = codegen
         .compile(description, table.schema())
@@ -644,7 +665,7 @@ fn is_placeholder_span(inner: &str) -> bool {
 /// Placeholders (`<name>`) appearing in a question template.
 ///
 /// Only `<...>` spans that look like a column name are placeholders (see
-/// [`is_placeholder_span`]); a literal `<` (e.g. in
+/// `is_placeholder_span`); a literal `<` (e.g. in
 /// `"is score < 5 for <name>?"`) is skipped instead of swallowing everything
 /// up to the next `>`.
 pub fn template_placeholders(template: &str) -> Vec<String> {
@@ -1083,6 +1104,7 @@ mod tests {
             "Did <name> win?",
             DataType::Str,
             &BatchConfig::new(8),
+            None,
         );
         let out = out.unwrap();
         assert_eq!(out.value(0, "won").unwrap(), Value::Null);
@@ -1104,6 +1126,7 @@ mod tests {
             "Who won the game?",
             DataType::Str,
             &BatchConfig::new(8),
+            None,
         );
         let out = out.unwrap();
         assert_eq!(stats.rows, 2);

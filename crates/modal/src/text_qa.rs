@@ -15,14 +15,14 @@ use caesura_engine::Value;
 /// The kind of question a TextQA model was asked.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TextQuestion {
-    /// "How many <stat> did <subject> <verb>?" → integer extraction.
+    /// "How many `<stat>` did `<subject>` `<verb>`?" → integer extraction.
     HowMany {
         /// The statistic keyword (points, rebounds, assists, ...).
         stat: String,
         /// The subject (team or player name).
         subject: String,
     },
-    /// "Did <subject> win?" / "Did <subject> lose?" → yes/no.
+    /// "Did `<subject>` win?" / "Did `<subject>` lose?" → yes/no.
     DidOutcome {
         /// The subject (team name).
         subject: String,

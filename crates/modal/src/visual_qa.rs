@@ -29,7 +29,7 @@ pub enum VisualQuestion {
     },
     /// "What is depicted?" → caption / list of entities.
     Describe,
-    /// "What is the <attribute>?" → categorical attribute lookup.
+    /// "What is the `<attribute>`?" → categorical attribute lookup.
     Attribute {
         /// Attribute name, lowercased.
         name: String,

@@ -69,6 +69,63 @@ fn concurrent_queries_over_one_shared_catalog_match_serial_results() {
 }
 
 #[test]
+fn concurrent_queries_through_a_shared_perception_cache_match_serial_results() {
+    // The session-scoped perception answer cache is shared by every query of
+    // one session — here 8 threads race the same multi-modal query through
+    // it, including a tiny capacity that forces constant concurrent eviction.
+    // Answers are a deterministic function of the (input, question) key, so
+    // no interleaving of hits, inserts, and evictions may change a result.
+    use caesura::modal::CacheConfig;
+
+    let data = generate_rotowire(&RotowireConfig::small());
+    let query = QUERIES[0];
+    let reference_session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+    let expected = parallel::with_config(ExecConfig::sequential(), || {
+        reference_session.query(query).expect("serial query failed")
+    });
+
+    for capacity in [2usize, 4096] {
+        let config = CaesuraConfig {
+            exec: Some(ExecConfig::new(4, 16)),
+            perception_cache: Some(CacheConfig::new(capacity)),
+            ..CaesuraConfig::default()
+        };
+        let session =
+            Caesura::with_config(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()), config);
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let (session, expected) = (&session, &expected);
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        let output = session
+                            .query(query)
+                            .unwrap_or_else(|e| panic!("query failed: {e}"));
+                        assert_eq!(
+                            &output, expected,
+                            "capacity {capacity}, round {round}: cached result diverged"
+                        );
+                    }
+                });
+            }
+        });
+        let cache = session.perception_cache().expect("cache is enabled");
+        assert!(
+            cache.len() <= capacity,
+            "capacity bound violated under concurrency: {} > {capacity}",
+            cache.len()
+        );
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "24 identical queries must hit the shared cache"
+        );
+        if capacity == 2 {
+            assert!(stats.evictions > 0, "a tiny cache must evict under load");
+        }
+    }
+}
+
+#[test]
 fn per_thread_exec_overrides_do_not_leak_across_threads() {
     // Two threads pin different configurations simultaneously; each must see
     // its own, and the spawning thread's default must be untouched.

@@ -336,7 +336,10 @@ fn text_qa_batched_is_byte_identical_to_the_reference() {
                 reference,
                 &format!("text_qa case {case} template '{template}'"),
                 |batch| {
-                    apply_text_qa_with(&table, &model, "report", "answer", template, dtype, batch).1
+                    apply_text_qa_with(
+                        &table, &model, "report", "answer", template, dtype, batch, None,
+                    )
+                    .1
                 },
             );
         }
@@ -367,6 +370,7 @@ fn noisy_text_qa_stays_identical_under_dedup() {
             "How many points did <name> score?",
             DataType::Int,
             batch,
+            None,
         )
         .1
     });
@@ -392,7 +396,7 @@ fn visual_qa_batched_is_byte_identical_to_the_reference() {
                 &format!("visual_qa case {case} question '{question}'"),
                 |batch| {
                     apply_visual_qa_with(
-                        &table, &store, &model, "image", "answer", question, dtype, batch,
+                        &table, &store, &model, "image", "answer", question, dtype, batch, None,
                     )
                     .1
                 },
@@ -419,7 +423,16 @@ fn image_select_batched_is_byte_identical_to_the_reference() {
                 reference,
                 &format!("image_select case {case} '{description}'"),
                 |batch| {
-                    apply_image_select_with(&table, &store, &model, "image", description, batch).1
+                    apply_image_select_with(
+                        &table,
+                        &store,
+                        &model,
+                        "image",
+                        description,
+                        batch,
+                        None,
+                    )
+                    .1
                 },
             );
         }
@@ -443,6 +456,7 @@ fn unanswerable_questions_propagate_the_same_error() {
             template,
             DataType::Str,
             batch,
+            None,
         )
         .1
     });
@@ -480,6 +494,7 @@ fn missing_images_propagate_the_same_error() {
             question,
             DataType::Int,
             batch,
+            None,
         )
         .1
     });
@@ -487,7 +502,16 @@ fn missing_images_propagate_the_same_error() {
     let select_model = ImageSelectModel::new();
     let reference = reference_image_select(&table, &broken, &select_model, "image", "swords");
     assert_equivalent(reference, "missing image (select)", |batch| {
-        apply_image_select_with(&table, &broken, &select_model, "image", "swords", batch).1
+        apply_image_select_with(
+            &table,
+            &broken,
+            &select_model,
+            "image",
+            "swords",
+            batch,
+            None,
+        )
+        .1
     });
 }
 
@@ -533,6 +557,7 @@ fn mistyped_cells_propagate_the_same_error() {
             "Did <name> win?",
             DataType::Str,
             batch,
+            None,
         )
         .1
     });
@@ -569,6 +594,7 @@ fn duplicate_rows_do_not_add_llm_calls() {
         "How many points did <name> score?",
         DataType::Int,
         &BatchConfig::new(8),
+        None,
     );
     let out = out.unwrap();
     let usage = backend.inner().usage();
@@ -598,6 +624,7 @@ fn duplicate_rows_do_not_add_llm_calls() {
         "How many points did <name> score?",
         DataType::Int,
         &BatchConfig::new(1),
+        None,
     );
     out1.unwrap();
     assert_eq!(stats1.unique_requests, stats.unique_requests);
@@ -619,6 +646,7 @@ fn dedup_counts_with_the_simulated_models_match_distinct_inputs() {
         "How many swords are depicted?",
         DataType::Int,
         &BatchConfig::new(16),
+        None,
     );
     out.unwrap();
     // 6 distinct images at most, regardless of 40 rows.
