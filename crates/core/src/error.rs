@@ -43,6 +43,20 @@ pub enum CoreError {
         /// The table that was not found.
         table: String,
     },
+    /// The query was cancelled through its `QueryHandle` before it could
+    /// complete. Cancellation is cooperative: the session checks for it
+    /// between plan steps and before every LLM / perception dispatch, so a
+    /// cancelled run stops at the next checkpoint without leaving partial
+    /// state behind (each query owns a fresh executor).
+    Cancelled,
+    /// The query's worker panicked mid-run (a bug in an operator or a
+    /// panicking model client). The scheduler catches the unwind so the
+    /// submitter's `wait()` still returns — with this error — and the
+    /// worker thread survives to serve subsequent queries.
+    Internal {
+        /// The panic payload, rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -68,6 +82,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::MissingInput { table } => {
                 write!(f, "the plan references table '{table}' which has not been produced")
+            }
+            CoreError::Cancelled => write!(f, "the query was cancelled before it completed"),
+            CoreError::Internal { message } => {
+                write!(f, "the query's worker panicked: {message}")
             }
         }
     }
@@ -120,5 +138,6 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("step 3"));
         assert!(text.contains("2 attempt"));
+        assert!(CoreError::Cancelled.to_string().contains("cancelled"));
     }
 }

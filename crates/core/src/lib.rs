@@ -14,10 +14,16 @@
 //! arguments or to backtrack to the planning phase.
 //!
 //! The session also owns the scaling state that must outlive a single query:
-//! the pinned `ExecConfig`/`BatchConfig` knobs and the session-scoped
-//! perception answer cache (`caesura_modal::cache`), which collapses
-//! repeated perception questions across plan steps and across queries over
-//! the session's `Arc`-shared lake.
+//! the pinned `ExecConfig`/`BatchConfig` knobs, the session-scoped
+//! perception answer cache (`caesura_modal::cache`) that collapses repeated
+//! perception questions across plan steps and across queries over the
+//! session's `Arc`-shared lake, and — since PR 5 — the serving scheduler
+//! ([`serving`]): [`Caesura::submit`] enqueues a query on a persistent
+//! worker pool and returns a [`QueryHandle`] supporting `wait` / `poll` /
+//! cooperative `cancel` / a live `subscribe` trace stream, so many in-flight
+//! queries share one lake, retriever index, and perception cache. The
+//! blocking [`Caesura::run`] / [`Caesura::query`] wrappers are byte-identical
+//! to `submit(q).wait()`.
 //!
 //! ```
 //! use caesura_core::Caesura;
@@ -38,6 +44,7 @@ pub mod discovery;
 pub mod error;
 pub mod executor;
 pub mod output;
+pub mod serving;
 pub mod session;
 pub mod trace;
 
@@ -45,5 +52,6 @@ pub use discovery::{lexical_relevant_columns, Retriever};
 pub use error::{CoreError, CoreResult};
 pub use executor::{Executor, StepOutcome};
 pub use output::QueryOutput;
+pub use serving::{QueryHandle, QueryStatus, ServingStats};
 pub use session::{Caesura, CaesuraConfig, QueryRun};
-pub use trace::{ExecutionTrace, PerceptionCalls, Phase, TraceEvent};
+pub use trace::{ExecutionTrace, PerceptionCalls, Phase, PhaseTimings, TraceEvent, TraceSink};

@@ -1,0 +1,516 @@
+//! Concurrent session serving: the scheduler behind [`Caesura::submit`].
+//!
+//! The CAESURA loop spends most of its wall clock waiting on LLM round trips
+//! (plan → map → execute, §3.1 of the paper), and PR 1–4 made everything
+//! underneath `Caesura` concurrency-ready: `Arc`-shared tables, a sharded
+//! perception cache, a morsel worker pool, `&self` queries. This module adds
+//! the missing serving surface on top — a session-owned scheduler that lets
+//! N in-flight queries share one lake, one retriever index, and one
+//! perception cache:
+//!
+//! * the scheduler — a persistent worker pool (`CaesuraConfig.session_workers`
+//!   / `CAESURA_SESSION_WORKERS`, default hardware parallelism) pulling jobs
+//!   from a **bounded** submission queue (`CaesuraConfig.session_queue` /
+//!   `CAESURA_SESSION_QUEUE`, default 64). A full queue applies backpressure:
+//!   `submit` blocks until a slot frees, `try_submit` returns `None`.
+//!   Workers spawn lazily on the first submission and are joined when the
+//!   session drops; at that point the queue is drained — every accepted
+//!   query still completes.
+//! * [`QueryHandle`] — the submitter's side of one scheduled query:
+//!   blocking [`wait`](QueryHandle::wait), non-blocking
+//!   [`poll`](QueryHandle::poll) / [`status`](QueryHandle::status),
+//!   cooperative [`cancel`](QueryHandle::cancel), and a live
+//!   [`subscribe`](QueryHandle::subscribe) stream of trace events.
+//! * [`ServingStats`] — queue-depth / in-flight / completed counters, read
+//!   through [`Caesura::serving_stats`].
+//!
+//! [`Caesura::submit`]: crate::Caesura::submit
+//! [`Caesura::serving_stats`]: crate::Caesura::serving_stats
+
+use crate::error::CoreError;
+use crate::session::{QueryRun, SessionCore};
+use crate::trace::TraceEvent;
+use caesura_engine::ExecConfig;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, Once};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Default bound of the submission queue when neither
+/// `CaesuraConfig.session_queue` nor `CAESURA_SESSION_QUEUE` is set.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Lock a job-state mutex, recovering from poisoning: a panicking query is
+/// caught and reported as `CoreError::Internal`, and the per-job state it
+/// may have poisoned (result slot, subscriber list) must stay usable so the
+/// submitter's `wait()` and the worker's cleanup still work.
+fn lock_job<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Scheduler worker count described by the environment:
+/// `CAESURA_SESSION_WORKERS`, or hardware parallelism when unset.
+pub(crate) fn workers_from_env() -> usize {
+    std::env::var("CAESURA_SESSION_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Submission-queue bound described by the environment:
+/// `CAESURA_SESSION_QUEUE`, or [`DEFAULT_QUEUE_DEPTH`] when unset.
+pub(crate) fn queue_depth_from_env() -> usize {
+    std::env::var("CAESURA_SESSION_QUEUE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_QUEUE_DEPTH)
+}
+
+/// Where a submitted query currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Accepted into the submission queue, not yet picked up by a worker.
+    Queued,
+    /// A scheduler worker is running it.
+    Running,
+    /// The run finished (successfully, with an error, or cancelled) and its
+    /// [`QueryRun`] is available.
+    Finished,
+}
+
+/// Counters of a session's serving scheduler, read via
+/// [`Caesura::serving_stats`](crate::Caesura::serving_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Queries accepted but not yet picked up by a worker.
+    pub queued: usize,
+    /// Queries a worker is currently running.
+    pub in_flight: usize,
+    /// Queries that finished (including cancelled ones).
+    pub completed: usize,
+    /// Finished queries whose outcome was `CoreError::Cancelled`.
+    pub cancelled: usize,
+    /// Worker threads of the scheduler pool.
+    pub workers: usize,
+    /// Bound of the submission queue.
+    pub queue_depth: usize,
+}
+
+struct Slot {
+    status: QueryStatus,
+    result: Option<QueryRun>,
+}
+
+/// Shared state of one scheduled query: the cancellation flag, the result
+/// slot the worker fills, and the live trace subscribers.
+pub(crate) struct JobState {
+    query: String,
+    cancelled: AtomicBool,
+    slot: Mutex<Slot>,
+    done: Condvar,
+    subscribers: Arc<Mutex<Vec<Sender<TraceEvent>>>>,
+    submitted: Instant,
+    exec: ExecConfig,
+}
+
+impl JobState {
+    fn new(query: &str, exec: ExecConfig) -> Self {
+        JobState {
+            query: query.to_string(),
+            cancelled: AtomicBool::new(false),
+            slot: Mutex::new(Slot {
+                status: QueryStatus::Queued,
+                result: None,
+            }),
+            done: Condvar::new(),
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+            submitted: Instant::now(),
+            exec,
+        }
+    }
+
+    pub(crate) fn query(&self) -> &str {
+        &self.query
+    }
+
+    pub(crate) fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancelled
+    }
+
+    pub(crate) fn exec(&self) -> ExecConfig {
+        self.exec
+    }
+
+    pub(crate) fn queue_wait(&self) -> std::time::Duration {
+        self.submitted.elapsed()
+    }
+
+    /// A [`TraceSink`](crate::trace::TraceSink) forwarding events to every
+    /// live subscriber. Holds only the subscriber list (not the job), so a
+    /// stored `QueryRun` can never keep its own job state alive.
+    pub(crate) fn subscriber_sink(&self) -> crate::trace::TraceSink {
+        let subscribers = Arc::clone(&self.subscribers);
+        Arc::new(move |event: &TraceEvent| {
+            let mut subscribers = lock_job(&subscribers);
+            subscribers.retain(|sender| sender.send(event.clone()).is_ok());
+        })
+    }
+
+    fn mark_running(&self) {
+        lock_job(&self.slot).status = QueryStatus::Running;
+    }
+
+    /// Store the finished run, wake waiters, and drop every subscriber
+    /// sender so live streams see a disconnect and terminate.
+    fn finish(&self, run: QueryRun) {
+        {
+            let mut slot = lock_job(&self.slot);
+            slot.status = QueryStatus::Finished;
+            slot.result = Some(run);
+        }
+        self.done.notify_all();
+        lock_job(&self.subscribers).clear();
+    }
+}
+
+/// The submitter's side of one query scheduled via
+/// [`Caesura::submit`](crate::Caesura::submit).
+///
+/// # Drop semantics
+///
+/// Dropping a handle **detaches** it: the query is not cancelled — it still
+/// runs (or finishes running), frees its scheduler slot, updates
+/// [`ServingStats`], and warms the session's perception cache; only the
+/// ability to observe its result is lost. Call [`QueryHandle::cancel`] first
+/// if the work itself should stop.
+///
+/// # Cancellation semantics
+///
+/// [`cancel`](QueryHandle::cancel) is cooperative and returns immediately:
+/// it raises a flag the running query checks between plan steps and before
+/// every LLM / perception dispatch. At the next checkpoint the run stops
+/// with [`CoreError::Cancelled`] and a `Phase::Recovery` "cancelled" trace
+/// event; a query cancelled while still queued never executes at all (its
+/// run record carries the cancellation trace event and zero LLM calls). An
+/// in-flight model call is never interrupted mid-dispatch — bounded by one
+/// dispatch, not preempted.
+pub struct QueryHandle {
+    state: Arc<JobState>,
+}
+
+impl QueryHandle {
+    /// The query text this handle tracks.
+    pub fn query(&self) -> &str {
+        &self.state.query
+    }
+
+    /// Non-blocking lifecycle probe.
+    pub fn status(&self) -> QueryStatus {
+        lock_job(&self.state.slot).status
+    }
+
+    /// Whether [`QueryHandle::cancel`] has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Non-blocking result probe: `Some(run)` once the query finished,
+    /// `None` while it is queued or running. The handle stays usable — the
+    /// returned run is a clone (cheap: tables are `Arc`-shared).
+    pub fn poll(&self) -> Option<QueryRun> {
+        lock_job(&self.state.slot).result.clone()
+    }
+
+    /// Block until the query finishes and return its run record. Equivalent
+    /// to the pre-serving blocking API: `session.run(q)` is exactly
+    /// `session.submit(q).wait()`.
+    pub fn wait(self) -> QueryRun {
+        let mut slot = lock_job(&self.state.slot);
+        while slot.result.is_none() {
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        slot.result.take().expect("checked above")
+    }
+
+    /// Request cooperative cancellation (see the type-level docs for the
+    /// exact semantics). Returns immediately; `wait` observes the outcome.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Subscribe to the query's trace events as they are recorded, instead
+    /// of reading `QueryRun::trace` only after completion. Events recorded
+    /// *after* this call are delivered; subscribing to a query that already
+    /// started misses its earlier events (they are still in the final
+    /// trace). The channel disconnects when the query finishes, so
+    /// `for event in handle.subscribe()` terminates on its own.
+    pub fn subscribe(&self) -> Receiver<TraceEvent> {
+        let (sender, receiver) = channel();
+        // Register under the subscriber lock; `finish` clears this list
+        // after storing the result, so a sender registered to an
+        // already-finished query would at worst linger until the job state
+        // drops — guard with a status check to disconnect immediately.
+        let slot = lock_job(&self.state.slot);
+        if slot.status != QueryStatus::Finished {
+            lock_job(&self.state.subscribers).push(sender);
+        }
+        drop(slot);
+        receiver
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<JobState>>>,
+    job_ready: Condvar,
+    space_ready: Condvar,
+    shutdown: AtomicBool,
+    queued: AtomicUsize,
+    in_flight: AtomicUsize,
+    completed: AtomicUsize,
+    cancelled: AtomicUsize,
+    workers: usize,
+    queue_depth: usize,
+}
+
+/// The session-owned scheduler: a bounded submission queue drained by a
+/// persistent pool of worker threads, each running queries against the
+/// `Arc`-shared [`SessionCore`].
+pub(crate) struct Scheduler {
+    shared: Arc<Shared>,
+    spawn: Once,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(workers: usize, queue_depth: usize) -> Self {
+        Scheduler {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                job_ready: Condvar::new(),
+                space_ready: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                queued: AtomicUsize::new(0),
+                in_flight: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                cancelled: AtomicUsize::new(0),
+                workers: workers.max(1),
+                queue_depth: queue_depth.max(1),
+            }),
+            spawn: Once::new(),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ServingStats {
+        ServingStats {
+            queued: self.shared.queued.load(Ordering::Acquire),
+            in_flight: self.shared.in_flight.load(Ordering::Acquire),
+            completed: self.shared.completed.load(Ordering::Acquire),
+            cancelled: self.shared.cancelled.load(Ordering::Acquire),
+            workers: self.shared.workers,
+            queue_depth: self.shared.queue_depth,
+        }
+    }
+
+    /// Spawn the worker pool on first use (sessions that only construct —
+    /// tests, config probes — never pay for idle threads).
+    fn ensure_workers(&self, session: &Arc<SessionCore>) {
+        self.spawn.call_once(|| {
+            let mut workers = self.workers.lock().expect("scheduler worker lock");
+            for index in 0..self.shared.workers {
+                let shared = Arc::clone(&self.shared);
+                let session = Arc::clone(session);
+                let handle = std::thread::Builder::new()
+                    .name(format!("caesura-serve-{index}"))
+                    .spawn(move || worker_loop(shared, session))
+                    .expect("failed to spawn a scheduler worker thread");
+                workers.push(handle);
+            }
+        });
+    }
+
+    /// Enqueue a query, blocking while the submission queue is full
+    /// (backpressure).
+    pub(crate) fn submit(
+        &self,
+        session: &Arc<SessionCore>,
+        query: &str,
+        exec: ExecConfig,
+    ) -> QueryHandle {
+        self.ensure_workers(session);
+        let state = Arc::new(JobState::new(query, exec));
+        let mut queue = self.shared.queue.lock().expect("submission queue lock");
+        while queue.len() >= self.shared.queue_depth {
+            queue = self
+                .shared
+                .space_ready
+                .wait(queue)
+                .expect("submission queue lock");
+        }
+        queue.push_back(Arc::clone(&state));
+        self.shared.queued.fetch_add(1, Ordering::AcqRel);
+        drop(queue);
+        self.shared.job_ready.notify_one();
+        QueryHandle { state }
+    }
+
+    /// Enqueue a query if a submission slot is free; `None` when the queue
+    /// is at capacity.
+    pub(crate) fn try_submit(
+        &self,
+        session: &Arc<SessionCore>,
+        query: &str,
+        exec: ExecConfig,
+    ) -> Option<QueryHandle> {
+        self.ensure_workers(session);
+        let state = Arc::new(JobState::new(query, exec));
+        let mut queue = self.shared.queue.lock().expect("submission queue lock");
+        if queue.len() >= self.shared.queue_depth {
+            return None;
+        }
+        queue.push_back(Arc::clone(&state));
+        self.shared.queued.fetch_add(1, Ordering::AcqRel);
+        drop(queue);
+        self.shared.job_ready.notify_one();
+        Some(QueryHandle { state })
+    }
+}
+
+impl Drop for Scheduler {
+    /// Shut the pool down: workers drain the remaining queue (every accepted
+    /// query still completes — detached handles included), then exit and are
+    /// joined, so a dropped session never leaks scheduler threads.
+    fn drop(&mut self) {
+        {
+            // Store the shutdown flag *under the queue mutex*: an idle worker
+            // checks the flag while holding the lock and then releases it
+            // atomically inside `job_ready.wait`, so a store + notify landing
+            // in that check-to-wait window without the lock would be a lost
+            // wakeup (the worker would sleep forever and `join` would hang).
+            let _queue = self.shared.queue.lock().expect("submission queue lock");
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.job_ready.notify_all();
+        let mut workers = self.workers.lock().expect("scheduler worker lock");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, session: Arc<SessionCore>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("submission queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.job_ready.wait(queue).expect("submission queue lock");
+            }
+        };
+        shared.queued.fetch_sub(1, Ordering::AcqRel);
+        shared.space_ready.notify_one();
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        job.mark_running();
+        // Catch panics from the query (a buggy operator, a panicking model
+        // client): the submitter's `wait()` must still return — with
+        // `CoreError::Internal` — and this worker must survive to serve
+        // subsequent queries. Pre-serving, a panic in `run()` reached the
+        // caller on its own thread; an unguarded panic here would instead
+        // strand the waiter forever and silently shrink the pool.
+        let run =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.run_scheduled(&job)))
+                .unwrap_or_else(|payload| {
+                    let message = if let Some(text) = payload.downcast_ref::<&str>() {
+                        (*text).to_string()
+                    } else if let Some(text) = payload.downcast_ref::<String>() {
+                        text.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    QueryRun {
+                        query: job.query().to_string(),
+                        logical_plan: None,
+                        decisions: Vec::new(),
+                        output: Err(CoreError::Internal { message }),
+                        trace: crate::trace::ExecutionTrace::new(),
+                    }
+                });
+        let was_cancelled = matches!(run.output, Err(CoreError::Cancelled));
+        // Update the counters *before* waking waiters: a submitter observing
+        // `wait()` return must see its query in `completed`.
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        shared.completed.fetch_add(1, Ordering::AcqRel);
+        if was_cancelled {
+            shared.cancelled.fetch_add(1, Ordering::AcqRel);
+        }
+        job.finish(run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_clamp_to_at_least_one() {
+        // The env readers themselves are exercised through real sessions; here
+        // we pin the constructor clamps that protect against zero knobs.
+        let scheduler = Scheduler::new(0, 0);
+        let stats = scheduler.stats();
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.queue_depth, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(DEFAULT_QUEUE_DEPTH, 64);
+    }
+
+    #[test]
+    fn handle_status_and_cancel_flag_are_observable_before_scheduling() {
+        let state = Arc::new(JobState::new("q", ExecConfig::sequential()));
+        let handle = QueryHandle {
+            state: Arc::clone(&state),
+        };
+        assert_eq!(handle.status(), QueryStatus::Queued);
+        assert_eq!(handle.query(), "q");
+        assert!(handle.poll().is_none());
+        assert!(!handle.is_cancelled());
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        assert!(state.cancel_flag().load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn subscribe_after_finish_disconnects_immediately() {
+        let state = Arc::new(JobState::new("q", ExecConfig::sequential()));
+        state.finish(QueryRun {
+            query: "q".into(),
+            logical_plan: None,
+            decisions: Vec::new(),
+            output: Err(CoreError::Cancelled),
+            trace: crate::trace::ExecutionTrace::new(),
+        });
+        let handle = QueryHandle { state };
+        assert_eq!(handle.status(), QueryStatus::Finished);
+        let receiver = handle.subscribe();
+        // No sender was registered: the stream terminates without events.
+        assert!(receiver.iter().next().is_none());
+    }
+}

@@ -1,11 +1,20 @@
 //! The CAESURA session: the public entry point that ties discovery, planning,
 //! mapping, interleaved execution, and error recovery together (Figure 2 of
 //! the paper).
+//!
+//! Since PR 5 the session is a **concurrent serving surface**: queries enter
+//! through [`Caesura::submit`], which enqueues them on a session-owned
+//! scheduler (see [`crate::serving`]) and returns a [`QueryHandle`]
+//! immediately. N in-flight queries share one lake, one retriever index, and
+//! one perception cache. The blocking [`Caesura::run`] / [`Caesura::query`]
+//! methods are thin wrappers — `run(q)` is exactly `submit(q).wait()`, with
+//! byte-identical outputs, trace events, and perception stats.
 
 use crate::discovery::{lexical_relevant_columns, Retriever};
 use crate::error::{CoreError, CoreResult};
 use crate::executor::{Executor, StepOutcome};
 use crate::output::QueryOutput;
+use crate::serving::{JobState, QueryHandle, Scheduler, ServingStats};
 use crate::trace::{ExecutionTrace, Phase};
 use caesura_data::DataLake;
 use caesura_engine::{parallel, Catalog, ExecConfig};
@@ -14,7 +23,9 @@ use caesura_llm::{
     PromptBuilder, PromptConfig, RelevantColumn,
 };
 use caesura_modal::{BatchConfig, CacheConfig, PerceptionCache};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a CAESURA session.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +65,20 @@ pub struct CaesuraConfig {
     /// cache shared by every query it runs, so a question re-asked by a
     /// later plan step or a back-to-back query costs zero model calls.
     pub perception_cache: Option<CacheConfig>,
+    /// Worker threads of the session's serving scheduler — how many
+    /// submitted queries run concurrently. `None` uses the environment
+    /// default (`CAESURA_SESSION_WORKERS`, falling back to hardware
+    /// parallelism); `Some(1)` serializes all queries through one worker,
+    /// preserving submission order end to end. Note the oversubscription
+    /// math: each in-flight query may additionally fan relational operators
+    /// out over `CAESURA_THREADS` morsel workers.
+    pub session_workers: Option<usize>,
+    /// Bound of the serving scheduler's submission queue. `None` uses the
+    /// environment default (`CAESURA_SESSION_QUEUE`, falling back to
+    /// [`crate::serving::DEFAULT_QUEUE_DEPTH`]). A full queue applies
+    /// backpressure: [`Caesura::submit`] blocks until a slot frees,
+    /// [`Caesura::try_submit`] returns `None`.
+    pub session_queue: Option<usize>,
 }
 
 impl Default for CaesuraConfig {
@@ -69,6 +94,8 @@ impl Default for CaesuraConfig {
             exec: None,
             llm_batch: None,
             perception_cache: None,
+            session_workers: None,
+            session_queue: None,
         }
     }
 }
@@ -94,10 +121,25 @@ impl QueryRun {
     pub fn succeeded(&self) -> bool {
         self.output.is_ok()
     }
+
+    /// Whether the query was stopped by cooperative cancellation.
+    pub fn cancelled(&self) -> bool {
+        matches!(self.output, Err(CoreError::Cancelled))
+    }
+
+    /// Wall clock of the run (worker pickup until completion), from the
+    /// trace's [`PhaseTimings`](crate::trace::PhaseTimings).
+    pub fn latency(&self) -> std::time::Duration {
+        self.trace.timings().total()
+    }
 }
 
-/// A CAESURA session over one data lake and one language model.
-pub struct Caesura {
+/// The session state shared between the public [`Caesura`] facade and the
+/// scheduler's worker threads: the lake, the model client, the prompt
+/// builder, the retriever index, and the cross-query perception cache.
+/// Everything here is immutable or internally synchronized, so any number of
+/// workers can run queries against it concurrently.
+pub(crate) struct SessionCore {
     lake: DataLake,
     llm: Arc<dyn LlmClient>,
     config: CaesuraConfig,
@@ -106,8 +148,20 @@ pub struct Caesura {
     /// The session-scoped perception answer cache (`None` when disabled).
     /// Owned here — not per query — so answers survive across queries over
     /// the session's `Arc`-shared lake; interior mutability (sharded locks)
-    /// keeps `&self` queries concurrent.
+    /// keeps concurrent queries safe.
     perception_cache: Option<Arc<PerceptionCache>>,
+}
+
+/// A CAESURA session over one data lake and one language model.
+///
+/// The session serves queries **concurrently**: [`Caesura::submit`] enqueues
+/// a query on the session-owned scheduler pool and returns a [`QueryHandle`]
+/// supporting `wait` / `poll` / `cancel` / `subscribe`. The blocking
+/// [`Caesura::run`] and [`Caesura::query`] wrappers remain for sequential
+/// callers and are byte-identical to the pre-serving behaviour.
+pub struct Caesura {
+    core: Arc<SessionCore>,
+    scheduler: Scheduler,
 }
 
 impl Caesura {
@@ -128,53 +182,125 @@ impl Caesura {
             .unwrap_or_default()
             .build()
             .map(Arc::new);
+        let workers = config
+            .session_workers
+            .unwrap_or_else(crate::serving::workers_from_env)
+            .max(1);
+        let queue_depth = config
+            .session_queue
+            .unwrap_or_else(crate::serving::queue_depth_from_env)
+            .max(1);
         Caesura {
-            lake,
-            llm,
-            config,
-            prompts,
-            retriever,
-            perception_cache,
+            core: Arc::new(SessionCore {
+                lake,
+                llm,
+                config,
+                prompts,
+                retriever,
+                perception_cache,
+            }),
+            scheduler: Scheduler::new(workers, queue_depth),
         }
     }
 
     /// The session configuration.
     pub fn config(&self) -> &CaesuraConfig {
-        &self.config
+        &self.core.config
     }
 
     /// The data lake this session queries.
     pub fn lake(&self) -> &DataLake {
-        &self.lake
+        &self.core.lake
     }
 
     /// The session's perception answer cache (`None` when disabled). Useful
     /// for inspecting hit/miss/eviction counters across queries.
     pub fn perception_cache(&self) -> Option<&Arc<PerceptionCache>> {
-        self.perception_cache.as_ref()
+        self.core.perception_cache.as_ref()
+    }
+
+    /// Queue-depth / in-flight / completed counters of the session's serving
+    /// scheduler.
+    pub fn serving_stats(&self) -> ServingStats {
+        self.scheduler.stats()
+    }
+
+    /// Submit a query for concurrent execution. The query is enqueued on the
+    /// session's scheduler pool and the returned [`QueryHandle`] tracks it:
+    /// block with `wait()`, probe with `poll()`/`status()`, stop it with
+    /// `cancel()`, or stream its trace events live with `subscribe()`.
+    ///
+    /// The submission queue is bounded
+    /// ([`CaesuraConfig::session_queue`]); when it is full this call
+    /// **blocks** until a slot frees (backpressure). Use
+    /// [`Caesura::try_submit`] for a non-blocking variant.
+    ///
+    /// The effective relational-execution configuration is captured at
+    /// submission time — [`CaesuraConfig::exec`] if set, otherwise the
+    /// submitting thread's `parallel::exec_config()` — and pinned for the
+    /// whole run, so a `parallel::with_config` scope around `submit` (or the
+    /// blocking wrappers) behaves exactly as it did when queries ran on the
+    /// calling thread.
+    pub fn submit(&self, query: &str) -> QueryHandle {
+        self.scheduler
+            .submit(&self.core, query, self.effective_exec())
+    }
+
+    /// Non-blocking [`Caesura::submit`]: returns `None` instead of blocking
+    /// when the submission queue is at capacity.
+    pub fn try_submit(&self, query: &str) -> Option<QueryHandle> {
+        self.scheduler
+            .try_submit(&self.core, query, self.effective_exec())
+    }
+
+    fn effective_exec(&self) -> ExecConfig {
+        self.core.config.exec.unwrap_or_else(parallel::exec_config)
     }
 
     /// Answer a natural-language query, returning only the output.
+    /// Blocking wrapper: `self.run(query).output`.
     pub fn query(&self, query: &str) -> CoreResult<QueryOutput> {
         self.run(query).output
     }
 
     /// Answer a natural-language query, returning the full run record.
+    /// Blocking wrapper over the serving API: exactly
+    /// `self.submit(query).wait()` — outputs, trace events, and perception
+    /// stats are byte-identical to pre-serving sessions (proven by
+    /// `tests/serving_api.rs`).
     pub fn run(&self, query: &str) -> QueryRun {
+        self.submit(query).wait()
+    }
+}
+
+impl SessionCore {
+    /// Run one scheduled query on a worker thread: pin the captured
+    /// execution configuration, attach the live trace sink, stamp queue-wait
+    /// and total wall clock, and honour the job's cancellation flag at every
+    /// cooperative checkpoint.
+    pub(crate) fn run_scheduled(&self, job: &JobState) -> QueryRun {
         let mut trace = ExecutionTrace::new();
+        trace.set_sink(job.subscriber_sink());
+        trace.set_queue_wait(job.queue_wait());
         let mut decisions = Vec::new();
         let mut logical_plan = None;
+        let started = Instant::now();
         let output = {
             let (trace, logical_plan, decisions) = (&mut trace, &mut logical_plan, &mut decisions);
-            let mut run = move || self.run_inner(query, trace, logical_plan, decisions);
-            match self.config.exec {
-                // Pin the session's thread/morsel knobs for the whole query.
-                Some(config) => parallel::with_config(config, run),
-                None => run(),
-            }
+            let cancel = job.cancel_flag();
+            let query = job.query();
+            // Pin the thread/morsel knobs captured at submission time for
+            // the whole query.
+            parallel::with_config(job.exec(), move || {
+                self.run_inner(query, trace, logical_plan, decisions, cancel)
+            })
         };
+        trace.set_total_duration(started.elapsed());
+        // Detach the subscriber sink before the trace is stored: the stored
+        // run must not keep live-stream channels open.
+        trace.clear_sink();
         QueryRun {
-            query: query.to_string(),
+            query: job.query().to_string(),
             logical_plan,
             decisions,
             output,
@@ -182,12 +308,36 @@ impl Caesura {
         }
     }
 
+    /// Cooperative cancellation checkpoint: if the submitter cancelled the
+    /// query, record the `Phase::Recovery` trace event and stop with
+    /// [`CoreError::Cancelled`].
+    fn check_cancel(
+        &self,
+        cancel: &AtomicBool,
+        trace: &mut ExecutionTrace,
+        at: &str,
+    ) -> CoreResult<()> {
+        if cancel.load(Ordering::Acquire) {
+            trace.record(
+                Phase::Recovery,
+                "cancelled",
+                format!("cooperative cancellation observed {at}"),
+            );
+            return Err(CoreError::Cancelled);
+        }
+        Ok(())
+    }
+
     fn complete(
         &self,
         conversation: &Conversation,
         trace: &mut ExecutionTrace,
         phase: Phase,
+        cancel: &AtomicBool,
     ) -> CoreResult<String> {
+        // Checked before *every* LLM dispatch: a cancelled query never costs
+        // another round trip (and records no prompt it did not send).
+        self.check_cancel(cancel, trace, "before an LLM dispatch")?;
         trace.record(phase, "prompt", conversation.render());
         trace.record_llm_call(conversation.approx_tokens());
         let response = self.llm.complete(conversation)?;
@@ -201,21 +351,32 @@ impl Caesura {
         trace: &mut ExecutionTrace,
         logical_plan_out: &mut Option<LogicalPlan>,
         decisions_out: &mut Vec<OperatorDecision>,
+        cancel: &AtomicBool,
     ) -> CoreResult<QueryOutput> {
+        // A query cancelled while still queued stops before any work.
+        self.check_cancel(cancel, trace, "before the query started")?;
+
         // ---- Discovery phase -------------------------------------------------
-        let (catalog, relevant_columns) = self.discover(query, trace)?;
+        let phase_start = Instant::now();
+        let discovered = self.discover(query, trace, cancel);
+        trace.record_phase_duration(Phase::Discovery, phase_start.elapsed());
+        let (catalog, relevant_columns) = discovered?;
 
         // ---- Planning phase (with optional replans after failures) ----------
         let mut replans = 0usize;
         let mut planning_note: Option<String> = None;
         loop {
+            let phase_start = Instant::now();
             let plan = self.plan(
                 query,
                 &catalog,
                 &relevant_columns,
                 planning_note.as_deref(),
                 trace,
-            )?;
+                cancel,
+            );
+            trace.record_phase_duration(Phase::Planning, phase_start.elapsed());
+            let plan = plan?;
             *logical_plan_out = Some(plan.clone());
 
             // ---- Mapping phase + interleaved execution ----------------------
@@ -226,6 +387,7 @@ impl Caesura {
                 &plan,
                 decisions_out,
                 trace,
+                cancel,
             ) {
                 Ok(output) => return Ok(output),
                 Err((error, replan_requested)) => {
@@ -252,6 +414,7 @@ impl Caesura {
         &self,
         query: &str,
         trace: &mut ExecutionTrace,
+        cancel: &AtomicBool,
     ) -> CoreResult<(Catalog, Vec<RelevantColumn>)> {
         // Dense-retrieval substitute: keep the top-k sources.
         let top = self.retriever.top_k(query, self.config.retrieval_top_k);
@@ -275,7 +438,7 @@ impl Caesura {
 
         let relevant_columns = if self.config.llm_discovery {
             let prompt = self.prompts.discovery_prompt(&catalog, query);
-            let response = self.complete(&prompt, trace, Phase::Discovery)?;
+            let response = self.complete(&prompt, trace, Phase::Discovery, cancel)?;
             self.parse_relevant_response(&response, &catalog)
         } else {
             lexical_relevant_columns(&self.lake, query, self.config.example_values)
@@ -322,6 +485,7 @@ impl Caesura {
         relevant_columns: &[RelevantColumn],
         note: Option<&str>,
         trace: &mut ExecutionTrace,
+        cancel: &AtomicBool,
     ) -> CoreResult<LogicalPlan> {
         let query_with_note = match note {
             Some(note) => format!("{query} ({note})"),
@@ -330,7 +494,7 @@ impl Caesura {
         let prompt = self
             .prompts
             .planning_prompt(catalog, &query_with_note, relevant_columns);
-        let response = self.complete(&prompt, trace, Phase::Planning)?;
+        let response = self.complete(&prompt, trace, Phase::Planning, cancel)?;
         let plan = LogicalPlan::parse(&response).map_err(|e| CoreError::PlanningFailed {
             message: e.to_string(),
         })?;
@@ -345,7 +509,7 @@ impl Caesura {
 
     /// Map every step to an operator and execute it. Returns the final output,
     /// or `(error, replan_requested)` on failure.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn map_and_execute(
         &self,
         query: &str,
@@ -354,10 +518,12 @@ impl Caesura {
         plan: &LogicalPlan,
         decisions_out: &mut Vec<OperatorDecision>,
         trace: &mut ExecutionTrace,
+        cancel: &AtomicBool,
     ) -> Result<QueryOutput, (CoreError, bool)> {
-        // No per-executor pin here: `run` already scopes the session's
-        // `exec` override around the whole query, and `Executor::
-        // with_exec_config` remains available for direct executor users.
+        // No per-executor pin here: `run_scheduled` already scopes the
+        // captured `exec` configuration around the whole query, and
+        // `Executor::with_exec_config` remains available for direct executor
+        // users.
         let mut executor = Executor::new(self.lake.catalog().clone(), self.lake.images().clone());
         if let Some(batch) = self.config.llm_batch {
             executor = executor.with_batch_config(batch);
@@ -381,6 +547,11 @@ impl Caesura {
         let predecided: Option<Vec<OperatorDecision>> = if self.config.interleaved {
             None
         } else {
+            // One checkpoint guards the whole pipelined dispatch, mirroring
+            // the per-dispatch check of the interleaved path.
+            self.check_cancel(cancel, trace, "before the pipelined mapping dispatch")
+                .map_err(|e| (e, false))?;
+            let phase_start = Instant::now();
             let prompts: Vec<Conversation> = plan
                 .steps
                 .iter()
@@ -414,18 +585,24 @@ impl Caesura {
                     OperatorDecision::parse(&response).map_err(|e| (CoreError::from(e), false))?,
                 );
             }
+            trace.record_phase_duration(Phase::Mapping, phase_start.elapsed());
             Some(all)
         };
 
         for (index, step) in plan.steps.iter().enumerate() {
+            // Checked between plan steps: a cancelled query stops before
+            // mapping or executing the next step.
+            self.check_cancel(cancel, trace, "between plan steps")
+                .map_err(|e| (e, false))?;
             let mut attempt = 0usize;
             let mut error_note: Option<String> = None;
             loop {
                 attempt += 1;
                 let decision = match &predecided {
                     Some(all) => all[index].clone(),
-                    None => self
-                        .decide_step(
+                    None => {
+                        let phase_start = Instant::now();
+                        let decided = self.decide_step(
                             query,
                             catalog,
                             executor.intermediate(),
@@ -434,8 +611,11 @@ impl Caesura {
                             &observations,
                             error_note.as_deref(),
                             trace,
-                        )
-                        .map_err(|e| (e, false))?,
+                            cancel,
+                        );
+                        trace.record_phase_duration(Phase::Mapping, phase_start.elapsed());
+                        decided.map_err(|e| (e, false))?
+                    }
                 };
                 trace.record(
                     Phase::Mapping,
@@ -448,8 +628,14 @@ impl Caesura {
                     ),
                 );
 
+                // Checked before each step execution — which is where this
+                // step's perception batches would dispatch.
+                self.check_cancel(cancel, trace, "before a step execution")
+                    .map_err(|e| (e, false))?;
                 let perception_before = executor.perception_stats();
+                let phase_start = Instant::now();
                 let step_result = executor.execute(step, &decision);
+                trace.record_phase_duration(Phase::Execution, phase_start.elapsed());
                 // Record the perception-call delta for failed attempts too:
                 // their dispatches were paid just the same.
                 let delta = executor.perception_stats().since(&perception_before);
@@ -491,9 +677,11 @@ impl Caesura {
                             ));
                         }
                         // Error recovery (§3.2): ask the model what went wrong.
-                        let analysis = self
-                            .analyze_error(query, plan, step, &decision, &error, trace)
-                            .map_err(|e| (e, false))?;
+                        let phase_start = Instant::now();
+                        let analysis =
+                            self.analyze_error(query, plan, step, &decision, &error, trace, cancel);
+                        trace.record_phase_duration(Phase::Recovery, phase_start.elapsed());
+                        let analysis = analysis.map_err(|e| (e, false))?;
                         if analysis.should_replan() {
                             return Err((
                                 CoreError::PlanFailed {
@@ -545,6 +733,7 @@ impl Caesura {
         observations: &[String],
         error_note: Option<&str>,
         trace: &mut ExecutionTrace,
+        cancel: &AtomicBool,
     ) -> CoreResult<OperatorDecision> {
         let prompt = self.prompts.mapping_prompt(
             catalog,
@@ -555,10 +744,11 @@ impl Caesura {
             observations,
             error_note,
         );
-        let response = self.complete(&prompt, trace, Phase::Mapping)?;
+        let response = self.complete(&prompt, trace, Phase::Mapping, cancel)?;
         Ok(OperatorDecision::parse(&response)?)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn analyze_error(
         &self,
         query: &str,
@@ -567,6 +757,7 @@ impl Caesura {
         decision: &OperatorDecision,
         error: &CoreError,
         trace: &mut ExecutionTrace,
+        cancel: &AtomicBool,
     ) -> CoreResult<ErrorAnalysis> {
         let prompt = self.prompts.error_prompt(
             query,
@@ -579,7 +770,7 @@ impl Caesura {
             ),
             &error.to_string(),
         );
-        let response = self.complete(&prompt, trace, Phase::Recovery)?;
+        let response = self.complete(&prompt, trace, Phase::Recovery, cancel)?;
         let analysis = ErrorAnalysis::parse(&response)?;
         trace.record(Phase::Recovery, "analysis", analysis.render());
         Ok(analysis)
@@ -589,6 +780,7 @@ impl Caesura {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serving::QueryStatus;
     use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
     use caesura_engine::Value;
     use caesura_llm::SimulatedLlm;
@@ -676,5 +868,86 @@ mod tests {
         assert!(run.trace.events_of(Phase::Planning).len() >= 2);
         assert!(!run.trace.events_of(Phase::Mapping).is_empty());
         assert!(run.trace.prompt_tokens() > 0);
+    }
+
+    #[test]
+    fn run_records_wall_clock_phase_timings() {
+        let session = artwork_session();
+        let run = session.run("How many paintings depict a horse?");
+        let timings = run.trace.timings();
+        assert!(timings.total() > std::time::Duration::ZERO);
+        assert!(timings.measured() <= timings.total());
+        assert!(timings.of(Phase::Planning) > std::time::Duration::ZERO);
+        assert_eq!(run.latency(), timings.total());
+        assert!(timings.end_to_end() >= timings.total());
+    }
+
+    #[test]
+    fn submitted_queries_complete_with_handles_and_stats() {
+        let data = generate_artwork(&ArtworkConfig::small());
+        let config = CaesuraConfig {
+            session_workers: Some(2),
+            session_queue: Some(8),
+            ..CaesuraConfig::default()
+        };
+        let session = Caesura::with_config(data.lake, Arc::new(SimulatedLlm::gpt4()), config);
+        assert_eq!(session.serving_stats().workers, 2);
+        assert_eq!(session.serving_stats().queue_depth, 8);
+        assert_eq!(session.serving_stats().completed, 0);
+
+        let first = session.submit("How many paintings are in the museum?");
+        let second = session.submit("How many paintings depict a horse?");
+        assert_eq!(first.query(), "How many paintings are in the museum?");
+        let first = first.wait();
+        let second = second.wait();
+        assert!(first.succeeded(), "failed: {:?}", first.output.err());
+        assert!(second.succeeded(), "failed: {:?}", second.output.err());
+
+        let stats = session.serving_stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn poll_transitions_to_finished() {
+        let session = artwork_session();
+        let handle = session.submit("How many paintings are in the museum?");
+        // Wait for completion via polling only.
+        let mut run = None;
+        for _ in 0..1000 {
+            if let Some(done) = handle.poll() {
+                run = Some(done);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let run = run.expect("query did not finish within the polling budget");
+        assert!(run.succeeded());
+        assert_eq!(handle.status(), QueryStatus::Finished);
+        // The handle is still usable after poll; wait returns the same run.
+        assert_eq!(handle.wait().output, run.output);
+    }
+
+    #[test]
+    fn serialized_scheduler_preserves_submission_order() {
+        let data = generate_artwork(&ArtworkConfig::small());
+        let config = CaesuraConfig {
+            session_workers: Some(1),
+            ..CaesuraConfig::default()
+        };
+        let session = Caesura::with_config(data.lake, Arc::new(SimulatedLlm::gpt4()), config);
+        let handles: Vec<_> = [
+            "How many paintings are in the museum?",
+            "How many paintings depict a horse?",
+        ]
+        .iter()
+        .map(|q| session.submit(q))
+        .collect();
+        for handle in handles {
+            assert!(handle.wait().succeeded());
+        }
+        assert_eq!(session.serving_stats().completed, 2);
     }
 }

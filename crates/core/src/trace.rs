@@ -6,6 +6,8 @@
 //! inspects to categorize errors (Table 2).
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The phase a trace event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +22,27 @@ pub enum Phase {
     Execution,
     /// Error analysis / recovery.
     Recovery,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Discovery,
+        Phase::Planning,
+        Phase::Mapping,
+        Phase::Execution,
+        Phase::Recovery,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Discovery => 0,
+            Phase::Planning => 1,
+            Phase::Mapping => 2,
+            Phase::Execution => 3,
+            Phase::Recovery => 4,
+        }
+    }
 }
 
 impl fmt::Display for Phase {
@@ -69,13 +92,94 @@ pub struct PerceptionCalls {
     pub cache_evictions: usize,
 }
 
+/// Wall-clock timings of one query run, accumulated per phase by the session
+/// as it drives the pipeline, plus the end-to-end totals the serving layer
+/// stamps on: how long the query sat in the submission queue and how long it
+/// ran once a scheduler worker picked it up.
+///
+/// Timings are *measurement* metadata, not part of the logical record of a
+/// run: two byte-identical runs never share wall clocks. They are therefore
+/// deliberately excluded from [`ExecutionTrace`]'s `PartialEq`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    phases: [Duration; Phase::ALL.len()],
+    queue_wait: Duration,
+    total: Duration,
+}
+
+impl PhaseTimings {
+    /// Accumulated wall clock spent in one phase (a phase can be entered many
+    /// times: mapping/execution alternate per step, recovery per failure).
+    pub fn of(&self, phase: Phase) -> Duration {
+        self.phases[phase.index()]
+    }
+
+    /// Wall clock from a scheduler worker picking the query up to its
+    /// completion (zero until the run finishes).
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Wall clock the query spent queued before a scheduler worker picked it
+    /// up (zero for queries that found an idle worker immediately).
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
+
+    /// Submission-to-completion wall clock: queue wait plus run time. This is
+    /// the latency a submitter observes, and what the serving bench reports
+    /// percentiles over.
+    pub fn end_to_end(&self) -> Duration {
+        self.queue_wait + self.total
+    }
+
+    /// Sum of the per-phase durations (at most [`PhaseTimings::total`]; the
+    /// difference is loop bookkeeping between phases).
+    pub fn measured(&self) -> Duration {
+        self.phases.iter().sum()
+    }
+}
+
+/// A sink that observes every [`TraceEvent`] the instant it is recorded —
+/// the mechanism behind `QueryHandle::subscribe`'s live trace stream.
+pub type TraceSink = Arc<dyn Fn(&TraceEvent) + Send + Sync>;
+
 /// A full execution trace.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares the *logical* record — events, LLM-call counters, and
+/// perception accounting — and ignores [`PhaseTimings`] and any attached
+/// [`TraceSink`], so two byte-identical runs compare equal even though their
+/// wall clocks differ.
+#[derive(Clone, Default)]
 pub struct ExecutionTrace {
     events: Vec<TraceEvent>,
     llm_calls: usize,
     prompt_tokens: usize,
     perception: PerceptionCalls,
+    timings: PhaseTimings,
+    sink: Option<TraceSink>,
+}
+
+impl fmt::Debug for ExecutionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutionTrace")
+            .field("events", &self.events)
+            .field("llm_calls", &self.llm_calls)
+            .field("prompt_tokens", &self.prompt_tokens)
+            .field("perception", &self.perception)
+            .field("timings", &self.timings)
+            .field("sink", &self.sink.as_ref().map(|_| "..."))
+            .finish()
+    }
+}
+
+impl PartialEq for ExecutionTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+            && self.llm_calls == other.llm_calls
+            && self.prompt_tokens == other.prompt_tokens
+            && self.perception == other.perception
+    }
 }
 
 impl ExecutionTrace {
@@ -84,13 +188,53 @@ impl ExecutionTrace {
         ExecutionTrace::default()
     }
 
-    /// Record an event.
+    /// Record an event. If a [`TraceSink`] is attached, the event is also
+    /// forwarded to it immediately (live trace streaming).
     pub fn record(&mut self, phase: Phase, label: impl Into<String>, detail: impl Into<String>) {
-        self.events.push(TraceEvent {
+        let event = TraceEvent {
             phase,
             label: label.into(),
             detail: detail.into(),
-        });
+        };
+        if let Some(sink) = &self.sink {
+            sink(&event);
+        }
+        self.events.push(event);
+    }
+
+    /// Attach a sink observing every subsequently recorded event. The serving
+    /// layer installs one per scheduled query so `QueryHandle::subscribe`
+    /// streams events as they happen, and detaches it (see
+    /// [`ExecutionTrace::clear_sink`]) before the finished trace is stored.
+    pub fn set_sink(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach the sink, if any. Events recorded afterwards are only stored.
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Accumulate wall clock spent in one phase (phases are entered many
+    /// times; durations add up).
+    pub fn record_phase_duration(&mut self, phase: Phase, elapsed: Duration) {
+        self.timings.phases[phase.index()] += elapsed;
+    }
+
+    /// Stamp the queue wait (submission until a scheduler worker picked the
+    /// query up).
+    pub fn set_queue_wait(&mut self, elapsed: Duration) {
+        self.timings.queue_wait = elapsed;
+    }
+
+    /// Stamp the total run duration (worker pickup until completion).
+    pub fn set_total_duration(&mut self, elapsed: Duration) {
+        self.timings.total = elapsed;
+    }
+
+    /// The wall-clock timings of this run (excluded from trace equality).
+    pub fn timings(&self) -> PhaseTimings {
+        self.timings
     }
 
     /// Record one LLM completion of approximately `tokens` prompt tokens.
@@ -196,6 +340,18 @@ impl ExecutionTrace {
                 ));
             }
         }
+        if self.timings.total > Duration::ZERO {
+            out.push_str(&format!(
+                "== Timings: {:.1?} total ({:.1?} queued), per phase: discovery {:.1?}, planning {:.1?}, mapping {:.1?}, execution {:.1?}, recovery {:.1?} ==\n",
+                self.timings.total,
+                self.timings.queue_wait,
+                self.timings.of(Phase::Discovery),
+                self.timings.of(Phase::Planning),
+                self.timings.of(Phase::Mapping),
+                self.timings.of(Phase::Execution),
+                self.timings.of(Phase::Recovery),
+            ));
+        }
         out
     }
 }
@@ -271,6 +427,58 @@ mod tests {
         assert!(rendered.contains("9 model call(s)"));
         assert!(rendered.contains("6 saved by dedup"));
         assert!(rendered.contains("2 hit(s)"));
+    }
+
+    #[test]
+    fn timings_accumulate_but_do_not_affect_equality() {
+        let mut a = ExecutionTrace::new();
+        let mut b = ExecutionTrace::new();
+        for trace in [&mut a, &mut b] {
+            trace.record(Phase::Planning, "prompt", "p");
+            trace.record_llm_call(10);
+        }
+        a.record_phase_duration(Phase::Planning, Duration::from_millis(5));
+        a.record_phase_duration(Phase::Planning, Duration::from_millis(3));
+        a.record_phase_duration(Phase::Execution, Duration::from_millis(2));
+        a.set_queue_wait(Duration::from_millis(1));
+        a.set_total_duration(Duration::from_millis(12));
+        assert_eq!(a.timings().of(Phase::Planning), Duration::from_millis(8));
+        assert_eq!(a.timings().measured(), Duration::from_millis(10));
+        assert_eq!(a.timings().total(), Duration::from_millis(12));
+        assert_eq!(a.timings().end_to_end(), Duration::from_millis(13));
+        // Identical logical record, different wall clocks: still equal.
+        assert_eq!(a, b);
+        assert!(a.render(false).contains("Timings"));
+        assert!(!b.render(false).contains("Timings"));
+        // But a different logical record is unequal.
+        b.record(Phase::Mapping, "decision", "d");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sinks_observe_events_live_and_detach() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut trace = ExecutionTrace::new();
+        let sink_seen = Arc::clone(&seen);
+        trace.set_sink(Arc::new(move |event: &TraceEvent| {
+            sink_seen.lock().unwrap().push(event.label.clone());
+        }));
+        trace.record(Phase::Planning, "prompt", "p");
+        trace.record(Phase::Planning, "response", "r");
+        trace.clear_sink();
+        trace.record(Phase::Mapping, "decision", "d");
+        assert_eq!(*seen.lock().unwrap(), vec!["prompt", "response"]);
+        assert_eq!(trace.events().len(), 3);
+        // Sinks never participate in equality.
+        let plain = {
+            let mut t = ExecutionTrace::new();
+            t.record(Phase::Planning, "prompt", "p");
+            t.record(Phase::Planning, "response", "r");
+            t.record(Phase::Mapping, "decision", "d");
+            t
+        };
+        assert_eq!(trace, plain);
     }
 
     #[test]

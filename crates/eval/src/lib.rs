@@ -22,6 +22,7 @@ pub use grade::{
 pub use oracle::{reference_for, Reference};
 pub use queries::{benchmark_queries, BenchmarkQuery, Capability, Dataset, ExpectedOutput};
 pub use report::{
-    evaluate_both, evaluate_model, render_per_query, render_table1, render_table2,
-    EvaluationConfig, EvaluationReport, QueryEvaluation,
+    evaluate_both, evaluate_model, evaluate_model_concurrent, percentile, render_per_query,
+    render_table1, render_table2, EvaluationConfig, EvaluationReport, QueryEvaluation,
+    ServingEvaluation,
 };

@@ -5,11 +5,12 @@ use crate::errors::{classify, ErrorCategory};
 use crate::grade::{grade, known_identifiers, Grade};
 use crate::oracle::{reference_for, Reference};
 use crate::queries::{benchmark_queries, BenchmarkQuery, Dataset, ExpectedOutput};
-use caesura_core::{Caesura, CaesuraConfig};
+use caesura_core::{Caesura, CaesuraConfig, QueryRun};
 use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
 use caesura_llm::{ModelProfile, SimulatedLlm};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Configuration of one evaluation run.
 #[derive(Debug, Clone)]
@@ -71,6 +72,10 @@ pub struct QueryEvaluation {
     /// Batched perception-operator call accounting of the run (rows walked,
     /// unique model calls, batches, calls saved by dedup).
     pub perception: caesura_core::PerceptionCalls,
+    /// Wall clock of the run (scheduler pickup to completion), from the
+    /// trace's phase timings — the same timing source the serving bench
+    /// reports percentiles over.
+    pub latency: Duration,
     /// The execution error message, if execution failed.
     pub error: Option<String>,
 }
@@ -135,6 +140,62 @@ impl EvaluationReport {
     pub fn total_perception_cache_hits(&self) -> usize {
         self.results.iter().map(|r| r.perception.cache_hits).sum()
     }
+
+    /// Per-query run latencies, in benchmark order.
+    pub fn latencies(&self) -> Vec<Duration> {
+        self.results.iter().map(|r| r.latency).collect()
+    }
+
+    /// Nearest-rank latency percentile over the per-query run latencies
+    /// (`p` in `0.0..=1.0`; `0.5` is the median). Zero for an empty report.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        percentile(&mut self.latencies(), p)
+    }
+
+    /// Mean per-query run latency (zero for an empty report).
+    pub fn mean_latency(&self) -> Duration {
+        if self.results.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies().iter().sum::<Duration>() / self.results.len() as u32
+    }
+}
+
+/// Nearest-rank percentile of a set of durations (`p` clamped to
+/// `0.0..=1.0`). Sorts in place; zero for an empty set.
+pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+/// Grade one finished run into its evaluation record (shared by the serial
+/// and concurrent drivers so both report through identical grading).
+fn grade_run(
+    query: &BenchmarkQuery,
+    run: &QueryRun,
+    reference: &Reference,
+    known: &std::collections::BTreeSet<String>,
+) -> QueryEvaluation {
+    let query_grade = grade(query, run, reference, known);
+    let category = classify(query, run, query_grade, known);
+    QueryEvaluation {
+        id: query.id.to_string(),
+        text: query.text.to_string(),
+        dataset: query.dataset,
+        output: query.output,
+        multimodal: query.multimodal,
+        grade: query_grade,
+        category,
+        llm_calls: run.trace.llm_calls(),
+        perception: run.trace.perception_calls(),
+        latency: run.trace.timings().total(),
+        error: run.output.as_ref().err().map(|e| e.to_string()),
+    }
 }
 
 /// Run the 48-query benchmark for one model profile.
@@ -158,25 +219,116 @@ pub fn evaluate_model(profile: ModelProfile, config: &EvaluationConfig) -> Evalu
         };
         let reference = reference_for(&query, &artwork, &rotowire);
         let run = session.run(query.text);
-        let query_grade = grade(&query, &run, &reference, known);
-        let category = classify(&query, &run, query_grade, known);
-        results.push(QueryEvaluation {
-            id: query.id.to_string(),
-            text: query.text.to_string(),
-            dataset: query.dataset,
-            output: query.output,
-            multimodal: query.multimodal,
-            grade: query_grade,
-            category,
-            llm_calls: run.trace.llm_calls(),
-            perception: run.trace.perception_calls(),
-            error: run.output.err().map(|e| e.to_string()),
-        });
+        results.push(grade_run(&query, &run, &reference, known));
     }
 
     EvaluationReport {
         model: profile.name().to_string(),
         results,
+    }
+}
+
+/// The result of driving the 48-query benchmark through concurrent
+/// submission (see [`evaluate_model_concurrent`]): the usual graded report
+/// plus serving-level throughput and latency measurements.
+#[derive(Debug, Clone)]
+pub struct ServingEvaluation {
+    /// The graded report, in benchmark order — produced by exactly the same
+    /// grading as [`evaluate_model`].
+    pub report: EvaluationReport,
+    /// Scheduler workers the sessions served the workload with.
+    pub concurrency: usize,
+    /// Wall clock from the first submission to the last completion.
+    pub wall_clock: Duration,
+    /// Per-query submission-to-completion latencies (queue wait + run time),
+    /// in benchmark order.
+    pub end_to_end: Vec<Duration>,
+}
+
+impl ServingEvaluation {
+    /// Benchmark throughput: completed queries per second of wall clock.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.wall_clock.is_zero() {
+            return 0.0;
+        }
+        self.report.results.len() as f64 / self.wall_clock.as_secs_f64()
+    }
+
+    /// Nearest-rank percentile over the submission-to-completion latencies
+    /// (`p` in `0.0..=1.0`).
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        percentile(&mut self.end_to_end.clone(), p)
+    }
+}
+
+/// Run the 48-query benchmark through **concurrent submission**: all queries
+/// are submitted up front via [`Caesura::submit`] to sessions whose serving
+/// scheduler runs `concurrency` workers, then graded in benchmark order as
+/// their handles complete.
+///
+/// Grades, outputs, and plan-level accounting are identical to the serial
+/// [`evaluate_model`] — the simulated models answer as deterministic
+/// functions of each prompt, so interleaving cannot change results. The one
+/// exception is the *distribution* of perception-cache hit counters across
+/// queries: which of two racing queries warms the shared cache first is
+/// scheduling-dependent (the answers themselves are not).
+pub fn evaluate_model_concurrent(
+    profile: ModelProfile,
+    config: &EvaluationConfig,
+    concurrency: usize,
+) -> ServingEvaluation {
+    let concurrency = concurrency.max(1);
+    let artwork = generate_artwork(&config.artwork);
+    let rotowire = generate_rotowire(&config.rotowire);
+    let llm = Arc::new(SimulatedLlm::new(profile, config.seed));
+
+    let queries = benchmark_queries();
+    let mut caesura_config = config.caesura.clone();
+    caesura_config.session_workers = Some(concurrency);
+    // Deep enough to hold the whole benchmark: this driver measures worker
+    // concurrency, not submission backpressure.
+    caesura_config.session_queue = Some(queries.len().max(concurrency));
+
+    let artwork_session =
+        Caesura::with_config(artwork.lake.clone(), llm.clone(), caesura_config.clone());
+    let rotowire_session = Caesura::with_config(rotowire.lake.clone(), llm.clone(), caesura_config);
+    let artwork_known = known_identifiers(artwork.lake.catalog());
+    let rotowire_known = known_identifiers(rotowire.lake.catalog());
+
+    let started = Instant::now();
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|query| {
+            let session = match query.dataset {
+                Dataset::Artwork => &artwork_session,
+                Dataset::Rotowire => &rotowire_session,
+            };
+            session.submit(query.text)
+        })
+        .collect();
+    let runs: Vec<QueryRun> = handles.into_iter().map(|handle| handle.wait()).collect();
+    let wall_clock = started.elapsed();
+
+    let mut results = Vec::new();
+    let mut end_to_end = Vec::new();
+    for (query, run) in queries.iter().zip(&runs) {
+        let known = match query.dataset {
+            Dataset::Artwork => &artwork_known,
+            Dataset::Rotowire => &rotowire_known,
+        };
+        let reference = reference_for(query, &artwork, &rotowire);
+        results.push(grade_run(query, run, &reference, known));
+        end_to_end.push(run.trace.timings().end_to_end());
+    }
+
+    ServingEvaluation {
+        report: EvaluationReport {
+            model: profile.name().to_string(),
+            results,
+        },
+        concurrency,
+        wall_clock,
+        end_to_end,
     }
 }
 
@@ -354,6 +506,67 @@ mod tests {
             dm >= 2,
             "expected several data-misunderstanding errors, got {dm}"
         );
+    }
+
+    #[test]
+    fn latencies_are_recorded_and_percentiles_are_ordered() {
+        let config = EvaluationConfig::small();
+        let report = evaluate_model(ModelProfile::Gpt4, &config);
+        assert!(report.results.iter().all(|r| r.latency > Duration::ZERO));
+        let p50 = report.latency_percentile(0.5);
+        let p95 = report.latency_percentile(0.95);
+        assert!(p50 > Duration::ZERO);
+        assert!(p95 >= p50);
+        assert!(report.mean_latency() > Duration::ZERO);
+        assert!(report.latency_percentile(1.0) >= p95);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let mut samples: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&mut samples, 0.5), Duration::from_millis(5));
+        assert_eq!(percentile(&mut samples, 0.95), Duration::from_millis(10));
+        assert_eq!(percentile(&mut samples, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_evaluation_grades_identically_to_serial() {
+        let config = EvaluationConfig::small();
+        let serial = evaluate_model(ModelProfile::Gpt4, &config);
+        let serving = evaluate_model_concurrent(ModelProfile::Gpt4, &config, 4);
+        assert_eq!(serving.concurrency, 4);
+        assert_eq!(serving.report.results.len(), serial.results.len());
+        assert_eq!(serving.end_to_end.len(), serial.results.len());
+        assert!(serving.wall_clock > Duration::ZERO);
+        assert!(serving.queries_per_second() > 0.0);
+        assert!(serving.latency_percentile(0.95) >= serving.latency_percentile(0.5));
+        for (concurrent, reference) in serving.report.results.iter().zip(&serial.results) {
+            assert_eq!(concurrent.id, reference.id);
+            assert_eq!(
+                concurrent.grade, reference.grade,
+                "grade diverged: {}",
+                reference.id
+            );
+            assert_eq!(
+                concurrent.category, reference.category,
+                "category diverged: {}",
+                reference.id
+            );
+            assert_eq!(
+                concurrent.error, reference.error,
+                "error diverged: {}",
+                reference.id
+            );
+            assert_eq!(
+                concurrent.llm_calls, reference.llm_calls,
+                "llm calls diverged: {}",
+                reference.id
+            );
+            // Perception-cache hit *distribution* across queries is
+            // scheduling-dependent (which racing query warms the shared
+            // cache first); everything above is not.
+        }
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! queries of increasing complexity against the artwork data lake, including
 //! the Figure 4 Query 2 anecdote.
 //!
+//! Migrated to the concurrent serving API (PR 5): all queries are submitted
+//! up front and run on the session's scheduler pool; results are collected in
+//! submission order. See `examples/quickstart.rs` for the blocking
+//! compatibility path (`Caesura::run` / `Caesura::query`).
+//!
 //! Run with: `cargo run --example artwork_analysis`
 
 use caesura::prelude::*;
@@ -18,13 +23,22 @@ fn main() {
         "List the titles of all paintings that depict a horse.",
         "Plot the maximum number of swords depicted on the paintings of each century.",
     ];
-    for query in queries {
+    // Enqueue everything first: the scheduler overlaps the queries across
+    // its workers while we wait for the answers in order.
+    let handles: Vec<QueryHandle> = queries.iter().map(|q| caesura.submit(q)).collect();
+    for (query, handle) in queries.iter().zip(handles) {
         println!("==============================================================");
         println!("Query: {query}\n");
-        match caesura.query(query) {
+        let run = handle.wait();
+        match &run.output {
             Ok(output) => println!("{output}"),
             Err(error) => println!("failed: {error}"),
         }
-        println!();
+        println!("(answered in {:.1?})\n", run.latency());
     }
+    let stats = caesura.serving_stats();
+    println!(
+        "served {} queries over one shared lake and perception cache",
+        stats.completed
+    );
 }

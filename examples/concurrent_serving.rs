@@ -1,0 +1,103 @@
+//! Concurrent session serving: the submit / handle API (PR 5).
+//!
+//! One CAESURA session serves many in-flight queries over one lake, one
+//! retriever index, and one perception cache. This example shows the three
+//! serving primitives:
+//!
+//! 1. **Concurrent submission** — several queries enqueued up front via
+//!    `submit`, running on the session's scheduler pool while the main
+//!    thread does other work.
+//! 2. **Streamed trace events** — `subscribe` delivers one query's trace
+//!    events live, as the planner works, instead of only after completion.
+//! 3. **Cooperative cancellation** — `cancel` stops a query at its next
+//!    checkpoint (between plan steps / before any LLM dispatch); a query
+//!    cancelled while still queued never runs at all.
+//!
+//! Run with: `cargo run --example concurrent_serving`
+
+use caesura::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let data = generate_artwork(&ArtworkConfig::default());
+    // Four scheduler workers and a bounded submission queue. Without these
+    // knobs the session uses `CAESURA_SESSION_WORKERS` / hardware
+    // parallelism and a queue of 64.
+    let config = CaesuraConfig {
+        session_workers: Some(4),
+        session_queue: Some(8),
+        ..CaesuraConfig::default()
+    };
+    let caesura = Caesura::with_config(data.lake, Arc::new(SimulatedLlm::gpt4()), config);
+
+    // -- 1. Concurrent submission -----------------------------------------
+    let queries = [
+        "How many paintings are in the museum?",
+        "For each movement, how many paintings are there?",
+        "How many paintings depict Madonna and Child?",
+        "List the titles of all paintings that depict a horse.",
+    ];
+    let handles: Vec<QueryHandle> = queries.iter().map(|q| caesura.submit(q)).collect();
+    let stats = caesura.serving_stats();
+    println!(
+        "submitted {} queries to {} workers (queue depth {})\n",
+        queries.len(),
+        stats.workers,
+        stats.queue_depth
+    );
+
+    // -- 2. A live trace stream for one more query -------------------------
+    let streamed = caesura
+        .submit("Plot the number of paintings depicting Madonna and Child for each century!");
+    let events = streamed.subscribe();
+    let printer = std::thread::spawn(move || {
+        // The channel disconnects when the query finishes, ending the loop.
+        for event in events {
+            let preview: String = event.detail.chars().take(60).collect();
+            println!(
+                "  [live {} / {}] {}",
+                event.phase,
+                event.label,
+                preview.replace('\n', " ")
+            );
+        }
+    });
+
+    // -- 3. Cooperative cancellation ---------------------------------------
+    let doomed = caesura.submit("For each genre, how many paintings depict a skull?");
+    doomed.cancel();
+
+    // Collect everything.
+    for (query, handle) in queries.iter().zip(handles) {
+        let run = handle.wait();
+        match &run.output {
+            Ok(output) => println!("{query}\n  -> {} in {:.1?}", output.kind(), run.latency()),
+            Err(error) => println!("{query}\n  -> failed: {error}"),
+        }
+    }
+    printer.join().expect("trace printer thread");
+    let streamed = streamed.wait();
+    println!(
+        "\nstreamed query finished: {} ({} trace events)",
+        if streamed.succeeded() { "ok" } else { "failed" },
+        streamed.trace.events().len()
+    );
+
+    let doomed = streamed_or_cancelled(doomed.wait());
+    println!("cancelled query outcome: {doomed}");
+
+    let stats = caesura.serving_stats();
+    println!(
+        "\nserving stats: {} completed ({} cancelled), {} queued, {} in flight",
+        stats.completed, stats.cancelled, stats.queued, stats.in_flight
+    );
+}
+
+fn streamed_or_cancelled(run: QueryRun) -> &'static str {
+    if run.cancelled() {
+        "cancelled before completion (CoreError::Cancelled)"
+    } else {
+        // Cancellation raced completion and lost: the answer was already done.
+        "completed before the cancel checkpoint"
+    }
+}

@@ -2,10 +2,15 @@
 //! game reports, including the Figure 4 Query 1 anecdote and the "hard query"
 //! discussed in §4.3 of the paper.
 //!
+//! Migrated to the concurrent serving API (PR 5), demonstrating the
+//! non-blocking side of a `QueryHandle`: results are collected by polling
+//! whichever query finishes first instead of waiting in submission order.
+//!
 //! Run with: `cargo run --example rotowire_analysis`
 
 use caesura::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let data = generate_rotowire(&RotowireConfig::default());
@@ -19,15 +24,34 @@ fn main() {
         // The query both models struggled with in the paper (§4.3).
         "How many games did each team lose?",
     ];
-    for query in queries {
-        println!("==============================================================");
-        println!("Query: {query}\n");
-        let run = caesura.run(query);
-        match &run.output {
-            Ok(output) => println!("{output}"),
-            Err(error) => println!("failed: {error}"),
+    let mut pending: Vec<(usize, QueryHandle)> = queries
+        .iter()
+        .enumerate()
+        .map(|(index, q)| (index, caesura.submit(q)))
+        .collect();
+
+    // Drain completions as they arrive (completion order, not submission
+    // order — `poll` never blocks).
+    while !pending.is_empty() {
+        let mut still_pending = Vec::new();
+        for (index, handle) in pending {
+            match handle.poll() {
+                Some(run) => {
+                    println!("==============================================================");
+                    println!("Query: {}\n", queries[index]);
+                    match &run.output {
+                        Ok(output) => println!("{output}"),
+                        Err(error) => println!("failed: {error}"),
+                    }
+                    println!();
+                }
+                None => still_pending.push((index, handle)),
+            }
         }
-        println!();
+        pending = still_pending;
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     // Cross-check one answer against the generator's ground truth.

@@ -44,7 +44,10 @@ pub use caesura_modal as modal;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use caesura_core::{Caesura, CaesuraConfig, CoreError, QueryOutput, QueryRun};
+    pub use caesura_core::{
+        Caesura, CaesuraConfig, CoreError, QueryHandle, QueryOutput, QueryRun, QueryStatus,
+        ServingStats,
+    };
     pub use caesura_data::{
         generate_artwork, generate_rotowire, ArtworkConfig, DataLake, RotowireConfig,
     };

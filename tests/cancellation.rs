@@ -1,0 +1,255 @@
+//! Cooperative cancellation semantics of the serving API (PR 5).
+//!
+//! Cancellation is checked between plan steps and before every LLM /
+//! perception dispatch, so a cancel raised while the session is blocked
+//! inside a model round trip takes effect at the next checkpoint — bounded
+//! by one dispatch, never preempted. These tests pin:
+//!
+//! * a query cancelled **mid-plan** (while its planning round trip is in
+//!   flight) returns `CoreError::Cancelled` promptly — asserted with a
+//!   deadline, not by inspection — and records the `Phase::Recovery`
+//!   "cancelled" trace event;
+//! * a query cancelled **while still queued** never runs at all (zero LLM
+//!   calls);
+//! * dropping the session joins all scheduler workers (no leaked threads) —
+//!   asserted by the bounded-time return of `drop` itself, via a watchdog.
+
+use caesura::core::Phase;
+use caesura::llm::{Conversation, LlmResult};
+use caesura::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Wraps the simulated model and blocks the *first* completion until the
+/// test releases it, signalling when the worker has entered the call. This
+/// lets a test hold a query mid-LLM-round-trip deterministically.
+struct GatedLlm {
+    inner: SimulatedLlm,
+    armed: AtomicBool,
+    entered: Mutex<bool>,
+    entered_cv: Condvar,
+    released: Mutex<bool>,
+    released_cv: Condvar,
+}
+
+impl GatedLlm {
+    fn new() -> Arc<Self> {
+        Arc::new(GatedLlm {
+            inner: SimulatedLlm::gpt4(),
+            armed: AtomicBool::new(true),
+            entered: Mutex::new(false),
+            entered_cv: Condvar::new(),
+            released: Mutex::new(false),
+            released_cv: Condvar::new(),
+        })
+    }
+
+    /// Block until a worker is inside the gated completion.
+    fn wait_entered(&self) {
+        let mut entered = self.entered.lock().unwrap();
+        while !*entered {
+            let (guard, timeout) = self
+                .entered_cv
+                .wait_timeout(entered, Duration::from_secs(30))
+                .unwrap();
+            assert!(!timeout.timed_out(), "no worker reached the LLM gate");
+            entered = guard;
+        }
+    }
+
+    /// Let the gated completion proceed.
+    fn release(&self) {
+        let mut released = self.released.lock().unwrap();
+        *released = true;
+        self.released_cv.notify_all();
+    }
+}
+
+impl LlmClient for GatedLlm {
+    fn complete(&self, conversation: &Conversation) -> LlmResult<String> {
+        if self.armed.swap(false, Ordering::AcqRel) {
+            {
+                let mut entered = self.entered.lock().unwrap();
+                *entered = true;
+                self.entered_cv.notify_all();
+            }
+            let mut released = self.released.lock().unwrap();
+            while !*released {
+                released = self.released_cv.wait(released).unwrap();
+            }
+        }
+        self.inner.complete(conversation)
+    }
+
+    fn name(&self) -> &str {
+        "gated-gpt4"
+    }
+}
+
+fn gated_artwork_session(llm: &Arc<GatedLlm>, queue: usize) -> Caesura {
+    let data = generate_artwork(&ArtworkConfig::small());
+    let config = CaesuraConfig {
+        session_workers: Some(1),
+        session_queue: Some(queue),
+        ..CaesuraConfig::default()
+    };
+    Caesura::with_config(data.lake, Arc::clone(llm) as Arc<dyn LlmClient>, config)
+}
+
+#[test]
+fn cancel_mid_plan_returns_cancelled_in_bounded_time_without_leaking_threads() {
+    let llm = GatedLlm::new();
+    let session = gated_artwork_session(&llm, 4);
+
+    let handle = session.submit("How many paintings are in the museum?");
+    // The single worker is now blocked inside the planning round trip.
+    llm.wait_entered();
+    handle.cancel();
+    assert!(handle.is_cancelled());
+    llm.release();
+
+    // The run must stop at the next cooperative checkpoint: bounded time,
+    // asserted against a generous deadline (the in-flight dispatch itself is
+    // instant once released).
+    let started = Instant::now();
+    let run = handle.wait();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "cancellation did not take effect in bounded time"
+    );
+    assert!(run.cancelled(), "expected Cancelled, got {:?}", run.output);
+    assert!(matches!(run.output, Err(CoreError::Cancelled)));
+    // The cancellation surfaces as a Phase::Recovery trace event.
+    let recovery = run.trace.events_of(Phase::Recovery);
+    assert!(
+        recovery
+            .iter()
+            .any(|e| e.label == "cancelled" && e.detail.contains("cancellation")),
+        "missing the Recovery 'cancelled' event: {:?}",
+        recovery
+    );
+    assert_eq!(session.serving_stats().cancelled, 1);
+    assert_eq!(session.serving_stats().completed, 1);
+
+    // Dropping the session joins the scheduler workers. A leaked or hung
+    // worker would block forever — fail loudly instead via a watchdog.
+    let dropped = Arc::new(AtomicBool::new(false));
+    let watchdog_flag = Arc::clone(&dropped);
+    let watchdog = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !watchdog_flag.load(Ordering::Acquire) {
+            assert!(
+                Instant::now() < deadline,
+                "session drop did not join its scheduler workers"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    drop(session);
+    dropped.store(true, Ordering::Release);
+    watchdog.join().unwrap();
+}
+
+#[test]
+fn cancel_while_queued_never_runs_the_query() {
+    let llm = GatedLlm::new();
+    let session = gated_artwork_session(&llm, 4);
+
+    // q1 occupies the only worker (blocked at the gate); q2 sits queued.
+    let first = session.submit("How many paintings are in the museum?");
+    llm.wait_entered();
+    let second = session.submit("How many paintings depict a horse?");
+    second.cancel();
+    llm.release();
+
+    let first = first.wait();
+    assert!(first.succeeded(), "failed: {:?}", first.output.err());
+    let second = second.wait();
+    assert!(second.cancelled());
+    // Cancelled before it started: no LLM round trip, no phases beyond the
+    // cancellation event itself.
+    assert_eq!(second.trace.llm_calls(), 0);
+    assert!(second
+        .trace
+        .events_of(Phase::Recovery)
+        .iter()
+        .any(|e| e.label == "cancelled"));
+    assert!(second.logical_plan.is_none());
+    assert!(second.decisions.is_empty());
+
+    let stats = session.serving_stats();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.cancelled, 1);
+}
+
+#[test]
+fn subscribe_streams_every_trace_event_of_a_queued_query() {
+    let llm = GatedLlm::new();
+    let session = gated_artwork_session(&llm, 4);
+
+    // Hold the single worker inside q1's planning call so q2 cannot start
+    // before its subscription is registered — the stream then observes q2's
+    // trace events from the very first one.
+    let first = session.submit("How many paintings are in the museum?");
+    llm.wait_entered();
+    let second = session.submit("How many paintings depict a horse?");
+    let stream = second.subscribe();
+    llm.release();
+
+    assert!(first.wait().succeeded());
+    let run = second.wait();
+    assert!(run.succeeded(), "failed: {:?}", run.output.err());
+    // The stream disconnects on completion, so collecting terminates; the
+    // live events must be exactly the final trace's event sequence.
+    let streamed: Vec<_> = stream.iter().collect();
+    assert_eq!(streamed, run.trace.events());
+    assert!(!streamed.is_empty());
+}
+
+#[test]
+fn full_submission_queues_apply_backpressure_and_try_submit_declines() {
+    let llm = GatedLlm::new();
+    // One worker, one queue slot.
+    let session = gated_artwork_session(&llm, 1);
+
+    let running = session.submit("How many paintings are in the museum?");
+    llm.wait_entered();
+    // The worker holds q1; this submission fills the single queue slot.
+    let queued = session.submit("How many paintings depict a horse?");
+    let stats = session.serving_stats();
+    assert_eq!(stats.in_flight, 1);
+    assert_eq!(stats.queued, 1);
+    // Queue full: the non-blocking variant must decline rather than wait.
+    assert!(session
+        .try_submit("For each movement, how many paintings are there?")
+        .is_none());
+
+    llm.release();
+    assert!(running.wait().succeeded());
+    assert!(queued.wait().succeeded());
+    // With the queue drained, try_submit accepts again.
+    let third = session
+        .try_submit("For each movement, how many paintings are there?")
+        .expect("queue has space again");
+    assert!(third.wait().succeeded());
+    assert_eq!(session.serving_stats().completed, 3);
+}
+
+#[test]
+fn cancel_after_completion_is_a_no_op() {
+    let data = generate_artwork(&ArtworkConfig::small());
+    let session = Caesura::new(data.lake, Arc::new(SimulatedLlm::gpt4()));
+    let handle = session.submit("How many paintings are in the museum?");
+    // Wait for the result via poll, then cancel: the finished run must be
+    // unaffected.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while handle.poll().is_none() {
+        assert!(Instant::now() < deadline, "query did not finish");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    handle.cancel();
+    let run = handle.wait();
+    assert!(run.succeeded());
+    assert_eq!(session.serving_stats().cancelled, 0);
+}

@@ -126,6 +126,81 @@ fn concurrent_queries_through_a_shared_perception_cache_match_serial_results() {
 }
 
 #[test]
+fn racing_submitters_and_cancellers_at_queue_capacity_stay_consistent() {
+    // The serving scheduler under adversarial load: 8 threads hammer one
+    // session through `submit` (blocking backpressure at a tiny queue bound)
+    // while half the submissions are cancelled immediately. Invariants:
+    // no deadlock, every handle resolves, cancelled handles resolve to
+    // either `CoreError::Cancelled` (with the Recovery trace event) or a
+    // normal completion that raced the flag, non-cancelled handles are
+    // byte-identical to the serial reference, and the counters balance.
+    use caesura::core::Phase;
+
+    let data = generate_rotowire(&RotowireConfig::small());
+    let reference_session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+    let expected: Vec<QueryOutput> = parallel::with_config(ExecConfig::sequential(), || {
+        QUERIES
+            .iter()
+            .map(|q| reference_session.query(q).expect("serial query failed"))
+            .collect()
+    });
+
+    let config = CaesuraConfig {
+        exec: Some(ExecConfig::new(2, 16)),
+        session_workers: Some(2),
+        session_queue: Some(4),
+        ..CaesuraConfig::default()
+    };
+    let session = Caesura::with_config(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()), config);
+
+    const SUBMITTERS: usize = 8;
+    const ROUNDS: usize = 3;
+    thread::scope(|scope| {
+        for submitter in 0..SUBMITTERS {
+            let (session, expected) = (&session, &expected);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for (index, (query, expected_output)) in
+                        QUERIES.iter().zip(expected).enumerate()
+                    {
+                        let handle = session.submit(query);
+                        let cancel = (submitter + round + index) % 2 == 0;
+                        if cancel {
+                            handle.cancel();
+                        }
+                        let run = handle.wait();
+                        if run.cancelled() {
+                            assert!(cancel, "only cancelled submissions may be cancelled");
+                            assert!(
+                                run.trace
+                                    .events_of(Phase::Recovery)
+                                    .iter()
+                                    .any(|e| e.label == "cancelled"),
+                                "cancelled run lacks its Recovery trace event"
+                            );
+                        } else {
+                            let output = run
+                                .output
+                                .unwrap_or_else(|e| panic!("query '{query}' failed: {e}"));
+                            assert_eq!(
+                                &output, expected_output,
+                                "round {round}: concurrent result diverged for '{query}'"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = session.serving_stats();
+    assert_eq!(stats.completed, SUBMITTERS * ROUNDS * QUERIES.len());
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert!(stats.cancelled <= stats.completed);
+}
+
+#[test]
 fn per_thread_exec_overrides_do_not_leak_across_threads() {
     // Two threads pin different configurations simultaneously; each must see
     // its own, and the spawning thread's default must be untouched.
