@@ -3,7 +3,7 @@
 
 use caesura_data::{generate_artwork, ArtworkConfig};
 use caesura_engine::parallel::{self, ExecConfig};
-use caesura_engine::{ops, sql, DataType, Expr, Schema, Table, TableBuilder, Value};
+use caesura_engine::{dict, ops, sql, DataType, Expr, Schema, Table, TableBuilder, Value};
 use caesura_modal::operators::{apply_python_udf, apply_visual_qa};
 use caesura_modal::{TransformCodegen, VisualQaModel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -204,6 +204,176 @@ fn bench_parallel_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// A table keyed by a string column of controllable cardinality, used to
+/// compare plain vs dictionary-encoded execution.
+fn keyed_table(rows: usize, cardinality: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("name", DataType::Str),
+        ("points", DataType::Int),
+    ]);
+    let mut builder = TableBuilder::new("keyed", schema);
+    for i in 0..rows {
+        builder
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::str(format!("key-{:06}", i % cardinality)),
+                Value::Int(60 + ((i * 37) % 90) as i64),
+            ])
+            .unwrap();
+    }
+    builder.build()
+}
+
+/// A build side holding every distinct key of `keyed_table(_, cardinality)`.
+fn key_side(cardinality: usize) -> Table {
+    let schema = Schema::from_pairs(&[("name", DataType::Str), ("bucket", DataType::Int)]);
+    let mut builder = TableBuilder::new("side", schema);
+    for i in 0..cardinality {
+        builder
+            .push_row(vec![
+                Value::str(format!("key-{i:06}")),
+                Value::Int((i % 7) as i64),
+            ])
+            .unwrap();
+    }
+    builder.build()
+}
+
+/// The pre-PR-6 filter→project pipeline: unfused, through the retained
+/// interpreted expression evaluator. The baseline `encoded/*_compiled`
+/// numbers are measured against.
+fn filter_project_interpreted(
+    input: &Table,
+    predicate: &Expr,
+    projections: &[ops::Projection],
+) -> Table {
+    let selected = predicate
+        .selection_vector_interpreted(input.schema(), input.columns(), input.num_rows())
+        .unwrap();
+    let filtered = input.take(&selected);
+    let columns: Vec<_> = projections
+        .iter()
+        .map(|p| {
+            p.expr
+                .evaluate_batch_interpreted(
+                    filtered.schema(),
+                    filtered.columns(),
+                    filtered.num_rows(),
+                )
+                .unwrap()
+        })
+        .collect();
+    let schema = Schema::from_pairs(
+        &projections
+            .iter()
+            .map(|p| (p.alias.as_str(), DataType::Null))
+            .collect::<Vec<_>>(),
+    );
+    Table::from_columns("out", schema, columns).unwrap()
+}
+
+/// Encoded-execution benches: the same join / grouped aggregate /
+/// filter→project workload over plain vs dictionary-encoded string key
+/// columns (`encoded/<op>_{plain,dict}_{low,high}`), and interpreted vs
+/// compiled expression pipelines (`encoded/filter_project_{interpreted,compiled}`).
+/// Low cardinality = 8 distinct keys (dict-eligible); high = rows/2 distinct
+/// keys (ingest declines to encode, both representations are plain — the
+/// no-win case the auto-selection heuristic exists for).
+fn bench_encoded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoded");
+    group.sample_size(10);
+    for &size in &[100_000usize, 1_000_000] {
+        for (card_label, cardinality) in [("low", 8usize), ("high", size / 2)] {
+            // The slow join/aggregate benches keep the small sample budget;
+            // filter_project below raises it again.
+            group.sample_size(10);
+            let base = keyed_table(size, cardinality);
+            let plain = dict::decode_table(&base);
+            let encoded = dict::encode_table(&base);
+            let side_plain = dict::decode_table(&key_side(cardinality));
+            let side_encoded = dict::encode_table(&key_side(cardinality));
+
+            for (repr, table, side) in [
+                ("plain", &plain, &side_plain),
+                ("dict", &encoded, &side_encoded),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("join_{repr}_{card_label}"), size),
+                    &size,
+                    |b, _| {
+                        b.iter(|| {
+                            ops::hash_join(
+                                black_box(table),
+                                black_box(side),
+                                "name",
+                                "name",
+                                ops::JoinType::Inner,
+                            )
+                            .unwrap()
+                        })
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("aggregate_{repr}_{card_label}"), size),
+                    &size,
+                    |b, _| {
+                        b.iter(|| {
+                            ops::aggregate(
+                                black_box(table),
+                                &[(Expr::col("name"), "name".to_string())],
+                                &[
+                                    ops::AggCall::new(
+                                        ops::AggFunc::Max,
+                                        Some(Expr::col("points")),
+                                        "max_points",
+                                    ),
+                                    ops::AggCall::count_star("n"),
+                                ],
+                            )
+                            .unwrap()
+                        })
+                    },
+                );
+            }
+
+            // Interpreted vs compiled filter→project, both over the encoded
+            // table (the representation every query sees by default). These
+            // routines are two orders of magnitude cheaper than the joins
+            // above, so buy extra samples — the median has to resist system
+            // drift over the long whole-suite run.
+            group.sample_size(40);
+            let predicate = sql::parse_expression("name = 'key-000003'").unwrap();
+            let projections = [
+                ops::Projection::column("name"),
+                ops::Projection::new(
+                    sql::parse_expression("points * 2").unwrap(),
+                    "double_points",
+                ),
+            ];
+            group.bench_with_input(
+                BenchmarkId::new(format!("filter_project_interpreted_{card_label}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        filter_project_interpreted(black_box(&encoded), &predicate, &projections)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("filter_project_compiled_{card_label}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        ops::filter_project(black_box(&encoded), &predicate, &projections).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_operators(c: &mut Criterion) {
     let mut group = c.benchmark_group("operators");
     for &size in &[100usize, 1000] {
@@ -294,6 +464,7 @@ criterion_group!(
     benches,
     bench_operators,
     bench_columnar_scale,
-    bench_parallel_scale
+    bench_parallel_scale,
+    bench_encoded
 );
 criterion_main!(benches);

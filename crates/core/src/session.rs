@@ -79,6 +79,12 @@ pub struct CaesuraConfig {
     /// backpressure: [`Caesura::submit`] blocks until a slot frees,
     /// [`Caesura::try_submit`] returns `None`.
     pub session_queue: Option<usize>,
+    /// Whether table ingest dictionary-encodes low-cardinality string
+    /// columns (see `caesura_engine::dict`). `None` uses the environment
+    /// default (`CAESURA_DICT_ENCODE`, on unless disabled); `Some(..)`
+    /// overrides the process-wide knob at session construction — it affects
+    /// tables ingested from then on, not tables already in the lake.
+    pub dict_encode: Option<bool>,
 }
 
 impl Default for CaesuraConfig {
@@ -96,6 +102,7 @@ impl Default for CaesuraConfig {
             perception_cache: None,
             session_workers: None,
             session_queue: None,
+            dict_encode: None,
         }
     }
 }
@@ -172,6 +179,9 @@ impl Caesura {
 
     /// Create a session with an explicit configuration.
     pub fn with_config(lake: DataLake, llm: Arc<dyn LlmClient>, config: CaesuraConfig) -> Self {
+        if let Some(enabled) = config.dict_encode {
+            caesura_engine::dict::set_dict_encode(enabled);
+        }
         let prompts = PromptBuilder::new(PromptConfig {
             few_shot: config.few_shot,
             example_values: config.example_values,

@@ -132,6 +132,19 @@ pub enum Column {
     Image(Vec<Arc<str>>, Bitmap),
     /// Inline text documents.
     Text(Vec<Arc<str>>, Bitmap),
+    /// Dictionary-encoded UTF-8 strings: `codes[i]` indexes into the shared,
+    /// duplicate-free `dict` entry table. Built at table ingest by
+    /// [`crate::dict::encode_column`] for low-cardinality string columns;
+    /// behaves exactly like [`Column::Utf8`] at the [`Value`] level while the
+    /// operator fast paths work on the integer codes directly.
+    Dict {
+        /// Per-row entry indices (invalid slots hold 0, masked by `bitmap`).
+        codes: Vec<u32>,
+        /// The shared entry table, in first-appearance order.
+        dict: Arc<Vec<Arc<str>>>,
+        /// Validity bitmap.
+        bitmap: Bitmap,
+    },
     /// An all-NULL column of the given length.
     Null(usize),
     /// Heterogeneously typed cells — the dynamic-typing escape hatch.
@@ -186,6 +199,7 @@ impl Column {
             Column::Float64(v, _) => v.len(),
             Column::Utf8(v, _) | Column::Image(v, _) | Column::Text(v, _) => v.len(),
             Column::Date(v, _) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
             Column::Null(n) => *n,
             Column::Mixed(v) => v.len(),
         }
@@ -203,7 +217,7 @@ impl Column {
             Column::Bool(..) => DataType::Bool,
             Column::Int64(..) => DataType::Int,
             Column::Float64(..) => DataType::Float,
-            Column::Utf8(..) => DataType::Str,
+            Column::Utf8(..) | Column::Dict { .. } => DataType::Str,
             Column::Date(..) => DataType::Date,
             Column::Image(..) => DataType::Image,
             Column::Text(..) => DataType::Text,
@@ -222,6 +236,7 @@ impl Column {
             | Column::Date(_, b)
             | Column::Image(_, b)
             | Column::Text(_, b) => b.is_valid(i),
+            Column::Dict { bitmap, .. } => bitmap.is_valid(i),
             Column::Null(_) => false,
             Column::Mixed(v) => !v[i].is_null(),
         }
@@ -281,6 +296,17 @@ impl Column {
                     Value::Null
                 }
             }
+            Column::Dict {
+                codes,
+                dict,
+                bitmap,
+            } => {
+                if bitmap.is_valid(i) {
+                    Value::Str(Arc::clone(&dict[codes[i] as usize]))
+                } else {
+                    Value::Null
+                }
+            }
             Column::Null(_) => Value::Null,
             Column::Mixed(v) => v[i].clone(),
         }
@@ -328,6 +354,20 @@ impl Column {
         }
     }
 
+    /// Typed view of a dictionary-encoded string column:
+    /// `(codes, entries, validity)`.
+    #[allow(clippy::type_complexity)]
+    pub fn as_dict(&self) -> Option<(&[u32], &Arc<Vec<Arc<str>>>, &Bitmap)> {
+        match self {
+            Column::Dict {
+                codes,
+                dict,
+                bitmap,
+            } => Some((codes, dict, bitmap)),
+            _ => None,
+        }
+    }
+
     /// Copy the slots of `range` into a new column, **preserving the storage
     /// representation** (a sliced `Mixed` column stays `Mixed`, placeholder
     /// values in invalid slots are copied verbatim). Preserving the
@@ -335,14 +375,57 @@ impl Column {
     /// chunk must take exactly the code path the full column would, so that
     /// reassembled results are byte-identical to sequential execution.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        /// Every `(data, bitmap)` representation slices through this one
+        /// helper, so no variant can drift from the
+        /// representation-preservation contract.
+        fn sliced<T: Clone>(
+            data: &[T],
+            bitmap: &Bitmap,
+            range: std::ops::Range<usize>,
+        ) -> (Vec<T>, Bitmap) {
+            (data[range.clone()].to_vec(), bitmap.slice(range))
+        }
         match self {
-            Column::Bool(v, b) => Column::Bool(v[range.clone()].to_vec(), b.slice(range)),
-            Column::Int64(v, b) => Column::Int64(v[range.clone()].to_vec(), b.slice(range)),
-            Column::Float64(v, b) => Column::Float64(v[range.clone()].to_vec(), b.slice(range)),
-            Column::Utf8(v, b) => Column::Utf8(v[range.clone()].to_vec(), b.slice(range)),
-            Column::Date(v, b) => Column::Date(v[range.clone()].to_vec(), b.slice(range)),
-            Column::Image(v, b) => Column::Image(v[range.clone()].to_vec(), b.slice(range)),
-            Column::Text(v, b) => Column::Text(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Bool(v, b) => {
+                let (v, b) = sliced(v, b, range);
+                Column::Bool(v, b)
+            }
+            Column::Int64(v, b) => {
+                let (v, b) = sliced(v, b, range);
+                Column::Int64(v, b)
+            }
+            Column::Float64(v, b) => {
+                let (v, b) = sliced(v, b, range);
+                Column::Float64(v, b)
+            }
+            Column::Utf8(v, b) => {
+                let (v, b) = sliced(v, b, range);
+                Column::Utf8(v, b)
+            }
+            Column::Date(v, b) => {
+                let (v, b) = sliced(v, b, range);
+                Column::Date(v, b)
+            }
+            Column::Image(v, b) => {
+                let (v, b) = sliced(v, b, range);
+                Column::Image(v, b)
+            }
+            Column::Text(v, b) => {
+                let (v, b) = sliced(v, b, range);
+                Column::Text(v, b)
+            }
+            Column::Dict {
+                codes,
+                dict,
+                bitmap,
+            } => {
+                let (codes, bitmap) = sliced(codes, bitmap, range);
+                Column::Dict {
+                    codes,
+                    dict: Arc::clone(dict),
+                    bitmap,
+                }
+            }
             Column::Null(_) => Column::Null(range.len()),
             Column::Mixed(v) => Column::Mixed(v[range].to_vec()),
         }
@@ -376,6 +459,15 @@ impl Column {
                 indices.iter().map(|&i| Arc::clone(&v[i])).collect(),
                 b.take(indices),
             ),
+            Column::Dict {
+                codes,
+                dict,
+                bitmap,
+            } => Column::Dict {
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+                dict: Arc::clone(dict),
+                bitmap: bitmap.take(indices),
+            },
             Column::Null(_) => Column::Null(indices.len()),
             Column::Mixed(v) => {
                 Column::from_values(indices.iter().map(|&i| v[i].clone()).collect())
@@ -424,6 +516,31 @@ impl Column {
             }
             Column::Text(v, b) => {
                 take_opt_typed!(Text, v, b, Arc::from(""), |x: &Arc<str>| Arc::clone(x))
+            }
+            Column::Dict {
+                codes,
+                dict,
+                bitmap,
+            } => {
+                let mut out = Vec::with_capacity(indices.len());
+                let mut validity = Bitmap::new();
+                for idx in indices {
+                    match idx {
+                        Some(i) => {
+                            out.push(codes[*i]);
+                            validity.push(bitmap.is_valid(*i));
+                        }
+                        None => {
+                            out.push(0);
+                            validity.push(false);
+                        }
+                    }
+                }
+                Column::Dict {
+                    codes: out,
+                    dict: Arc::clone(dict),
+                    bitmap: validity,
+                }
             }
             Column::Null(_) => Column::Null(indices.len()),
             Column::Mixed(v) => Column::from_values(
@@ -476,6 +593,35 @@ impl Column {
                 Column::Date(..) => concat_typed!(Date),
                 Column::Image(..) => concat_typed!(Image),
                 Column::Text(..) => concat_typed!(Text),
+                Column::Dict { dict: first, .. } => {
+                    // Parts sharing one entry table (morsel slices of the same
+                    // column) stay dictionary-encoded; mismatched dictionaries
+                    // fall through to value-level packing (plain strings), the
+                    // same result a plain-Utf8 concat would produce.
+                    let shared = parts.iter().all(
+                        |p| matches!(p, Column::Dict { dict, .. } if Arc::ptr_eq(dict, first)),
+                    );
+                    if shared {
+                        let mut codes = Vec::with_capacity(total);
+                        let mut validity = Bitmap::new();
+                        for part in parts {
+                            if let Column::Dict {
+                                codes: c, bitmap, ..
+                            } = part
+                            {
+                                codes.extend_from_slice(c);
+                                for i in 0..c.len() {
+                                    validity.push(bitmap.is_valid(i));
+                                }
+                            }
+                        }
+                        return Column::Dict {
+                            codes,
+                            dict: Arc::clone(first),
+                            bitmap: validity,
+                        };
+                    }
+                }
                 _ => {}
             }
         }
@@ -497,6 +643,11 @@ impl Column {
             Column::Float64(v, b) if b.is_valid(i) => key_writers::float(v[i], out),
             Column::Bool(v, b) if b.is_valid(i) => key_writers::bool(v[i], out),
             Column::Utf8(v, b) if b.is_valid(i) => key_writers::str("s:", &v[i], out),
+            Column::Dict {
+                codes,
+                dict,
+                bitmap,
+            } if bitmap.is_valid(i) => key_writers::str("s:", &dict[codes[i] as usize], out),
             Column::Image(v, b) if b.is_valid(i) => key_writers::str("img:", &v[i], out),
             Column::Text(v, b) if b.is_valid(i) => key_writers::str("t:", &v[i], out),
             Column::Date(v, b) if b.is_valid(i) => key_writers::date(&v[i], out),
@@ -804,6 +955,181 @@ mod tests {
         assert_eq!(taken.get(0), Value::str("b"));
         assert!(taken.get(1).is_null());
         assert_eq!(taken.get(2), Value::str("a"));
+    }
+
+    /// One column per storage representation, each with a NULL slot so the
+    /// bitmaps are exercised too.
+    fn every_representation() -> Vec<Column> {
+        let dict = {
+            let values: Vec<Value> = (0..24)
+                .map(|i| match i % 4 {
+                    0 => Value::str("red"),
+                    1 => Value::str("green"),
+                    2 => Value::Null,
+                    _ => Value::str("blue"),
+                })
+                .collect();
+            crate::dict::encode_column(&Column::from_values(values)).expect("encodes")
+        };
+        vec![
+            Column::from_values(
+                (0..24)
+                    .map(|i| {
+                        if i == 3 {
+                            Value::Null
+                        } else {
+                            Value::Bool(i % 2 == 0)
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::from_values(
+                (0..24)
+                    .map(|i| if i == 3 { Value::Null } else { Value::Int(i) })
+                    .collect(),
+            ),
+            Column::from_values(
+                (0..24)
+                    .map(|i| {
+                        if i == 3 {
+                            Value::Null
+                        } else {
+                            Value::Float(i as f64)
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::from_values(
+                (0..24)
+                    .map(|i| {
+                        if i == 3 {
+                            Value::Null
+                        } else {
+                            Value::str(format!("s{i}"))
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::from_values(
+                (0..24)
+                    .map(|i| {
+                        if i == 3 {
+                            Value::Null
+                        } else {
+                            Value::Date(DateValue::from_year(1900 + i))
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::from_values(
+                (0..24)
+                    .map(|i| {
+                        if i == 3 {
+                            Value::Null
+                        } else {
+                            Value::image(format!("img/{i}"))
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::from_values(
+                (0..24)
+                    .map(|i| {
+                        if i == 3 {
+                            Value::Null
+                        } else {
+                            Value::text(format!("doc {i}"))
+                        }
+                    })
+                    .collect(),
+            ),
+            dict,
+            Column::Null(24),
+            Column::Mixed(
+                (0..24)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            Value::Int(i)
+                        } else {
+                            Value::str("x")
+                        }
+                    })
+                    .collect(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn slice_preserves_every_representation() {
+        for col in every_representation() {
+            let sliced = col.slice(2..19);
+            assert_eq!(
+                std::mem::discriminant(&sliced),
+                std::mem::discriminant(&col),
+                "slice changed the representation of {col:?}"
+            );
+            assert_eq!(sliced.len(), 17);
+            for i in 0..17 {
+                assert_eq!(sliced.get(i), col.get(i + 2));
+                assert_eq!(sliced.is_valid(i), col.is_valid(i + 2));
+            }
+            // Dictionary slices must share the entry table, not copy it.
+            if let (Column::Dict { dict: original, .. }, Column::Dict { dict: shared, .. }) =
+                (&col, &sliced)
+            {
+                assert!(Arc::ptr_eq(original, shared));
+            }
+        }
+    }
+
+    #[test]
+    fn take_and_take_opt_preserve_dict_representation() {
+        let Some(dict_col) = every_representation()
+            .into_iter()
+            .find(|c| matches!(c, Column::Dict { .. }))
+        else {
+            panic!("expected a dict column");
+        };
+        let taken = dict_col.take(&[5, 1, 2, 0]);
+        assert!(matches!(taken, Column::Dict { .. }));
+        assert_eq!(taken.get(0), dict_col.get(5));
+        assert!(!taken.is_valid(2));
+
+        let padded = dict_col.take_opt(&[Some(1), None, Some(0)]);
+        assert!(matches!(padded, Column::Dict { .. }));
+        assert_eq!(padded.get(0), dict_col.get(1));
+        assert!(padded.get(1).is_null());
+        assert_eq!(padded.get(2), dict_col.get(0));
+    }
+
+    #[test]
+    fn concat_keeps_shared_dictionaries_and_unifies_mismatched_ones() {
+        let Some(dict_col) = every_representation()
+            .into_iter()
+            .find(|c| matches!(c, Column::Dict { .. }))
+        else {
+            panic!("expected a dict column");
+        };
+        // Morsel shape: slices of one column share the entry table.
+        let (a, b) = (dict_col.slice(0..10), dict_col.slice(10..24));
+        let joined = Column::concat(&[&a, &b]);
+        assert!(matches!(joined, Column::Dict { .. }));
+        for i in 0..24 {
+            assert_eq!(joined.get(i), dict_col.get(i));
+        }
+        // Mismatched entry tables degrade to plain strings with the same
+        // values.
+        let other = crate::dict::encode_column(&Column::from_values(
+            (0..24)
+                .map(|i| Value::str(["blue", "red"][i % 2]))
+                .collect(),
+        ))
+        .expect("encodes");
+        let mixed = Column::concat(&[&dict_col, &other]);
+        assert!(matches!(mixed, Column::Utf8(..)));
+        assert_eq!(mixed.len(), 48);
+        assert_eq!(mixed.get(0), dict_col.get(0));
+        assert_eq!(mixed.get(24), other.get(0));
     }
 
     #[test]

@@ -5,14 +5,26 @@
 //! evaluated two ways:
 //!
 //! * **column-at-a-time** via [`Expr::evaluate_batch`] — the vectorized path
-//!   the physical operators use: every sub-expression produces a whole
-//!   [`Column`], with typed kernels (and scalar broadcasting for literals)
-//!   for the common numeric and string cases, falling back to element-wise
-//!   evaluation where per-row dynamic typing demands it;
+//!   the physical operators use. The expression is first lowered to a
+//!   [`CompiledExpr`] (column names bound to indices, constant subtrees
+//!   folded — see [`compile`]), then evaluated morsel-wise over zero-copy
+//!   row-range views of the input columns, with typed kernels (and scalar
+//!   broadcasting for literals) for the common numeric and string cases and
+//!   an element-wise fallback where per-row dynamic typing demands it;
 //! * **row-at-a-time** via [`Expr::evaluate`] against a [`Schema`] + value
 //!   slice — kept for per-row consumers such as the perception operators.
+//!
+//! The pre-compilation interpreter is retained as
+//! [`Expr::evaluate_batch_interpreted`] / [`Expr::selection_vector_interpreted`]:
+//! it is the executable reference the property tests compare the compiled
+//! evaluator against. Both paths share the innermost binary-operator kernels
+//! ([`compile::eval_binary_view`](self::compile)), so they cannot drift.
 
-use crate::column::{Bitmap, Column};
+pub mod compile;
+
+pub use compile::CompiledExpr;
+
+use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
 use crate::schema::Schema;
 use crate::value::{DataType, DateValue, Value};
@@ -370,19 +382,53 @@ impl Expr {
     /// Evaluate the expression for every row at once, producing one column.
     ///
     /// `columns` are the input table's columns in schema order and `num_rows`
-    /// its row count. Column references resolve to `Arc` bumps (zero-copy);
-    /// literals broadcast as scalars; binary operations use typed kernels
-    /// where both operands are numeric/string vectors and fall back to
-    /// element-wise evaluation otherwise.
+    /// its row count. The expression is lowered to a [`CompiledExpr`] once
+    /// (column names bound to indices, constant subtrees folded), then
+    /// evaluated either in one pass or — when the [`ExecConfig`] calls for
+    /// it — morsel-parallel, each worker reading the shared input columns in
+    /// place through a zero-copy row-range view. Chunk results concatenate in
+    /// morsel order, so the output is byte-identical to sequential
+    /// evaluation.
+    ///
+    /// [`ExecConfig`]: crate::parallel::ExecConfig
     pub fn evaluate_batch(
         &self,
         schema: &Schema,
         columns: &[Arc<Column>],
         num_rows: usize,
     ) -> EngineResult<Arc<Column>> {
-        let config = crate::parallel::exec_config();
         // Literals stay scalar and plain column references stay zero-copy
-        // `Arc` bumps — chunking either would only add work.
+        // `Arc` bumps — compiling either would only add work.
+        if matches!(self, Expr::Literal(_) | Expr::Column(_)) {
+            return Ok(self
+                .evaluate_batch_inner(schema, columns, num_rows)?
+                .materialize(num_rows));
+        }
+        let compiled = CompiledExpr::compile(self, schema);
+        let config = crate::parallel::exec_config();
+        if config.should_parallelize(num_rows) {
+            let chunks: Vec<Arc<Column>> =
+                crate::parallel::try_map_morsels(&config, num_rows, |range| {
+                    compiled.evaluate_range(columns, range)
+                })?;
+            let parts: Vec<&Column> = chunks.iter().map(|c| c.as_ref()).collect();
+            return Ok(Arc::new(Column::concat(&parts)));
+        }
+        compiled.evaluate_range(columns, 0..num_rows)
+    }
+
+    /// The pre-compilation batch evaluator, kept as the executable reference
+    /// for the compiled path (`tests/property_encoded.rs` proves them
+    /// byte-identical). Interprets the AST per batch and slices the
+    /// referenced input columns per morsel instead of compiling once and
+    /// reading range views.
+    pub fn evaluate_batch_interpreted(
+        &self,
+        schema: &Schema,
+        columns: &[Arc<Column>],
+        num_rows: usize,
+    ) -> EngineResult<Arc<Column>> {
+        let config = crate::parallel::exec_config();
         if config.should_parallelize(num_rows)
             && !matches!(self, Expr::Literal(_) | Expr::Column(_))
         {
@@ -393,12 +439,13 @@ impl Expr {
             .materialize(num_rows))
     }
 
-    /// Morsel-parallel batch evaluation: slice the referenced input columns
-    /// per morsel, run the (sequential) vectorized evaluator on each chunk on
-    /// the worker pool, and concatenate the chunk columns in morsel order.
-    /// Because [`Column::slice`] preserves storage representations, every
-    /// chunk takes exactly the kernel the full column would, so the
-    /// reassembled column is byte-identical to sequential evaluation.
+    /// Morsel-parallel interpreted evaluation: slice the referenced input
+    /// columns per morsel, run the (sequential) vectorized interpreter on
+    /// each chunk on the worker pool, and concatenate the chunk columns in
+    /// morsel order. Because [`Column::slice`] preserves storage
+    /// representations, every chunk takes exactly the kernel the full column
+    /// would, so the reassembled column is byte-identical to sequential
+    /// evaluation.
     fn evaluate_batch_morsels(
         &self,
         schema: &Schema,
@@ -412,7 +459,7 @@ impl Expr {
                 let chunk_columns = chunk_input_columns(columns, &referenced, range.clone());
                 // Chunk lengths never exceed `morsel_rows`, so this nested
                 // call always takes the sequential path.
-                self.evaluate_batch(schema, &chunk_columns, range.len())
+                self.evaluate_batch_interpreted(schema, &chunk_columns, range.len())
             })?;
         let parts: Vec<&Column> = chunks.iter().map(|c| c.as_ref()).collect();
         Ok(Arc::new(Column::concat(&parts)))
@@ -435,7 +482,38 @@ impl Expr {
 
     /// Evaluate the expression as a predicate over all rows and return the
     /// selection vector of row indices where it is true (NULL = not selected).
+    ///
+    /// Like [`Expr::evaluate_batch`], the expression is compiled once and
+    /// evaluated over zero-copy row-range views, morsel-parallel when the
+    /// execution config calls for it.
     pub fn selection_vector(
+        &self,
+        schema: &Schema,
+        columns: &[Arc<Column>],
+        num_rows: usize,
+    ) -> EngineResult<Vec<usize>> {
+        let compiled = CompiledExpr::compile(self, schema);
+        let config = crate::parallel::exec_config();
+        if config.should_parallelize(num_rows) && !matches!(self, Expr::Literal(_)) {
+            let chunks = crate::parallel::try_map_morsels(&config, num_rows, |range| {
+                let start = range.start;
+                compiled
+                    .selection_range(columns, range)
+                    .map(|selected| (start, selected))
+            })?;
+            let mut selected = Vec::new();
+            for (offset, chunk) in chunks {
+                selected.extend(chunk.into_iter().map(|i| i + offset));
+            }
+            return Ok(selected);
+        }
+        compiled.selection_range(columns, 0..num_rows)
+    }
+
+    /// The pre-compilation selection-vector evaluator — the executable
+    /// reference for [`Expr::selection_vector`], interpreting the AST per
+    /// morsel chunk.
+    pub fn selection_vector_interpreted(
         &self,
         schema: &Schema,
         columns: &[Arc<Column>],
@@ -446,7 +524,7 @@ impl Expr {
             let referenced = self.referenced_column_mask(schema, columns.len());
             let chunks = crate::parallel::try_map_morsels(&config, num_rows, |range| {
                 let chunk_columns = chunk_input_columns(columns, &referenced, range.clone());
-                self.selection_vector(schema, &chunk_columns, range.len())
+                self.selection_vector_interpreted(schema, &chunk_columns, range.len())
                     .map(|selected| (range.start, selected))
             })?;
             let mut selected = Vec::new();
@@ -758,162 +836,28 @@ impl Batch {
     }
 }
 
-/// A unified numeric view of a batch operand for the typed kernels.
-enum NumericOperand<'a> {
-    IntCol(&'a [i64], &'a Bitmap),
-    FloatCol(&'a [f64], &'a Bitmap),
-    IntScalar(i64),
-    FloatScalar(f64),
-}
-
-impl NumericOperand<'_> {
-    fn from_batch(batch: &Batch) -> Option<NumericOperand<'_>> {
-        match batch {
-            Batch::Col(col) => match col.as_ref() {
-                Column::Int64(v, b) => Some(NumericOperand::IntCol(v, b)),
-                Column::Float64(v, b) => Some(NumericOperand::FloatCol(v, b)),
-                _ => None,
-            },
-            Batch::Scalar(Value::Int(i)) => Some(NumericOperand::IntScalar(*i)),
-            Batch::Scalar(Value::Float(f)) => Some(NumericOperand::FloatScalar(*f)),
-            _ => None,
-        }
-    }
-
-    fn is_int(&self) -> bool {
-        matches!(
-            self,
-            NumericOperand::IntCol(..) | NumericOperand::IntScalar(_)
-        )
-    }
-
-    #[inline]
-    fn valid(&self, i: usize) -> bool {
-        match self {
-            NumericOperand::IntCol(_, b) => b.is_valid(i),
-            NumericOperand::FloatCol(_, b) => b.is_valid(i),
-            _ => true,
-        }
-    }
-
-    #[inline]
-    fn int_at(&self, i: usize) -> i64 {
-        match self {
-            NumericOperand::IntCol(v, _) => v[i],
-            NumericOperand::IntScalar(s) => *s,
-            _ => unreachable!("int_at on a float operand"),
-        }
-    }
-
-    #[inline]
-    fn float_at(&self, i: usize) -> f64 {
-        match self {
-            NumericOperand::IntCol(v, _) => v[i] as f64,
-            NumericOperand::FloatCol(v, _) => v[i],
-            NumericOperand::IntScalar(s) => *s as f64,
-            NumericOperand::FloatScalar(s) => *s,
-        }
-    }
-}
-
-/// Evaluate a binary operation over two batches, using typed vector kernels
-/// for numeric arithmetic/comparisons and string equality, and falling back
-/// to element-wise [`eval_binary`] everywhere else.
+/// Evaluate a binary operation over two batches. Delegates to the shared
+/// offset-aware kernel [`compile::eval_binary_view`] (typed vector loops for
+/// numeric arithmetic/comparisons and string comparisons/LIKE — including
+/// code-native dictionary kernels — with an element-wise [`eval_binary`]
+/// fallback), viewing each batch at offset zero.
 fn eval_binary_batch(
     lhs: &Batch,
     op: BinaryOp,
     rhs: &Batch,
     num_rows: usize,
 ) -> EngineResult<Batch> {
-    use BinaryOp::*;
-    if let (Batch::Scalar(a), Batch::Scalar(b)) = (lhs, rhs) {
-        return Ok(Batch::Scalar(eval_binary(a, op, b)?));
-    }
+    compile::eval_binary_view(&batch_view(lhs), op, &batch_view(rhs), num_rows)
+}
 
-    // Typed numeric kernels: + - * and the orderings.
-    if let (Some(a), Some(b)) = (
-        NumericOperand::from_batch(lhs),
-        NumericOperand::from_batch(rhs),
-    ) {
-        match op {
-            Add | Sub | Mul => {
-                let column = if a.is_int() && b.is_int() {
-                    let mut data = Vec::with_capacity(num_rows);
-                    let mut validity = Bitmap::new();
-                    for i in 0..num_rows {
-                        let valid = a.valid(i) && b.valid(i);
-                        // The row engine computes int arithmetic through f64
-                        // and casts back (saturating, 53-bit precision);
-                        // mirror that exactly so both evaluation paths agree.
-                        let (x, y) = (a.int_at(i) as f64, b.int_at(i) as f64);
-                        data.push(match op {
-                            Add => (x + y) as i64,
-                            Sub => (x - y) as i64,
-                            _ => (x * y) as i64,
-                        });
-                        validity.push(valid);
-                    }
-                    Column::Int64(data, validity)
-                } else {
-                    let mut data = Vec::with_capacity(num_rows);
-                    let mut validity = Bitmap::new();
-                    for i in 0..num_rows {
-                        let valid = a.valid(i) && b.valid(i);
-                        let (x, y) = (a.float_at(i), b.float_at(i));
-                        data.push(match op {
-                            Add => x + y,
-                            Sub => x - y,
-                            _ => x * y,
-                        });
-                        validity.push(valid);
-                    }
-                    Column::Float64(data, validity)
-                };
-                return Ok(Batch::Col(Arc::new(column)));
-            }
-            Lt | LtEq | Gt | GtEq | Eq | NotEq => {
-                let mut data = Vec::with_capacity(num_rows);
-                let mut validity = Bitmap::new();
-                if a.is_int() && b.is_int() {
-                    for i in 0..num_rows {
-                        let valid = a.valid(i) && b.valid(i);
-                        let (x, y) = (a.int_at(i), b.int_at(i));
-                        data.push(int_cmp_result(op, x.cmp(&y)));
-                        validity.push(valid);
-                    }
-                } else {
-                    // sql_eq compares a mixed int/float pair with `==` but a
-                    // float/float pair with total_cmp — mirror that exactly.
-                    let mixed = a.is_int() != b.is_int();
-                    for i in 0..num_rows {
-                        let valid = a.valid(i) && b.valid(i);
-                        let (x, y) = (a.float_at(i), b.float_at(i));
-                        data.push(match op {
-                            Eq if mixed => x == y,
-                            NotEq if mixed => x != y,
-                            _ => int_cmp_result(op, x.total_cmp(&y)),
-                        });
-                        validity.push(valid);
-                    }
-                }
-                return Ok(Batch::Col(Arc::new(Column::Bool(data, validity))));
-            }
-            _ => {}
-        }
+fn batch_view(batch: &Batch) -> compile::ValuesView<'_> {
+    match batch {
+        Batch::Col(col) => compile::ValuesView::View {
+            col: col.as_ref(),
+            offset: 0,
+        },
+        Batch::Scalar(v) => compile::ValuesView::Scalar(v),
     }
-
-    // Typed string kernels: orderings, equality, and LIKE over UTF-8.
-    if let Some(batch) = eval_utf8_batch(lhs, op, rhs, num_rows)? {
-        return Ok(batch);
-    }
-
-    // Element-wise fallback preserves the exact dynamic-typing semantics
-    // (including the per-row type errors the planner relies on observing).
-    let mut out = Vec::with_capacity(num_rows);
-    for i in 0..num_rows {
-        out.push(eval_binary(&lhs.get(i), op, &rhs.get(i))?);
-    }
-    Ok(Batch::Col(Arc::new(Column::from_values(out))))
 }
 
 #[inline]
@@ -928,69 +872,6 @@ fn int_cmp_result(op: BinaryOp, ordering: std::cmp::Ordering) -> bool {
         BinaryOp::NotEq => ordering != Equal,
         _ => unreachable!("not a comparison"),
     }
-}
-
-fn eval_utf8_batch(
-    lhs: &Batch,
-    op: BinaryOp,
-    rhs: &Batch,
-    num_rows: usize,
-) -> EngineResult<Option<Batch>> {
-    use BinaryOp::*;
-    if !matches!(op, Lt | LtEq | Gt | GtEq | Eq | NotEq | Like) {
-        return Ok(None);
-    }
-    let str_col = |batch: &Batch| match batch {
-        Batch::Col(col) => match col.as_ref() {
-            Column::Utf8(..) => Some(Arc::clone(col)),
-            _ => None,
-        },
-        _ => None,
-    };
-    let str_scalar = |batch: &Batch| match batch {
-        Batch::Scalar(Value::Str(s)) => Some(Arc::clone(s)),
-        _ => None,
-    };
-    // Column vs scalar — the common predicate shape (`movement = 'Baroque'`).
-    if let (Some(col), Some(s)) = (str_col(lhs), str_scalar(rhs)) {
-        let (data, bitmap) = col.as_utf8().expect("checked Utf8 above");
-        let mut out = Vec::with_capacity(num_rows);
-        let mut validity = Bitmap::new();
-        for (i, v) in data.iter().enumerate() {
-            let valid = bitmap.is_valid(i);
-            out.push(if valid {
-                match op {
-                    Like => like_match(v, &s),
-                    _ => int_cmp_result(op, v.as_ref().cmp(s.as_ref())),
-                }
-            } else {
-                false
-            });
-            validity.push(valid);
-        }
-        return Ok(Some(Batch::Col(Arc::new(Column::Bool(out, validity)))));
-    }
-    // Column vs column.
-    if let (Some(left), Some(right)) = (str_col(lhs), str_col(rhs)) {
-        let (ldata, lbitmap) = left.as_utf8().expect("checked Utf8 above");
-        let (rdata, rbitmap) = right.as_utf8().expect("checked Utf8 above");
-        let mut out = Vec::with_capacity(num_rows);
-        let mut validity = Bitmap::new();
-        for i in 0..num_rows {
-            let valid = lbitmap.is_valid(i) && rbitmap.is_valid(i);
-            out.push(if valid {
-                match op {
-                    Like => like_match(&ldata[i], &rdata[i]),
-                    _ => int_cmp_result(op, ldata[i].as_ref().cmp(rdata[i].as_ref())),
-                }
-            } else {
-                false
-            });
-            validity.push(valid);
-        }
-        return Ok(Some(Batch::Col(Arc::new(Column::Bool(out, validity)))));
-    }
-    Ok(None)
 }
 
 fn numeric_pair(lhs: &Value, rhs: &Value, context: &str) -> EngineResult<(f64, f64, bool)> {

@@ -11,6 +11,9 @@
 //!   multi-modal `IMAGE` and `TEXT` types the planner reasons about,
 //! * [`Column`] / [`Bitmap`] — typed, `Arc`-shared columnar storage with
 //!   validity bitmaps,
+//! * [`dict`] — dictionary encoding for low-cardinality string columns
+//!   (`CAESURA_DICT_ENCODE`), letting joins, group-bys, sorts, and equality
+//!   filters run on `u32` codes instead of strings,
 //! * [`Schema`] / [`Table`] — columnar tables (with a row-view iterator) and
 //!   the prompt-rendering helpers CAESURA uses to describe data to the
 //!   language model,
@@ -65,6 +68,7 @@
 
 pub mod catalog;
 pub mod column;
+pub mod dict;
 pub mod error;
 pub mod expr;
 pub mod ops;
@@ -77,7 +81,7 @@ pub mod value;
 pub use catalog::{Catalog, ForeignKey};
 pub use column::{Bitmap, Column, ColumnBuilder};
 pub use error::{EngineError, EngineResult};
-pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
+pub use expr::{BinaryOp, CompiledExpr, Expr, ScalarFunc, UnaryOp};
 pub use ops::{AggCall, AggFunc, JoinType, Projection, SortKey, SortOrder};
 pub use parallel::ExecConfig;
 pub use schema::{Field, Schema};

@@ -337,6 +337,10 @@ impl Group {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum GroupKey {
     Int(i64),
+    /// A dictionary code of the single dict-encoded group column. Codes are
+    /// stable across morsels (every morsel indexes the same entry table), so
+    /// partial groups merge exactly like rendered string keys would.
+    Code(u32),
     Null,
     Composite(String),
 }
@@ -457,7 +461,45 @@ fn group_rows(
     } else {
         None
     };
-    if let Some((data, validity)) = single_int_key {
+    // Single dictionary-encoded group column: group by `u32` code through a
+    // dense per-entry table — no hashing, no string rendering. Codes map
+    // one-to-one to entry strings, so first-seen group order and the emitted
+    // key values are identical to the plain string path.
+    let single_dict_key = if key_columns.len() == 1 {
+        key_columns[0].as_dict()
+    } else {
+        None
+    };
+    if let Some((codes, dict, validity)) = single_dict_key {
+        let mut index: Vec<Option<usize>> = vec![None; dict.len()];
+        let mut null_group: Option<usize> = None;
+        for row in range {
+            let group = if validity.is_valid(row) {
+                let code = codes[row] as usize;
+                match index[code] {
+                    Some(g) => g,
+                    None => {
+                        let key = Value::Str(Arc::clone(&dict[code]));
+                        groups.push((GroupKey::Code(codes[row]), Group::new(vec![key], aggs)));
+                        let g = groups.len() - 1;
+                        index[code] = Some(g);
+                        g
+                    }
+                }
+            } else {
+                match null_group {
+                    Some(g) => g,
+                    None => {
+                        groups.push((GroupKey::Null, Group::new(vec![Value::Null], aggs)));
+                        let g = groups.len() - 1;
+                        null_group = Some(g);
+                        g
+                    }
+                }
+            };
+            fold_row(&mut groups[group].1, agg_columns, contexts, row)?;
+        }
+    } else if let Some((data, validity)) = single_int_key {
         let mut index: HashMap<i64, usize> = HashMap::new();
         let mut null_group: Option<usize> = None;
         for row in range {

@@ -49,9 +49,9 @@ pub fn hash_join(
         join_type,
     );
 
-    // Gather both sides (morsel-parallel for large outputs). For inner joins
-    // every right index is present, so the cheaper non-optional take kernel
-    // applies.
+    // Gather both sides (morsel-parallel for large outputs). Inner joins
+    // emit dense right indices, so the cheaper non-optional take kernel
+    // applies without a scan-and-repack pass.
     let config = crate::parallel::exec_config();
     let mut columns: Vec<Arc<Column>> = Vec::with_capacity(schema.len());
     for col in left.columns() {
@@ -61,19 +61,18 @@ pub fn hash_join(
             &config,
         )));
     }
-    let all_matched = right_indices.iter().all(|i| i.is_some());
-    if all_matched {
-        let plain: Vec<usize> = right_indices.iter().map(|i| i.unwrap()).collect();
-        for col in right.columns() {
-            columns.push(Arc::new(crate::parallel::take_column(col, &plain, &config)));
+    match &right_indices {
+        RightIndices::Dense(plain) => {
+            for col in right.columns() {
+                columns.push(Arc::new(crate::parallel::take_column(col, plain, &config)));
+            }
         }
-    } else {
-        for col in right.columns() {
-            columns.push(Arc::new(crate::parallel::take_opt_column(
-                col,
-                &right_indices,
-                &config,
-            )));
+        RightIndices::Padded(padded) => {
+            for col in right.columns() {
+                columns.push(Arc::new(crate::parallel::take_opt_column(
+                    col, padded, &config,
+                )));
+            }
         }
     }
 
@@ -99,11 +98,18 @@ pub fn hash_join(
 /// sequential build produces it), and the probe side emits per-morsel index
 /// chunks that are concatenated in morsel order. The result is byte-identical
 /// to the sequential build/probe.
+/// Right-side match indices: inner joins emit a dense index per output row;
+/// left joins pad unmatched rows with `None`.
+enum RightIndices {
+    Dense(Vec<usize>),
+    Padded(Vec<Option<usize>>),
+}
+
 fn probe_indices(
     left_key: &Column,
     right_key: &Column,
     join_type: JoinType,
-) -> (Vec<usize>, Vec<Option<usize>>) {
+) -> (Vec<usize>, RightIndices) {
     let config = crate::parallel::exec_config();
     // Typed fast path: both sides are i64 keys.
     if let (Some((ldata, lvalid)), Some((rdata, rvalid))) =
@@ -123,6 +129,110 @@ fn probe_indices(
         return emit_partitioned(ldata.len(), join_type, &config, |i, _buf: &mut String| {
             if lvalid.is_valid(i) {
                 build.get(&ldata[i]).map(Vec::as_slice)
+            } else {
+                None
+            }
+        });
+    }
+    // Code-native fast path: both sides are dictionary-encoded string keys.
+    // Build and probe hash `u32` codes instead of strings; when the two
+    // columns do not share one entry table, the probe side's entries are
+    // remapped into the build side's code space first — one string hash per
+    // *entry* instead of one per row.
+    if let (Some((lcodes, ldict, lvalid)), Some((rcodes, rdict, rvalid))) =
+        (left_key.as_dict(), right_key.as_dict())
+    {
+        let remap: Option<Vec<u32>> = if Arc::ptr_eq(ldict, rdict) {
+            None
+        } else {
+            Some(crate::dict::remap_entries(ldict, rdict))
+        };
+        let build = build_partitioned(
+            rcodes.len(),
+            &config,
+            |range, map: &mut HashMap<u32, Vec<usize>>| {
+                for i in range {
+                    if rvalid.is_valid(i) {
+                        map.entry(rcodes[i]).or_default().push(i);
+                    }
+                }
+            },
+        );
+        // Resolve the build matches once per probe *entry*; the per-row probe
+        // is then a plain index, no hashing at all. `NO_REMAP` codes are
+        // never in the build table, so entries absent from the build
+        // dictionary simply miss.
+        let per_entry: Vec<Option<&Vec<usize>>> = (0..ldict.len())
+            .map(|e| {
+                let code = match &remap {
+                    None => e as u32,
+                    Some(m) => m[e],
+                };
+                build.get(&code)
+            })
+            .collect();
+        return emit_partitioned(lcodes.len(), join_type, &config, |i, _buf: &mut String| {
+            if lvalid.is_valid(i) {
+                per_entry[lcodes[i] as usize].map(Vec::as_slice)
+            } else {
+                None
+            }
+        });
+    }
+    // Mixed fast path: dictionary-encoded probe side against a plain string
+    // build side — hash each probe *entry* once, then look rows up by code.
+    if let (Some((lcodes, ldict, lvalid)), Some((rdata, rvalid))) =
+        (left_key.as_dict(), right_key.as_utf8())
+    {
+        let build = build_partitioned(
+            rdata.len(),
+            &config,
+            |range, map: &mut HashMap<&str, Vec<usize>>| {
+                for i in range {
+                    if rvalid.is_valid(i) {
+                        map.entry(rdata[i].as_ref()).or_default().push(i);
+                    }
+                }
+            },
+        );
+        let per_entry: Vec<Option<&Vec<usize>>> =
+            ldict.iter().map(|e| build.get(e.as_ref())).collect();
+        return emit_partitioned(lcodes.len(), join_type, &config, |i, _buf: &mut String| {
+            if lvalid.is_valid(i) {
+                per_entry[lcodes[i] as usize].map(Vec::as_slice)
+            } else {
+                None
+            }
+        });
+    }
+    // Mixed fast path: plain probe side against a dictionary-encoded build
+    // side — build over `u32` codes, translate each probe string through the
+    // build side's entry index.
+    if let (Some((ldata, lvalid)), Some((rcodes, rdict, rvalid))) =
+        (left_key.as_utf8(), right_key.as_dict())
+    {
+        let entry_index: HashMap<&str, u32> = rdict
+            .iter()
+            .enumerate()
+            .map(|(c, e)| (e.as_ref(), c as u32))
+            .collect();
+        let build = build_partitioned(
+            rcodes.len(),
+            &config,
+            |range, map: &mut HashMap<u32, Vec<usize>>| {
+                for i in range {
+                    if rvalid.is_valid(i) {
+                        map.entry(rcodes[i]).or_default().push(i);
+                    }
+                }
+            },
+        );
+        return emit_partitioned(ldata.len(), join_type, &config, |i, _buf: &mut String| {
+            if lvalid.is_valid(i) {
+                entry_index
+                    .get(ldata[i].as_ref())
+                    .and_then(|code| build.get(code))
+                    .map(Vec::as_slice)
             } else {
                 None
             }
@@ -217,44 +327,83 @@ fn emit_partitioned<'a, F>(
     join_type: JoinType,
     config: &crate::parallel::ExecConfig,
     matches_of: F,
-) -> (Vec<usize>, Vec<Option<usize>>)
+) -> (Vec<usize>, RightIndices)
 where
     F: Fn(usize, &mut String) -> Option<&'a [usize]> + Sync,
 {
-    let emit_range = |range: std::ops::Range<usize>| {
-        let mut left_indices = Vec::new();
-        let mut right_indices = Vec::new();
-        let mut buf = String::new();
-        for i in range {
-            match matches_of(i, &mut buf) {
-                Some(found) if !found.is_empty() => {
-                    for &j in found {
-                        left_indices.push(i);
-                        right_indices.push(Some(j));
+    match join_type {
+        // Inner joins never pad, so the right indices stay dense — gathered
+        // later with the non-optional take kernel, no `Option` per element.
+        JoinType::Inner => {
+            let emit_range = |range: std::ops::Range<usize>| {
+                // FK-shaped joins emit ~1 row per probe row; reserving the
+                // range length up front avoids ~20 doubling reallocations on
+                // the way to a million-row output.
+                let mut left_indices = Vec::with_capacity(range.len());
+                let mut right_indices = Vec::with_capacity(range.len());
+                let mut buf = String::new();
+                for i in range {
+                    if let Some(found) = matches_of(i, &mut buf) {
+                        for &j in found {
+                            left_indices.push(i);
+                            right_indices.push(j);
+                        }
                     }
                 }
-                _ => {
-                    if join_type == JoinType::Left {
-                        left_indices.push(i);
-                        right_indices.push(None);
-                    }
-                }
+                (left_indices, right_indices)
+            };
+            if !config.should_parallelize(left_len) {
+                let (l, r) = emit_range(0..left_len);
+                return (l, RightIndices::Dense(r));
             }
+            let chunks = crate::parallel::map_morsels(config, left_len, emit_range);
+            let total: usize = chunks.iter().map(|(l, _)| l.len()).sum();
+            let mut left_indices = Vec::with_capacity(total);
+            let mut right_indices = Vec::with_capacity(total);
+            for (mut l, mut r) in chunks {
+                left_indices.append(&mut l);
+                right_indices.append(&mut r);
+            }
+            (left_indices, RightIndices::Dense(right_indices))
         }
-        (left_indices, right_indices)
-    };
-    if !config.should_parallelize(left_len) {
-        return emit_range(0..left_len);
+        JoinType::Left => {
+            let emit_range = |range: std::ops::Range<usize>| {
+                // A left join emits at least one row per probe row, so the
+                // range length is an exact lower bound on the output size.
+                let mut left_indices = Vec::with_capacity(range.len());
+                let mut right_indices = Vec::with_capacity(range.len());
+                let mut buf = String::new();
+                for i in range {
+                    match matches_of(i, &mut buf) {
+                        Some(found) if !found.is_empty() => {
+                            for &j in found {
+                                left_indices.push(i);
+                                right_indices.push(Some(j));
+                            }
+                        }
+                        _ => {
+                            left_indices.push(i);
+                            right_indices.push(None);
+                        }
+                    }
+                }
+                (left_indices, right_indices)
+            };
+            if !config.should_parallelize(left_len) {
+                let (l, r) = emit_range(0..left_len);
+                return (l, RightIndices::Padded(r));
+            }
+            let chunks = crate::parallel::map_morsels(config, left_len, emit_range);
+            let total: usize = chunks.iter().map(|(l, _)| l.len()).sum();
+            let mut left_indices = Vec::with_capacity(total);
+            let mut right_indices = Vec::with_capacity(total);
+            for (mut l, mut r) in chunks {
+                left_indices.append(&mut l);
+                right_indices.append(&mut r);
+            }
+            (left_indices, RightIndices::Padded(right_indices))
+        }
     }
-    let chunks = crate::parallel::map_morsels(config, left_len, emit_range);
-    let total: usize = chunks.iter().map(|(l, _)| l.len()).sum();
-    let mut left_indices = Vec::with_capacity(total);
-    let mut right_indices = Vec::with_capacity(total);
-    for (mut l, mut r) in chunks {
-        left_indices.append(&mut l);
-        right_indices.append(&mut r);
-    }
-    (left_indices, right_indices)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ mod set;
 mod sort;
 
 pub use aggregate::{aggregate, AggCall, AggFunc};
-pub use filter::filter;
+pub use filter::{filter, filter_project};
 pub use join::{hash_join, JoinType};
 pub use project::{project, Projection};
 pub use set::{distinct, limit, union_all};

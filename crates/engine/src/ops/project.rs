@@ -38,13 +38,16 @@ impl Projection {
     }
 }
 
-/// Evaluate the projections over all rows of `input` at once.
-pub fn project(input: &Table, projections: &[Projection]) -> EngineResult<Table> {
-    let in_schema = input.schema();
+/// The output schema of a projection list against an input schema, with
+/// duplicate aliases disambiguated by appending a counter. Shared by
+/// [`project`] and the fused [`filter_project`](super::filter_project).
+pub(crate) fn projection_schema(
+    in_schema: &Schema,
+    projections: &[Projection],
+) -> EngineResult<Schema> {
     let mut fields = Vec::with_capacity(projections.len());
     for p in projections {
         let data_type = p.expr.output_type(in_schema);
-        // Disambiguate duplicate aliases by appending a counter.
         let mut name = p.alias.clone();
         let mut suffix = 1;
         while fields.iter().any(|f: &Field| f.name == name) {
@@ -53,7 +56,13 @@ pub fn project(input: &Table, projections: &[Projection]) -> EngineResult<Table>
         }
         fields.push(Field::new(name, data_type));
     }
-    let schema = Schema::new(fields)?;
+    Schema::new(fields)
+}
+
+/// Evaluate the projections over all rows of `input` at once.
+pub fn project(input: &Table, projections: &[Projection]) -> EngineResult<Table> {
+    let in_schema = input.schema();
+    let schema = projection_schema(in_schema, projections)?;
     let mut columns = Vec::with_capacity(projections.len());
     for p in projections {
         // evaluate_batch resolves plain column references to Arc bumps, so a

@@ -69,11 +69,38 @@ pub fn sort(input: &Table, keys: &[SortKey]) -> EngineResult<Table> {
     } else {
         None
     };
-    // Both comparators end in an index tie-break, so they define a total
+    // Code-native fast path: one dictionary-encoded string key. Rows compare
+    // by the precomputed lexicographic rank of their entry (`u32` compares
+    // instead of byte compares), which orders them exactly as comparing the
+    // strings would; NULL ranks (`None`) sort first ascending and last
+    // descending, matching `Value::total_cmp`.
+    let dict_key = if keys.len() == 1 {
+        key_columns[0].as_dict()
+    } else {
+        None
+    };
+    // All comparators end in an index tie-break, so they define a total
     // order: the sorted permutation is unique, a parallel run-sort + merge
     // (`parallel::sort_indices`) produces exactly the stable-sort result,
     // and under `threads = 1` `sort_indices` is a plain sequential sort.
-    let indices = if let Some((data, _)) = typed {
+    let indices = if let Some((codes, dict, validity)) = dict_key {
+        let ranks = crate::dict::entry_ranks(dict);
+        let rank_of = |i: usize| {
+            if validity.is_valid(i) {
+                Some(ranks[codes[i] as usize])
+            } else {
+                None
+            }
+        };
+        match keys[0].order {
+            SortOrder::Asc => crate::parallel::sort_indices(&config, num_rows, |a, b| {
+                (rank_of(a), a).cmp(&(rank_of(b), b))
+            }),
+            SortOrder::Desc => crate::parallel::sort_indices(&config, num_rows, |a, b| {
+                (std::cmp::Reverse(rank_of(a)), a).cmp(&(std::cmp::Reverse(rank_of(b)), b))
+            }),
+        }
+    } else if let Some((data, _)) = typed {
         match keys[0].order {
             SortOrder::Asc => crate::parallel::sort_indices(&config, num_rows, |a, b| {
                 (data[a], a).cmp(&(data[b], b))

@@ -162,7 +162,13 @@ impl Table {
         Ok(Table {
             name: name.into(),
             schema,
-            columns: builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            // Ingest is the one place low-cardinality string columns get
+            // dictionary-encoded (`CAESURA_DICT_ENCODE`); operators preserve
+            // whatever representation they are handed.
+            columns: builders
+                .into_iter()
+                .map(|b| crate::dict::maybe_encode(Arc::new(b.finish())))
+                .collect(),
             num_rows,
             description: None,
         })
@@ -624,7 +630,8 @@ impl TableBuilder {
         self.num_rows == 0
     }
 
-    /// Finish building.
+    /// Finish building. Low-cardinality string columns are
+    /// dictionary-encoded here (table ingest), behind `CAESURA_DICT_ENCODE`.
     pub fn build(self) -> Table {
         Table {
             name: self.name,
@@ -632,7 +639,7 @@ impl TableBuilder {
             columns: self
                 .builders
                 .into_iter()
-                .map(|b| Arc::new(b.finish()))
+                .map(|b| crate::dict::maybe_encode(Arc::new(b.finish())))
                 .collect(),
             num_rows: self.num_rows,
             description: self.description,

@@ -1,0 +1,68 @@
+//! Ad-hoc timing breakdown for the 1M-row low-cardinality join (run manually
+//! with `cargo test --release --test join_timing -- --ignored --nocapture`).
+
+use caesura::engine::{dict, ops, DataType, Schema, Table, TableBuilder, Value};
+use std::time::Instant;
+
+fn keyed(rows: usize, card: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("name", DataType::Str),
+        ("points", DataType::Int),
+    ]);
+    let mut b = TableBuilder::new("keyed", schema);
+    for i in 0..rows {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("key-{:06}", i % card)),
+            Value::Int(60 + ((i * 37) % 90) as i64),
+        ])
+        .unwrap();
+    }
+    b.build()
+}
+
+fn side(card: usize) -> Table {
+    let schema = Schema::from_pairs(&[("name", DataType::Str), ("bucket", DataType::Int)]);
+    let mut b = TableBuilder::new("side", schema);
+    for i in 0..card {
+        b.push_row(vec![
+            Value::str(format!("key-{i:06}")),
+            Value::Int((i % 7) as i64),
+        ])
+        .unwrap();
+    }
+    b.build()
+}
+
+#[test]
+#[ignore]
+fn breakdown() {
+    let rows = 1_000_000;
+    let base = keyed(rows, 8);
+    let encoded = dict::encode_table(&base);
+    let plain = dict::decode_table(&base);
+    let sd = dict::encode_table(&side(8));
+    let sp = dict::decode_table(&side(8));
+
+    for (label, t, s) in [("dict", &encoded, &sd), ("plain", &plain, &sp)] {
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let out = ops::hash_join(t, s, "name", "name", ops::JoinType::Inner).unwrap();
+            println!(
+                "{label}: full join {:?} ({} rows)",
+                t0.elapsed(),
+                out.num_rows()
+            );
+        }
+        // Gather-only cost: take the full identity index vector.
+        let idx: Vec<usize> = (0..rows).collect();
+        let t0 = Instant::now();
+        let gathered = t.take(&idx);
+        println!(
+            "{label}: left take(identity) {:?} ({})",
+            t0.elapsed(),
+            gathered.num_rows()
+        );
+    }
+}
