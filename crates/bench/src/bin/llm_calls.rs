@@ -24,6 +24,11 @@
 //!   the same questions (cross-step), and the same query run back-to-back
 //!   over one lake (cross-query). Cache on must show strictly fewer backend
 //!   calls than cache off; the repeated step/query must cost zero.
+//! * `plan_cache` — the session-scoped validated-plan cache (PR 7) on repeat
+//!   traffic: a round of queries run twice through one session, with the
+//!   cache off versus on. With the cache on the warm round must reach the
+//!   LLM client **zero** times — planning and mapping are skipped entirely,
+//!   the cached decisions replay against the executor.
 //!
 //! Run with `cargo run --release -p caesura-bench --bin llm_calls`.
 
@@ -33,7 +38,8 @@ use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireC
 use caesura_engine::{DataType, Schema, TableBuilder, Value};
 use caesura_eval::{evaluate_model, EvaluationConfig};
 use caesura_llm::{
-    Conversation, CountingLlm, LlmClient, LlmResult, ModelProfile, PerceptionLlm, SimulatedLlm,
+    Conversation, CountingLlm, LlmClient, LlmResult, ModelProfile, PerceptionLlm, PlanCacheConfig,
+    SimulatedLlm,
 };
 use caesura_modal::operators::{apply_text_qa_with, apply_visual_qa_with};
 use caesura_modal::{BatchConfig, CacheConfig, ImageObject, ImageStore, PerceptionCache};
@@ -46,6 +52,7 @@ fn main() {
         plan_quality_section(),
         duplicate_heavy_section(),
         perception_cache_section(),
+        plan_cache_section(),
     ];
 
     let mut out = String::new();
@@ -65,7 +72,11 @@ fn main() {
          perception_cache section (PR 4) measures the session-scoped answer cache: with the \
          cache on, a question re-asked by a later plan step or a back-to-back query over the \
          same lake never reaches the backend, so backend calls are strictly fewer than with \
-         the cache off on repeated-question workloads.\",\n",
+         the cache off on repeated-question workloads. The plan_cache section (PR 7) \
+         measures the session-scoped validated-plan cache on repeat traffic: the warm round \
+         of a repeated workload must make exactly zero planner/mapping LLM calls with the \
+         cache on (the cached, already-validated decisions replay straight against the \
+         executor), while the cache-off warm round re-pays the cold round in full.\",\n",
     );
     out.push_str("  \"command\": \"cargo run --release -p caesura-bench --bin llm_calls\",\n");
     out.push_str(
@@ -442,6 +453,78 @@ fn perception_cache_section() -> String {
             "    \"cross_query_{label}\": {{\"query\": \"rotowire_figure4_query1 x2\", \
              \"run1_backend_calls\": {}, \"run2_backend_calls\": {}, \"run2_cache_hits\": {}}}",
             p1.calls, p2.calls, p2.cache_hits,
+        )
+        .unwrap();
+        out.push_str(if ci == 0 { ",\n" } else { "\n" });
+    }
+    out.push_str("  }");
+    out
+}
+
+fn plan_cache_section() -> String {
+    // Repeat traffic: one artwork session, a round of distinct queries run
+    // twice. The cold round plans live either way; the warm round is where
+    // the plan cache pays — its planner/mapping LLM calls must drop to zero.
+    let queries = [
+        "How many paintings are in the museum?",
+        "Plot the number of paintings depicting Madonna and Child for each century!",
+        "List the titles of all paintings that depict a horse.",
+    ];
+    let mut out = String::from("  \"plan_cache\": {\n");
+    for (ci, (label, cache_config)) in [
+        ("cache_off", PlanCacheConfig::off()),
+        (
+            "cache_on",
+            PlanCacheConfig::new(PlanCacheConfig::DEFAULT_CAPACITY),
+        ),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let counting = Arc::new(CountingLlm::new(SimulatedLlm::new(
+            ModelProfile::Gpt4,
+            BENCH_SEED,
+        )));
+        let session = Caesura::with_config(
+            generate_artwork(&ArtworkConfig::default()).lake,
+            counting.clone(),
+            CaesuraConfig {
+                plan_cache: Some(*cache_config),
+                ..CaesuraConfig::default()
+            },
+        );
+        for query in queries {
+            assert!(
+                session.run(query).succeeded(),
+                "plan-cache bench cold round"
+            );
+        }
+        let cold_calls = counting.usage().calls;
+        let mut warm_hits = 0usize;
+        for query in queries {
+            let run = session.run(query);
+            assert!(run.succeeded(), "plan-cache bench warm round");
+            warm_hits += run.trace.plan_cache_calls().hits;
+        }
+        let warm_calls = counting.usage().calls - cold_calls;
+        if cache_config.is_enabled() {
+            assert_eq!(
+                warm_calls, 0,
+                "warm repeats must make zero planner/mapping LLM calls with the plan cache on"
+            );
+            assert_eq!(warm_hits, queries.len(), "every warm repeat must hit");
+        } else {
+            assert_eq!(
+                warm_calls, cold_calls,
+                "without the cache the warm round re-pays the cold round"
+            );
+        }
+        write!(
+            out,
+            "    \"repeat_workload_{label}\": {{\"queries_per_round\": {}, \
+             \"cold_round_llm_calls\": {cold_calls}, \"warm_round_llm_calls\": {warm_calls}, \
+             \"warm_round_plan_cache_hits\": {warm_hits}}}",
+            queries.len(),
         )
         .unwrap();
         out.push_str(if ci == 0 { ",\n" } else { "\n" });

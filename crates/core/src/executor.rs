@@ -256,6 +256,41 @@ impl Executor {
         }
     }
 
+    /// [`Executor::execute`] plus trace accounting: records the step's
+    /// execution-phase wall clock and its perception-call delta (including
+    /// for failed attempts, whose dispatches were paid just the same) on
+    /// `trace`. The session's live mapping loop and its plan-cache replay
+    /// path both go through here, so cached and live executions account
+    /// identically.
+    pub fn execute_traced(
+        &mut self,
+        step: &LogicalStep,
+        decision: &OperatorDecision,
+        trace: &mut crate::trace::ExecutionTrace,
+    ) -> CoreResult<StepOutcome> {
+        use crate::trace::{PerceptionCalls, Phase};
+        let perception_before = self.perception_stats();
+        let phase_start = std::time::Instant::now();
+        let result = self.execute(step, decision);
+        trace.record_phase_duration(Phase::Execution, phase_start.elapsed());
+        let delta = self.perception_stats().since(&perception_before);
+        if delta.rows > 0 || delta.unique_requests > 0 {
+            trace.record(Phase::Execution, "perception", delta.summary());
+            trace.record_perception(PerceptionCalls {
+                rows: delta.rows,
+                // "calls" are model calls that actually reached the backend:
+                // cache hits never dispatch.
+                calls: delta.dispatched_requests(),
+                batches: delta.batches,
+                saved_calls: delta.saved_calls,
+                cache_hits: delta.cache_hits,
+                cache_misses: delta.cache_misses,
+                cache_evictions: delta.cache_evictions,
+            });
+        }
+        result
+    }
+
     fn execute_inner(
         &mut self,
         step: &LogicalStep,

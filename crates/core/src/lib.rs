@@ -54,4 +54,7 @@ pub use executor::{Executor, StepOutcome};
 pub use output::QueryOutput;
 pub use serving::{QueryHandle, QueryStatus, ServingStats};
 pub use session::{Caesura, CaesuraConfig, QueryRun};
-pub use trace::{ExecutionTrace, PerceptionCalls, Phase, PhaseTimings, TraceEvent, TraceSink};
+pub use trace::{
+    ExecutionTrace, PerceptionCalls, Phase, PhaseTimings, PlanCacheCalls, PlanSource, TraceEvent,
+    TraceSink,
+};

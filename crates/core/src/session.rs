@@ -15,12 +15,13 @@ use crate::error::{CoreError, CoreResult};
 use crate::executor::{Executor, StepOutcome};
 use crate::output::QueryOutput;
 use crate::serving::{JobState, QueryHandle, Scheduler, ServingStats};
-use crate::trace::{ExecutionTrace, Phase};
+use crate::trace::{ExecutionTrace, Phase, PlanCacheCalls, PlanSource};
 use caesura_data::DataLake;
 use caesura_engine::{parallel, Catalog, ExecConfig};
 use caesura_llm::{
-    Conversation, ErrorAnalysis, LlmClient, LogicalPlan, LogicalStep, OperatorDecision,
-    PromptBuilder, PromptConfig, RelevantColumn,
+    normalize_query, schema_fingerprint, Conversation, ErrorAnalysis, LlmClient, LogicalPlan,
+    LogicalStep, OperatorDecision, PlanCache, PlanCacheConfig, PromptBuilder, PromptConfig,
+    RelevantColumn,
 };
 use caesura_modal::{BatchConfig, CacheConfig, PerceptionCache};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,6 +66,15 @@ pub struct CaesuraConfig {
     /// cache shared by every query it runs, so a question re-asked by a
     /// later plan step or a back-to-back query costs zero model calls.
     pub perception_cache: Option<CacheConfig>,
+    /// Session-scoped validated-plan cache configuration. `None` uses the
+    /// environment default (`CAESURA_PLAN_CACHE`);
+    /// `Some(PlanCacheConfig::off())` disables plan caching, byte-for-byte
+    /// preserving the always-plan-live behaviour. When enabled, a query
+    /// whose `(schema fingerprint, query template)` matches a previously
+    /// validated plan skips the planning **and** mapping phases entirely —
+    /// zero planner LLM calls — and a cached plan that fails at execution is
+    /// evicted and re-planned live (see `caesura_llm::plan_cache`).
+    pub plan_cache: Option<PlanCacheConfig>,
     /// Worker threads of the session's serving scheduler — how many
     /// submitted queries run concurrently. `None` uses the environment
     /// default (`CAESURA_SESSION_WORKERS`, falling back to hardware
@@ -100,6 +110,7 @@ impl Default for CaesuraConfig {
             exec: None,
             llm_batch: None,
             perception_cache: None,
+            plan_cache: None,
             session_workers: None,
             session_queue: None,
             dict_encode: None,
@@ -157,6 +168,10 @@ pub(crate) struct SessionCore {
     /// the session's `Arc`-shared lake; interior mutability (sharded locks)
     /// keeps concurrent queries safe.
     perception_cache: Option<Arc<PerceptionCache>>,
+    /// The session-scoped validated-plan cache (`None` when disabled).
+    /// `Arc`-shared for the same reason: every concurrent in-flight query of
+    /// the scheduler pool probes and populates one cache.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 /// A CAESURA session over one data lake and one language model.
@@ -192,6 +207,7 @@ impl Caesura {
             .unwrap_or_default()
             .build()
             .map(Arc::new);
+        let plan_cache = config.plan_cache.unwrap_or_default().build().map(Arc::new);
         let workers = config
             .session_workers
             .unwrap_or_else(crate::serving::workers_from_env)
@@ -208,6 +224,7 @@ impl Caesura {
                 prompts,
                 retriever,
                 perception_cache,
+                plan_cache,
             }),
             scheduler: Scheduler::new(workers, queue_depth),
         }
@@ -227,6 +244,12 @@ impl Caesura {
     /// for inspecting hit/miss/eviction counters across queries.
     pub fn perception_cache(&self) -> Option<&Arc<PerceptionCache>> {
         self.core.perception_cache.as_ref()
+    }
+
+    /// The session's validated-plan cache (`None` when disabled). Useful for
+    /// inspecting hit/miss/invalidation counters across queries.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.core.plan_cache.as_ref()
     }
 
     /// Queue-depth / in-flight / completed counters of the session's serving
@@ -372,6 +395,83 @@ impl SessionCore {
         trace.record_phase_duration(Phase::Discovery, phase_start.elapsed());
         let (catalog, relevant_columns) = discovered?;
 
+        // ---- Plan-cache probe ------------------------------------------------
+        // Keyed on the *discovered* catalog (so retrieval differences keep
+        // their own entries) and the literal-normalized query template. A hit
+        // replays the validated plan with zero planner/mapping LLM calls; a
+        // replayed plan that fails is evicted and the query falls through to
+        // live planning below — never worse than the cache-off path.
+        let probe = self.plan_cache.as_ref().map(|cache| {
+            (
+                Arc::clone(cache),
+                schema_fingerprint(&catalog),
+                normalize_query(query),
+            )
+        });
+        if let Some((cache, fingerprint, template)) = &probe {
+            let phase_start = Instant::now();
+            let cached = cache.lookup(fingerprint, template);
+            trace.record_phase_duration(Phase::Planning, phase_start.elapsed());
+            match cached {
+                Some(cached) => {
+                    trace.set_plan_source(PlanSource::Cached);
+                    trace.record_plan_cache(PlanCacheCalls {
+                        hits: 1,
+                        ..PlanCacheCalls::default()
+                    });
+                    trace.record(
+                        Phase::Planning,
+                        "plan-source",
+                        format!(
+                            "cached: validated plan with {} step(s) replayed, planning and mapping skipped",
+                            cached.plan.len()
+                        ),
+                    );
+                    trace.record(Phase::Planning, "plan", cached.plan.render());
+                    *logical_plan_out = Some(cached.plan.clone());
+                    match self.execute_cached(
+                        &cached.plan,
+                        &cached.decisions,
+                        decisions_out,
+                        trace,
+                        cancel,
+                    ) {
+                        Ok(output) => return Ok(output),
+                        // Cancellation is not a verdict on the plan: keep the
+                        // entry and stop.
+                        Err(CoreError::Cancelled) => return Err(CoreError::Cancelled),
+                        Err(error) => {
+                            cache.invalidate(fingerprint, template);
+                            trace.record_plan_cache(PlanCacheCalls {
+                                invalidations: 1,
+                                ..PlanCacheCalls::default()
+                            });
+                            trace.record(
+                                Phase::Recovery,
+                                "plan-cache",
+                                format!(
+                                    "cached plan failed at execution ({error}); entry evicted, replanning live"
+                                ),
+                            );
+                            // The plan actually answering the query will be
+                            // planned live.
+                            trace.set_plan_source(PlanSource::Planned);
+                            decisions_out.clear();
+                            *logical_plan_out = None;
+                        }
+                    }
+                }
+                None => {
+                    trace.set_plan_source(PlanSource::Planned);
+                    trace.record_plan_cache(PlanCacheCalls {
+                        misses: 1,
+                        ..PlanCacheCalls::default()
+                    });
+                    trace.record(Phase::Planning, "plan-source", "planned: plan-cache miss");
+                }
+            }
+        }
+
         // ---- Planning phase (with optional replans after failures) ----------
         let mut replans = 0usize;
         let mut planning_note: Option<String> = None;
@@ -399,7 +499,22 @@ impl SessionCore {
                 trace,
                 cancel,
             ) {
-                Ok(output) => return Ok(output),
+                Ok((output, clean)) => {
+                    // Insert-after-success: only a plan whose execution
+                    // needed no replan and no per-step recovery is worth
+                    // replaying verbatim on the next structurally identical
+                    // query.
+                    if let Some((cache, fingerprint, template)) = &probe {
+                        if clean && replans == 0 && decisions_out.len() == plan.steps.len() {
+                            cache.insert(fingerprint, template, &plan, decisions_out);
+                            trace.record_plan_cache(PlanCacheCalls {
+                                insertions: 1,
+                                ..PlanCacheCalls::default()
+                            });
+                        }
+                    }
+                    return Ok(output);
+                }
                 Err((error, replan_requested)) => {
                     if replan_requested && replans < self.config.max_replans {
                         replans += 1;
@@ -418,6 +533,97 @@ impl SessionCore {
                 }
             }
         }
+    }
+
+    /// Build the per-query executor with the session's batch configuration
+    /// and `Arc`-shared perception cache attached — used identically by the
+    /// live mapping loop and the plan-cache replay path.
+    fn make_executor(&self) -> Executor {
+        // No per-executor exec pin here: `run_scheduled` already scopes the
+        // captured `exec` configuration around the whole query, and
+        // `Executor::with_exec_config` remains available for direct executor
+        // users.
+        let mut executor = Executor::new(self.lake.catalog().clone(), self.lake.images().clone());
+        if let Some(batch) = self.config.llm_batch {
+            executor = executor.with_batch_config(batch);
+        }
+        // Share the session-scoped answer cache: each query gets a fresh
+        // executor, but the cache (and therefore every previously computed
+        // perception answer) survives across queries.
+        if let Some(cache) = &self.perception_cache {
+            executor = executor.with_perception_cache(Arc::clone(cache));
+        }
+        executor
+    }
+
+    /// Assemble the query output from the last executed step — shared by the
+    /// live mapping loop and the plan-cache replay path.
+    fn finish_output(
+        &self,
+        executor: &Executor,
+        last_outcome: Option<StepOutcome>,
+    ) -> CoreResult<QueryOutput> {
+        match last_outcome {
+            Some(StepOutcome::Plot { plot, table }) => Ok(QueryOutput::Plot {
+                plot,
+                // Shallow: the plot table's columns stay shared.
+                table: table.as_ref().clone(),
+            }),
+            Some(StepOutcome::Table { name, .. }) => {
+                let table = executor
+                    .intermediate()
+                    .table(&name)
+                    .map(|t| t.as_ref().clone())
+                    .map_err(CoreError::Engine)?;
+                Ok(QueryOutput::from_table(table))
+            }
+            None => Err(CoreError::PlanningFailed {
+                message: "the plan contained no executable steps".into(),
+            }),
+        }
+    }
+
+    /// Replay a validated plan from the plan cache: execute the cached
+    /// operator decisions step by step with **zero** LLM calls — no mapping
+    /// prompts, and deliberately no per-step error recovery (a cached plan
+    /// that fails is not worth analyzing; the caller evicts it and replans
+    /// live). Cancellation checkpoints match the live execution loop.
+    fn execute_cached(
+        &self,
+        plan: &LogicalPlan,
+        decisions: &[OperatorDecision],
+        decisions_out: &mut Vec<OperatorDecision>,
+        trace: &mut ExecutionTrace,
+        cancel: &AtomicBool,
+    ) -> CoreResult<QueryOutput> {
+        let mut executor = self.make_executor();
+        let mut last_outcome: Option<StepOutcome> = None;
+        for (step, decision) in plan.steps.iter().zip(decisions) {
+            self.check_cancel(cancel, trace, "between plan steps")?;
+            trace.record(
+                Phase::Mapping,
+                "decision",
+                format!(
+                    "Step {}: {} ({})",
+                    step.number,
+                    decision.operator.name(),
+                    decision.arguments.join("; ")
+                ),
+            );
+            self.check_cancel(cancel, trace, "before a step execution")?;
+            match executor.execute_traced(step, decision, trace) {
+                Ok(outcome) => {
+                    trace.record(Phase::Execution, "observation", outcome.observation());
+                    decisions_out.push(decision.clone());
+                    last_outcome = Some(outcome);
+                }
+                Err(error) => {
+                    trace.record(Phase::Execution, "error", error.to_string());
+                    return Err(error);
+                }
+            }
+        }
+        self.finish_output(&executor, last_outcome)
     }
 
     fn discover(
@@ -517,8 +723,10 @@ impl SessionCore {
         Ok(plan)
     }
 
-    /// Map every step to an operator and execute it. Returns the final output,
-    /// or `(error, replan_requested)` on failure.
+    /// Map every step to an operator and execute it. Returns the final output
+    /// plus a cleanliness flag (`true` when no step needed error recovery —
+    /// the bar for plan-cache insertion), or `(error, replan_requested)` on
+    /// failure.
     #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn map_and_execute(
         &self,
@@ -529,23 +737,11 @@ impl SessionCore {
         decisions_out: &mut Vec<OperatorDecision>,
         trace: &mut ExecutionTrace,
         cancel: &AtomicBool,
-    ) -> Result<QueryOutput, (CoreError, bool)> {
-        // No per-executor pin here: `run_scheduled` already scopes the
-        // captured `exec` configuration around the whole query, and
-        // `Executor::with_exec_config` remains available for direct executor
-        // users.
-        let mut executor = Executor::new(self.lake.catalog().clone(), self.lake.images().clone());
-        if let Some(batch) = self.config.llm_batch {
-            executor = executor.with_batch_config(batch);
-        }
-        // Share the session-scoped answer cache: each query gets a fresh
-        // executor, but the cache (and therefore every previously computed
-        // perception answer) survives across queries.
-        if let Some(cache) = &self.perception_cache {
-            executor = executor.with_perception_cache(Arc::clone(cache));
-        }
+    ) -> Result<(QueryOutput, bool), (CoreError, bool)> {
+        let mut executor = self.make_executor();
         let mut observations: Vec<String> = Vec::new();
         let mut last_outcome: Option<StepOutcome> = None;
+        let mut clean = true;
 
         // Non-interleaved ablation: decide every operator before executing
         // any. Without observations the mapping prompts are independent, so
@@ -642,27 +838,7 @@ impl SessionCore {
                 // step's perception batches would dispatch.
                 self.check_cancel(cancel, trace, "before a step execution")
                     .map_err(|e| (e, false))?;
-                let perception_before = executor.perception_stats();
-                let phase_start = Instant::now();
-                let step_result = executor.execute(step, &decision);
-                trace.record_phase_duration(Phase::Execution, phase_start.elapsed());
-                // Record the perception-call delta for failed attempts too:
-                // their dispatches were paid just the same.
-                let delta = executor.perception_stats().since(&perception_before);
-                if delta.rows > 0 || delta.unique_requests > 0 {
-                    trace.record(Phase::Execution, "perception", delta.summary());
-                    trace.record_perception(crate::trace::PerceptionCalls {
-                        rows: delta.rows,
-                        // "calls" are model calls that actually reached the
-                        // backend: cache hits never dispatch.
-                        calls: delta.dispatched_requests(),
-                        batches: delta.batches,
-                        saved_calls: delta.saved_calls,
-                        cache_hits: delta.cache_hits,
-                        cache_misses: delta.cache_misses,
-                        cache_evictions: delta.cache_evictions,
-                    });
-                }
+                let step_result = executor.execute_traced(step, &decision, trace);
                 match step_result {
                     Ok(outcome) => {
                         let observation = outcome.observation();
@@ -675,6 +851,7 @@ impl SessionCore {
                     Err(error) => {
                         trace.record(Phase::Execution, "error", error.to_string());
                         decisions_out.push(decision.clone());
+                        clean = false;
                         if attempt >= self.config.max_step_attempts {
                             return Err((
                                 CoreError::PlanFailed {
@@ -709,27 +886,9 @@ impl SessionCore {
             }
         }
 
-        match last_outcome {
-            Some(StepOutcome::Plot { plot, table }) => Ok(QueryOutput::Plot {
-                plot,
-                // Shallow: the plot table's columns stay shared.
-                table: table.as_ref().clone(),
-            }),
-            Some(StepOutcome::Table { name, .. }) => {
-                let table = executor
-                    .intermediate()
-                    .table(&name)
-                    .map(|t| t.as_ref().clone())
-                    .map_err(|e| (CoreError::Engine(e), false))?;
-                Ok(QueryOutput::from_table(table))
-            }
-            None => Err((
-                CoreError::PlanningFailed {
-                    message: "the plan contained no executable steps".into(),
-                },
-                false,
-            )),
-        }
+        self.finish_output(&executor, last_outcome)
+            .map(|output| (output, clean))
+            .map_err(|e| (e, false))
     }
 
     #[allow(clippy::too_many_arguments)]

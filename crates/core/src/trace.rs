@@ -92,6 +92,47 @@ pub struct PerceptionCalls {
     pub cache_evictions: usize,
 }
 
+/// Where a query's logical plan (and its operator decisions) came from.
+///
+/// Recorded on the trace by the session's plan-cache probe: `Planned` means
+/// the planning + mapping phases ran live (including every cache-off run),
+/// `Cached` means a validated plan was replayed from the session's plan
+/// cache with zero planner LLM calls. Also surfaced as a `"plan-source"`
+/// trace event in [`Phase::Planning`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The plan was produced by live planning/mapping LLM calls.
+    Planned,
+    /// The plan was replayed from the session's validated-plan cache.
+    Cached,
+}
+
+impl fmt::Display for PlanSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanSource::Planned => "planned",
+            PlanSource::Cached => "cached",
+        })
+    }
+}
+
+/// Per-query accounting of the session's validated-plan cache. Mirrors
+/// `caesura_llm::PlanCacheStats`, kept as plain counters so the trace stays
+/// decoupled from the llm-crate types (the same pattern as
+/// [`PerceptionCalls`]). All-zero (the `Default`) when the cache is off, so
+/// cache-off traces stay byte-identical to pre-cache ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheCalls {
+    /// Probes answered from the cache (planning + mapping skipped).
+    pub hits: usize,
+    /// Probes that fell through to live planning.
+    pub misses: usize,
+    /// Validated plans this query stored after a clean execution.
+    pub insertions: usize,
+    /// Cached plans evicted because they failed at execution for this query.
+    pub invalidations: usize,
+}
+
 /// Wall-clock timings of one query run, accumulated per phase by the session
 /// as it drives the pipeline, plus the end-to-end totals the serving layer
 /// stamps on: how long the query sat in the submission queue and how long it
@@ -156,6 +197,8 @@ pub struct ExecutionTrace {
     llm_calls: usize,
     prompt_tokens: usize,
     perception: PerceptionCalls,
+    plan_cache: PlanCacheCalls,
+    plan_source: Option<PlanSource>,
     timings: PhaseTimings,
     sink: Option<TraceSink>,
 }
@@ -167,6 +210,8 @@ impl fmt::Debug for ExecutionTrace {
             .field("llm_calls", &self.llm_calls)
             .field("prompt_tokens", &self.prompt_tokens)
             .field("perception", &self.perception)
+            .field("plan_cache", &self.plan_cache)
+            .field("plan_source", &self.plan_source)
             .field("timings", &self.timings)
             .field("sink", &self.sink.as_ref().map(|_| "..."))
             .finish()
@@ -179,6 +224,8 @@ impl PartialEq for ExecutionTrace {
             && self.llm_calls == other.llm_calls
             && self.prompt_tokens == other.prompt_tokens
             && self.perception == other.perception
+            && self.plan_cache == other.plan_cache
+            && self.plan_source == other.plan_source
     }
 }
 
@@ -262,6 +309,33 @@ impl ExecutionTrace {
         self.perception
     }
 
+    /// Accumulate validated-plan-cache accounting into the query totals.
+    pub fn record_plan_cache(&mut self, delta: PlanCacheCalls) {
+        self.plan_cache.hits += delta.hits;
+        self.plan_cache.misses += delta.misses;
+        self.plan_cache.insertions += delta.insertions;
+        self.plan_cache.invalidations += delta.invalidations;
+    }
+
+    /// Validated-plan-cache accounting for the whole query (all zeros when
+    /// the cache is off).
+    pub fn plan_cache_calls(&self) -> PlanCacheCalls {
+        self.plan_cache
+    }
+
+    /// Stamp where this query's plan came from. A query that fell back to
+    /// live planning after a cached plan failed ends as
+    /// [`PlanSource::Planned`] (the plan actually used was planned live).
+    pub fn set_plan_source(&mut self, source: PlanSource) {
+        self.plan_source = Some(source);
+    }
+
+    /// Where this query's plan came from (`None` when the plan cache is
+    /// off, so cache-off traces stay byte-identical to pre-cache ones).
+    pub fn plan_source(&self) -> Option<PlanSource> {
+        self.plan_source
+    }
+
     /// Model calls the perception batching layer saved by dedup.
     pub fn saved_llm_calls(&self) -> usize {
         self.perception.saved_calls
@@ -339,6 +413,16 @@ impl ExecutionTrace {
                     self.perception.cache_evictions
                 ));
             }
+        }
+        if let Some(source) = self.plan_source {
+            out.push_str(&format!(
+                "== Plan cache: source {}, {} hit(s), {} miss(es), {} insertion(s), {} invalidation(s) ==\n",
+                source,
+                self.plan_cache.hits,
+                self.plan_cache.misses,
+                self.plan_cache.insertions,
+                self.plan_cache.invalidations
+            ));
         }
         if self.timings.total > Duration::ZERO {
             out.push_str(&format!(
@@ -427,6 +511,33 @@ mod tests {
         assert!(rendered.contains("9 model call(s)"));
         assert!(rendered.contains("6 saved by dedup"));
         assert!(rendered.contains("2 hit(s)"));
+    }
+
+    #[test]
+    fn plan_cache_calls_accumulate_render_and_affect_equality() {
+        let mut a = ExecutionTrace::new();
+        let b = ExecutionTrace::new();
+        assert_eq!(a.plan_cache_calls(), PlanCacheCalls::default());
+        assert_eq!(a.plan_source(), None);
+        assert_eq!(a, b, "all-zero plan-cache state compares equal");
+        a.set_plan_source(PlanSource::Cached);
+        a.record_plan_cache(PlanCacheCalls {
+            hits: 1,
+            ..PlanCacheCalls::default()
+        });
+        a.record_plan_cache(PlanCacheCalls {
+            invalidations: 1,
+            ..PlanCacheCalls::default()
+        });
+        let calls = a.plan_cache_calls();
+        assert_eq!((calls.hits, calls.invalidations), (1, 1));
+        assert_eq!(a.plan_source(), Some(PlanSource::Cached));
+        // Plan provenance is part of the logical record, unlike timings.
+        assert_ne!(a, b);
+        let rendered = a.render(false);
+        assert!(rendered.contains("source cached"));
+        assert!(rendered.contains("1 hit(s)"));
+        assert!(!b.render(false).contains("Plan cache"));
     }
 
     #[test]

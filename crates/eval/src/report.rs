@@ -72,6 +72,12 @@ pub struct QueryEvaluation {
     /// Batched perception-operator call accounting of the run (rows walked,
     /// unique model calls, batches, calls saved by dedup).
     pub perception: caesura_core::PerceptionCalls,
+    /// Plan-cache probe accounting of the run (all zero when the cache is
+    /// disabled).
+    pub plan_cache: caesura_core::PlanCacheCalls,
+    /// Where the executed plan came from (`None` when the plan cache is
+    /// disabled).
+    pub plan_source: Option<caesura_core::PlanSource>,
     /// Wall clock of the run (scheduler pickup to completion), from the
     /// trace's phase timings — the same timing source the serving bench
     /// reports percentiles over.
@@ -141,6 +147,13 @@ impl EvaluationReport {
         self.results.iter().map(|r| r.perception.cache_hits).sum()
     }
 
+    /// Plan-cache hits across the benchmark (0 when the cache is disabled —
+    /// and also on a cold cache over the 48 distinct benchmark queries; the
+    /// counter only moves on repeat traffic).
+    pub fn total_plan_cache_hits(&self) -> usize {
+        self.results.iter().map(|r| r.plan_cache.hits).sum()
+    }
+
     /// Per-query run latencies, in benchmark order.
     pub fn latencies(&self) -> Vec<Duration> {
         self.results.iter().map(|r| r.latency).collect()
@@ -148,8 +161,24 @@ impl EvaluationReport {
 
     /// Nearest-rank latency percentile over the per-query run latencies
     /// (`p` in `0.0..=1.0`; `0.5` is the median). Zero for an empty report.
+    ///
+    /// Collects and sorts the latencies on every call; when reading several
+    /// percentiles of one report, [`EvaluationReport::latency_percentiles`]
+    /// sorts once.
     pub fn latency_percentile(&self, p: f64) -> Duration {
         percentile(&mut self.latencies(), p)
+    }
+
+    /// Nearest-rank latency percentiles for every `p` in `ps`, sorting the
+    /// per-query latencies once (unlike repeated
+    /// [`EvaluationReport::latency_percentile`] calls, which re-sort a fresh
+    /// copy per call).
+    pub fn latency_percentiles(&self, ps: &[f64]) -> Vec<Duration> {
+        let mut samples = self.latencies();
+        samples.sort_unstable();
+        ps.iter()
+            .map(|&p| percentile_of_sorted(&samples, p))
+            .collect()
     }
 
     /// Mean per-query run latency (zero for an empty report).
@@ -162,13 +191,24 @@ impl EvaluationReport {
 }
 
 /// Nearest-rank percentile of a set of durations (`p` clamped to
-/// `0.0..=1.0`). Sorts in place; zero for an empty set.
+/// `0.0..=1.0`; a NaN `p` is treated as `0.0` rather than poisoning the
+/// clamp). Sorts in place; zero for an empty set.
 pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
     if samples.is_empty() {
         return Duration::ZERO;
     }
     samples.sort_unstable();
-    let p = p.clamp(0.0, 1.0);
+    percentile_of_sorted(samples, p)
+}
+
+/// Nearest-rank percentile of an **already sorted** set of durations.
+fn percentile_of_sorted(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    // `f64::clamp` propagates NaN, so clear it first: a NaN rank would cast
+    // to 0 and silently alias the minimum.
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
     let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
     samples[rank - 1]
 }
@@ -193,6 +233,8 @@ fn grade_run(
         category,
         llm_calls: run.trace.llm_calls(),
         perception: run.trace.perception_calls(),
+        plan_cache: run.trace.plan_cache_calls(),
+        plan_source: run.trace.plan_source(),
         latency: run.trace.timings().total(),
         error: run.output.as_ref().err().map(|e| e.to_string()),
     }
@@ -528,6 +570,45 @@ mod tests {
         assert_eq!(percentile(&mut samples, 0.95), Duration::from_millis(10));
         assert_eq!(percentile(&mut samples, 0.0), Duration::from_millis(1));
         assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+        // Out-of-range and NaN `p` clamp instead of panicking or aliasing.
+        assert_eq!(percentile(&mut samples, 2.0), Duration::from_millis(10));
+        assert_eq!(percentile(&mut samples, -1.0), Duration::from_millis(1));
+        assert_eq!(percentile(&mut samples, f64::NAN), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn latency_percentiles_match_single_percentile_calls() {
+        let config = EvaluationConfig::small();
+        let report = evaluate_model(ModelProfile::Gpt4, &config);
+        let ps = [0.0, 0.5, 0.95, 1.0];
+        let batch = report.latency_percentiles(&ps);
+        for (&p, &value) in ps.iter().zip(&batch) {
+            assert_eq!(value, report.latency_percentile(p));
+        }
+    }
+
+    #[test]
+    fn benchmark_queries_are_distinct_templates_so_cache_never_hits() {
+        // The 48 benchmark queries carry no quoted strings or standalone
+        // numbers, so each normalizes to its own plan-cache template: a cold
+        // evaluation run records only misses/insertions, never hits — which
+        // is why enabling the cache cannot change benchmark grades.
+        let config = EvaluationConfig::small();
+        let report = evaluate_model(ModelProfile::Gpt4, &config);
+        assert_eq!(report.total_plan_cache_hits(), 0);
+        if caesura_llm::PlanCacheConfig::default().is_enabled() {
+            // The cache defaults on, so every run probes it and misses.
+            assert!(report
+                .results
+                .iter()
+                .all(|r| r.plan_source.is_some() && r.plan_cache.misses == 1));
+        } else {
+            // Under `CAESURA_PLAN_CACHE=0` nothing probes at all.
+            assert!(report
+                .results
+                .iter()
+                .all(|r| r.plan_source.is_none() && r.plan_cache == Default::default()));
+        }
     }
 
     #[test]

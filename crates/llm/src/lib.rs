@@ -28,6 +28,7 @@ pub mod intent;
 pub mod mapping;
 pub mod perception;
 pub mod plan;
+pub mod plan_cache;
 pub mod profile;
 pub mod prompt;
 pub mod sim;
@@ -40,6 +41,10 @@ pub use error::{LlmError, LlmResult};
 pub use intent::{analyze, AggKind, AttributeRef, OutputKind, QueryIntent};
 pub use perception::PerceptionLlm;
 pub use plan::{ErrorAnalysis, LogicalPlan, LogicalStep, OperatorDecision};
+pub use plan_cache::{
+    normalize_query, schema_fingerprint, CachedPlan, PlanCache, PlanCacheConfig, PlanCacheStats,
+    QueryTemplate,
+};
 pub use profile::{ErrorInjector, ModelProfile};
 pub use prompt::{PromptBuilder, PromptConfig, RelevantColumn};
 pub use sim::SimulatedLlm;

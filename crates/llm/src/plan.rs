@@ -303,30 +303,65 @@ impl OperatorDecision {
 
 /// Split an `Arguments: (a; b; c)` payload into its parts. Parentheses are
 /// optional, semicolons separate arguments, and surrounding quotes are
-/// stripped.
+/// stripped. The split is **quote-aware**: a `;` inside a quoted span
+/// (`'...'` or `"..."`) is part of its argument, so SQL like
+/// `SELECT * FROM t WHERE note = 'a; b'` survives in one piece. A quote with
+/// no closing partner is treated as plain text (an apostrophe in prose never
+/// swallows the rest of the payload).
 pub fn split_arguments(text: &str) -> Vec<String> {
     let trimmed = text.trim();
     let inner = trimmed
         .strip_prefix('(')
         .and_then(|s| s.rfind(')').map(|end| &s[..end]))
         .unwrap_or(trimmed);
-    inner
-        .split(';')
+    let mut parts: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let byte = bytes[i];
+        if byte == b'\'' || byte == b'"' {
+            // Only a *terminated* quote opens a quoted span.
+            if let Some(rel) = inner[i + 1..].find(byte as char) {
+                let end = i + 1 + rel;
+                current.push_str(&inner[i..=end]);
+                i = end + 1;
+                continue;
+            }
+        }
+        if byte == b';' {
+            parts.push(current);
+            current = String::new();
+            i += 1;
+            continue;
+        }
+        let ch = inner[i..].chars().next().expect("in-bounds char");
+        current.push(ch);
+        i += ch.len_utf8();
+    }
+    parts.push(current);
+    parts
+        .iter()
         .map(|s| strip_matching_quotes(s.trim()).to_string())
         .filter(|s| !s.is_empty())
         .collect()
 }
 
-/// Strip one pair of surrounding quotes, but only if the text both starts and
-/// ends with the same quote character (so quotes *inside* a SQL argument such
-/// as `x = 'yes'` survive).
+/// Strip one pair of surrounding quotes, but only when the quotes actually
+/// pair up: the leading quote's *closing partner* must be the final
+/// character. Checking first == last alone would corrupt arguments like
+/// `'yes' OR status = 'no'` (first and last are both `'`, but the leading
+/// quote closes after `yes`).
 fn strip_matching_quotes(text: &str) -> &str {
     let bytes = text.as_bytes();
     if bytes.len() >= 2 {
         let first = bytes[0];
-        let last = bytes[bytes.len() - 1];
-        if first == last && (first == b'\'' || first == b'"') {
-            return text[1..text.len() - 1].trim();
+        if first == b'\'' || first == b'"' {
+            if let Some(rel) = text[1..].find(first as char) {
+                if 1 + rel == text.len() - 1 {
+                    return text[1..text.len() - 1].trim();
+                }
+            }
         }
     }
     text

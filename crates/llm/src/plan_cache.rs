@@ -1,0 +1,940 @@
+//! Session-scoped cache of **validated** logical plans and their operator
+//! decisions.
+//!
+//! Planner and operator-mapping LLM calls are the dominant per-query cost of
+//! the CAESURA pipeline and — before this module — were re-paid in full even
+//! when a structurally identical query had just been answered. The
+//! [`PlanCache`] remembers, per session, every `(LogicalPlan,
+//! Vec<OperatorDecision>)` pair whose execution completed **without any
+//! replan or per-step recovery** (insert-after-success), keyed on:
+//!
+//! * a **schema fingerprint** of the catalog the planner saw — table names
+//!   and column name/type pairs in catalog order
+//!   ([`schema_fingerprint`]) — so a hit is only possible against the exact
+//!   schema the cached plan was validated on, and
+//! * a **query template**: the query text with quoted string literals and
+//!   standalone numbers slotted out ([`normalize_query`]). Two queries that
+//!   differ only in such literals share one template; on a hit the *probe's*
+//!   literals are substituted back into the cached plan's step descriptions
+//!   and operator arguments, so `movement = 'Baroque'` becomes
+//!   `movement = 'Renaissance'` without a single model call.
+//!
+//! ## Why a hit cannot be worse than planning live
+//!
+//! A hit skips the planning *and* per-step mapping phases entirely — zero
+//! planner LLM calls on repeat traffic. The safety argument has three legs:
+//!
+//! * **Only validated plans enter.** A plan is inserted only after its
+//!   execution completed with no replan and no step retry, so every cached
+//!   entry has run end to end at least once against this exact schema.
+//! * **Literal substitution is structural.** Slots are cut from the query
+//!   text itself, and a template only matches when the probe's literal
+//!   *pattern* matches too (distinct literals stay distinct slots — see
+//!   [`normalize_query`]), so re-substitution is a pure find/replace of
+//!   values the plan provably threaded through from the original query.
+//! * **Failures fall back.** If a cached plan errors at execution, the entry
+//!   is evicted ([`PlanCache::invalidate`]) and the session re-plans live —
+//!   exactly the pre-cache path, one executor attempt later.
+//!
+//! ## Bounded memory, sharded locking
+//!
+//! Same shape as the perception answer cache (`caesura_modal::cache`): at
+//! most [`PlanCacheConfig::capacity`] entries over up to
+//! [`PlanCache::MAX_SHARDS`] independently locked shards whose capacities sum
+//! to the configured total, per-shard LRU eviction, and lifetime
+//! hit/miss/insertion/eviction/invalidation counters. The session shares one
+//! cache across the scheduler pool's concurrent in-flight queries via `Arc`.
+//!
+//! ## Knobs
+//!
+//! [`PlanCacheConfig`] defaults to the `CAESURA_PLAN_CACHE` environment
+//! variable: unset uses [`PlanCacheConfig::DEFAULT_CAPACITY`], a number sets
+//! the entry capacity, and `0` / `off` / `false` disables plan caching
+//! entirely — byte-for-byte preserving the always-plan-live behaviour.
+//! Sessions pin the knob via `CaesuraConfig::plan_cache`.
+
+use crate::plan::{LogicalPlan, OperatorDecision};
+use caesura_engine::Catalog;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Configuration of the session-scoped validated-plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheConfig {
+    /// Maximum number of cached plans across all shards. `0` disables the
+    /// cache entirely (the byte-for-byte always-plan-live behaviour).
+    pub capacity: usize,
+}
+
+impl PlanCacheConfig {
+    /// Default entry capacity when `CAESURA_PLAN_CACHE` is unset.
+    ///
+    /// Entries are one plan plus its decisions — a few kilobytes of text —
+    /// so the default is sized for the distinct query *shapes* of a serving
+    /// workload, not its raw query count (literal-only variants share one
+    /// entry).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A configuration with an explicit entry capacity (`0` = off).
+    pub fn new(capacity: usize) -> Self {
+        PlanCacheConfig { capacity }
+    }
+
+    /// The disabled configuration: no cache is created and every query plans
+    /// live, exactly as before this subsystem existed.
+    pub fn off() -> Self {
+        PlanCacheConfig { capacity: 0 }
+    }
+
+    /// Whether this configuration creates a cache at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configuration described by the environment: `CAESURA_PLAN_CACHE`
+    /// — unset uses [`Self::DEFAULT_CAPACITY`], `0` / `off` / `false`
+    /// disables the cache, any other number is the entry capacity
+    /// (unparseable values fall back to the default, mirroring the other
+    /// `CAESURA_*` knobs).
+    pub fn from_env() -> Self {
+        match std::env::var("CAESURA_PLAN_CACHE") {
+            Err(_) => PlanCacheConfig::new(Self::DEFAULT_CAPACITY),
+            Ok(raw) => {
+                let value = raw.trim().to_lowercase();
+                if value == "off" || value == "false" || value == "0" {
+                    PlanCacheConfig::off()
+                } else {
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&c| c > 0)
+                        .map(PlanCacheConfig::new)
+                        .unwrap_or(PlanCacheConfig::new(Self::DEFAULT_CAPACITY))
+                }
+            }
+        }
+    }
+
+    /// Build the cache this configuration describes (`None` when disabled).
+    pub fn build(&self) -> Option<PlanCache> {
+        if self.is_enabled() {
+            Some(PlanCache::with_capacity(self.capacity))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for PlanCacheConfig {
+    /// The environment-described configuration, read once per process (the
+    /// same caching pattern as the perception-cache `CacheConfig`); use
+    /// [`PlanCacheConfig::from_env`] directly to re-read the environment.
+    fn default() -> Self {
+        static DEFAULT: OnceLock<PlanCacheConfig> = OnceLock::new();
+        *DEFAULT.get_or_init(PlanCacheConfig::from_env)
+    }
+}
+
+/// Lifetime counters of one [`PlanCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Probes answered from the cache (planning + mapping phases skipped).
+    pub hits: usize,
+    /// Probes that fell through to live planning.
+    pub misses: usize,
+    /// Validated plans stored (one per clean first execution).
+    pub insertions: usize,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: usize,
+    /// Entries removed because their cached plan failed at execution.
+    pub invalidations: usize,
+}
+
+/// A query normalized for plan-cache lookup: the text with quoted string
+/// literals and standalone numbers replaced by slot markers, plus the
+/// extracted literals in slot order.
+///
+/// Produced by [`normalize_query`]; equal templates (under equal schema
+/// fingerprints) select the same cache entry, and the literals are what a hit
+/// substitutes back into the cached plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTemplate {
+    /// The query text with each literal occurrence replaced by its slot
+    /// marker.
+    pub template: String,
+    /// The distinct literal values, indexed by slot.
+    pub literals: Vec<String>,
+}
+
+/// Slot markers use a Unicode private-use character that cannot appear in
+/// real queries or model output, so marker substitution is collision-free.
+const SLOT_MARK: char = '\u{F8FF}';
+
+fn slot_marker(index: usize) -> String {
+    format!("{SLOT_MARK}{index}{SLOT_MARK}")
+}
+
+// The two `glued_*` helpers require token boundaries around bare-number
+// literals (and around bare literal occurrences inside plan text), so `1990`
+// never matches inside `1990s` or `x1990`.
+
+/// Whether the byte *before* position `i` glues onto a token starting at `i`.
+/// A `.` glues only as a decimal continuation (`1.30`); a sentence period or
+/// ellipsis does not.
+fn glued_before(bytes: &[u8], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let byte = bytes[i - 1];
+    if byte.is_ascii_alphanumeric() || byte == b'_' {
+        return true;
+    }
+    byte == b'.' && i >= 2 && bytes[i - 2].is_ascii_digit()
+}
+
+/// Whether the byte *at* position `end` glues onto a token ending at `end`.
+/// A `.` glues only when it continues a decimal number (`30.5`); a `30` at
+/// the end of a sentence (`points > 30.`) sits at a token boundary.
+fn glued_after(bytes: &[u8], end: usize) -> bool {
+    if end >= bytes.len() {
+        return false;
+    }
+    let byte = bytes[end];
+    if byte.is_ascii_alphanumeric() || byte == b'_' {
+        return true;
+    }
+    byte == b'.' && end + 1 < bytes.len() && bytes[end + 1].is_ascii_digit()
+}
+
+/// Normalize a query into its plan-cache template: quoted string literals
+/// (`'...'` or `"..."`) and standalone numbers (digits with an optional
+/// single decimal point) are replaced by slot markers; everything else is
+/// kept verbatim.
+///
+/// Slots are **deduplicated by value**: every occurrence of one literal maps
+/// to one slot, so the template itself encodes the equality pattern of the
+/// literals. Two queries share a template only when their literals are
+/// equal/distinct in the same positions — which is what makes by-value
+/// re-substitution into a cached plan unambiguous. An unterminated quote is
+/// treated as plain text (apostrophes in prose never swallow the query).
+pub fn normalize_query(query: &str) -> QueryTemplate {
+    let bytes = query.as_bytes();
+    let mut template = String::with_capacity(query.len());
+    let mut literals: Vec<String> = Vec::new();
+    let slot_of = |value: &str, literals: &mut Vec<String>| -> String {
+        let index = match literals.iter().position(|l| l == value) {
+            Some(index) => index,
+            None => {
+                literals.push(value.to_string());
+                literals.len() - 1
+            }
+        };
+        slot_marker(index)
+    };
+    let mut i = 0;
+    while i < bytes.len() {
+        let byte = bytes[i];
+        if byte == b'\'' || byte == b'"' {
+            // A quoted literal — but only if the quote is terminated.
+            if let Some(rel) = query[i + 1..].find(byte as char) {
+                let end = i + 1 + rel;
+                let inner = &query[i + 1..end];
+                let marker = slot_of(inner, &mut literals);
+                template.push(byte as char);
+                template.push_str(&marker);
+                template.push(byte as char);
+                i = end + 1;
+                continue;
+            }
+            template.push(byte as char);
+            i += 1;
+            continue;
+        }
+        if byte.is_ascii_digit() && !glued_before(bytes, i) {
+            // A standalone number: digits with at most one interior decimal
+            // point, bounded by non-token bytes on both sides.
+            let mut end = i;
+            let mut seen_dot = false;
+            while end < bytes.len() {
+                let b = bytes[end];
+                if b.is_ascii_digit() {
+                    end += 1;
+                } else if b == b'.'
+                    && !seen_dot
+                    && end + 1 < bytes.len()
+                    && bytes[end + 1].is_ascii_digit()
+                {
+                    seen_dot = true;
+                    end += 1;
+                } else {
+                    break;
+                }
+            }
+            if !glued_after(bytes, end) {
+                let marker = slot_of(&query[i..end], &mut literals);
+                template.push_str(&marker);
+                i = end;
+                continue;
+            }
+            // Part of a larger token (`1990s`, `top10list`): keep verbatim.
+            template.push_str(&query[i..end]);
+            i = end;
+            continue;
+        }
+        // Plain text: advance one full UTF-8 character.
+        let ch = query[i..].chars().next().expect("in-bounds char");
+        template.push(ch);
+        i += ch.len_utf8();
+    }
+    QueryTemplate { template, literals }
+}
+
+/// Replace every occurrence of each literal in `text` with its slot marker:
+/// quoted occurrences (`'lit'` / `"lit"`) unconditionally, bare occurrences
+/// only at token boundaries. Longer literals are substituted first so a
+/// literal that is a substring of another never clobbers it.
+fn slot_out(text: &str, literals: &[String]) -> String {
+    let mut order: Vec<usize> = (0..literals.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(literals[i].len()));
+    let mut out = text.to_string();
+    for index in order {
+        let literal = &literals[index];
+        if literal.is_empty() {
+            continue;
+        }
+        let marker = slot_marker(index);
+        out = out.replace(&format!("'{literal}'"), &format!("'{marker}'"));
+        out = out.replace(&format!("\"{literal}\""), &format!("\"{marker}\""));
+        // Bare (unquoted) substitution needs at least two characters: a
+        // one-character literal like 'a' would otherwise slot out ordinary
+        // prose words of the plan text.
+        if literal.len() >= 2 {
+            out = replace_bare(&out, literal, &marker);
+        }
+    }
+    out
+}
+
+/// Replace bare (unquoted) occurrences of `needle` that sit at token
+/// boundaries on both sides.
+fn replace_bare(text: &str, needle: &str, replacement: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if text[i..].starts_with(needle) {
+            let end = i + needle.len();
+            if !glued_before(bytes, i) && !glued_after(bytes, end) {
+                out.push_str(replacement);
+                i = end;
+                continue;
+            }
+        }
+        let ch = text[i..].chars().next().expect("in-bounds char");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// Replace every slot marker in `text` with the probe's literal for that
+/// slot. Markers use a private-use character, so this is collision-free.
+fn fill_slots(text: &str, literals: &[String]) -> String {
+    let mut out = text.to_string();
+    for (index, literal) in literals.iter().enumerate() {
+        out = out.replace(&slot_marker(index), literal);
+    }
+    out
+}
+
+/// A plan with its literals slotted out, as stored in the cache.
+fn normalize_plan(plan: &LogicalPlan, literals: &[String]) -> LogicalPlan {
+    LogicalPlan {
+        thought: slot_out(&plan.thought, literals),
+        steps: plan
+            .steps
+            .iter()
+            .map(|step| crate::plan::LogicalStep {
+                number: step.number,
+                description: slot_out(&step.description, literals),
+                inputs: step.inputs.clone(),
+                output: step.output.clone(),
+                new_columns: step.new_columns.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn instantiate_plan(plan: &LogicalPlan, literals: &[String]) -> LogicalPlan {
+    LogicalPlan {
+        thought: fill_slots(&plan.thought, literals),
+        steps: plan
+            .steps
+            .iter()
+            .map(|step| crate::plan::LogicalStep {
+                number: step.number,
+                description: fill_slots(&step.description, literals),
+                inputs: step.inputs.clone(),
+                output: step.output.clone(),
+                new_columns: step.new_columns.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn normalize_decisions(
+    decisions: &[OperatorDecision],
+    literals: &[String],
+) -> Vec<OperatorDecision> {
+    decisions
+        .iter()
+        .map(|d| OperatorDecision {
+            step_number: d.step_number,
+            reasoning: slot_out(&d.reasoning, literals),
+            operator: d.operator,
+            arguments: d.arguments.iter().map(|a| slot_out(a, literals)).collect(),
+        })
+        .collect()
+}
+
+fn instantiate_decisions(
+    decisions: &[OperatorDecision],
+    literals: &[String],
+) -> Vec<OperatorDecision> {
+    decisions
+        .iter()
+        .map(|d| OperatorDecision {
+            step_number: d.step_number,
+            reasoning: fill_slots(&d.reasoning, literals),
+            operator: d.operator,
+            arguments: d
+                .arguments
+                .iter()
+                .map(|a| fill_slots(a, literals))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fingerprint of the catalog a planner saw: every table with its column
+/// name/type pairs, in catalog (name-sorted, deterministic) order. The full
+/// string is the key component — no hashing, so distinct schemas can never
+/// collide.
+pub fn schema_fingerprint(catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for table in catalog.tables() {
+        out.push_str(table.name());
+        out.push('(');
+        for (i, field) in table.schema().fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&field.name);
+            out.push(':');
+            out.push_str(field.data_type.prompt_name());
+        }
+        out.push_str(");");
+    }
+    out
+}
+
+/// A cached validated plan, instantiated with the probe's literals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPlan {
+    /// The logical plan, with the probe's literals substituted in.
+    pub plan: LogicalPlan,
+    /// The operator decisions, one per plan step, literals substituted.
+    pub decisions: Vec<OperatorDecision>,
+}
+
+/// One stored entry plus its position in the shard's LRU order.
+#[derive(Debug)]
+struct Entry {
+    plan: LogicalPlan,
+    decisions: Vec<OperatorDecision>,
+    tick: u64,
+}
+
+/// One independently locked slice of the cache. Keys are the concatenation
+/// of schema fingerprint and query template (separated by a byte neither can
+/// contain).
+#[derive(Debug, Default)]
+struct Shard {
+    /// Entry capacity of this shard (the shard capacities sum to the
+    /// configured total).
+    capacity: usize,
+    /// Monotonic access clock; higher tick = more recently used.
+    tick: u64,
+    index: HashMap<String, Entry>,
+    /// LRU order: access tick → key of the entry touched at that tick.
+    lru: BTreeMap<u64, String>,
+}
+
+impl Shard {
+    /// Move an entry's tick to the front of the LRU order.
+    fn touch(lru: &mut BTreeMap<u64, String>, entry: &mut Entry, tick: u64) {
+        let key = lru
+            .remove(&entry.tick)
+            .expect("a live plan-cache entry has an LRU slot");
+        entry.tick = tick;
+        lru.insert(tick, key);
+    }
+}
+
+/// A bounded, sharded, LRU map from `(schema fingerprint, query template)`
+/// keys to validated `(LogicalPlan, Vec<OperatorDecision>)` entries. See the
+/// [module docs](self) for the correctness argument and locking model.
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    insertions: AtomicUsize,
+    evictions: AtomicUsize,
+    invalidations: AtomicUsize,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// Upper bound on the number of lock shards. Small capacities use fewer
+    /// shards (down to one) so the configured bound stays exact.
+    pub const MAX_SHARDS: usize = 16;
+
+    /// Separator between the fingerprint and template halves of a key; a
+    /// control byte that appears in neither.
+    const KEY_SEP: char = '\u{1f}';
+
+    /// A cache holding at most `capacity` plans (clamped to ≥ 1; use
+    /// [`PlanCacheConfig::build`] to express "off" as the absence of a
+    /// cache).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shard_count = (capacity / 4).clamp(1, Self::MAX_SHARDS);
+        let base = capacity / shard_count;
+        let extra = capacity % shard_count;
+        let shards = (0..shard_count)
+            .map(|i| {
+                Mutex::new(Shard {
+                    capacity: base + usize::from(i < extra),
+                    ..Shard::default()
+                })
+            })
+            .collect();
+        PlanCache {
+            shards,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            insertions: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            invalidations: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// The configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans currently cached (across all shards; a racing
+    /// snapshot under concurrent use).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard lock").lru.len())
+            .sum()
+    }
+
+    /// Whether no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit/miss/insertion/eviction/invalidation counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn key(fingerprint: &str, template: &QueryTemplate) -> String {
+        format!("{fingerprint}{}{}", Self::KEY_SEP, template.template)
+    }
+
+    /// FNV-1a over the key, used only to pick a shard (entry identity is the
+    /// exact key string, never this hash).
+    fn shard_of(&self, key: &str) -> usize {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in key.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Look up the validated plan for a `(fingerprint, template)` probe,
+    /// refreshing its LRU position on a hit. The returned plan and decisions
+    /// carry the **probe's** literals.
+    pub fn lookup(&self, fingerprint: &str, template: &QueryTemplate) -> Option<CachedPlan> {
+        let key = Self::key(fingerprint, template);
+        let mut guard = self.shards[self.shard_of(&key)]
+            .lock()
+            .expect("plan cache shard lock");
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.index.get_mut(&key) {
+            Some(entry) => {
+                Shard::touch(&mut shard.lru, entry, tick);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(CachedPlan {
+                    plan: instantiate_plan(&entry.plan, &template.literals),
+                    decisions: instantiate_decisions(&entry.decisions, &template.literals),
+                })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a **validated** plan for a `(fingerprint, template)` key,
+    /// slotting the template's literals out of the plan text so future
+    /// probes can substitute their own. Evicts the shard's least-recently-
+    /// used entry if the shard is full; returns the number of evictions
+    /// performed (0 or 1).
+    ///
+    /// Callers must only insert plans whose execution completed without any
+    /// replan or per-step recovery — the insert-after-success contract the
+    /// module docs argue correctness from.
+    pub fn insert(
+        &self,
+        fingerprint: &str,
+        template: &QueryTemplate,
+        plan: &LogicalPlan,
+        decisions: &[OperatorDecision],
+    ) -> usize {
+        let key = Self::key(fingerprint, template);
+        let mut guard = self.shards[self.shard_of(&key)]
+            .lock()
+            .expect("plan cache shard lock");
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(entry) = shard.index.get_mut(&key) {
+            // A concurrent query with the same shape stored this entry
+            // already; both plans were validated, so only the LRU position
+            // needs refreshing.
+            Shard::touch(&mut shard.lru, entry, tick);
+            return 0;
+        }
+        shard.index.insert(
+            key.clone(),
+            Entry {
+                plan: normalize_plan(plan, &template.literals),
+                decisions: normalize_decisions(decisions, &template.literals),
+                tick,
+            },
+        );
+        shard.lru.insert(tick, key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if shard.lru.len() <= shard.capacity {
+            return 0;
+        }
+        let (_, victim) = shard
+            .lru
+            .pop_first()
+            .expect("a full shard has an LRU entry");
+        shard.index.remove(&victim);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        1
+    }
+
+    /// Remove the entry for a `(fingerprint, template)` key because its
+    /// cached plan failed at execution. Returns whether an entry was removed
+    /// (a concurrent invalidation may have beaten this one).
+    pub fn invalidate(&self, fingerprint: &str, template: &QueryTemplate) -> bool {
+        let key = Self::key(fingerprint, template);
+        let mut guard = self.shards[self.shard_of(&key)]
+            .lock()
+            .expect("plan cache shard lock");
+        let shard = &mut *guard;
+        match shard.index.remove(&key) {
+            Some(entry) => {
+                shard.lru.remove(&entry.tick);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::LogicalStep;
+    use caesura_modal::OperatorKind;
+
+    fn plan_with(description: &str) -> LogicalPlan {
+        LogicalPlan {
+            thought: "think".into(),
+            steps: vec![LogicalStep::new(
+                1,
+                description,
+                vec!["t".into()],
+                "out",
+                vec![],
+            )],
+        }
+    }
+
+    fn decision_with(argument: &str) -> Vec<OperatorDecision> {
+        vec![OperatorDecision {
+            step_number: 1,
+            reasoning: "because".into(),
+            operator: OperatorKind::SqlSelection,
+            arguments: vec![argument.into()],
+        }]
+    }
+
+    #[test]
+    fn config_parses_capacity_and_off_modes() {
+        assert!(PlanCacheConfig::new(10).is_enabled());
+        assert!(!PlanCacheConfig::off().is_enabled());
+        assert!(PlanCacheConfig::off().build().is_none());
+        assert_eq!(PlanCacheConfig::new(10).build().unwrap().capacity(), 10);
+    }
+
+    #[test]
+    fn normalize_slots_quoted_strings_and_numbers() {
+        let t = normalize_query("How many paintings of the 'Baroque' movement sold above 1000?");
+        assert_eq!(t.literals, vec!["Baroque", "1000"]);
+        assert!(!t.template.contains("Baroque"));
+        assert!(!t.template.contains("1000"));
+        // Same shape, different literals → same template.
+        let u = normalize_query("How many paintings of the 'Rococo' movement sold above 250?");
+        assert_eq!(t.template, u.template);
+        // Different shape → different template.
+        let v = normalize_query("How many sculptures of the 'Rococo' movement sold above 250?");
+        assert_ne!(t.template, v.template);
+    }
+
+    #[test]
+    fn normalize_keeps_numbers_inside_tokens_and_unclosed_quotes() {
+        let t = normalize_query("List the 1990s hits from the team's top10 songs");
+        assert!(t.literals.is_empty(), "literals: {:?}", t.literals);
+        assert_eq!(
+            t.template,
+            "List the 1990s hits from the team's top10 songs"
+        );
+        let u = normalize_query("Scores above 98.5 in 2024");
+        assert_eq!(u.literals, vec!["98.5", "2024"]);
+    }
+
+    #[test]
+    fn repeated_literals_share_a_slot_so_patterns_must_match() {
+        let twice = normalize_query("between 3 and 3");
+        assert_eq!(twice.literals, vec!["3"]);
+        let distinct = normalize_query("between 3 and 5");
+        assert_eq!(distinct.literals.len(), 2);
+        // The equality pattern is part of the template itself.
+        assert_ne!(twice.template, distinct.template);
+    }
+
+    #[test]
+    fn hit_substitutes_probe_literals_into_plan_and_decisions() {
+        let cache = PlanCache::with_capacity(8);
+        let stored = normalize_query("Filter paintings of the 'Baroque' movement");
+        cache.insert(
+            "fp",
+            &stored,
+            &plan_with("Keep only rows where movement = 'Baroque'."),
+            &decision_with("SELECT * FROM t WHERE movement = 'Baroque'"),
+        );
+        let probe = normalize_query("Filter paintings of the 'Renaissance' movement");
+        let hit = cache.lookup("fp", &probe).expect("template must hit");
+        assert_eq!(
+            hit.plan.steps[0].description,
+            "Keep only rows where movement = 'Renaissance'."
+        );
+        assert_eq!(
+            hit.decisions[0].arguments[0],
+            "SELECT * FROM t WHERE movement = 'Renaissance'"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 0, 1));
+    }
+
+    #[test]
+    fn bare_literal_occurrences_substitute_only_at_token_boundaries() {
+        let cache = PlanCache::with_capacity(8);
+        let stored = normalize_query("Keep games where points above 30");
+        cache.insert(
+            "fp",
+            &stored,
+            &plan_with("Keep rows with points > 30."),
+            &decision_with("SELECT * FROM t WHERE points > 30 AND id <> 301"),
+        );
+        let probe = normalize_query("Keep games where points above 55");
+        let hit = cache.lookup("fp", &probe).unwrap();
+        assert_eq!(hit.plan.steps[0].description, "Keep rows with points > 55.");
+        // `30` inside `301` must survive.
+        assert_eq!(
+            hit.decisions[0].arguments[0],
+            "SELECT * FROM t WHERE points > 55 AND id <> 301"
+        );
+    }
+
+    #[test]
+    fn identical_query_round_trips_bit_for_bit() {
+        // Even when a literal coincides with a column name, probing with the
+        // *same* literals restores the stored text exactly.
+        let cache = PlanCache::with_capacity(8);
+        let template = normalize_query("Show rows where status is 'status'");
+        let plan = plan_with("Filter on status = 'status' via the status column.");
+        let decisions = decision_with("SELECT status FROM t WHERE status = 'status'");
+        cache.insert("fp", &template, &plan, &decisions);
+        let hit = cache.lookup("fp", &template).unwrap();
+        assert_eq!(hit.plan, plan);
+        assert_eq!(hit.decisions, decisions);
+    }
+
+    #[test]
+    fn different_fingerprints_never_share_entries() {
+        let cache = PlanCache::with_capacity(8);
+        let template = normalize_query("count rows");
+        cache.insert(
+            "schema-a",
+            &template,
+            &plan_with("count"),
+            &decision_with("SELECT COUNT(*) FROM t"),
+        );
+        assert!(cache.lookup("schema-b", &template).is_none());
+        assert!(cache.lookup("schema-a", &template).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes_the_entry_and_counts() {
+        let cache = PlanCache::with_capacity(8);
+        let template = normalize_query("count rows");
+        cache.insert("fp", &template, &plan_with("count"), &decision_with("x"));
+        assert!(cache.invalidate("fp", &template));
+        assert!(!cache.invalidate("fp", &template), "already gone");
+        assert!(cache.lookup("fp", &template).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_holds_with_lru_eviction() {
+        let cache = PlanCache::with_capacity(2);
+        let (a, b, c) = (
+            normalize_query("alpha"),
+            normalize_query("beta"),
+            normalize_query("gamma"),
+        );
+        assert_eq!(
+            cache.insert("fp", &a, &plan_with("a"), &decision_with("a")),
+            0
+        );
+        assert_eq!(
+            cache.insert("fp", &b, &plan_with("b"), &decision_with("b")),
+            0
+        );
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.lookup("fp", &a).is_some());
+        assert_eq!(
+            cache.insert("fp", &c, &plan_with("c"), &decision_with("c")),
+            1
+        );
+        assert!(cache.lookup("fp", &b).is_none(), "b was LRU");
+        assert!(cache.lookup("fp", &a).is_some());
+        assert!(cache.lookup("fp", &c).is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_grow_or_evict() {
+        let cache = PlanCache::with_capacity(1);
+        let template = normalize_query("alpha");
+        cache.insert("fp", &template, &plan_with("a"), &decision_with("a"));
+        assert_eq!(
+            cache.insert("fp", &template, &plan_with("a"), &decision_with("a")),
+            0
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_the_configured_total() {
+        for capacity in [1, 2, 5, 16, 17, 100, 4096] {
+            let cache = PlanCache::with_capacity(capacity);
+            let total: usize = cache
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().capacity)
+                .sum();
+            assert_eq!(total, capacity, "capacity {capacity}");
+            assert!(cache.shards.len() <= PlanCache::MAX_SHARDS);
+        }
+    }
+
+    #[test]
+    fn schema_fingerprint_is_exact_and_order_stable() {
+        use caesura_engine::{DataType, Schema, TableBuilder};
+        let mut catalog = Catalog::new();
+        let zeta = Schema::from_pairs(&[("id", DataType::Int)]);
+        catalog.register(TableBuilder::new("zeta", zeta).build());
+        let alpha = Schema::from_pairs(&[("name", DataType::Str)]);
+        catalog.register(TableBuilder::new("alpha", alpha).build());
+        let fp = schema_fingerprint(&catalog);
+        // Catalog iteration is name-sorted, so registration order does not
+        // perturb the fingerprint.
+        assert_eq!(fp, "alpha(name:str);zeta(id:int);");
+        let beta = Schema::from_pairs(&[("id", DataType::Int)]);
+        catalog.register(TableBuilder::new("beta", beta).build());
+        assert_ne!(schema_fingerprint(&catalog), fp);
+    }
+
+    #[test]
+    fn concurrent_mixed_use_stays_bounded_and_consistent() {
+        let cache = std::sync::Arc::new(PlanCache::with_capacity(8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        // `variantN` keeps the digit inside a token, so the
+                        // 12 shapes stay 12 distinct templates.
+                        let query = format!("shape variant{} with 'x'", (t * 13 + i) % 12);
+                        let template = normalize_query(&query);
+                        if let Some(hit) = cache.lookup("fp", &template) {
+                            assert_eq!(hit.decisions[0].arguments[0], "arg 'x'");
+                        } else {
+                            cache.insert(
+                                "fp",
+                                &template,
+                                &plan_with("step"),
+                                &decision_with("arg 'x'"),
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 8, "capacity bound violated: {}", cache.len());
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+    }
+}

@@ -5,9 +5,13 @@
 //! Runs over deterministic pseudo-random inputs from the in-repo `rand` shim
 //! (the build environment has no network access for proptest).
 
+use caesura::core::{Caesura, CaesuraConfig, PlanSource, QueryRun};
+use caesura::data::{generate_artwork, ArtworkConfig};
 use caesura::llm::{plan::split_arguments, LogicalPlan, LogicalStep, OperatorDecision};
+use caesura::llm::{CountingLlm, PlanCacheConfig, SimulatedLlm};
 use caesura::modal::OperatorKind;
 use rand::{Rng, SeedableRng, StdRng};
+use std::sync::Arc;
 
 const CASES: usize = 300;
 
@@ -155,5 +159,240 @@ fn argument_splitting_inverts_joining() {
 fn operator_names_round_trip() {
     for operator in OperatorKind::all() {
         assert_eq!(OperatorKind::from_name(operator.name()), Some(*operator));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-parsing regressions
+// ---------------------------------------------------------------------------
+
+/// A `;` inside a quoted string is argument *content*, not a separator.
+#[test]
+fn split_arguments_keeps_semicolons_inside_quoted_strings() {
+    assert_eq!(
+        split_arguments("('Filter rows'; SELECT * FROM t WHERE note = 'a; b')"),
+        vec![
+            "Filter rows".to_string(),
+            "SELECT * FROM t WHERE note = 'a; b'".to_string(),
+        ]
+    );
+}
+
+/// Surrounding quotes are stripped only when the leading quote's closing
+/// partner is the final character — a coincidental first/last quote pair
+/// (`'yes' OR status = 'no'`) must survive intact.
+#[test]
+fn strip_only_removes_quotes_that_wrap_the_whole_argument() {
+    assert_eq!(
+        split_arguments("(SELECT * FROM t WHERE status = 'yes' OR status = 'no')"),
+        vec!["SELECT * FROM t WHERE status = 'yes' OR status = 'no'".to_string()]
+    );
+    assert_eq!(
+        split_arguments("('yes' OR status = 'no')"),
+        vec!["'yes' OR status = 'no'".to_string()]
+    );
+    // A genuinely wrapped argument still sheds its quotes.
+    assert_eq!(
+        split_arguments("('num_swords')"),
+        vec!["num_swords".to_string()]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache equivalence: cached replay must be indistinguishable from live
+// planning at the output level, across cache configurations and scheduler
+// widths.
+// ---------------------------------------------------------------------------
+
+/// Three artwork-lake queries with known-good simulated plans; each round
+/// repeats all of them, so every round after the first is repeat traffic.
+const REPEAT_WORKLOAD: [&str; 3] = [
+    "How many paintings are in the museum?",
+    "List the titles of all paintings that depict a horse.",
+    "Plot the number of paintings depicting Madonna and Child for each century!",
+];
+const ROUNDS: usize = 3;
+
+fn cache_session(plan_cache: Option<PlanCacheConfig>, workers: usize) -> Caesura {
+    // `generate_artwork` is deterministic per config, so every session built
+    // here serves the identical lake.
+    let data = generate_artwork(&ArtworkConfig::small());
+    let config = CaesuraConfig {
+        plan_cache,
+        session_workers: Some(workers),
+        ..CaesuraConfig::default()
+    };
+    Caesura::with_config(data.lake, Arc::new(SimulatedLlm::gpt4()), config)
+}
+
+fn run_workload_serially(session: &Caesura) -> Vec<QueryRun> {
+    (0..ROUNDS)
+        .flat_map(|_| REPEAT_WORKLOAD)
+        .map(|query| session.run(query))
+        .collect()
+}
+
+/// Trace events minus the plan-cache bookkeeping events ("plan-source" from
+/// the probe, "plan-cache" from invalidation) — what must match between a
+/// cache-off run and a cold cache-on run.
+fn comparable_events(run: &QueryRun) -> Vec<(String, String)> {
+    run.trace
+        .events()
+        .iter()
+        .filter(|e| e.label != "plan-source" && e.label != "plan-cache")
+        .map(|e| (e.label.clone(), e.detail.clone()))
+        .collect()
+}
+
+fn output_repr(run: &QueryRun) -> String {
+    format!("{:?}", run.output)
+}
+
+/// The central equivalence property: for every cache configuration —
+/// disabled, capacity 2 (smaller than the 3-query working set, so entries
+/// evict continuously), and the default capacity — the workload produces
+/// identical outputs; and a cold cache-on run differs from the cache-off
+/// baseline only by the plan-cache bookkeeping events.
+#[test]
+fn plan_cache_configurations_never_change_outputs() {
+    let baseline = run_workload_serially(&cache_session(Some(PlanCacheConfig::off()), 1));
+
+    // Cache off: the trace carries no plan-cache marks at all — the
+    // `CAESURA_PLAN_CACHE=0` tree is indistinguishable from a build without
+    // the cache. Full-trace equality (it includes the counters and the plan
+    // source) across two identically configured sessions proves the off
+    // path stays deterministic.
+    let baseline_again = run_workload_serially(&cache_session(Some(PlanCacheConfig::off()), 1));
+    for (run, again) in baseline.iter().zip(&baseline_again) {
+        assert!(run.trace.plan_source().is_none());
+        assert_eq!(run.trace.plan_cache_calls(), Default::default());
+        assert_eq!(run.trace, again.trace);
+        assert_eq!(output_repr(run), output_repr(again));
+    }
+
+    // Capacities are pinned explicitly (not `None` = read the environment),
+    // so this property holds under every `CAESURA_PLAN_CACHE` CI matrix row.
+    for capacity in [
+        Some(PlanCacheConfig::new(2)),
+        Some(PlanCacheConfig::new(PlanCacheConfig::DEFAULT_CAPACITY)),
+    ] {
+        let session = cache_session(capacity, 1);
+        let runs = run_workload_serially(&session);
+        for (index, (run, reference)) in runs.iter().zip(&baseline).enumerate() {
+            assert_eq!(
+                output_repr(run),
+                output_repr(reference),
+                "output diverged for run {index} under {capacity:?}"
+            );
+            assert!(run.trace.plan_source().is_some());
+            match run.trace.plan_source() {
+                // A live-planned run must look exactly like the baseline
+                // modulo the bookkeeping events.
+                Some(PlanSource::Planned) => {
+                    assert_eq!(comparable_events(run), comparable_events(reference));
+                    assert_eq!(run.trace.llm_calls(), reference.trace.llm_calls());
+                }
+                // A replayed run re-executes the same decisions without the
+                // planning/mapping prompts: no LLM calls at all (discovery
+                // is lexical), and the identical observations.
+                Some(PlanSource::Cached) => {
+                    assert_eq!(run.trace.llm_calls(), 0);
+                }
+                None => unreachable!(),
+            }
+            assert_eq!(
+                run.trace.perception_calls(),
+                reference.trace.perception_calls(),
+                "perception accounting diverged for run {index} under {capacity:?}"
+            );
+        }
+        // Capacity 2 cannot hold the 3-query round-robin working set: with
+        // nearest-in-round LRU eviction every probe misses, so the cache
+        // degrades to the live path instead of serving stale plans.
+        if capacity == Some(PlanCacheConfig::new(2)) {
+            assert!(runs
+                .iter()
+                .all(|r| r.trace.plan_source() == Some(PlanSource::Planned)));
+            let stats = session.plan_cache().expect("cache is on").stats();
+            assert!(stats.evictions > 0, "capacity 2 must evict");
+            assert_eq!(stats.hits, 0);
+        } else {
+            // Default capacity: every run after round one replays.
+            assert!(runs[REPEAT_WORKLOAD.len()..]
+                .iter()
+                .all(|r| r.trace.plan_source() == Some(PlanSource::Cached)));
+        }
+    }
+}
+
+/// Warm repeats make **zero** LLM calls with the cache on: the planner and
+/// mapper are skipped entirely, observed at the client level by
+/// [`CountingLlm`].
+#[test]
+fn warm_repeats_skip_planner_and_mapping_llm_calls() {
+    let data = generate_artwork(&ArtworkConfig::small());
+    let counting = Arc::new(CountingLlm::new(SimulatedLlm::gpt4()));
+    let session = Caesura::with_config(
+        data.lake,
+        counting.clone(),
+        CaesuraConfig {
+            plan_cache: Some(PlanCacheConfig::new(1024)),
+            session_workers: Some(1),
+            ..CaesuraConfig::default()
+        },
+    );
+
+    let cold: Vec<QueryRun> = REPEAT_WORKLOAD.iter().map(|q| session.run(q)).collect();
+    assert!(cold.iter().all(|r| r.succeeded()));
+    let cold_usage = counting.usage();
+    assert!(cold_usage.calls > 0);
+
+    let warm: Vec<QueryRun> = REPEAT_WORKLOAD.iter().map(|q| session.run(q)).collect();
+    let warm_usage = counting.usage();
+    assert_eq!(
+        warm_usage.calls, cold_usage.calls,
+        "warm repeats must not reach the LLM client"
+    );
+    for (run, cold_run) in warm.iter().zip(&cold) {
+        assert!(run.succeeded());
+        assert_eq!(run.trace.plan_source(), Some(PlanSource::Cached));
+        assert_eq!(run.trace.plan_cache_calls().hits, 1);
+        assert_eq!(run.trace.llm_calls(), 0);
+        assert_eq!(output_repr(run), output_repr(cold_run));
+        assert_eq!(run.logical_plan, cold_run.logical_plan);
+        assert_eq!(run.decisions, cold_run.decisions);
+    }
+}
+
+/// The equivalence holds under concurrent serving too: with 4 scheduler
+/// workers racing on one shared cache, every query still returns the
+/// serial-baseline output (hit/miss *patterns* race; answers cannot).
+#[test]
+fn plan_cache_outputs_are_stable_under_concurrent_serving() {
+    let baseline = run_workload_serially(&cache_session(Some(PlanCacheConfig::off()), 1));
+    let expected: std::collections::BTreeMap<&str, String> = REPEAT_WORKLOAD
+        .iter()
+        .zip(&baseline)
+        .map(|(q, run)| (*q, output_repr(run)))
+        .collect();
+
+    for plan_cache in [
+        Some(PlanCacheConfig::off()),
+        Some(PlanCacheConfig::new(2)),
+        Some(PlanCacheConfig::new(PlanCacheConfig::DEFAULT_CAPACITY)),
+    ] {
+        let session = cache_session(plan_cache, 4);
+        let handles: Vec<_> = (0..ROUNDS)
+            .flat_map(|_| REPEAT_WORKLOAD)
+            .map(|query| (query, session.submit(query)))
+            .collect();
+        for (query, handle) in handles {
+            let run = handle.wait();
+            assert_eq!(
+                output_repr(&run),
+                expected[query],
+                "output diverged for {query:?} under workers=4, {plan_cache:?}"
+            );
+        }
     }
 }
