@@ -20,8 +20,8 @@ use caesura_data::DataLake;
 use caesura_engine::{parallel, Catalog, ExecConfig};
 use caesura_llm::{
     normalize_query, schema_fingerprint, Conversation, ErrorAnalysis, LlmClient, LogicalPlan,
-    LogicalStep, OperatorDecision, PlanCache, PlanCacheConfig, PromptBuilder, PromptConfig,
-    RelevantColumn,
+    LogicalStep, OperatorDecision, PlanCache, PlanCacheConfig, PlanInsertOutcome, PromptBuilder,
+    PromptConfig, RelevantColumn,
 };
 use caesura_modal::{BatchConfig, CacheConfig, PerceptionCache};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -503,14 +503,30 @@ impl SessionCore {
                     // Insert-after-success: only a plan whose execution
                     // needed no replan and no per-step recovery is worth
                     // replaying verbatim on the next structurally identical
-                    // query.
+                    // query — and only when the cache can verify that every
+                    // query literal was threaded through the plan text, so a
+                    // later hit with different literals never replays the
+                    // original values.
                     if let Some((cache, fingerprint, template)) = &probe {
                         if clean && replans == 0 && decisions_out.len() == plan.steps.len() {
-                            cache.insert(fingerprint, template, &plan, decisions_out);
-                            trace.record_plan_cache(PlanCacheCalls {
-                                insertions: 1,
-                                ..PlanCacheCalls::default()
-                            });
+                            match cache.insert(fingerprint, template, &plan, decisions_out) {
+                                PlanInsertOutcome::Inserted { .. } => {
+                                    trace.record_plan_cache(PlanCacheCalls {
+                                        insertions: 1,
+                                        ..PlanCacheCalls::default()
+                                    });
+                                }
+                                PlanInsertOutcome::AlreadyPresent => {}
+                                PlanInsertOutcome::Rejected => {
+                                    trace.record(
+                                        Phase::Planning,
+                                        "plan-cache",
+                                        "not cached: the plan does not verifiably thread every \
+                                         query literal through its text, so replaying it under \
+                                         different literals would be unsafe",
+                                    );
+                                }
+                            }
                         }
                     }
                     return Ok(output);

@@ -42,8 +42,8 @@ pub use intent::{analyze, AggKind, AttributeRef, OutputKind, QueryIntent};
 pub use perception::PerceptionLlm;
 pub use plan::{ErrorAnalysis, LogicalPlan, LogicalStep, OperatorDecision};
 pub use plan_cache::{
-    normalize_query, schema_fingerprint, CachedPlan, PlanCache, PlanCacheConfig, PlanCacheStats,
-    QueryTemplate,
+    normalize_query, schema_fingerprint, CachedPlan, Literal, PlanCache, PlanCacheConfig,
+    PlanCacheStats, PlanInsertOutcome, QueryTemplate,
 };
 pub use profile::{ErrorInjector, ModelProfile};
 pub use prompt::{PromptBuilder, PromptConfig, RelevantColumn};

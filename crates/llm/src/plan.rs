@@ -301,13 +301,46 @@ impl OperatorDecision {
     }
 }
 
+/// Whether `byte` can continue an identifier/word token.
+fn is_token_byte(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || byte == b'_'
+}
+
+/// Find the closing partner of the quote that opens at byte `open`. The scan
+/// honors SQL's doubled-quote escape (`''` inside a `'...'` string is a
+/// literal quote, not a terminator) and skips candidates glued into a
+/// following word (the apostrophe of `player's` *inside* a quoted span), so
+/// it returns the quote that actually ends the string. `None` when the quote
+/// never closes.
+fn find_closing_quote(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let quote = bytes[open];
+    let mut i = open + 1;
+    while i < bytes.len() {
+        if bytes[i] != quote {
+            i += 1;
+        } else if i + 1 < bytes.len() && bytes[i + 1] == quote {
+            // Doubled quote: an escaped quote character inside the string.
+            i += 2;
+        } else if i + 1 < bytes.len() && is_token_byte(bytes[i + 1]) {
+            // Glued into the next word: an apostrophe, not a closer.
+            i += 1;
+        } else {
+            return Some(i);
+        }
+    }
+    None
+}
+
 /// Split an `Arguments: (a; b; c)` payload into its parts. Parentheses are
 /// optional, semicolons separate arguments, and surrounding quotes are
 /// stripped. The split is **quote-aware**: a `;` inside a quoted span
 /// (`'...'` or `"..."`) is part of its argument, so SQL like
-/// `SELECT * FROM t WHERE note = 'a; b'` survives in one piece. A quote with
-/// no closing partner is treated as plain text (an apostrophe in prose never
-/// swallows the rest of the payload).
+/// `SELECT * FROM t WHERE note = 'a; b'` survives in one piece. A quote only
+/// opens a span when it starts a token (an apostrophe glued to a word —
+/// `team's` — is prose) and actually closes (`find_closing_quote`); any
+/// other quote is plain text, so a lone apostrophe never swallows an
+/// argument boundary.
 pub fn split_arguments(text: &str) -> Vec<String> {
     let trimmed = text.trim();
     let inner = trimmed
@@ -320,10 +353,8 @@ pub fn split_arguments(text: &str) -> Vec<String> {
     let mut i = 0;
     while i < bytes.len() {
         let byte = bytes[i];
-        if byte == b'\'' || byte == b'"' {
-            // Only a *terminated* quote opens a quoted span.
-            if let Some(rel) = inner[i + 1..].find(byte as char) {
-                let end = i + 1 + rel;
+        if (byte == b'\'' || byte == b'"') && !(i > 0 && is_token_byte(bytes[i - 1])) {
+            if let Some(end) = find_closing_quote(inner, i) {
                 current.push_str(&inner[i..=end]);
                 i = end + 1;
                 continue;
@@ -351,17 +382,16 @@ pub fn split_arguments(text: &str) -> Vec<String> {
 /// pair up: the leading quote's *closing partner* must be the final
 /// character. Checking first == last alone would corrupt arguments like
 /// `'yes' OR status = 'no'` (first and last are both `'`, but the leading
-/// quote closes after `yes`).
+/// quote closes after `yes`). The partner search is escape-aware, so a
+/// string using SQL's doubled-quote escape (`'it''s'`) still sheds its
+/// surrounding quotes.
 fn strip_matching_quotes(text: &str) -> &str {
     let bytes = text.as_bytes();
     if bytes.len() >= 2 {
         let first = bytes[0];
-        if first == b'\'' || first == b'"' {
-            if let Some(rel) = text[1..].find(first as char) {
-                if 1 + rel == text.len() - 1 {
-                    return text[1..text.len() - 1].trim();
-                }
-            }
+        if (first == b'\'' || first == b'"') && find_closing_quote(text, 0) == Some(text.len() - 1)
+        {
+            return text[1..text.len() - 1].trim();
         }
     }
     text
@@ -548,6 +578,38 @@ mod tests {
         assert_eq!(
             split_arguments("(SELECT * FROM t WHERE x = 'yes')"),
             vec!["SELECT * FROM t WHERE x = 'yes'"]
+        );
+    }
+
+    #[test]
+    fn argument_splitting_survives_prose_apostrophes() {
+        // A lone apostrophe (possessive prose) must not pair with a quote in
+        // a later argument and swallow the `;` between them.
+        assert_eq!(
+            split_arguments("(Summarize the team's notes; SELECT * FROM t WHERE note = 'a; b')"),
+            vec![
+                "Summarize the team's notes".to_string(),
+                "SELECT * FROM t WHERE note = 'a; b'".to_string(),
+            ]
+        );
+        // Two possessives in one payload still split on the real separator.
+        assert_eq!(
+            split_arguments("(the team's wins; the player's losses)"),
+            vec!["the team's wins", "the player's losses"]
+        );
+    }
+
+    #[test]
+    fn argument_splitting_honors_doubled_quote_escapes() {
+        // SQL's `''` escape is string content: the span covers it, and the
+        // surrounding quotes are still stripped.
+        assert_eq!(
+            split_arguments("('it''s a test'; x)"),
+            vec!["it''s a test", "x"]
+        );
+        assert_eq!(
+            split_arguments("(SELECT * FROM t WHERE note = 'the band''s hit; live')"),
+            vec!["SELECT * FROM t WHERE note = 'the band''s hit; live'"]
         );
     }
 

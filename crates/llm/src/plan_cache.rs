@@ -22,7 +22,7 @@
 //! ## Why a hit cannot be worse than planning live
 //!
 //! A hit skips the planning *and* per-step mapping phases entirely — zero
-//! planner LLM calls on repeat traffic. The safety argument has three legs:
+//! planner LLM calls on repeat traffic. The safety argument has four legs:
 //!
 //! * **Only validated plans enter.** A plan is inserted only after its
 //!   execution completed with no replan and no step retry, so every cached
@@ -32,6 +32,15 @@
 //!   *pattern* matches too (distinct literals stay distinct slots — see
 //!   [`normalize_query`]), so re-substitution is a pure find/replace of
 //!   values the plan provably threaded through from the original query.
+//! * **Threading is verified at insert time.** Before an entry is stored,
+//!   every template literal must appear as a slot marker in the normalized
+//!   plan + decisions, and no un-slotted occurrence of a literal value may
+//!   remain (occurrences that equal a catalog identifier are exempt — a bare
+//!   `status` in SQL is a column reference, not the string literal
+//!   `'status'`, and must survive re-substitution untouched). A plan that
+//!   paraphrases, reformats, or drops a literal is **rejected**
+//!   ([`PlanInsertOutcome::Rejected`]) rather than cached, so a later probe
+//!   with different literals can never silently replay the original values.
 //! * **Failures fall back.** If a cached plan errors at execution, the entry
 //!   is evicted ([`PlanCache::invalidate`]) and the session re-plans live —
 //!   exactly the pre-cache path, one executor attempt later.
@@ -55,7 +64,7 @@
 
 use crate::plan::{LogicalPlan, OperatorDecision};
 use caesura_engine::Catalog;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -149,6 +158,10 @@ pub struct PlanCacheStats {
     pub evictions: usize,
     /// Entries removed because their cached plan failed at execution.
     pub invalidations: usize,
+    /// Insert attempts refused because the plan did not verifiably thread
+    /// every query literal through its text (see
+    /// [`PlanInsertOutcome::Rejected`]).
+    pub rejections: usize,
 }
 
 /// A query normalized for plan-cache lookup: the text with quoted string
@@ -163,8 +176,18 @@ pub struct QueryTemplate {
     /// The query text with each literal occurrence replaced by its slot
     /// marker.
     pub template: String,
-    /// The distinct literal values, indexed by slot.
-    pub literals: Vec<String>,
+    /// The distinct literals, indexed by slot.
+    pub literals: Vec<Literal>,
+}
+
+/// One literal extracted from a query by [`normalize_query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    /// The literal's text, without surrounding quotes.
+    pub value: String,
+    /// Whether the literal was quoted in the query (`'...'` / `"..."`).
+    /// Quoted literals are strings; unquoted ones are standalone numbers.
+    pub quoted: bool,
 }
 
 /// Slot markers use a Unicode private-use character that cannot appear in
@@ -221,12 +244,18 @@ fn glued_after(bytes: &[u8], end: usize) -> bool {
 pub fn normalize_query(query: &str) -> QueryTemplate {
     let bytes = query.as_bytes();
     let mut template = String::with_capacity(query.len());
-    let mut literals: Vec<String> = Vec::new();
-    let slot_of = |value: &str, literals: &mut Vec<String>| -> String {
-        let index = match literals.iter().position(|l| l == value) {
+    let mut literals: Vec<Literal> = Vec::new();
+    let slot_of = |value: &str, quoted: bool, literals: &mut Vec<Literal>| -> String {
+        let position = literals
+            .iter()
+            .position(|l| l.value == value && l.quoted == quoted);
+        let index = match position {
             Some(index) => index,
             None => {
-                literals.push(value.to_string());
+                literals.push(Literal {
+                    value: value.to_string(),
+                    quoted,
+                });
                 literals.len() - 1
             }
         };
@@ -240,7 +269,7 @@ pub fn normalize_query(query: &str) -> QueryTemplate {
             if let Some(rel) = query[i + 1..].find(byte as char) {
                 let end = i + 1 + rel;
                 let inner = &query[i + 1..end];
-                let marker = slot_of(inner, &mut literals);
+                let marker = slot_of(inner, true, &mut literals);
                 template.push(byte as char);
                 template.push_str(&marker);
                 template.push(byte as char);
@@ -272,7 +301,7 @@ pub fn normalize_query(query: &str) -> QueryTemplate {
                 }
             }
             if !glued_after(bytes, end) {
-                let marker = slot_of(&query[i..end], &mut literals);
+                let marker = slot_of(&query[i..end], false, &mut literals);
                 template.push_str(&marker);
                 i = end;
                 continue;
@@ -290,34 +319,52 @@ pub fn normalize_query(query: &str) -> QueryTemplate {
     QueryTemplate { template, literals }
 }
 
-/// Replace every occurrence of each literal in `text` with its slot marker:
-/// quoted occurrences (`'lit'` / `"lit"`) unconditionally, bare occurrences
-/// only at token boundaries. Longer literals are substituted first so a
-/// literal that is a substring of another never clobbers it.
-fn slot_out(text: &str, literals: &[String]) -> String {
+/// Replace every occurrence of each literal in `text` with its slot marker.
+///
+/// Two passes, each longest-literal first so a literal that is a substring
+/// of another never clobbers it:
+///
+/// 1. **Quoted occurrences** (`'lit'` / `"lit"`) of quoted literals — a
+///    quoted occurrence is unambiguously the literal, never an identifier.
+/// 2. **Bare occurrences** at token boundaries, which also reaches numbers
+///    that the plan quoted (the quote itself is a token boundary). Skipped
+///    when the value collides with a catalog `identifier` — a bare `status`
+///    in SQL is a column reference, not the string literal `'status'`, and
+///    rewriting it would corrupt the plan for every later probe — and for
+///    one-character *string* literals (a bare `a` is almost always prose).
+///    Single-character numbers **are** substituted: a standalone `5` in plan
+///    text is the threaded-through literal, and leaving it baked in would
+///    silently replay `5` for a probe asking about `9`.
+fn slot_out(text: &str, literals: &[Literal], identifiers: &HashSet<&str>) -> String {
     let mut order: Vec<usize> = (0..literals.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(literals[i].len()));
+    order.sort_by_key(|&i| std::cmp::Reverse(literals[i].value.len()));
     let mut out = text.to_string();
-    for index in order {
+    for &index in &order {
         let literal = &literals[index];
-        if literal.is_empty() {
+        if !literal.quoted {
             continue;
         }
         let marker = slot_marker(index);
-        out = out.replace(&format!("'{literal}'"), &format!("'{marker}'"));
-        out = out.replace(&format!("\"{literal}\""), &format!("\"{marker}\""));
-        // Bare (unquoted) substitution needs at least two characters: a
-        // one-character literal like 'a' would otherwise slot out ordinary
-        // prose words of the plan text.
-        if literal.len() >= 2 {
-            out = replace_bare(&out, literal, &marker);
+        out = out.replace(&format!("'{}'", literal.value), &format!("'{marker}'"));
+        out = out.replace(&format!("\"{}\"", literal.value), &format!("\"{marker}\""));
+    }
+    for &index in &order {
+        let literal = &literals[index];
+        if literal.value.is_empty()
+            || identifiers.contains(literal.value.as_str())
+            || (literal.quoted && literal.value.len() < 2)
+        {
+            continue;
         }
+        out = replace_bare(&out, &literal.value, &slot_marker(index));
     }
     out
 }
 
 /// Replace bare (unquoted) occurrences of `needle` that sit at token
-/// boundaries on both sides.
+/// boundaries on both sides. Never matches inside an existing slot marker:
+/// a digit literal like `0` must not rewrite the index digits of another
+/// slot's marker.
 fn replace_bare(text: &str, needle: &str, replacement: &str) -> String {
     let bytes = text.as_bytes();
     let mut out = String::with_capacity(text.len());
@@ -325,7 +372,11 @@ fn replace_bare(text: &str, needle: &str, replacement: &str) -> String {
     while i < bytes.len() {
         if text[i..].starts_with(needle) {
             let end = i + needle.len();
-            if !glued_before(bytes, i) && !glued_after(bytes, end) {
+            if !glued_before(bytes, i)
+                && !glued_after(bytes, end)
+                && !text[..i].ends_with(SLOT_MARK)
+                && !text[end..].starts_with(SLOT_MARK)
+            {
                 out.push_str(replacement);
                 i = end;
                 continue;
@@ -340,24 +391,107 @@ fn replace_bare(text: &str, needle: &str, replacement: &str) -> String {
 
 /// Replace every slot marker in `text` with the probe's literal for that
 /// slot. Markers use a private-use character, so this is collision-free.
-fn fill_slots(text: &str, literals: &[String]) -> String {
+fn fill_slots(text: &str, literals: &[Literal]) -> String {
     let mut out = text.to_string();
     for (index, literal) in literals.iter().enumerate() {
-        out = out.replace(&slot_marker(index), literal);
+        out = out.replace(&slot_marker(index), &literal.value);
     }
     out
 }
 
+/// The table and column identifiers recorded in a schema fingerprint
+/// ([`schema_fingerprint`] renders `table(col:type,...);` segments). Probes
+/// and inserts under one key share one fingerprint, so both sides of a cache
+/// entry see the same identifier set.
+fn fingerprint_identifiers(fingerprint: &str) -> HashSet<&str> {
+    let mut out = HashSet::new();
+    for segment in fingerprint.split(';') {
+        let segment = segment.trim();
+        if segment.is_empty() {
+            continue;
+        }
+        match segment.split_once('(') {
+            Some((table, columns)) => {
+                out.insert(table);
+                for pair in columns.trim_end_matches(')').split(',') {
+                    let name = pair.split_once(':').map_or(pair, |(name, _)| name);
+                    if !name.is_empty() {
+                        out.insert(name);
+                    }
+                }
+            }
+            // Not in fingerprint form (tests use opaque keys): treat the
+            // whole segment as one identifier.
+            None => {
+                out.insert(segment);
+            }
+        }
+    }
+    out
+}
+
+/// Whether a *normalized* plan + decisions verifiably threaded every
+/// template literal through: each literal's slot marker appears somewhere in
+/// the text, and no un-slotted occurrence of the literal value remains that
+/// a future probe's different value should have replaced. Occurrences equal
+/// to a catalog identifier are exempt — they are schema references that must
+/// survive re-substitution untouched.
+///
+/// A plan that fails this check (the planner paraphrased `'Baroque'` into
+/// `baroque`, reformatted `98.5` into `98.50`, or simply never used the
+/// literal) must not be cached: replaying it under different probe literals
+/// would silently answer for the original values.
+fn literals_threaded(
+    template: &QueryTemplate,
+    plan: &LogicalPlan,
+    decisions: &[OperatorDecision],
+    identifiers: &HashSet<&str>,
+) -> bool {
+    let mut segments: Vec<&str> = Vec::with_capacity(1 + plan.steps.len() + decisions.len() * 2);
+    segments.push(&plan.thought);
+    segments.extend(plan.steps.iter().map(|s| s.description.as_str()));
+    for decision in decisions {
+        segments.push(&decision.reasoning);
+        segments.extend(decision.arguments.iter().map(String::as_str));
+    }
+    template
+        .literals
+        .iter()
+        .enumerate()
+        .all(|(index, literal)| {
+            let marker = slot_marker(index);
+            if !segments.iter().any(|s| s.contains(&marker)) {
+                // The plan does not visibly carry this literal, so substitution
+                // cannot reach whatever form it took.
+                return false;
+            }
+            if literal.value.is_empty() || identifiers.contains(literal.value.as_str()) {
+                return true;
+            }
+            let single = format!("'{}'", literal.value);
+            let double = format!("\"{}\"", literal.value);
+            segments.iter().all(|segment| {
+                !segment.contains(&single)
+                    && !segment.contains(&double)
+                    && replace_bare(segment, &literal.value, &marker) == **segment
+            })
+        })
+}
+
 /// A plan with its literals slotted out, as stored in the cache.
-fn normalize_plan(plan: &LogicalPlan, literals: &[String]) -> LogicalPlan {
+fn normalize_plan(
+    plan: &LogicalPlan,
+    literals: &[Literal],
+    identifiers: &HashSet<&str>,
+) -> LogicalPlan {
     LogicalPlan {
-        thought: slot_out(&plan.thought, literals),
+        thought: slot_out(&plan.thought, literals, identifiers),
         steps: plan
             .steps
             .iter()
             .map(|step| crate::plan::LogicalStep {
                 number: step.number,
-                description: slot_out(&step.description, literals),
+                description: slot_out(&step.description, literals, identifiers),
                 inputs: step.inputs.clone(),
                 output: step.output.clone(),
                 new_columns: step.new_columns.clone(),
@@ -366,7 +500,7 @@ fn normalize_plan(plan: &LogicalPlan, literals: &[String]) -> LogicalPlan {
     }
 }
 
-fn instantiate_plan(plan: &LogicalPlan, literals: &[String]) -> LogicalPlan {
+fn instantiate_plan(plan: &LogicalPlan, literals: &[Literal]) -> LogicalPlan {
     LogicalPlan {
         thought: fill_slots(&plan.thought, literals),
         steps: plan
@@ -385,22 +519,27 @@ fn instantiate_plan(plan: &LogicalPlan, literals: &[String]) -> LogicalPlan {
 
 fn normalize_decisions(
     decisions: &[OperatorDecision],
-    literals: &[String],
+    literals: &[Literal],
+    identifiers: &HashSet<&str>,
 ) -> Vec<OperatorDecision> {
     decisions
         .iter()
         .map(|d| OperatorDecision {
             step_number: d.step_number,
-            reasoning: slot_out(&d.reasoning, literals),
+            reasoning: slot_out(&d.reasoning, literals, identifiers),
             operator: d.operator,
-            arguments: d.arguments.iter().map(|a| slot_out(a, literals)).collect(),
+            arguments: d
+                .arguments
+                .iter()
+                .map(|a| slot_out(a, literals, identifiers))
+                .collect(),
         })
         .collect()
 }
 
 fn instantiate_decisions(
     decisions: &[OperatorDecision],
-    literals: &[String],
+    literals: &[Literal],
 ) -> Vec<OperatorDecision> {
     decisions
         .iter()
@@ -437,6 +576,25 @@ pub fn schema_fingerprint(catalog: &Catalog) -> String {
         out.push_str(");");
     }
     out
+}
+
+/// Outcome of one [`PlanCache::insert`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanInsertOutcome {
+    /// The plan was stored; `evictions` (0 or 1) entries were evicted to
+    /// respect the capacity bound.
+    Inserted {
+        /// Number of entries evicted to make room.
+        evictions: usize,
+    },
+    /// An equivalent entry was already present (a concurrent query with the
+    /// same shape stored it first); its LRU position was refreshed.
+    AlreadyPresent,
+    /// The plan did not verifiably thread every query literal through its
+    /// text, so it was **not** stored: replaying it under different probe
+    /// literals could silently answer for the original values. The query
+    /// itself still succeeded — it just plans live next time too.
+    Rejected,
 }
 
 /// A cached validated plan, instantiated with the probe's literals.
@@ -493,6 +651,7 @@ pub struct PlanCache {
     insertions: AtomicUsize,
     evictions: AtomicUsize,
     invalidations: AtomicUsize,
+    rejections: AtomicUsize,
     capacity: usize,
 }
 
@@ -528,6 +687,7 @@ impl PlanCache {
             insertions: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
             invalidations: AtomicUsize::new(0),
+            rejections: AtomicUsize::new(0),
             capacity,
         }
     }
@@ -559,6 +719,7 @@ impl PlanCache {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
         }
     }
 
@@ -606,9 +767,12 @@ impl PlanCache {
 
     /// Store a **validated** plan for a `(fingerprint, template)` key,
     /// slotting the template's literals out of the plan text so future
-    /// probes can substitute their own. Evicts the shard's least-recently-
-    /// used entry if the shard is full; returns the number of evictions
-    /// performed (0 or 1).
+    /// probes can substitute their own. The normalized plan is only stored
+    /// when `literals_threaded` confirms every literal was actually
+    /// slotted out — a plan that paraphrased or reformatted a literal is
+    /// rejected instead of cached, because a later hit would silently replay
+    /// the original values. Evicts the shard's least-recently-used entry if
+    /// the shard is full.
     ///
     /// Callers must only insert plans whose execution completed without any
     /// replan or per-step recovery — the insert-after-success contract the
@@ -619,7 +783,19 @@ impl PlanCache {
         template: &QueryTemplate,
         plan: &LogicalPlan,
         decisions: &[OperatorDecision],
-    ) -> usize {
+    ) -> PlanInsertOutcome {
+        let identifiers = fingerprint_identifiers(fingerprint);
+        let normalized_plan = normalize_plan(plan, &template.literals, &identifiers);
+        let normalized_decisions = normalize_decisions(decisions, &template.literals, &identifiers);
+        if !literals_threaded(
+            template,
+            &normalized_plan,
+            &normalized_decisions,
+            &identifiers,
+        ) {
+            self.rejections.fetch_add(1, Ordering::Relaxed);
+            return PlanInsertOutcome::Rejected;
+        }
         let key = Self::key(fingerprint, template);
         let mut guard = self.shards[self.shard_of(&key)]
             .lock()
@@ -632,20 +808,20 @@ impl PlanCache {
             // already; both plans were validated, so only the LRU position
             // needs refreshing.
             Shard::touch(&mut shard.lru, entry, tick);
-            return 0;
+            return PlanInsertOutcome::AlreadyPresent;
         }
         shard.index.insert(
             key.clone(),
             Entry {
-                plan: normalize_plan(plan, &template.literals),
-                decisions: normalize_decisions(decisions, &template.literals),
+                plan: normalized_plan,
+                decisions: normalized_decisions,
                 tick,
             },
         );
         shard.lru.insert(tick, key);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if shard.lru.len() <= shard.capacity {
-            return 0;
+            return PlanInsertOutcome::Inserted { evictions: 0 };
         }
         let (_, victim) = shard
             .lru
@@ -653,7 +829,7 @@ impl PlanCache {
             .expect("a full shard has an LRU entry");
         shard.index.remove(&victim);
         self.evictions.fetch_add(1, Ordering::Relaxed);
-        1
+        PlanInsertOutcome::Inserted { evictions: 1 }
     }
 
     /// Remove the entry for a `(fingerprint, template)` key because its
@@ -704,6 +880,10 @@ mod tests {
         }]
     }
 
+    fn literal_values(template: &QueryTemplate) -> Vec<&str> {
+        template.literals.iter().map(|l| l.value.as_str()).collect()
+    }
+
     #[test]
     fn config_parses_capacity_and_off_modes() {
         assert!(PlanCacheConfig::new(10).is_enabled());
@@ -715,7 +895,9 @@ mod tests {
     #[test]
     fn normalize_slots_quoted_strings_and_numbers() {
         let t = normalize_query("How many paintings of the 'Baroque' movement sold above 1000?");
-        assert_eq!(t.literals, vec!["Baroque", "1000"]);
+        assert_eq!(literal_values(&t), vec!["Baroque", "1000"]);
+        assert!(t.literals[0].quoted);
+        assert!(!t.literals[1].quoted);
         assert!(!t.template.contains("Baroque"));
         assert!(!t.template.contains("1000"));
         // Same shape, different literals → same template.
@@ -735,13 +917,13 @@ mod tests {
             "List the 1990s hits from the team's top10 songs"
         );
         let u = normalize_query("Scores above 98.5 in 2024");
-        assert_eq!(u.literals, vec!["98.5", "2024"]);
+        assert_eq!(literal_values(&u), vec!["98.5", "2024"]);
     }
 
     #[test]
     fn repeated_literals_share_a_slot_so_patterns_must_match() {
         let twice = normalize_query("between 3 and 3");
-        assert_eq!(twice.literals, vec!["3"]);
+        assert_eq!(literal_values(&twice), vec!["3"]);
         let distinct = normalize_query("between 3 and 5");
         assert_eq!(distinct.literals.len(), 2);
         // The equality pattern is part of the template itself.
@@ -800,10 +982,118 @@ mod tests {
         let template = normalize_query("Show rows where status is 'status'");
         let plan = plan_with("Filter on status = 'status' via the status column.");
         let decisions = decision_with("SELECT status FROM t WHERE status = 'status'");
-        cache.insert("fp", &template, &plan, &decisions);
-        let hit = cache.lookup("fp", &template).unwrap();
+        cache.insert("t(status:str);", &template, &plan, &decisions);
+        let hit = cache.lookup("t(status:str);", &template).unwrap();
         assert_eq!(hit.plan, plan);
         assert_eq!(hit.decisions, decisions);
+    }
+
+    #[test]
+    fn literals_colliding_with_identifiers_keep_schema_references() {
+        // A quoted literal that coincides with a column name must not
+        // rewrite the bare column references when a later probe substitutes
+        // a different value: only the quoted value occurrences change.
+        let cache = PlanCache::with_capacity(8);
+        let fingerprint = "t(status:str,id:int);";
+        let stored = normalize_query("Show rows where status is 'status'");
+        let outcome = cache.insert(
+            fingerprint,
+            &stored,
+            &plan_with("Filter on status = 'status' via the status column."),
+            &decision_with("SELECT status FROM t WHERE status = 'status'"),
+        );
+        assert_eq!(outcome, PlanInsertOutcome::Inserted { evictions: 0 });
+        let probe = normalize_query("Show rows where status is 'archived'");
+        let hit = cache.lookup(fingerprint, &probe).expect("same template");
+        assert_eq!(
+            hit.plan.steps[0].description,
+            "Filter on status = 'archived' via the status column."
+        );
+        assert_eq!(
+            hit.decisions[0].arguments[0],
+            "SELECT status FROM t WHERE status = 'archived'"
+        );
+    }
+
+    #[test]
+    fn single_character_number_literals_substitute_on_hit() {
+        // A bare single-digit number in the plan text must be slotted out —
+        // otherwise a probe with a different digit would match the template
+        // and silently execute the stored `> 5`.
+        let cache = PlanCache::with_capacity(8);
+        let stored = normalize_query("Keep games with points above 5");
+        let outcome = cache.insert(
+            "fp",
+            &stored,
+            &plan_with("Keep rows where points > 5."),
+            &decision_with("SELECT * FROM t WHERE points > 5"),
+        );
+        assert_eq!(outcome, PlanInsertOutcome::Inserted { evictions: 0 });
+        let probe = normalize_query("Keep games with points above 9");
+        let hit = cache.lookup("fp", &probe).expect("same template");
+        assert_eq!(hit.plan.steps[0].description, "Keep rows where points > 9.");
+        assert_eq!(
+            hit.decisions[0].arguments[0],
+            "SELECT * FROM t WHERE points > 9"
+        );
+    }
+
+    #[test]
+    fn plans_that_do_not_thread_a_literal_are_rejected() {
+        // The planner paraphrased the literal ('Baroque' → lowercase prose):
+        // nothing was slotted out, so caching the plan would replay Baroque
+        // answers for every other movement. The insert must refuse.
+        let cache = PlanCache::with_capacity(8);
+        let template = normalize_query("Filter paintings of the 'Baroque' movement");
+        let outcome = cache.insert(
+            "fp",
+            &template,
+            &plan_with("Keep only the baroque-era rows."),
+            &decision_with("SELECT * FROM t WHERE era = 'baroque'"),
+        );
+        assert_eq!(outcome, PlanInsertOutcome::Rejected);
+        assert!(cache.lookup("fp", &template).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.rejections, stats.insertions), (1, 0));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn reformatted_number_literals_are_rejected_not_cached() {
+        // `98.5` became `98.50` in the plan: substitution cannot find it, so
+        // the entry must be refused rather than baked in.
+        let cache = PlanCache::with_capacity(8);
+        let template = normalize_query("Scores above 98.5");
+        let outcome = cache.insert(
+            "fp",
+            &template,
+            &plan_with("Keep scores above 98.50."),
+            &decision_with("SELECT * FROM t WHERE score > 98.50"),
+        );
+        assert_eq!(outcome, PlanInsertOutcome::Rejected);
+        assert_eq!(cache.stats().rejections, 1);
+    }
+
+    #[test]
+    fn digit_literals_never_corrupt_other_slot_markers() {
+        // Slot markers embed digit indices; a digit literal must not rewrite
+        // another marker's index digits during the bare-substitution pass.
+        let cache = PlanCache::with_capacity(8);
+        let stored = normalize_query("values between 1 and 0");
+        let outcome = cache.insert(
+            "fp",
+            &stored,
+            &plan_with("Keep rows between 1 and 0."),
+            &decision_with("SELECT * FROM t WHERE x BETWEEN 1 AND 0"),
+        );
+        assert_eq!(outcome, PlanInsertOutcome::Inserted { evictions: 0 });
+        let probe = normalize_query("values between 4 and 9");
+        let hit = cache.lookup("fp", &probe).unwrap();
+        assert_eq!(hit.plan.steps[0].description, "Keep rows between 4 and 9.");
+        assert_eq!(
+            hit.decisions[0].arguments[0],
+            "SELECT * FROM t WHERE x BETWEEN 4 AND 9"
+        );
     }
 
     #[test]
@@ -843,17 +1133,17 @@ mod tests {
         );
         assert_eq!(
             cache.insert("fp", &a, &plan_with("a"), &decision_with("a")),
-            0
+            PlanInsertOutcome::Inserted { evictions: 0 }
         );
         assert_eq!(
             cache.insert("fp", &b, &plan_with("b"), &decision_with("b")),
-            0
+            PlanInsertOutcome::Inserted { evictions: 0 }
         );
         // Touch `a` so `b` becomes the LRU victim.
         assert!(cache.lookup("fp", &a).is_some());
         assert_eq!(
             cache.insert("fp", &c, &plan_with("c"), &decision_with("c")),
-            1
+            PlanInsertOutcome::Inserted { evictions: 1 }
         );
         assert!(cache.lookup("fp", &b).is_none(), "b was LRU");
         assert!(cache.lookup("fp", &a).is_some());
@@ -869,7 +1159,7 @@ mod tests {
         cache.insert("fp", &template, &plan_with("a"), &decision_with("a"));
         assert_eq!(
             cache.insert("fp", &template, &plan_with("a"), &decision_with("a")),
-            0
+            PlanInsertOutcome::AlreadyPresent
         );
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().insertions, 1);
