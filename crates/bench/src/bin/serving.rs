@@ -10,14 +10,111 @@
 //! the graded accuracy matches the serial evaluation — concurrency must be a
 //! pure serving optimization, never an answer change.
 //!
+//! A second, **mixed-workload** axis (PR 8) pits an interactive tenant
+//! against a batch tenant flooding the queue of a one-worker session, once
+//! under the weighted-fair scheduler and once under plain FIFO
+//! (`fair_sched: Some(false)`), and asserts the fair scheduler improves the
+//! interactive tenant's p95 submission-to-completion latency.
+//!
 //! Run with `cargo run --release -p caesura-bench --bin serving`.
 
 use caesura_bench::BENCH_SEED;
-use caesura_eval::{evaluate_model, evaluate_model_concurrent, EvaluationConfig};
-use caesura_llm::ModelProfile;
+use caesura_core::{Caesura, CaesuraConfig, SubmitOptions};
+use caesura_data::{generate_artwork, ArtworkConfig};
+use caesura_eval::{evaluate_model, evaluate_model_concurrent, percentile, EvaluationConfig};
+use caesura_llm::{ModelProfile, SimulatedLlm};
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 const CONCURRENCY_AXIS: [usize; 3] = [1, 4, 16];
+
+/// Size of the batch-tenant flood in the mixed-workload axis.
+const BATCH_FLOOD: usize = 40;
+/// Interactive submissions measured against the flood.
+const INTERACTIVE_QUERIES: usize = 8;
+
+/// Latency summary of one mixed-workload run.
+struct MixedRun {
+    interactive_p50: Duration,
+    interactive_p95: Duration,
+    batch_completed: usize,
+    interactive_completed: usize,
+    wall_clock: Duration,
+}
+
+/// Drive the mixed workload through one single-worker session: flood
+/// `BATCH_FLOOD` batch-priority submissions from tenant "batch", then submit
+/// `INTERACTIVE_QUERIES` interactive-priority queries from tenant
+/// "interactive", and measure the interactive tenant's
+/// submission-to-completion latency (queue wait + run time). `fair` toggles
+/// the weighted-fair scheduler against the PR 5 FIFO baseline.
+fn mixed_workload(fair: bool) -> MixedRun {
+    let data = generate_artwork(&ArtworkConfig::small());
+    let llm = Arc::new(SimulatedLlm::new(ModelProfile::Gpt4, BENCH_SEED));
+    let config = CaesuraConfig {
+        session_workers: Some(1),
+        session_queue: Some(BATCH_FLOOD + INTERACTIVE_QUERIES),
+        fair_sched: Some(fair),
+        ..CaesuraConfig::default()
+    };
+    let session = Caesura::with_config(data.lake, llm, config);
+
+    let started = std::time::Instant::now();
+    let batch: Vec<_> = (0..BATCH_FLOOD)
+        .map(|_| {
+            session
+                .submit_with(
+                    "How many paintings are in the museum?",
+                    SubmitOptions::for_tenant("batch").batch(),
+                )
+                .expect("queue sized for the whole flood")
+        })
+        .collect();
+    let interactive: Vec<_> = (0..INTERACTIVE_QUERIES)
+        .map(|_| {
+            session
+                .submit_with(
+                    "How many paintings depict a horse?",
+                    SubmitOptions::for_tenant("interactive"),
+                )
+                .expect("queue sized for the whole flood")
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = interactive
+        .into_iter()
+        .map(|handle| {
+            let run = handle.wait();
+            assert!(
+                run.succeeded(),
+                "interactive query failed: {:?}",
+                run.output
+            );
+            run.trace.timings().end_to_end()
+        })
+        .collect();
+    for handle in batch {
+        assert!(handle.wait().succeeded(), "batch query failed");
+    }
+    let wall_clock = started.elapsed();
+
+    let tenants = session.tenant_stats();
+    let stat = |name: &str| {
+        tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .expect("tenant served at least one query")
+            .completed
+    };
+    MixedRun {
+        interactive_p50: percentile(&mut latencies.clone(), 0.5),
+        interactive_p95: percentile(&mut latencies, 0.95),
+        batch_completed: stat("batch"),
+        interactive_completed: stat("interactive"),
+        wall_clock,
+    }
+}
 
 fn main() {
     let config = EvaluationConfig {
@@ -39,14 +136,18 @@ fn main() {
          'qps' is completed queries per second of wall clock from first submission to last \
          completion; latency percentiles are per-query submission-to-completion (queue wait \
          + run time, nearest rank). Grades are asserted identical to the serial evaluation \
-         at every concurrency level: the scheduler is a pure serving optimization.\",\n",
+         at every concurrency level: the scheduler is a pure serving optimization. The \
+         mixed_workload axis (PR 8) measures the weighted-fair scheduler against FIFO while \
+         a batch tenant floods the queue.\",\n",
     );
     out.push_str("  \"command\": \"cargo run --release -p caesura-bench --bin serving\",\n");
     out.push_str(
         "  \"acceptance\": \"every concurrency level completes all 48 queries with accuracy \
-         identical to the serial evaluation, and BENCH_serving.json records qps and p50/p95 \
-         latency at concurrency {1, 4, 16} over one shared session (cancellation bounded-time \
-         and no-thread-leak guarantees are asserted by tests/cancellation.rs, not here)\",\n",
+         identical to the serial evaluation; BENCH_serving.json records qps and p50/p95 \
+         latency at concurrency {1, 4, 16} over one shared session, plus the mixed-workload \
+         axis where the fair scheduler's interactive p95 must beat FIFO's while a batch \
+         tenant saturates the queue (cancellation bounded-time and no-thread-leak guarantees \
+         are asserted by tests/cancellation.rs, not here)\",\n",
     );
     out.push_str(
         "  \"hardware_note\": \"Measured on a 1-CPU container (nproc=1), same convention as \
@@ -112,7 +213,55 @@ fn main() {
             serving.wall_clock.as_secs_f64() * 1e3,
         );
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+
+    // Mixed-workload axis: the fair scheduler must shield the interactive
+    // tenant's tail latency from the batch flood; FIFO cannot.
+    let fair = mixed_workload(true);
+    let fifo = mixed_workload(false);
+    assert_eq!(fair.batch_completed, BATCH_FLOOD);
+    assert_eq!(fair.interactive_completed, INTERACTIVE_QUERIES);
+    assert_eq!(fifo.batch_completed, BATCH_FLOOD);
+    assert_eq!(fifo.interactive_completed, INTERACTIVE_QUERIES);
+    assert!(
+        fair.interactive_p95 < fifo.interactive_p95,
+        "fair scheduling did not improve interactive p95: fair {:?} vs fifo {:?}",
+        fair.interactive_p95,
+        fifo.interactive_p95,
+    );
+    out.push_str(&format!(
+        "  \"mixed_workload\": {{\n    \"description\": \"tenant 'batch' floods {BATCH_FLOOD} \
+         batch-priority submissions into a 1-worker session, then tenant 'interactive' submits \
+         {INTERACTIVE_QUERIES} interactive-priority queries; interactive latency is per-query \
+         submission-to-completion (queue wait + run time, nearest rank). Under FIFO the \
+         interactive queries drain behind the whole flood; the fair scheduler's priority tiers \
+         dequeue them next, so each waits for at most the one in-flight batch query.\",\n",
+    ));
+    for (label, run) in [("fair", &fair), ("fifo", &fifo)] {
+        writeln!(
+            out,
+            "    \"{label}\": {{\"interactive_p50_ms\": {:.3}, \"interactive_p95_ms\": {:.3}, \
+             \"batch_completed\": {}, \"interactive_completed\": {}, \
+             \"wall_clock_ms\": {:.3}}},",
+            run.interactive_p50.as_secs_f64() * 1e3,
+            run.interactive_p95.as_secs_f64() * 1e3,
+            run.batch_completed,
+            run.interactive_completed,
+            run.wall_clock.as_secs_f64() * 1e3,
+        )
+        .unwrap();
+        println!(
+            "mixed workload ({label:>4}): interactive p50 {:>8.3} ms, p95 {:>8.3} ms, \
+             wall clock {:>9.3} ms",
+            run.interactive_p50.as_secs_f64() * 1e3,
+            run.interactive_p95.as_secs_f64() * 1e3,
+            run.wall_clock.as_secs_f64() * 1e3,
+        );
+    }
+    out.push_str(&format!(
+        "    \"interactive_p95_speedup\": {:.2}\n  }}\n}}\n",
+        fifo.interactive_p95.as_secs_f64() / fair.interactive_p95.as_secs_f64().max(1e-9),
+    ));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     std::fs::write(path, &out).expect("write BENCH_serving.json");

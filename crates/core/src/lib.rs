@@ -21,9 +21,15 @@
 //! ([`serving`]): [`Caesura::submit`] enqueues a query on a persistent
 //! worker pool and returns a [`QueryHandle`] supporting `wait` / `poll` /
 //! cooperative `cancel` / a live `subscribe` trace stream, so many in-flight
-//! queries share one lake, retriever index, and perception cache. The
-//! blocking [`Caesura::run`] / [`Caesura::query`] wrappers are byte-identical
-//! to `submit(q).wait()`.
+//! queries share one lake, retriever index, and perception cache. Since
+//! PR 8 the scheduler is tenant-aware ([`sched`]): [`Caesura::submit_with`]
+//! tags a submission with a [`SubmitOptions`] (tenant, priority tier,
+//! deadline), admission is typed ([`AdmissionError`]) instead of unbounded
+//! queue wait, dequeue is weighted-fair per tenant under strict priority
+//! tiers, and cancellation/deadlines interrupt even mid-LLM-dispatch through
+//! the cancellable transport (`caesura_llm::CancelToken`). The blocking
+//! [`Caesura::run`] / [`Caesura::query`] wrappers are byte-identical to
+//! `submit(q).wait()`.
 //!
 //! ```
 //! use caesura_core::Caesura;
@@ -44,6 +50,7 @@ pub mod discovery;
 pub mod error;
 pub mod executor;
 pub mod output;
+pub mod sched;
 pub mod serving;
 pub mod session;
 pub mod trace;
@@ -52,9 +59,10 @@ pub use discovery::{lexical_relevant_columns, Retriever};
 pub use error::{CoreError, CoreResult};
 pub use executor::{Executor, StepOutcome};
 pub use output::QueryOutput;
+pub use sched::{AdmissionError, Priority, SubmitOptions, TenantServingStats};
 pub use serving::{QueryHandle, QueryStatus, ServingStats};
 pub use session::{Caesura, CaesuraConfig, QueryRun};
 pub use trace::{
-    ExecutionTrace, PerceptionCalls, Phase, PhaseTimings, PlanCacheCalls, PlanSource, TraceEvent,
-    TraceSink,
+    ExecutionTrace, PerceptionCalls, Phase, PhaseTimings, PlanCacheCalls, PlanSource,
+    SchedulingInfo, TraceEvent, TraceSink,
 };

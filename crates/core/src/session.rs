@@ -14,17 +14,17 @@ use crate::discovery::{lexical_relevant_columns, Retriever};
 use crate::error::{CoreError, CoreResult};
 use crate::executor::{Executor, StepOutcome};
 use crate::output::QueryOutput;
+use crate::sched::{AdmissionError, SchedPolicy, SubmitOptions, TenantServingStats};
 use crate::serving::{JobState, QueryHandle, Scheduler, ServingStats};
 use crate::trace::{ExecutionTrace, Phase, PlanCacheCalls, PlanSource};
 use caesura_data::DataLake;
 use caesura_engine::{parallel, Catalog, ExecConfig};
 use caesura_llm::{
-    normalize_query, schema_fingerprint, Conversation, ErrorAnalysis, LlmClient, LogicalPlan,
-    LogicalStep, OperatorDecision, PlanCache, PlanCacheConfig, PlanInsertOutcome, PromptBuilder,
-    PromptConfig, RelevantColumn,
+    normalize_query, schema_fingerprint, CancelStatus, CancelToken, Conversation, ErrorAnalysis,
+    LlmClient, LlmError, LogicalPlan, LogicalStep, OperatorDecision, PlanCache, PlanCacheConfig,
+    PlanInsertOutcome, PromptBuilder, PromptConfig, RelevantColumn,
 };
 use caesura_modal::{BatchConfig, CacheConfig, PerceptionCache};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -86,9 +86,36 @@ pub struct CaesuraConfig {
     /// Bound of the serving scheduler's submission queue. `None` uses the
     /// environment default (`CAESURA_SESSION_QUEUE`, falling back to
     /// [`crate::serving::DEFAULT_QUEUE_DEPTH`]). A full queue applies
-    /// backpressure: [`Caesura::submit`] blocks until a slot frees,
-    /// [`Caesura::try_submit`] returns `None`.
+    /// backpressure: [`Caesura::submit`] blocks until a slot frees, while
+    /// [`Caesura::try_submit`] / [`Caesura::submit_with`] fail fast with
+    /// [`AdmissionError::QueueFull`].
     pub session_queue: Option<usize>,
+    /// Whether the serving scheduler runs its tenant-aware fair policy
+    /// (priority tiers preempting at dequeue, deficit round robin across
+    /// tenant lanes within a tier). `None` uses the environment default
+    /// (`CAESURA_FAIR_SCHED`, on unless disabled); `Some(false)` forces the
+    /// single FIFO of the pre-tenancy scheduler — pop order equals
+    /// submission order regardless of tenant or priority, byte-for-byte the
+    /// PR 5 behaviour (the CI matrix proves this on every commit). Admission
+    /// control (quotas, deadlines) stays active either way.
+    pub fair_sched: Option<bool>,
+    /// Number of priority tiers the fair scheduler maintains. `None` uses
+    /// the environment default (`CAESURA_PRIORITY_TIERS`, default 2:
+    /// interactive above batch); priorities beyond the count clamp to the
+    /// lowest tier, so `Some(1)` collapses all priorities into one tier.
+    pub priority_tiers: Option<usize>,
+    /// Per-tenant admission quota: the maximum queued + in-flight queries a
+    /// tenant may have before fail-fast submissions are rejected with
+    /// [`AdmissionError::TenantOverQuota`] (blocking `submit` waits
+    /// instead). `None` uses the environment default
+    /// (`CAESURA_TENANT_QUOTA`, unlimited unless set); `Some(0)` explicitly
+    /// means unlimited, matching the env convention that `0` disables the
+    /// quota.
+    pub tenant_quota: Option<usize>,
+    /// Deficit-round-robin weight per tenant name: a weight-w tenant takes w
+    /// consecutive dequeues per round within its tier. Unlisted tenants
+    /// (including the default tenant) weigh 1.
+    pub tenant_weights: Vec<(String, u32)>,
     /// Whether table ingest dictionary-encodes low-cardinality string
     /// columns (see `caesura_engine::dict`). `None` uses the environment
     /// default (`CAESURA_DICT_ENCODE`, on unless disabled); `Some(..)`
@@ -113,6 +140,10 @@ impl Default for CaesuraConfig {
             plan_cache: None,
             session_workers: None,
             session_queue: None,
+            fair_sched: None,
+            priority_tiers: None,
+            tenant_quota: None,
+            tenant_weights: Vec::new(),
             dict_encode: None,
         }
     }
@@ -216,6 +247,23 @@ impl Caesura {
             .session_queue
             .unwrap_or_else(crate::serving::queue_depth_from_env)
             .max(1);
+        let policy = SchedPolicy {
+            fair: config
+                .fair_sched
+                .unwrap_or_else(crate::sched::fair_sched_from_env),
+            tiers: config
+                .priority_tiers
+                .unwrap_or_else(crate::sched::priority_tiers_from_env)
+                .max(1),
+            tenant_quota: match config.tenant_quota {
+                // `Some(0)` means "explicitly unlimited", matching the env
+                // convention that `CAESURA_TENANT_QUOTA=0` disables the quota.
+                Some(0) => None,
+                Some(quota) => Some(quota),
+                None => crate::sched::tenant_quota_from_env(),
+            },
+            weights: config.tenant_weights.clone(),
+        };
         Caesura {
             core: Arc::new(SessionCore {
                 lake,
@@ -226,7 +274,7 @@ impl Caesura {
                 perception_cache,
                 plan_cache,
             }),
-            scheduler: Scheduler::new(workers, queue_depth),
+            scheduler: Scheduler::new(workers, queue_depth, policy),
         }
     }
 
@@ -253,9 +301,16 @@ impl Caesura {
     }
 
     /// Queue-depth / in-flight / completed counters of the session's serving
-    /// scheduler.
+    /// scheduler, aggregated across all tenants.
     pub fn serving_stats(&self) -> ServingStats {
         self.scheduler.stats()
+    }
+
+    /// Per-tenant serving counters, one entry per tenant that has ever
+    /// submitted (or been rejected), sorted by tenant name. The sums across
+    /// tenants equal the corresponding [`Caesura::serving_stats`] fields.
+    pub fn tenant_stats(&self) -> Vec<TenantServingStats> {
+        self.scheduler.tenant_stats()
     }
 
     /// Submit a query for concurrent execution. The query is enqueued on the
@@ -275,15 +330,40 @@ impl Caesura {
     /// blocking wrappers) behaves exactly as it did when queries ran on the
     /// calling thread.
     pub fn submit(&self, query: &str) -> QueryHandle {
-        self.scheduler
-            .submit(&self.core, query, self.effective_exec())
+        self.scheduler.submit(
+            &self.core,
+            query,
+            self.effective_exec(),
+            SubmitOptions::new(),
+        )
     }
 
-    /// Non-blocking [`Caesura::submit`]: returns `None` instead of blocking
-    /// when the submission queue is at capacity.
-    pub fn try_submit(&self, query: &str) -> Option<QueryHandle> {
+    /// [`Caesura::submit`] with explicit [`SubmitOptions`]: a tenant, a
+    /// priority tier, and/or a deadline budget. Fail-fast: instead of
+    /// blocking, a submission that cannot be admitted — queue full, tenant
+    /// over quota, zero deadline, session shutting down — returns a typed
+    /// [`AdmissionError`] and was never enqueued.
+    ///
+    /// A submission with default options (`SubmitOptions::new()`) behaves
+    /// byte-identically to [`Caesura::try_submit`]; the blocking wrappers
+    /// always use default options, so plain `submit`/`run`/`query` traffic
+    /// is unaffected by tenancy.
+    pub fn submit_with(
+        &self,
+        query: &str,
+        options: SubmitOptions,
+    ) -> Result<QueryHandle, AdmissionError> {
         self.scheduler
-            .try_submit(&self.core, query, self.effective_exec())
+            .submit_with(&self.core, query, self.effective_exec(), options)
+    }
+
+    /// Non-blocking [`Caesura::submit`]: fails fast with a typed
+    /// [`AdmissionError`] — [`AdmissionError::QueueFull`] at capacity,
+    /// [`AdmissionError::ShuttingDown`] during session teardown — instead of
+    /// blocking. Equivalent to [`Caesura::submit_with`] with default
+    /// options.
+    pub fn try_submit(&self, query: &str) -> Result<QueryHandle, AdmissionError> {
+        self.submit_with(query, SubmitOptions::new())
     }
 
     fn effective_exec(&self) -> ExecConfig {
@@ -309,18 +389,24 @@ impl Caesura {
 impl SessionCore {
     /// Run one scheduled query on a worker thread: pin the captured
     /// execution configuration, attach the live trace sink, stamp queue-wait
-    /// and total wall clock, and honour the job's cancellation flag at every
-    /// cooperative checkpoint.
+    /// and the scheduling decision, and honour the job's cancel token at
+    /// every cooperative checkpoint.
     pub(crate) fn run_scheduled(&self, job: &JobState) -> QueryRun {
         let mut trace = ExecutionTrace::new();
         trace.set_sink(job.subscriber_sink());
         trace.set_queue_wait(job.queue_wait());
+        // Only non-default submissions carry scheduling metadata, so
+        // default-path traces stay byte-identical to the pre-tenancy
+        // scheduler.
+        if let Some(info) = job.scheduling_info() {
+            trace.set_scheduling(info);
+        }
         let mut decisions = Vec::new();
         let mut logical_plan = None;
         let started = Instant::now();
         let output = {
             let (trace, logical_plan, decisions) = (&mut trace, &mut logical_plan, &mut decisions);
-            let cancel = job.cancel_flag();
+            let cancel = job.cancel_token();
             let query = job.query();
             // Pin the thread/morsel knobs captured at submission time for
             // the whole query.
@@ -342,23 +428,44 @@ impl SessionCore {
     }
 
     /// Cooperative cancellation checkpoint: if the submitter cancelled the
-    /// query, record the `Phase::Recovery` trace event and stop with
-    /// [`CoreError::Cancelled`].
+    /// query (or its deadline budget expired), record the `Phase::Recovery`
+    /// trace event and stop with [`CoreError::Cancelled`].
     fn check_cancel(
         &self,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
         trace: &mut ExecutionTrace,
         at: &str,
     ) -> CoreResult<()> {
-        if cancel.load(Ordering::Acquire) {
-            trace.record(
-                Phase::Recovery,
-                "cancelled",
-                format!("cooperative cancellation observed {at}"),
-            );
-            return Err(CoreError::Cancelled);
+        match cancel.status() {
+            CancelStatus::Active => Ok(()),
+            CancelStatus::Cancelled => {
+                trace.record(
+                    Phase::Recovery,
+                    "cancelled",
+                    format!("cooperative cancellation observed {at}"),
+                );
+                Err(CoreError::Cancelled)
+            }
+            CancelStatus::DeadlineExpired => {
+                trace.record(
+                    Phase::Recovery,
+                    "cancelled",
+                    format!("deadline expired: cooperative cancellation observed {at}"),
+                );
+                Err(CoreError::Cancelled)
+            }
         }
-        Ok(())
+    }
+
+    /// Record the trace event for a dispatch the transport interrupted
+    /// mid-flight and turn it into [`CoreError::Cancelled`].
+    fn dispatch_cancelled(&self, trace: &mut ExecutionTrace) -> CoreError {
+        trace.record(
+            Phase::Recovery,
+            "cancelled",
+            "cooperative cancellation interrupted an in-flight LLM dispatch",
+        );
+        CoreError::Cancelled
     }
 
     fn complete(
@@ -366,14 +473,19 @@ impl SessionCore {
         conversation: &Conversation,
         trace: &mut ExecutionTrace,
         phase: Phase,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> CoreResult<String> {
         // Checked before *every* LLM dispatch: a cancelled query never costs
         // another round trip (and records no prompt it did not send).
         self.check_cancel(cancel, trace, "before an LLM dispatch")?;
         trace.record(phase, "prompt", conversation.render());
         trace.record_llm_call(conversation.approx_tokens());
-        let response = self.llm.complete(conversation)?;
+        // The token is threaded into the transport: a cancellation-aware
+        // client aborts mid-dispatch instead of serving the full round trip.
+        let response = match self.llm.complete_cancellable(conversation, cancel) {
+            Err(LlmError::Cancelled) => return Err(self.dispatch_cancelled(trace)),
+            response => response?,
+        };
         trace.record(phase, "response", response.clone());
         Ok(response)
     }
@@ -384,7 +496,7 @@ impl SessionCore {
         trace: &mut ExecutionTrace,
         logical_plan_out: &mut Option<LogicalPlan>,
         decisions_out: &mut Vec<OperatorDecision>,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> CoreResult<QueryOutput> {
         // A query cancelled while still queued stops before any work.
         self.check_cancel(cancel, trace, "before the query started")?;
@@ -610,7 +722,7 @@ impl SessionCore {
         decisions: &[OperatorDecision],
         decisions_out: &mut Vec<OperatorDecision>,
         trace: &mut ExecutionTrace,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> CoreResult<QueryOutput> {
         let mut executor = self.make_executor();
         let mut last_outcome: Option<StepOutcome> = None;
@@ -646,7 +758,7 @@ impl SessionCore {
         &self,
         query: &str,
         trace: &mut ExecutionTrace,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> CoreResult<(Catalog, Vec<RelevantColumn>)> {
         // Dense-retrieval substitute: keep the top-k sources.
         let top = self.retriever.top_k(query, self.config.retrieval_top_k);
@@ -717,7 +829,7 @@ impl SessionCore {
         relevant_columns: &[RelevantColumn],
         note: Option<&str>,
         trace: &mut ExecutionTrace,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> CoreResult<LogicalPlan> {
         let query_with_note = match note {
             Some(note) => format!("{query} ({note})"),
@@ -752,7 +864,7 @@ impl SessionCore {
         plan: &LogicalPlan,
         decisions_out: &mut Vec<OperatorDecision>,
         trace: &mut ExecutionTrace,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> Result<(QueryOutput, bool), (CoreError, bool)> {
         let mut executor = self.make_executor();
         let mut observations: Vec<String> = Vec::new();
@@ -793,7 +905,7 @@ impl SessionCore {
                 trace.record(Phase::Mapping, "prompt", prompt.render());
                 trace.record_llm_call(prompt.approx_tokens());
             }
-            let responses = self.llm.complete_batch(&prompts);
+            let responses = self.llm.complete_batch_cancellable(&prompts, cancel);
             // Record every completed response before parsing any: the whole
             // batch was served and billed, so the trace must show it even
             // when an early response fails to parse.
@@ -802,7 +914,12 @@ impl SessionCore {
             }
             let mut all = Vec::new();
             for response in responses {
-                let response = response.map_err(|e| (CoreError::from(e), false))?;
+                let response = match response {
+                    Err(LlmError::Cancelled) => {
+                        return Err((self.dispatch_cancelled(trace), false));
+                    }
+                    response => response.map_err(|e| (CoreError::from(e), false))?,
+                };
                 all.push(
                     OperatorDecision::parse(&response).map_err(|e| (CoreError::from(e), false))?,
                 );
@@ -918,7 +1035,7 @@ impl SessionCore {
         observations: &[String],
         error_note: Option<&str>,
         trace: &mut ExecutionTrace,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> CoreResult<OperatorDecision> {
         let prompt = self.prompts.mapping_prompt(
             catalog,
@@ -942,7 +1059,7 @@ impl SessionCore {
         decision: &OperatorDecision,
         error: &CoreError,
         trace: &mut ExecutionTrace,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> CoreResult<ErrorAnalysis> {
         let prompt = self.prompts.error_prompt(
             query,

@@ -5,6 +5,7 @@
 //! multi-phase prompting picture of the paper, and what the evaluation crate
 //! inspects to categorize errors (Table 2).
 
+use crate::sched::Priority;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -181,6 +182,22 @@ impl PhaseTimings {
     }
 }
 
+/// How the serving scheduler saw one query: its tenant, priority tier, and
+/// deadline budget. Stamped on the trace by the serving layer **only for
+/// non-default submissions** (a named tenant, a non-default priority, or a
+/// deadline), so default-path traces — and their rendering — stay
+/// byte-identical to the pre-tenancy scheduler. Like [`PhaseTimings`], this
+/// is serving metadata, excluded from trace equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulingInfo {
+    /// The tenant the query was submitted under.
+    pub tenant: String,
+    /// The priority tier it was submitted at.
+    pub priority: Priority,
+    /// The deadline budget it was submitted with, if any.
+    pub deadline: Option<Duration>,
+}
+
 /// A sink that observes every [`TraceEvent`] the instant it is recorded —
 /// the mechanism behind `QueryHandle::subscribe`'s live trace stream.
 pub type TraceSink = Arc<dyn Fn(&TraceEvent) + Send + Sync>;
@@ -200,6 +217,7 @@ pub struct ExecutionTrace {
     plan_cache: PlanCacheCalls,
     plan_source: Option<PlanSource>,
     timings: PhaseTimings,
+    scheduling: Option<SchedulingInfo>,
     sink: Option<TraceSink>,
 }
 
@@ -213,6 +231,7 @@ impl fmt::Debug for ExecutionTrace {
             .field("plan_cache", &self.plan_cache)
             .field("plan_source", &self.plan_source)
             .field("timings", &self.timings)
+            .field("scheduling", &self.scheduling)
             .field("sink", &self.sink.as_ref().map(|_| "..."))
             .finish()
     }
@@ -282,6 +301,19 @@ impl ExecutionTrace {
     /// The wall-clock timings of this run (excluded from trace equality).
     pub fn timings(&self) -> PhaseTimings {
         self.timings
+    }
+
+    /// Stamp the scheduling decision the serving layer made for this run.
+    /// Only called for non-default submissions (see [`SchedulingInfo`]).
+    pub fn set_scheduling(&mut self, info: SchedulingInfo) {
+        self.scheduling = Some(info);
+    }
+
+    /// How the scheduler saw this run — `None` for default-path submissions
+    /// and for traces produced outside the serving layer (excluded from
+    /// trace equality, like timings).
+    pub fn scheduling(&self) -> Option<&SchedulingInfo> {
+        self.scheduling.as_ref()
     }
 
     /// Record one LLM completion of approximately `tokens` prompt tokens.
@@ -422,6 +454,17 @@ impl ExecutionTrace {
                 self.plan_cache.misses,
                 self.plan_cache.insertions,
                 self.plan_cache.invalidations
+            ));
+        }
+        if let Some(scheduling) = &self.scheduling {
+            out.push_str(&format!(
+                "== Scheduling: tenant '{}', priority {}{} ==\n",
+                scheduling.tenant,
+                scheduling.priority,
+                match scheduling.deadline {
+                    Some(deadline) => format!(", deadline {deadline:.1?}"),
+                    None => String::new(),
+                }
             ));
         }
         if self.timings.total > Duration::ZERO {
@@ -590,6 +633,28 @@ mod tests {
             t
         };
         assert_eq!(trace, plain);
+    }
+
+    #[test]
+    fn scheduling_info_renders_but_does_not_affect_equality() {
+        let mut a = ExecutionTrace::new();
+        let b = ExecutionTrace::new();
+        assert!(a.scheduling().is_none());
+        a.set_scheduling(SchedulingInfo {
+            tenant: "acme".into(),
+            priority: Priority::BATCH,
+            deadline: Some(Duration::from_millis(500)),
+        });
+        // Scheduling is serving metadata, like timings: equal logical record.
+        assert_eq!(a, b);
+        let info = a.scheduling().expect("stamped");
+        assert_eq!(info.tenant, "acme");
+        let rendered = a.render(false);
+        assert!(rendered.contains("tenant 'acme'"));
+        assert!(rendered.contains("priority batch"));
+        assert!(rendered.contains("deadline"));
+        // Default-path traces render no scheduling line at all.
+        assert!(!b.render(false).contains("Scheduling"));
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub struct QueryEvaluation {
     /// trace's phase timings — the same timing source the serving bench
     /// reports percentiles over.
     pub latency: Duration,
+    /// Time the submission sat in the scheduler queue before a worker picked
+    /// it up — negligible under the serial driver (an idle worker picks each
+    /// blocking `run` up immediately); under [`evaluate_model_concurrent`]
+    /// this is the scheduling-delay component of the end-to-end latency
+    /// (`queue_wait + latency`).
+    pub queue_wait: Duration,
     /// The execution error message, if execution failed.
     pub error: Option<String>,
 }
@@ -236,6 +242,7 @@ fn grade_run(
         plan_cache: run.trace.plan_cache_calls(),
         plan_source: run.trace.plan_source(),
         latency: run.trace.timings().total(),
+        queue_wait: run.trace.timings().queue_wait(),
         error: run.output.as_ref().err().map(|e| e.to_string()),
     }
 }
@@ -621,6 +628,13 @@ mod tests {
         assert_eq!(serving.end_to_end.len(), serial.results.len());
         assert!(serving.wall_clock > Duration::ZERO);
         assert!(serving.queries_per_second() > 0.0);
+        // 48 queries submitted up front onto 4 workers: most sit in the
+        // queue before pickup, so some queue wait must have been recorded.
+        assert!(serving
+            .report
+            .results
+            .iter()
+            .any(|r| r.queue_wait > Duration::ZERO));
         assert!(serving.latency_percentile(0.95) >= serving.latency_percentile(0.5));
         for (concurrent, reference) in serving.report.results.iter().zip(&serial.results) {
             assert_eq!(concurrent.id, reference.id);

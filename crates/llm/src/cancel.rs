@@ -1,0 +1,179 @@
+//! Cooperative cancellation for LLM dispatch.
+//!
+//! A [`CancelToken`] is shared between the submitter of a query (which may
+//! request cancellation) and the transport that carries its LLM calls (which
+//! observes it). Before PR 8, cancellation was checked only *between*
+//! dispatches, so a cancel issued while a slow model call was in flight had
+//! to wait for the full round trip; threading the token into
+//! [`LlmClient::complete_cancellable`](crate::LlmClient::complete_cancellable)
+//! lets a transport abort mid-dispatch with [`LlmError::Cancelled`](crate::LlmError::Cancelled)
+//! (crate::LlmError::Cancelled), bounding cancellation latency by the
+//! transport's own polling interval instead.
+//!
+//! A token optionally carries a **deadline**: an absolute instant after which
+//! it reports itself cancelled without anyone calling
+//! [`cancel`](CancelToken::cancel). There is no timer thread — expiry is
+//! evaluated lazily at every [`is_cancelled`](CancelToken::is_cancelled) /
+//! [`status`](CancelToken::status) check, which is exactly where the serving
+//! layer already polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why (or whether) a [`CancelToken`] reports cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelStatus {
+    /// Not cancelled: the query should keep running.
+    Active,
+    /// [`CancelToken::cancel`] was called (the submitter asked to stop).
+    Cancelled,
+    /// The token's deadline passed before the query completed.
+    DeadlineExpired,
+}
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation token observed by queries and LLM transports.
+///
+/// Cancellation is **cooperative**: setting the flag never interrupts a
+/// thread, it is observed at checkpoints (between plan steps, before each
+/// dispatch) and — since PR 8 — inside cancellation-aware transports while a
+/// dispatch is in flight. Clones share the same flag and deadline.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A fresh token with no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A fresh token that reports [`CancelStatus::DeadlineExpired`] once
+    /// `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; returns immediately.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been *requested*. Does not
+    /// consider the deadline — use [`is_cancelled`](CancelToken::is_cancelled)
+    /// for the effective state.
+    pub fn cancel_requested(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether the query should stop: explicitly cancelled, or past the
+    /// deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.status() != CancelStatus::Active
+    }
+
+    /// The effective cancellation state. An explicit cancel request takes
+    /// precedence over deadline expiry when both hold.
+    pub fn status(&self) -> CancelStatus {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return CancelStatus::Cancelled;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => CancelStatus::DeadlineExpired,
+            _ => CancelStatus::Active,
+        }
+    }
+
+    /// The absolute deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline ([`Duration::ZERO`] once expired);
+    /// `None` when the token has no deadline.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("status", &self.status())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_active_and_cancel_is_sticky() {
+        let token = CancelToken::new();
+        assert_eq!(token.status(), CancelStatus::Active);
+        assert!(!token.is_cancelled());
+        assert!(!token.cancel_requested());
+        assert!(token.deadline().is_none());
+        assert!(token.remaining().is_none());
+        token.cancel();
+        token.cancel();
+        assert_eq!(token.status(), CancelStatus::Cancelled);
+        assert!(token.is_cancelled());
+        assert!(token.cancel_requested());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        token.cancel();
+        assert!(observer.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry_reports_without_an_explicit_cancel() {
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(expired.status(), CancelStatus::DeadlineExpired);
+        assert!(expired.is_cancelled());
+        // Expiry is not a cancel *request* — the flag was never raised.
+        assert!(!expired.cancel_requested());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(future.status(), CancelStatus::Active);
+        assert!(future.remaining().expect("has deadline") > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn explicit_cancel_takes_precedence_over_expiry() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        token.cancel();
+        assert_eq!(token.status(), CancelStatus::Cancelled);
+    }
+}

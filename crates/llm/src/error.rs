@@ -29,6 +29,11 @@ pub enum LlmError {
         /// Description of the failure.
         message: String,
     },
+    /// The dispatch was interrupted by a [`CancelToken`](crate::CancelToken)
+    /// (explicit cancel or deadline expiry) before a response arrived.
+    /// Returned by the `*_cancellable` transport methods; never produced by
+    /// a model itself.
+    Cancelled,
 }
 
 impl LlmError {
@@ -67,6 +72,9 @@ impl fmt::Display for LlmError {
             }
             LlmError::ModelFailure { model, message } => {
                 write!(f, "model '{model}' failed: {message}")
+            }
+            LlmError::Cancelled => {
+                write!(f, "the dispatch was cancelled before the model responded")
             }
         }
     }

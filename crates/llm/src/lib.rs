@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cancel;
 pub mod chat;
 pub mod client;
 pub mod context;
@@ -34,8 +35,9 @@ pub mod prompt;
 pub mod sim;
 pub mod synthesis;
 
+pub use cancel::{CancelStatus, CancelToken};
 pub use chat::{ChatMessage, Conversation, Role};
-pub use client::{CountingLlm, LlmClient, LlmUsage, ScriptedLlm};
+pub use client::{CountingLlm, GatedLlm, LlmClient, LlmUsage, ScriptedLlm};
 pub use context::{PromptContext, PromptKind, TableSketch};
 pub use error::{LlmError, LlmResult};
 pub use intent::{analyze, AggKind, AttributeRef, OutputKind, QueryIntent};

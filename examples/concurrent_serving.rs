@@ -10,8 +10,13 @@
 //! 2. **Streamed trace events** — `subscribe` delivers one query's trace
 //!    events live, as the planner works, instead of only after completion.
 //! 3. **Cooperative cancellation** — `cancel` stops a query at its next
-//!    checkpoint (between plan steps / before any LLM dispatch); a query
-//!    cancelled while still queued never runs at all.
+//!    checkpoint (between plan steps / before any LLM dispatch, or mid-
+//!    dispatch for cancellation-aware transports); a query cancelled while
+//!    still queued never runs at all.
+//! 4. **Multi-tenant scheduling** (PR 8) — `submit_with` tags submissions
+//!    with a tenant and a priority tier; the weighted-fair scheduler
+//!    dequeues interactive work ahead of a batch tenant's backlog, and
+//!    `tenant_stats` breaks the serving counters out per tenant.
 //!
 //! Run with: `cargo run --example concurrent_serving`
 
@@ -91,6 +96,61 @@ fn main() {
         "\nserving stats: {} completed ({} cancelled), {} queued, {} in flight",
         stats.completed, stats.cancelled, stats.queued, stats.in_flight
     );
+
+    // -- 4. Two tenants: interactive vs batch ------------------------------
+    // A fresh single-worker session makes the scheduling decision visible:
+    // tenant "nightly" floods six batch-priority reports, then tenant
+    // "dashboard" submits one interactive query — which the fair scheduler
+    // dequeues ahead of the entire remaining backlog.
+    let config = CaesuraConfig {
+        session_workers: Some(1),
+        session_queue: Some(16),
+        ..CaesuraConfig::default()
+    };
+    let caesura = Caesura::with_config(
+        generate_artwork(&ArtworkConfig::default()).lake,
+        Arc::new(SimulatedLlm::gpt4()),
+        config,
+    );
+    let nightly: Vec<QueryHandle> = (0..6)
+        .map(|_| {
+            caesura
+                .submit_with(
+                    "For each movement, how many paintings are there?",
+                    SubmitOptions::for_tenant("nightly").batch(),
+                )
+                .expect("queue sized for the whole batch")
+        })
+        .collect();
+    let dashboard = caesura
+        .submit_with(
+            "How many paintings are in the museum?",
+            SubmitOptions::for_tenant("dashboard"),
+        )
+        .expect("queue sized for the whole batch");
+
+    let run = dashboard.wait();
+    println!(
+        "\ndashboard (interactive) answered in {:.1?} end to end, \
+         jumping the nightly backlog",
+        run.trace.timings().end_to_end()
+    );
+    if let Some(info) = run.trace.scheduling() {
+        println!(
+            "  scheduled as: tenant '{}', priority {}",
+            info.tenant, info.priority
+        );
+    }
+    for handle in nightly {
+        handle.wait();
+    }
+    println!("\nper-tenant serving stats:");
+    for tenant in caesura.tenant_stats() {
+        println!(
+            "  {:<10} {} completed, {} rejected, total queue wait {:.1?}",
+            tenant.tenant, tenant.completed, tenant.rejected, tenant.total_queue_wait
+        );
+    }
 }
 
 fn streamed_or_cancelled(run: QueryRun) -> &'static str {

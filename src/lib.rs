@@ -45,8 +45,8 @@ pub use caesura_modal as modal;
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use caesura_core::{
-        Caesura, CaesuraConfig, CoreError, QueryHandle, QueryOutput, QueryRun, QueryStatus,
-        ServingStats,
+        AdmissionError, Caesura, CaesuraConfig, CoreError, Priority, QueryHandle, QueryOutput,
+        QueryRun, QueryStatus, ServingStats, SubmitOptions, TenantServingStats,
     };
     pub use caesura_data::{
         generate_artwork, generate_rotowire, ArtworkConfig, DataLake, RotowireConfig,

@@ -1,93 +1,39 @@
-//! Cooperative cancellation semantics of the serving API (PR 5).
+//! Cooperative cancellation semantics of the serving API (PR 5, extended by
+//! PR 8 with a cancellable transport).
 //!
 //! Cancellation is checked between plan steps and before every LLM /
-//! perception dispatch, so a cancel raised while the session is blocked
-//! inside a model round trip takes effect at the next checkpoint — bounded
-//! by one dispatch, never preempted. These tests pin:
+//! perception dispatch, and — since the transport accepts a cancel token —
+//! a cancellation-aware client aborts *mid-dispatch* instead of serving the
+//! full round trip. These tests pin:
 //!
 //! * a query cancelled **mid-plan** (while its planning round trip is in
 //!   flight) returns `CoreError::Cancelled` promptly — asserted with a
 //!   deadline, not by inspection — and records the `Phase::Recovery`
 //!   "cancelled" trace event;
+//! * a cancel raised while a [`GatedLlm`] holds the dispatch open returns in
+//!   bounded time **without the gate ever being released** — the transport
+//!   itself was interrupted, not merely the next checkpoint;
+//! * a `submit_with` deadline expires mid-dispatch with the same bounded-time
+//!   guarantee;
 //! * a query cancelled **while still queued** never runs at all (zero LLM
 //!   calls);
 //! * dropping the session joins all scheduler workers (no leaked threads) —
 //!   asserted by the bounded-time return of `drop` itself, via a watchdog.
 
-use caesura::core::Phase;
-use caesura::llm::{Conversation, LlmResult};
+use caesura::core::{AdmissionError, Phase, SubmitOptions};
+use caesura::llm::GatedLlm;
 use caesura::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Wraps the simulated model and blocks the *first* completion until the
-/// test releases it, signalling when the worker has entered the call. This
-/// lets a test hold a query mid-LLM-round-trip deterministically.
-struct GatedLlm {
-    inner: SimulatedLlm,
-    armed: AtomicBool,
-    entered: Mutex<bool>,
-    entered_cv: Condvar,
-    released: Mutex<bool>,
-    released_cv: Condvar,
+const GATE_WAIT: Duration = Duration::from_secs(30);
+
+fn gated_llm() -> Arc<GatedLlm<SimulatedLlm>> {
+    Arc::new(GatedLlm::new(SimulatedLlm::gpt4()))
 }
 
-impl GatedLlm {
-    fn new() -> Arc<Self> {
-        Arc::new(GatedLlm {
-            inner: SimulatedLlm::gpt4(),
-            armed: AtomicBool::new(true),
-            entered: Mutex::new(false),
-            entered_cv: Condvar::new(),
-            released: Mutex::new(false),
-            released_cv: Condvar::new(),
-        })
-    }
-
-    /// Block until a worker is inside the gated completion.
-    fn wait_entered(&self) {
-        let mut entered = self.entered.lock().unwrap();
-        while !*entered {
-            let (guard, timeout) = self
-                .entered_cv
-                .wait_timeout(entered, Duration::from_secs(30))
-                .unwrap();
-            assert!(!timeout.timed_out(), "no worker reached the LLM gate");
-            entered = guard;
-        }
-    }
-
-    /// Let the gated completion proceed.
-    fn release(&self) {
-        let mut released = self.released.lock().unwrap();
-        *released = true;
-        self.released_cv.notify_all();
-    }
-}
-
-impl LlmClient for GatedLlm {
-    fn complete(&self, conversation: &Conversation) -> LlmResult<String> {
-        if self.armed.swap(false, Ordering::AcqRel) {
-            {
-                let mut entered = self.entered.lock().unwrap();
-                *entered = true;
-                self.entered_cv.notify_all();
-            }
-            let mut released = self.released.lock().unwrap();
-            while !*released {
-                released = self.released_cv.wait(released).unwrap();
-            }
-        }
-        self.inner.complete(conversation)
-    }
-
-    fn name(&self) -> &str {
-        "gated-gpt4"
-    }
-}
-
-fn gated_artwork_session(llm: &Arc<GatedLlm>, queue: usize) -> Caesura {
+fn gated_artwork_session(llm: &Arc<GatedLlm<SimulatedLlm>>, queue: usize) -> Caesura {
     let data = generate_artwork(&ArtworkConfig::small());
     let config = CaesuraConfig {
         session_workers: Some(1),
@@ -99,19 +45,18 @@ fn gated_artwork_session(llm: &Arc<GatedLlm>, queue: usize) -> Caesura {
 
 #[test]
 fn cancel_mid_plan_returns_cancelled_in_bounded_time_without_leaking_threads() {
-    let llm = GatedLlm::new();
+    let llm = gated_llm();
     let session = gated_artwork_session(&llm, 4);
 
     let handle = session.submit("How many paintings are in the museum?");
     // The single worker is now blocked inside the planning round trip.
-    llm.wait_entered();
+    llm.wait_entered(GATE_WAIT);
     handle.cancel();
     assert!(handle.is_cancelled());
-    llm.release();
 
-    // The run must stop at the next cooperative checkpoint: bounded time,
-    // asserted against a generous deadline (the in-flight dispatch itself is
-    // instant once released).
+    // The cancel token interrupts the held dispatch itself: the run must
+    // come back without the gate ever being released — bounded time,
+    // asserted against a generous deadline.
     let started = Instant::now();
     let run = handle.wait();
     assert!(
@@ -152,13 +97,48 @@ fn cancel_mid_plan_returns_cancelled_in_bounded_time_without_leaking_threads() {
 }
 
 #[test]
+fn deadline_expiry_interrupts_a_held_dispatch_in_bounded_time() {
+    let llm = gated_llm();
+    let session = gated_artwork_session(&llm, 4);
+
+    // A short deadline budget: generous enough that admission and worker
+    // pickup always beat it (the gate is reached within milliseconds), short
+    // enough that the test stays fast once the worker is parked inside the
+    // gated dispatch.
+    let options = SubmitOptions::new().with_deadline(Duration::from_secs(2));
+    let handle = session
+        .submit_with("How many paintings are in the museum?", options)
+        .expect("queue empty: admission succeeds");
+    llm.wait_entered(GATE_WAIT);
+
+    // Never release the gate: only the expiring deadline can bring the
+    // dispatch back.
+    let started = Instant::now();
+    let run = handle.wait();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "deadline expiry did not interrupt the dispatch in bounded time"
+    );
+    assert!(run.cancelled(), "expected Cancelled, got {:?}", run.output);
+    let recovery = run.trace.events_of(Phase::Recovery);
+    assert!(
+        recovery
+            .iter()
+            .any(|e| e.label == "cancelled" && e.detail.contains("cancellation")),
+        "missing the Recovery 'cancelled' event: {:?}",
+        recovery
+    );
+    assert_eq!(session.serving_stats().cancelled, 1);
+}
+
+#[test]
 fn cancel_while_queued_never_runs_the_query() {
-    let llm = GatedLlm::new();
+    let llm = gated_llm();
     let session = gated_artwork_session(&llm, 4);
 
     // q1 occupies the only worker (blocked at the gate); q2 sits queued.
     let first = session.submit("How many paintings are in the museum?");
-    llm.wait_entered();
+    llm.wait_entered(GATE_WAIT);
     let second = session.submit("How many paintings depict a horse?");
     second.cancel();
     llm.release();
@@ -185,14 +165,14 @@ fn cancel_while_queued_never_runs_the_query() {
 
 #[test]
 fn subscribe_streams_every_trace_event_of_a_queued_query() {
-    let llm = GatedLlm::new();
+    let llm = gated_llm();
     let session = gated_artwork_session(&llm, 4);
 
     // Hold the single worker inside q1's planning call so q2 cannot start
     // before its subscription is registered — the stream then observes q2's
     // trace events from the very first one.
     let first = session.submit("How many paintings are in the museum?");
-    llm.wait_entered();
+    llm.wait_entered(GATE_WAIT);
     let second = session.submit("How many paintings depict a horse?");
     let stream = second.subscribe();
     llm.release();
@@ -209,21 +189,26 @@ fn subscribe_streams_every_trace_event_of_a_queued_query() {
 
 #[test]
 fn full_submission_queues_apply_backpressure_and_try_submit_declines() {
-    let llm = GatedLlm::new();
+    let llm = gated_llm();
     // One worker, one queue slot.
     let session = gated_artwork_session(&llm, 1);
 
     let running = session.submit("How many paintings are in the museum?");
-    llm.wait_entered();
+    llm.wait_entered(GATE_WAIT);
     // The worker holds q1; this submission fills the single queue slot.
     let queued = session.submit("How many paintings depict a horse?");
     let stats = session.serving_stats();
     assert_eq!(stats.in_flight, 1);
     assert_eq!(stats.queued, 1);
-    // Queue full: the non-blocking variant must decline rather than wait.
-    assert!(session
-        .try_submit("For each movement, how many paintings are there?")
-        .is_none());
+    // Queue full: the non-blocking variant must decline with the typed
+    // admission error rather than wait (PR 5 returned a bare `None` here,
+    // indistinguishable from shutdown).
+    let declined = session.try_submit("For each movement, how many paintings are there?");
+    assert!(
+        matches!(declined, Err(AdmissionError::QueueFull { depth: 1 })),
+        "expected QueueFull, got {declined:?}"
+    );
+    assert_eq!(session.serving_stats().rejected, 1);
 
     llm.release();
     assert!(running.wait().succeeded());
@@ -234,6 +219,8 @@ fn full_submission_queues_apply_backpressure_and_try_submit_declines() {
         .expect("queue has space again");
     assert!(third.wait().succeeded());
     assert_eq!(session.serving_stats().completed, 3);
+    // The earlier decline is still on the books; nothing else was rejected.
+    assert_eq!(session.serving_stats().rejected, 1);
 }
 
 #[test]

@@ -201,6 +201,129 @@ fn racing_submitters_and_cancellers_at_queue_capacity_stay_consistent() {
 }
 
 #[test]
+fn tenant_submitters_with_typed_admission_keep_per_tenant_counters_balanced() {
+    // The PR 8 control plane under the same adversarial load: 8 threads each
+    // submit under their own tenant through the non-blocking `submit_with`
+    // (retrying typed `QueueFull` declines at a tiny queue bound) while half
+    // the submissions are cancelled immediately. Invariants: no deadlock,
+    // every admitted handle resolves, every decline observed by a submitter
+    // is on the books as a rejection, and the per-tenant counters balance —
+    // each tenant's completed count equals its admissions, nothing remains
+    // queued or in flight, and the per-tenant breakdown sums to the global
+    // [`ServingStats`].
+    use caesura::core::{AdmissionError, Phase, SubmitOptions};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let data = generate_rotowire(&RotowireConfig::small());
+    let reference_session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+    let expected: Vec<QueryOutput> = parallel::with_config(ExecConfig::sequential(), || {
+        QUERIES
+            .iter()
+            .map(|q| reference_session.query(q).expect("serial query failed"))
+            .collect()
+    });
+
+    let config = CaesuraConfig {
+        exec: Some(ExecConfig::new(2, 16)),
+        session_workers: Some(2),
+        session_queue: Some(2),
+        ..CaesuraConfig::default()
+    };
+    let session = Caesura::with_config(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()), config);
+
+    const SUBMITTERS: usize = 8;
+    const ROUNDS: usize = 3;
+    let declines_seen = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for submitter in 0..SUBMITTERS {
+            let (session, expected, declines_seen) = (&session, &expected, &declines_seen);
+            scope.spawn(move || {
+                let tenant = format!("tenant-{submitter}");
+                // Half the tenants submit at batch priority: tier membership
+                // must not affect any balance invariant.
+                let options = if submitter % 2 == 0 {
+                    SubmitOptions::for_tenant(&tenant)
+                } else {
+                    SubmitOptions::for_tenant(&tenant).batch()
+                };
+                for round in 0..ROUNDS {
+                    for (index, (query, expected_output)) in
+                        QUERIES.iter().zip(expected).enumerate()
+                    {
+                        let handle = loop {
+                            match session.submit_with(query, options.clone()) {
+                                Ok(handle) => break handle,
+                                Err(AdmissionError::QueueFull { .. }) => {
+                                    declines_seen.fetch_add(1, Ordering::Relaxed);
+                                    thread::yield_now();
+                                }
+                                Err(other) => panic!("unexpected admission error: {other}"),
+                            }
+                        };
+                        let cancel = (submitter + round + index) % 2 == 0;
+                        if cancel {
+                            handle.cancel();
+                        }
+                        let run = handle.wait();
+                        if run.cancelled() {
+                            assert!(cancel, "only cancelled submissions may be cancelled");
+                            assert!(
+                                run.trace
+                                    .events_of(Phase::Recovery)
+                                    .iter()
+                                    .any(|e| e.label == "cancelled"),
+                                "cancelled run lacks its Recovery trace event"
+                            );
+                        } else {
+                            let output = run
+                                .output
+                                .unwrap_or_else(|e| panic!("query '{query}' failed: {e}"));
+                            assert_eq!(
+                                &output, expected_output,
+                                "round {round}: concurrent result diverged for '{query}'"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = session.serving_stats();
+    assert_eq!(stats.completed, SUBMITTERS * ROUNDS * QUERIES.len());
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.rejected, declines_seen.load(Ordering::Relaxed));
+    assert!(stats.cancelled <= stats.completed);
+
+    let tenants = session.tenant_stats();
+    assert_eq!(tenants.len(), SUBMITTERS, "one stats row per tenant");
+    for tenant in &tenants {
+        assert_eq!(
+            tenant.completed,
+            ROUNDS * QUERIES.len(),
+            "tenant {} lost or duplicated a completion",
+            tenant.tenant
+        );
+        assert_eq!(tenant.queued, 0);
+        assert_eq!(tenant.in_flight, 0);
+        assert!(tenant.cancelled <= tenant.completed);
+    }
+    assert_eq!(
+        tenants.iter().map(|t| t.completed).sum::<usize>(),
+        stats.completed
+    );
+    assert_eq!(
+        tenants.iter().map(|t| t.cancelled).sum::<usize>(),
+        stats.cancelled
+    );
+    assert_eq!(
+        tenants.iter().map(|t| t.rejected).sum::<usize>(),
+        stats.rejected
+    );
+}
+
+#[test]
 fn per_thread_exec_overrides_do_not_leak_across_threads() {
     // Two threads pin different configurations simultaneously; each must see
     // its own, and the spawning thread's default must be untouched.
