@@ -21,6 +21,7 @@ fn eval_config(llm_batch: Option<BatchConfig>) -> EvaluationConfig {
             llm_batch,
             ..CaesuraConfig::default()
         },
+        ..EvaluationConfig::default()
     }
 }
 

@@ -29,12 +29,19 @@
 //!   cache off versus on. With the cache on the warm round must reach the
 //!   LLM client **zero** times — planning and mapping are skipped entirely,
 //!   the cached decisions replay against the executor.
+//! * `fieldwork_plan_cache` — the same repeat-traffic axis over the third
+//!   (fieldwork) lake, whose plans chain 3+ steps across two or three
+//!   modalities: warm repeats of the multi-step chains must also replay at
+//!   zero planner/mapping LLM calls.
 //!
 //! Run with `cargo run --release -p caesura-bench --bin llm_calls`.
 
 use caesura_bench::BENCH_SEED;
 use caesura_core::{Caesura, CaesuraConfig, PerceptionCalls};
-use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
+use caesura_data::{
+    generate_artwork, generate_fieldwork, generate_rotowire, ArtworkConfig, FieldworkConfig,
+    RotowireConfig,
+};
 use caesura_engine::{DataType, Schema, TableBuilder, Value};
 use caesura_eval::{evaluate_model, EvaluationConfig};
 use caesura_llm::{
@@ -53,6 +60,7 @@ fn main() {
         duplicate_heavy_section(),
         perception_cache_section(),
         plan_cache_section(),
+        fieldwork_plan_cache_section(),
     ];
 
     let mut out = String::new();
@@ -76,7 +84,10 @@ fn main() {
          measures the session-scoped validated-plan cache on repeat traffic: the warm round \
          of a repeated workload must make exactly zero planner/mapping LLM calls with the \
          cache on (the cached, already-validated decisions replay straight against the \
-         executor), while the cache-off warm round re-pays the cold round in full.\",\n",
+         executor), while the cache-off warm round re-pays the cold round in full. The \
+         fieldwork_plan_cache section repeats that axis on the third (fieldwork) lake, \
+         whose every plan chains 3+ steps across two or three modalities — the multi-step \
+         chains replay from the cache just as cheaply as the short artwork plans.\",\n",
     );
     out.push_str("  \"command\": \"cargo run --release -p caesura-bench --bin llm_calls\",\n");
     out.push_str(
@@ -195,6 +206,7 @@ fn plan_quality_section() -> String {
                 llm_batch: Some(*batch),
                 ..CaesuraConfig::default()
             },
+            ..EvaluationConfig::default()
         };
         let report = evaluate_model(ModelProfile::Gpt4, &config);
         let (dispatched, saved) = report.total_perception_calls();
@@ -522,6 +534,79 @@ fn plan_cache_section() -> String {
         write!(
             out,
             "    \"repeat_workload_{label}\": {{\"queries_per_round\": {}, \
+             \"cold_round_llm_calls\": {cold_calls}, \"warm_round_llm_calls\": {warm_calls}, \
+             \"warm_round_plan_cache_hits\": {warm_hits}}}",
+            queries.len(),
+        )
+        .unwrap();
+        out.push_str(if ci == 0 { ",\n" } else { "\n" });
+    }
+    out.push_str("  }");
+    out
+}
+
+fn fieldwork_plan_cache_section() -> String {
+    // The third-lake axis of the plan-cache benchmark: every fieldwork query
+    // is a 3+-step multi-modal chain (join -> perception -> aggregate, one
+    // with a plot on top), so a cached replay skips strictly more mapping
+    // round trips per hit than the artwork workload above.
+    let queries = [
+        "What is the maximum number of specimens collected by each station?",
+        "What is the maximum number of tents depicted in the station photos of each terrain?",
+        "Plot the number of station photos depicting a penguin for each region!",
+    ];
+    let mut out = String::from("  \"fieldwork_plan_cache\": {\n");
+    for (ci, (label, cache_config)) in [
+        ("cache_off", PlanCacheConfig::off()),
+        (
+            "cache_on",
+            PlanCacheConfig::new(PlanCacheConfig::DEFAULT_CAPACITY),
+        ),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let counting = Arc::new(CountingLlm::new(SimulatedLlm::new(
+            ModelProfile::Gpt4,
+            BENCH_SEED,
+        )));
+        let session = Caesura::with_config(
+            generate_fieldwork(&FieldworkConfig::default()).lake,
+            counting.clone(),
+            CaesuraConfig {
+                plan_cache: Some(*cache_config),
+                ..CaesuraConfig::default()
+            },
+        );
+        for query in queries {
+            assert!(
+                session.run(query).succeeded(),
+                "fieldwork plan-cache bench cold round"
+            );
+        }
+        let cold_calls = counting.usage().calls;
+        let mut warm_hits = 0usize;
+        for query in queries {
+            let run = session.run(query);
+            assert!(run.succeeded(), "fieldwork plan-cache bench warm round");
+            warm_hits += run.trace.plan_cache_calls().hits;
+        }
+        let warm_calls = counting.usage().calls - cold_calls;
+        if cache_config.is_enabled() {
+            assert_eq!(
+                warm_calls, 0,
+                "warm fieldwork repeats must make zero planner/mapping LLM calls"
+            );
+            assert_eq!(warm_hits, queries.len(), "every warm repeat must hit");
+        } else {
+            assert_eq!(
+                warm_calls, cold_calls,
+                "without the cache the warm round re-pays the cold round"
+            );
+        }
+        write!(
+            out,
+            "    \"multi_step_repeat_workload_{label}\": {{\"queries_per_round\": {}, \
              \"cold_round_llm_calls\": {cold_calls}, \"warm_round_llm_calls\": {warm_calls}, \
              \"warm_round_plan_cache_hits\": {warm_hits}}}",
             queries.len(),

@@ -16,12 +16,21 @@
 //! (`fair_sched: Some(false)`), and asserts the fair scheduler improves the
 //! interactive tenant's p95 submission-to-completion latency.
 //!
+//! A third, **fieldwork** axis (PR 9) drives the 42-query multi-step
+//! multi-modal suite of the third lake through the same scheduler at
+//! concurrency 1, 4 and 16, asserting every clean oracle and every
+//! adversarial expectation is met at each level — multi-step traffic whose
+//! every plan chains 3+ steps is scheduled without answer changes too.
+//!
 //! Run with `cargo run --release -p caesura-bench --bin serving`.
 
 use caesura_bench::BENCH_SEED;
 use caesura_core::{Caesura, CaesuraConfig, SubmitOptions};
 use caesura_data::{generate_artwork, ArtworkConfig};
-use caesura_eval::{evaluate_model, evaluate_model_concurrent, percentile, EvaluationConfig};
+use caesura_eval::{
+    evaluate_fieldwork, evaluate_fieldwork_concurrent, evaluate_model, evaluate_model_concurrent,
+    percentile, EvaluationConfig,
+};
 use caesura_llm::{ModelProfile, SimulatedLlm};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -138,7 +147,9 @@ fn main() {
          + run time, nearest rank). Grades are asserted identical to the serial evaluation \
          at every concurrency level: the scheduler is a pure serving optimization. The \
          mixed_workload axis (PR 8) measures the weighted-fair scheduler against FIFO while \
-         a batch tenant floods the queue.\",\n",
+         a batch tenant floods the queue. The fieldwork_results axis (PR 9) schedules the \
+         42-query multi-step multi-modal suite of the third lake at the same concurrency \
+         levels, asserting every clean oracle and adversarial expectation holds at each.\",\n",
     );
     out.push_str("  \"command\": \"cargo run --release -p caesura-bench --bin serving\",\n");
     out.push_str(
@@ -146,8 +157,10 @@ fn main() {
          identical to the serial evaluation; BENCH_serving.json records qps and p50/p95 \
          latency at concurrency {1, 4, 16} over one shared session, plus the mixed-workload \
          axis where the fair scheduler's interactive p95 must beat FIFO's while a batch \
-         tenant saturates the queue (cancellation bounded-time and no-thread-leak guarantees \
-         are asserted by tests/cancellation.rs, not here)\",\n",
+         tenant saturates the queue, plus the fieldwork axis where the 42-query multi-step \
+         suite meets 100% of its clean and adversarial expectations at concurrency {1, 4, 16} \
+         (cancellation bounded-time and no-thread-leak guarantees are asserted by \
+         tests/cancellation.rs, not here)\",\n",
     );
     out.push_str(
         "  \"hardware_note\": \"Measured on a 1-CPU container (nproc=1), same convention as \
@@ -207,6 +220,77 @@ fn main() {
         println!(
             "concurrency {concurrency:>2}: {:>7.2} qps, p50 {:>8.3} ms, p95 {:>8.3} ms, \
              wall clock {:>9.3} ms",
+            qps,
+            p50.as_secs_f64() * 1e3,
+            p95.as_secs_f64() * 1e3,
+            serving.wall_clock.as_secs_f64() * 1e3,
+        );
+    }
+    out.push_str("  },\n");
+
+    // Fieldwork axis: the 42-query multi-step suite of the third lake,
+    // scheduled at the same concurrency levels. Every plan chains 3+ steps
+    // across modalities and the adversarial tier *must* fail in its expected
+    // way at every level — scheduling never converts a typed execution error
+    // into a NULL or vice versa.
+    let fieldwork_serial = evaluate_fieldwork(ModelProfile::Gpt4, &config);
+    let serial_met = fieldwork_serial.expectation_accuracy(|_| true);
+    assert_eq!(
+        serial_met, 1.0,
+        "serial fieldwork run missed an expectation"
+    );
+    out.push_str(&format!(
+        "  \"fieldwork_results\": {{\n    \"description\": \"the 42-query multi-step \
+         multi-modal fieldwork suite ({} clean / {} adversarial) submitted through the same \
+         scheduler; 'expectation_met' counts clean queries graded physically correct plus \
+         adversarial queries failing exactly as expected (typed execution error or error \
+         category), asserted at 1.0 for every concurrency level\",\n",
+        fieldwork_serial
+            .results
+            .iter()
+            .filter(|r| r.tier == caesura_eval::Tier::Clean)
+            .count(),
+        fieldwork_serial
+            .results
+            .iter()
+            .filter(|r| r.tier == caesura_eval::Tier::Adversarial)
+            .count(),
+    ));
+    for (index, &concurrency) in CONCURRENCY_AXIS.iter().enumerate() {
+        let serving = evaluate_fieldwork_concurrent(ModelProfile::Gpt4, &config, concurrency);
+        assert_eq!(
+            serving.report.results.len(),
+            fieldwork_serial.results.len(),
+            "fieldwork concurrency {concurrency}: not every query completed"
+        );
+        let met = serving.report.expectation_accuracy(|_| true);
+        assert_eq!(
+            met, 1.0,
+            "fieldwork concurrency {concurrency}: an expectation was missed"
+        );
+        let qps = serving.queries_per_second();
+        let p50 = serving.latency_percentile(0.5);
+        let p95 = serving.latency_percentile(0.95);
+        writeln!(
+            out,
+            "    \"concurrency_{concurrency}\": {{\"workers\": {concurrency}, \
+             \"wall_clock_ms\": {:.3}, \"qps\": {:.2}, \"p50_latency_ms\": {:.3}, \
+             \"p95_latency_ms\": {:.3}, \"expectation_met\": {:.4}}}{}",
+            serving.wall_clock.as_secs_f64() * 1e3,
+            qps,
+            p50.as_secs_f64() * 1e3,
+            p95.as_secs_f64() * 1e3,
+            met,
+            if index + 1 < CONCURRENCY_AXIS.len() {
+                ","
+            } else {
+                ""
+            },
+        )
+        .unwrap();
+        println!(
+            "fieldwork concurrency {concurrency:>2}: {:>7.2} qps, p50 {:>8.3} ms, \
+             p95 {:>8.3} ms, wall clock {:>9.3} ms",
             qps,
             p50.as_secs_f64() * 1e3,
             p95.as_secs_f64() * 1e3,

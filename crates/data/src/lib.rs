@@ -13,11 +13,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod artwork;
+pub mod fieldwork;
 pub mod lake;
 pub mod names;
 pub mod rotowire;
 
 pub use artwork::{generate_artwork, ArtworkConfig, ArtworkData, PaintingRecord};
+pub use fieldwork::{
+    generate_fieldwork, ExpeditionLog, FieldworkConfig, FieldworkData, RegionRecord, StationRecord,
+};
 pub use lake::DataLake;
 pub use rotowire::{
     generate_rotowire, GameRecord, PlayerLine, PlayerRecord, RotowireConfig, RotowireData,

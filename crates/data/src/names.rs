@@ -195,6 +195,53 @@ pub const NATIONALITIES: &[&str] = &[
 /// Player positions.
 pub const POSITIONS: &[&str] = &["Guard", "Forward", "Center"];
 
+/// Research-station names. These are the values of the `name` column of the
+/// fieldwork `stations` table and the subjects of TextQA questions over the
+/// expedition logs, so — like [`TEAM_NAMES`] — no name may be a substring of
+/// another.
+pub const STATION_NAMES: &[&str] = &[
+    "Brightwater",
+    "Coldridge",
+    "Duskfall",
+    "Eastwind",
+    "Frostholm",
+    "Greyrock",
+    "Highmoor",
+    "Icevale",
+    "Larkspur",
+    "Moorland",
+    "Northgate",
+    "Oakhaven",
+    "Pinewatch",
+    "Ravenhill",
+    "Stonebrook",
+    "Thornfield",
+];
+
+/// Survey regions (single capitalized words so categorical filters like
+/// "in the Westfjord region" parse unambiguously).
+pub const REGIONS: &[&str] = &[
+    "Northreach",
+    "Southmere",
+    "Westfjord",
+    "Eastholm",
+    "Midlands",
+    "Polarfront",
+];
+
+/// Terrain classes of the stations.
+pub const TERRAINS: &[&str] = &["Tundra", "Icefield", "Fjord", "Moraine", "Highland"];
+
+/// Climate classes of the regions table.
+pub const CLIMATES: &[&str] = &["Polar", "Subarctic", "Maritime", "Continental"];
+
+/// Entities that can be depicted in station photos. Deliberately disjoint
+/// from [`DEPICTABLE_OBJECTS`] and from the expedition-log statistic words
+/// (specimens / readings / samples).
+pub const FIELD_OBJECTS: &[&str] = &[
+    "penguin", "seal", "husky", "tent", "sledge", "antenna", "flag", "crate", "lantern", "kayak",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,8 +299,55 @@ mod tests {
             PLAYER_LAST_NAMES,
             NATIONALITIES,
             POSITIONS,
+            STATION_NAMES,
+            REGIONS,
+            TERRAINS,
+            CLIMATES,
+            FIELD_OBJECTS,
         ] {
             assert!(!pool.is_empty());
+        }
+    }
+
+    #[test]
+    fn station_names_are_never_substrings_of_each_other() {
+        for (i, a) in STATION_NAMES.iter().enumerate() {
+            for (j, b) in STATION_NAMES.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.to_lowercase().contains(&b.to_lowercase()),
+                        "{a} contains {b}; TextQA subject matching would be ambiguous"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn station_names_do_not_collide_with_log_statistic_words() {
+        for name in STATION_NAMES {
+            for stat in ["specimens", "readings", "samples"] {
+                assert!(
+                    !name.to_lowercase().contains(stat),
+                    "station name {name} contains statistic word {stat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fieldwork_value_pools_are_single_capitalized_words() {
+        // Categorical filters ("in the Westfjord region", "on the Tundra
+        // terrain") pick up exactly one capitalized word before the keyword,
+        // so multi-word values would silently truncate.
+        for pool in [STATION_NAMES, REGIONS, TERRAINS, CLIMATES] {
+            for value in pool {
+                assert!(!value.contains(' '), "{value} is not a single word");
+                assert!(
+                    value.chars().next().unwrap().is_uppercase(),
+                    "{value} is not capitalized"
+                );
+            }
         }
     }
 }

@@ -295,6 +295,9 @@ mod tests {
             output: ExpectedOutput::Table,
             multimodal: false,
             required: &[Capability::Filter],
+            tier: crate::queries::Tier::Clean,
+            expectation: crate::queries::Expectation::Correct,
+            corrupted: false,
         };
         let plan = plan_with(&[(
             "Select only the rows of the 'paintings_metadata' table where the 'category_colour' column equals 'red'.",

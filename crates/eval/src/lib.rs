@@ -19,10 +19,13 @@ pub use errors::{classify, ErrorCategory};
 pub use grade::{
     grade, grade_logical, grade_physical, known_identifiers, matches_reference, Grade,
 };
-pub use oracle::{reference_for, Reference};
-pub use queries::{benchmark_queries, BenchmarkQuery, Capability, Dataset, ExpectedOutput};
+pub use oracle::{fieldwork_reference_for, reference_for, Reference};
+pub use queries::{
+    benchmark_queries, fieldwork_queries, BenchmarkQuery, Capability, Dataset, Expectation,
+    ExpectedOutput, Tier,
+};
 pub use report::{
-    evaluate_both, evaluate_model, evaluate_model_concurrent, percentile, render_per_query,
-    render_table1, render_table2, EvaluationConfig, EvaluationReport, QueryEvaluation,
-    ServingEvaluation,
+    evaluate_both, evaluate_fieldwork, evaluate_fieldwork_concurrent, evaluate_model,
+    evaluate_model_concurrent, percentile, render_per_query, render_table1, render_table2,
+    render_table3, EvaluationConfig, EvaluationReport, QueryEvaluation, ServingEvaluation,
 };

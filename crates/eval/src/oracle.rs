@@ -4,7 +4,7 @@
 //! of truth.
 
 use crate::queries::BenchmarkQuery;
-use caesura_data::{ArtworkData, RotowireData};
+use caesura_data::{ArtworkData, FieldworkData, RotowireData};
 use caesura_engine::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -255,6 +255,147 @@ pub fn reference_for(
     }
 }
 
+/// Compute the reference answer for a fieldwork benchmark query from the
+/// generator's ground truth. Adversarial queries whose
+/// [`Expectation`](crate::queries::Expectation) is a specific failure (an
+/// error category or a typed execution error) get the
+/// answer a *correct* run would have produced over the clean lake — grading
+/// never compares against it, but reports can show what was missed.
+pub fn fieldwork_reference_for(query: &BenchmarkQuery, data: &FieldworkData) -> Reference {
+    // Per-station photo-object counts keyed by an attribute of the station.
+    let by = |key: &dyn Fn(&caesura_data::StationRecord) -> String,
+              entity: &str|
+     -> Vec<(String, f64)> {
+        data.stations
+            .iter()
+            .map(|s| (key(s), f64::from(s.count_of(entity))))
+            .collect()
+    };
+    // Region / terrain / climate / century accessors.
+    let region = |s: &caesura_data::StationRecord| s.region.clone();
+    let terrain = |s: &caesura_data::StationRecord| s.terrain.clone();
+    let century = |s: &caesura_data::StationRecord| s.century.to_string();
+    let climate_of = |s: &caesura_data::StationRecord| data.climate_of(&s.region);
+    // Count of stations whose photo depicts the entity, grouped by a key.
+    let depicting_count =
+        |key: &dyn Fn(&caesura_data::StationRecord) -> String, entity: &str| -> Reference {
+            grouped_count(
+                data.stations
+                    .iter()
+                    .filter(|s| s.count_of(entity) > 0)
+                    .map(key),
+            )
+        };
+    // Log statistics keyed by station attributes.
+    let log_stat = |stat: fn(&caesura_data::ExpeditionLog) -> i64| -> Vec<(String, f64)> {
+        data.logs
+            .iter()
+            .map(|l| (l.station.clone(), stat(l) as f64))
+            .collect()
+    };
+    let log_stat_by = |key: &dyn Fn(&caesura_data::StationRecord) -> String,
+                       stat: fn(&caesura_data::ExpeditionLog) -> i64|
+     -> Vec<(String, f64)> {
+        data.logs
+            .iter()
+            .filter_map(|l| data.station(&l.station).map(|s| (key(s), stat(l) as f64)))
+            .collect()
+    };
+    // Log statistics of the stations passing a station-level filter.
+    let filtered_log_stat = |keep: &dyn Fn(&caesura_data::StationRecord) -> bool,
+                             stat: fn(&caesura_data::ExpeditionLog) -> i64|
+     -> Vec<(String, f64)> {
+        data.logs
+            .iter()
+            .filter(|l| data.station(&l.station).is_some_and(keep))
+            .map(|l| (l.station.clone(), stat(l) as f64))
+            .collect()
+    };
+    let specimens = |l: &caesura_data::ExpeditionLog| l.specimens;
+    let readings = |l: &caesura_data::ExpeditionLog| l.readings;
+    let samples = |l: &caesura_data::ExpeditionLog| l.samples;
+
+    match query.id {
+        "F01" => depicting_count(&region, "penguin"),
+        "F02" => depicting_count(&terrain, "husky"),
+        "F03" => grouped_max(by(&terrain, "tent")),
+        "F04" => grouped_max(by(&region, "seal")),
+        "F05" => grouped_avg(by(&region, "flag")),
+        "F06" => Reference::int(
+            data.stations
+                .iter()
+                .filter(|s| s.count_of("seal") > 0)
+                .count() as i64,
+        ),
+        "F07" => Reference::int(
+            data.stations
+                .iter()
+                .filter(|s| s.count_of("penguin") >= 2)
+                .count() as i64,
+        ),
+        "F08" => depicting_count(&century, "antenna"),
+        "F09" => Reference::int(
+            data.stations
+                .iter()
+                .filter(|s| s.count_of("sledge") > 0)
+                .count() as i64,
+        ),
+        "F10" => grouped_min(by(&region, "crate")),
+        "F11" => grouped_max(by(&climate_of, "lantern")),
+        "F12" => Reference::int(
+            data.stations
+                .iter()
+                .filter(|s| s.count_of("kayak") > 0)
+                .count() as i64,
+        ),
+        "F13" => grouped_max(log_stat(specimens)),
+        "F14" => grouped_avg(log_stat(readings)),
+        "F15" => grouped_max(log_stat(samples)),
+        "F16" => grouped_avg(log_stat(specimens)),
+        "F17" => grouped_min(log_stat(readings)),
+        "F18" => grouped_max(log_stat_by(&region, specimens)),
+        "F19" => grouped_avg(log_stat_by(&climate_of, samples)),
+        "F20" => grouped_max(log_stat(readings)),
+        "F21" => grouped_avg(log_stat_by(&terrain, specimens)),
+        "F22" => grouped_min(log_stat(samples)),
+        "F23" => grouped_max(filtered_log_stat(&|s| s.count_of("husky") > 0, specimens)),
+        "F24" => grouped_avg(filtered_log_stat(&|s| s.count_of("penguin") > 0, readings)),
+        "F25" => grouped_max(filtered_log_stat(&|s| s.region == "Westfjord", samples)),
+        "F26" => grouped_avg(filtered_log_stat(&|s| s.terrain == "Tundra", specimens)),
+        "F27" => grouped_max(by(&century, "penguin")),
+        "F28" => depicting_count(&climate_of, "crate"),
+        // Dragons are never annotated: a correct plan answers zero everywhere.
+        "F42" => grouped_max(by(&terrain, "dragon")),
+        // Adversarial queries expecting a specific failure: the reference is
+        // what a correct run over the clean lake would have answered.
+        "F29" => Reference::int(
+            data.stations
+                .iter()
+                .map(|s| i64::from(s.count_of("seal")))
+                .sum(),
+        ),
+        "F30" | "F39" => grouped_max(by(
+            &region,
+            if query.id == "F30" { "tent" } else { "penguin" },
+        )),
+        "F31" => grouped_count(data.stations.iter().map(|s| s.name.clone())),
+        "F32" => grouped_max(by(&terrain, "seal")),
+        "F33" => depicting_count(&region, "flag"),
+        "F34" | "F38" => grouped_max(log_stat(specimens)),
+        "F35" => grouped_max(log_stat(readings)),
+        "F36" => grouped_avg(log_stat_by(&region, specimens)),
+        "F37" => grouped_avg(log_stat(samples)),
+        "F40" => Reference::int(
+            data.stations
+                .iter()
+                .filter(|s| s.count_of("tent") > 0)
+                .count() as i64,
+        ),
+        "F41" => grouped_min(log_stat(specimens)),
+        other => panic!("no oracle defined for fieldwork query {other}"),
+    }
+}
+
 fn grouped_count<I: IntoIterator<Item = String>>(keys: I) -> Reference {
     let mut map: BTreeMap<String, f64> = BTreeMap::new();
     for key in keys {
@@ -371,6 +512,49 @@ mod tests {
         assert_eq!(avg, Reference::keyed(vec![("a", 2.0)]));
         let count = grouped_count(vec!["x".to_string(), "x".to_string(), "y".to_string()]);
         assert_eq!(count, Reference::keyed(vec![("x", 2.0), ("y", 1.0)]));
+    }
+
+    #[test]
+    fn every_fieldwork_query_has_an_oracle() {
+        let data = caesura_data::generate_fieldwork(&caesura_data::FieldworkConfig::small());
+        for query in crate::queries::fieldwork_queries() {
+            // Must not panic.
+            let _ = fieldwork_reference_for(&query, &data);
+        }
+    }
+
+    #[test]
+    fn fieldwork_oracles_reflect_the_ground_truth() {
+        let data = caesura_data::generate_fieldwork(&caesura_data::FieldworkConfig::small());
+        let queries = crate::queries::fieldwork_queries();
+        let q = |id: &str| queries.iter().find(|q| q.id == id).unwrap();
+        // The dragons query answers zero for every terrain.
+        let Reference::KeyedNumbers(dragons) = fieldwork_reference_for(q("F42"), &data) else {
+            panic!("expected keyed reference");
+        };
+        assert!(!dragons.is_empty());
+        assert!(dragons.values().all(|&v| v == 0.0));
+        // Per-station log statistics cover every station.
+        let Reference::KeyedNumbers(max_specimens) = fieldwork_reference_for(q("F13"), &data)
+        else {
+            panic!("expected keyed reference");
+        };
+        assert_eq!(max_specimens.len(), data.stations.len());
+        for station in &data.stations {
+            let expected = data
+                .logs_of(&station.name)
+                .iter()
+                .map(|l| l.specimens)
+                .max()
+                .unwrap() as f64;
+            assert_eq!(max_specimens[&station.name], expected);
+        }
+        // The climate grouping rolls two joins into four climates at most.
+        let Reference::KeyedNumbers(by_climate) = fieldwork_reference_for(q("F19"), &data) else {
+            panic!("expected keyed reference");
+        };
+        assert!(!by_climate.is_empty());
+        assert!(by_climate.len() <= 4);
     }
 
     #[test]

@@ -2,6 +2,15 @@
 //! mirroring the structure of the paper's §4.2 — 16 queries asking for a
 //! single value, 16 for a table, 16 for a plot; half requiring multi-modal
 //! data, half answerable from the relational tables alone.
+//!
+//! On top of the paper workload, [`fieldwork_queries`] adds a third suite
+//! over the fieldwork lake: 42 queries whose plans all chain three or more
+//! steps across at least two modalities, including an **adversarial tier**
+//! (impossible columns, data misunderstandings, missing plot steps, wrong
+//! tools/arguments, corrupted cells, unanswerable questions) graded against
+//! per-query [`Expectation`]s rather than plain answer equality.
+
+use crate::errors::ErrorCategory;
 
 /// The dataset a benchmark query runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -10,6 +19,8 @@ pub enum Dataset {
     Artwork,
     /// Basketball tables + textual game reports.
     Rotowire,
+    /// Research stations + photo corpus + expedition-log reports + regions.
+    Fieldwork,
 }
 
 impl Dataset {
@@ -18,8 +29,45 @@ impl Dataset {
         match self {
             Dataset::Artwork => "artwork",
             Dataset::Rotowire => "rotowire",
+            Dataset::Fieldwork => "fieldwork",
         }
     }
+}
+
+/// The tier a benchmark query belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Well-posed queries over clean data.
+    Clean,
+    /// Queries designed to trip the planner, the mapper, or execution:
+    /// impossible references, misleading phrasing, corrupted cells,
+    /// unanswerable questions.
+    Adversarial,
+}
+
+impl Tier {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Clean => "clean",
+            Tier::Adversarial => "adversarial",
+        }
+    }
+}
+
+/// What a run of the query is expected to produce. Clean queries expect the
+/// oracle answer; adversarial queries expect a *specific failure* — a typed
+/// execution error or a particular error category — and are graded as met
+/// only when that failure (and not some other one) occurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The run must produce the oracle answer (physical correctness).
+    Correct,
+    /// The run must fail execution with an error message containing this
+    /// substring (e.g. the typed missing-image or dirty-cell errors).
+    ExecutionError(&'static str),
+    /// The run must be graded into exactly this error category.
+    Category(ErrorCategory),
 }
 
 /// The output format a query asks for (the rows of Table 1).
@@ -101,6 +149,13 @@ pub struct BenchmarkQuery {
     pub multimodal: bool,
     /// Capabilities a correct logical plan must mention.
     pub required: &'static [Capability],
+    /// The tier the query belongs to (the 48 paper queries are all clean).
+    pub tier: Tier,
+    /// What a run of the query is expected to produce.
+    pub expectation: Expectation,
+    /// Whether the query runs against the corrupted (adversarial) lake
+    /// variant instead of the clean one.
+    pub corrupted: bool,
 }
 
 use Capability::*;
@@ -116,6 +171,9 @@ pub fn benchmark_queries() -> Vec<BenchmarkQuery> {
         output,
         multimodal,
         required,
+        tier: Tier::Clean,
+        expectation: Expectation::Correct,
+        corrupted: false,
     };
     vec![
         // ---- Artwork: single value, relational --------------------------------
@@ -517,6 +575,328 @@ pub fn benchmark_queries() -> Vec<BenchmarkQuery> {
     ]
 }
 
+/// The 42-query fieldwork suite: every query chains at least three plan
+/// steps spanning at least two modalities (relational + image, relational +
+/// text, or all three). `F01`–`F28` are the clean tier; `F29`–`F42` are the
+/// adversarial tier, graded against their [`Expectation`]s.
+pub fn fieldwork_queries() -> Vec<BenchmarkQuery> {
+    let clean = |id, text, output, required| BenchmarkQuery {
+        id,
+        dataset: Fieldwork,
+        text,
+        output,
+        multimodal: true,
+        required,
+        tier: Tier::Clean,
+        expectation: Expectation::Correct,
+        corrupted: false,
+    };
+    let adv = |id, text, output, required, expectation, corrupted| BenchmarkQuery {
+        id,
+        dataset: Fieldwork,
+        text,
+        output,
+        multimodal: true,
+        required,
+        tier: Tier::Adversarial,
+        expectation,
+        corrupted,
+    };
+    use ErrorCategory::*;
+    vec![
+        // ---- Clean: relational + image ----------------------------------------
+        clean(
+            "F01",
+            "Plot the number of station photos depicting a penguin for each region!",
+            ExpectedOutput::Plot,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        clean(
+            "F02",
+            "Plot the number of station photos depicting a husky for each terrain!",
+            ExpectedOutput::Plot,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        clean(
+            "F03",
+            "What is the maximum number of tents depicted in the station photos of each terrain?",
+            Table,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F04",
+            "What is the maximum number of seals depicted in the station photos of each region?",
+            Table,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F05",
+            "What is the average number of flags depicted in the station photos of each region?",
+            Table,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F06",
+            "How many station photos depict a seal?",
+            SingleValue,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F07",
+            "How many station photos depict at least 2 penguins?",
+            SingleValue,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F08",
+            "Plot the number of station photos depicting an antenna for each century!",
+            ExpectedOutput::Plot,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        clean(
+            "F09",
+            "How many station photos depict a sledge?",
+            SingleValue,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F10",
+            "What is the minimum number of crates depicted in the station photos of each region?",
+            Table,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F11",
+            "Plot the maximum number of lanterns depicted in the station photos of each climate!",
+            ExpectedOutput::Plot,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        clean(
+            "F12",
+            "How many station photos depict a kayak?",
+            SingleValue,
+            &[Join, Image, Aggregate],
+        ),
+        // ---- Clean: relational + text -----------------------------------------
+        clean(
+            "F13",
+            "What is the maximum number of specimens collected by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+        ),
+        clean(
+            "F14",
+            "What is the average number of readings logged by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+        ),
+        clean(
+            "F15",
+            "What is the maximum number of samples stored by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+        ),
+        clean(
+            "F16",
+            "Plot the average number of specimens collected by each station!",
+            ExpectedOutput::Plot,
+            &[Join, Text, Aggregate, Capability::Plot],
+        ),
+        clean(
+            "F17",
+            "What is the minimum number of readings logged by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+        ),
+        clean(
+            "F18",
+            "What is the maximum number of specimens collected by each region?",
+            Table,
+            &[Join, Text, Aggregate],
+        ),
+        clean(
+            "F19",
+            "What is the average number of samples stored by each climate?",
+            Table,
+            &[Join, Text, Aggregate],
+        ),
+        clean(
+            "F20",
+            "Plot the maximum number of readings logged by each station!",
+            ExpectedOutput::Plot,
+            &[Join, Text, Aggregate, Capability::Plot],
+        ),
+        clean(
+            "F21",
+            "What is the average number of specimens collected by each terrain?",
+            Table,
+            &[Join, Text, Aggregate],
+        ),
+        clean(
+            "F22",
+            "Plot the minimum number of samples stored by each station!",
+            ExpectedOutput::Plot,
+            &[Join, Text, Aggregate, Capability::Plot],
+        ),
+        // ---- Clean: all three modalities --------------------------------------
+        clean(
+            "F23",
+            "What is the maximum number of specimens collected by each station with photos depicting a husky?",
+            Table,
+            &[Join, Image, Text, Aggregate],
+        ),
+        clean(
+            "F24",
+            "What is the average number of readings logged by each station with photos depicting a penguin?",
+            Table,
+            &[Join, Image, Text, Aggregate],
+        ),
+        clean(
+            "F25",
+            "What is the maximum number of samples stored by each station in the Westfjord region?",
+            Table,
+            &[Join, Text, Filter, Aggregate],
+        ),
+        clean(
+            "F26",
+            "What is the average number of specimens collected by each station on the Tundra terrain?",
+            Table,
+            &[Join, Text, Filter, Aggregate],
+        ),
+        clean(
+            "F27",
+            "What is the maximum number of penguins depicted in the station photos of each century?",
+            Table,
+            &[Join, Image, Aggregate],
+        ),
+        clean(
+            "F28",
+            "Plot the number of station photos depicting a crate for each climate!",
+            ExpectedOutput::Plot,
+            &[Join, Image, Aggregate, Capability::Plot],
+        ),
+        // ---- Adversarial: impossible actions ----------------------------------
+        adv(
+            "F29",
+            "Using the catalog code, how many seals are depicted in the station photos?",
+            SingleValue,
+            &[Join, Image, Aggregate],
+            Expectation::Category(ImpossibleActions),
+            false,
+        ),
+        adv(
+            "F30",
+            "Using the catalog code, what is the maximum number of tents depicted in the station photos of each region?",
+            Table,
+            &[Join, Image, Aggregate],
+            Expectation::Category(ImpossibleActions),
+            false,
+        ),
+        // ---- Adversarial: data misunderstanding -------------------------------
+        adv(
+            "F31",
+            "How many penguins are depicted in the photo archive of each station?",
+            Table,
+            &[Join, Image, Aggregate],
+            Expectation::Category(DataMisunderstanding),
+            false,
+        ),
+        adv(
+            "F32",
+            "What is the maximum number of seals depicted in the photo archive of each terrain?",
+            Table,
+            &[Join, Image, Aggregate],
+            Expectation::Category(DataMisunderstanding),
+            false,
+        ),
+        // ---- Adversarial: illogical / missing steps ---------------------------
+        adv(
+            "F33",
+            "Graph the number of station photos depicting a flag for each region!",
+            ExpectedOutput::Plot,
+            &[Join, Image, Aggregate, Capability::Plot],
+            Expectation::Category(IllogicalMissingSteps),
+            false,
+        ),
+        adv(
+            "F34",
+            "Graph the maximum number of specimens collected by each station!",
+            ExpectedOutput::Plot,
+            &[Join, Text, Aggregate, Capability::Plot],
+            Expectation::Category(IllogicalMissingSteps),
+            false,
+        ),
+        // ---- Adversarial: wrong tool ------------------------------------------
+        adv(
+            "F35",
+            "As recorded in the station ledger, what is the maximum number of readings logged by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+            Expectation::Category(WrongTool),
+            false,
+        ),
+        adv(
+            "F36",
+            "As recorded in the station ledger, what is the average number of specimens collected by each region?",
+            Table,
+            &[Join, Text, Aggregate],
+            Expectation::Category(WrongTool),
+            false,
+        ),
+        // ---- Adversarial: wrong arguments -------------------------------------
+        adv(
+            "F37",
+            "According to the field guide, what is the average number of samples stored by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+            Expectation::Category(WrongArguments),
+            false,
+        ),
+        adv(
+            "F38",
+            "According to the field guide, what is the maximum number of specimens collected by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+            Expectation::Category(WrongArguments),
+            false,
+        ),
+        // ---- Adversarial: corrupted lake (typed execution errors) -------------
+        adv(
+            "F39",
+            "What is the maximum number of penguins depicted in the station photos of each region?",
+            Table,
+            &[Join, Image, Aggregate],
+            Expectation::ExecutionError("not found in the image store"),
+            true,
+        ),
+        adv(
+            "F40",
+            "How many station photos depict a tent?",
+            SingleValue,
+            &[Join, Image, Aggregate],
+            Expectation::ExecutionError("not found in the image store"),
+            true,
+        ),
+        adv(
+            "F41",
+            "What is the minimum number of specimens collected by each station?",
+            Table,
+            &[Join, Text, Aggregate],
+            Expectation::ExecutionError("TEXT document"),
+            true,
+        ),
+        // ---- Adversarial: unanswerable (never-depicted entity) ----------------
+        adv(
+            "F42",
+            "What is the maximum number of dragons depicted in the station photos of each terrain?",
+            Table,
+            &[Join, Image, Aggregate],
+            Expectation::Correct,
+            false,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,5 +951,65 @@ mod tests {
         assert_eq!(Capability::Image.label(), "image");
         assert_eq!(ExpectedOutput::Plot.kind(), "plot");
         assert_eq!(Dataset::Artwork.name(), "artwork");
+        assert_eq!(Dataset::Fieldwork.name(), "fieldwork");
+        assert_eq!(Tier::Adversarial.name(), "adversarial");
+    }
+
+    #[test]
+    fn the_paper_benchmark_is_entirely_clean_tier() {
+        for query in benchmark_queries() {
+            assert_eq!(query.tier, Tier::Clean);
+            assert_eq!(query.expectation, Expectation::Correct);
+            assert!(!query.corrupted);
+        }
+    }
+
+    #[test]
+    fn fieldwork_suite_has_the_required_structure() {
+        let queries = fieldwork_queries();
+        assert_eq!(queries.len(), 42);
+        let adversarial = queries
+            .iter()
+            .filter(|q| q.tier == Tier::Adversarial)
+            .count();
+        assert!(adversarial >= 12, "only {adversarial} adversarial queries");
+        let mut ids: Vec<&str> = queries.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 42);
+        for query in &queries {
+            assert_eq!(query.dataset, Dataset::Fieldwork);
+            assert!(query.id.starts_with('F'));
+            assert!(query.multimodal);
+            // Every fieldwork query spans at least two modalities: a join plus
+            // at least one perception capability.
+            assert!(query.required.contains(&Capability::Join), "{}", query.id);
+            assert!(
+                query.required.contains(&Capability::Image)
+                    || query.required.contains(&Capability::Text),
+                "{} requires no modality capability",
+                query.id
+            );
+            if query.corrupted {
+                assert!(matches!(query.expectation, Expectation::ExecutionError(_)));
+            }
+            if query.tier == Tier::Clean {
+                assert_eq!(query.expectation, Expectation::Correct);
+            }
+        }
+    }
+
+    #[test]
+    fn every_error_category_is_expected_by_some_adversarial_query() {
+        let queries = fieldwork_queries();
+        for category in ErrorCategory::all() {
+            assert!(
+                queries
+                    .iter()
+                    .any(|q| q.expectation == Expectation::Category(*category)),
+                "no adversarial query expects {}",
+                category.name()
+            );
+        }
     }
 }

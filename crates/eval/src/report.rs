@@ -3,10 +3,16 @@
 
 use crate::errors::{classify, ErrorCategory};
 use crate::grade::{grade, known_identifiers, Grade};
-use crate::oracle::{reference_for, Reference};
-use crate::queries::{benchmark_queries, BenchmarkQuery, Dataset, ExpectedOutput};
+use crate::oracle::{fieldwork_reference_for, reference_for, Reference};
+use crate::queries::{
+    benchmark_queries, fieldwork_queries, BenchmarkQuery, Dataset, Expectation, ExpectedOutput,
+    Tier,
+};
 use caesura_core::{Caesura, CaesuraConfig, QueryRun};
-use caesura_data::{generate_artwork, generate_rotowire, ArtworkConfig, RotowireConfig};
+use caesura_data::{
+    generate_artwork, generate_fieldwork, generate_rotowire, ArtworkConfig, FieldworkConfig,
+    RotowireConfig,
+};
 use caesura_llm::{ModelProfile, SimulatedLlm};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -21,6 +27,9 @@ pub struct EvaluationConfig {
     pub artwork: ArtworkConfig,
     /// Rotowire-lake generator configuration.
     pub rotowire: RotowireConfig,
+    /// Fieldwork-lake generator configuration (the clean variant; the
+    /// fieldwork drivers derive the corrupted adversarial variant from it).
+    pub fieldwork: FieldworkConfig,
     /// CAESURA session configuration.
     pub caesura: CaesuraConfig,
 }
@@ -31,6 +40,7 @@ impl Default for EvaluationConfig {
             seed: 42,
             artwork: ArtworkConfig::default(),
             rotowire: RotowireConfig::default(),
+            fieldwork: FieldworkConfig::default(),
             caesura: CaesuraConfig::default(),
         }
     }
@@ -43,7 +53,19 @@ impl EvaluationConfig {
             seed: 7,
             artwork: ArtworkConfig::small(),
             rotowire: RotowireConfig::small(),
+            fieldwork: FieldworkConfig::small(),
             caesura: CaesuraConfig::default(),
+        }
+    }
+
+    /// The corrupted fieldwork variant the adversarial tier runs against:
+    /// identical ground-truth records (same seed and scale), plus missing
+    /// images and dirty report cells.
+    pub fn corrupted_fieldwork(&self) -> FieldworkConfig {
+        FieldworkConfig {
+            missing_images: FieldworkConfig::adversarial().missing_images,
+            dirty_reports: FieldworkConfig::adversarial().dirty_reports,
+            ..self.fieldwork.clone()
         }
     }
 }
@@ -61,6 +83,13 @@ pub struct QueryEvaluation {
     pub output: ExpectedOutput,
     /// Whether the query needs multi-modal data.
     pub multimodal: bool,
+    /// The tier the query belongs to.
+    pub tier: Tier,
+    /// What the run was expected to produce.
+    pub expectation: Expectation,
+    /// Whether the run met its expectation: the oracle answer for clean
+    /// queries, the specific failure for adversarial ones.
+    pub expectation_met: bool,
     /// The grade.
     pub grade: Grade,
     /// The error category, if the run was not fully correct.
@@ -115,6 +144,41 @@ impl EvaluationReport {
         let logical = selected.iter().filter(|r| r.grade.logical).count() as f64 / n;
         let physical = selected.iter().filter(|r| r.grade.physical).count() as f64 / n;
         (logical, physical)
+    }
+
+    /// Fraction of the queries selected by `filter` that met their
+    /// [`Expectation`] — physical correctness for clean queries, the
+    /// expected failure for adversarial ones. Zero for an empty selection.
+    pub fn expectation_accuracy<F>(&self, filter: F) -> f64
+    where
+        F: Fn(&QueryEvaluation) -> bool,
+    {
+        let selected: Vec<&QueryEvaluation> = self.results.iter().filter(|r| filter(r)).collect();
+        if selected.is_empty() {
+            return 0.0;
+        }
+        selected.iter().filter(|r| r.expectation_met).count() as f64 / selected.len() as f64
+    }
+
+    /// Accuracy (logical, physical) over one tier.
+    pub fn tier_accuracy(&self, tier: Tier) -> (f64, f64) {
+        self.accuracy(|r| r.tier == tier)
+    }
+
+    /// Per-category adversarial outcomes: for each error category, how many
+    /// queries *expect* it and how many of those observed exactly it.
+    pub fn expected_category_outcomes(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut out: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for category in ErrorCategory::all() {
+            let expecting: Vec<&QueryEvaluation> = self
+                .results
+                .iter()
+                .filter(|r| r.expectation == Expectation::Category(*category))
+                .collect();
+            let met = expecting.iter().filter(|r| r.expectation_met).count();
+            out.insert(category.name(), (expecting.len(), met));
+        }
+        out
     }
 
     /// Error counts per category (Table 2).
@@ -229,12 +293,24 @@ fn grade_run(
 ) -> QueryEvaluation {
     let query_grade = grade(query, run, reference, known);
     let category = classify(query, run, query_grade, known);
+    let expectation_met = match query.expectation {
+        Expectation::Correct => query_grade.physical,
+        Expectation::ExecutionError(needle) => run
+            .output
+            .as_ref()
+            .err()
+            .is_some_and(|e| e.to_string().contains(needle)),
+        Expectation::Category(expected) => category == Some(expected),
+    };
     QueryEvaluation {
         id: query.id.to_string(),
         text: query.text.to_string(),
         dataset: query.dataset,
         output: query.output,
         multimodal: query.multimodal,
+        tier: query.tier,
+        expectation: query.expectation,
+        expectation_met,
         grade: query_grade,
         category,
         llm_calls: run.trace.llm_calls(),
@@ -265,6 +341,7 @@ pub fn evaluate_model(profile: ModelProfile, config: &EvaluationConfig) -> Evalu
         let (session, known) = match query.dataset {
             Dataset::Artwork => (&artwork_session, &artwork_known),
             Dataset::Rotowire => (&rotowire_session, &rotowire_known),
+            Dataset::Fieldwork => unreachable!("fieldwork queries run via evaluate_fieldwork"),
         };
         let reference = reference_for(&query, &artwork, &rotowire);
         let run = session.run(query.text);
@@ -274,6 +351,99 @@ pub fn evaluate_model(profile: ModelProfile, config: &EvaluationConfig) -> Evalu
     EvaluationReport {
         model: profile.name().to_string(),
         results,
+    }
+}
+
+/// Run the 42-query fieldwork suite for one model profile. Clean-tier
+/// queries run against the clean lake; queries flagged `corrupted` run
+/// against the adversarial lake variant (same ground-truth records, plus
+/// missing images and dirty report cells) through a second session.
+pub fn evaluate_fieldwork(profile: ModelProfile, config: &EvaluationConfig) -> EvaluationReport {
+    let clean = generate_fieldwork(&config.fieldwork);
+    let corrupted = generate_fieldwork(&config.corrupted_fieldwork());
+    let llm = Arc::new(SimulatedLlm::new(profile, config.seed));
+
+    let clean_session =
+        Caesura::with_config(clean.lake.clone(), llm.clone(), config.caesura.clone());
+    let corrupted_session =
+        Caesura::with_config(corrupted.lake.clone(), llm.clone(), config.caesura.clone());
+    // Both lakes share one schema, so one identifier set grades both.
+    let known = known_identifiers(clean.lake.catalog());
+
+    let mut results = Vec::new();
+    for query in fieldwork_queries() {
+        let session = if query.corrupted {
+            &corrupted_session
+        } else {
+            &clean_session
+        };
+        let reference = fieldwork_reference_for(&query, &clean);
+        let run = session.run(query.text);
+        results.push(grade_run(&query, &run, &reference, &known));
+    }
+
+    EvaluationReport {
+        model: profile.name().to_string(),
+        results,
+    }
+}
+
+/// Run the 42-query fieldwork suite through **concurrent submission**, the
+/// fieldwork counterpart of [`evaluate_model_concurrent`]: every query is
+/// submitted up front to its (clean or corrupted) session, then graded in
+/// suite order as the handles complete.
+pub fn evaluate_fieldwork_concurrent(
+    profile: ModelProfile,
+    config: &EvaluationConfig,
+    concurrency: usize,
+) -> ServingEvaluation {
+    let concurrency = concurrency.max(1);
+    let clean = generate_fieldwork(&config.fieldwork);
+    let corrupted = generate_fieldwork(&config.corrupted_fieldwork());
+    let llm = Arc::new(SimulatedLlm::new(profile, config.seed));
+
+    let queries = fieldwork_queries();
+    let mut caesura_config = config.caesura.clone();
+    caesura_config.session_workers = Some(concurrency);
+    caesura_config.session_queue = Some(queries.len().max(concurrency));
+
+    let clean_session =
+        Caesura::with_config(clean.lake.clone(), llm.clone(), caesura_config.clone());
+    let corrupted_session =
+        Caesura::with_config(corrupted.lake.clone(), llm.clone(), caesura_config);
+    let known = known_identifiers(clean.lake.catalog());
+
+    let started = Instant::now();
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|query| {
+            let session = if query.corrupted {
+                &corrupted_session
+            } else {
+                &clean_session
+            };
+            session.submit(query.text)
+        })
+        .collect();
+    let runs: Vec<QueryRun> = handles.into_iter().map(|handle| handle.wait()).collect();
+    let wall_clock = started.elapsed();
+
+    let mut results = Vec::new();
+    let mut end_to_end = Vec::new();
+    for (query, run) in queries.iter().zip(&runs) {
+        let reference = fieldwork_reference_for(query, &clean);
+        results.push(grade_run(query, run, &reference, &known));
+        end_to_end.push(run.trace.timings().end_to_end());
+    }
+
+    ServingEvaluation {
+        report: EvaluationReport {
+            model: profile.name().to_string(),
+            results,
+        },
+        concurrency,
+        wall_clock,
+        end_to_end,
     }
 }
 
@@ -351,6 +521,7 @@ pub fn evaluate_model_concurrent(
             let session = match query.dataset {
                 Dataset::Artwork => &artwork_session,
                 Dataset::Rotowire => &rotowire_session,
+                Dataset::Fieldwork => unreachable!("fieldwork queries run via evaluate_fieldwork"),
             };
             session.submit(query.text)
         })
@@ -364,6 +535,7 @@ pub fn evaluate_model_concurrent(
         let known = match query.dataset {
             Dataset::Artwork => &artwork_known,
             Dataset::Rotowire => &rotowire_known,
+            Dataset::Fieldwork => unreachable!("fieldwork queries run via evaluate_fieldwork"),
         };
         let reference = reference_for(query, &artwork, &rotowire);
         results.push(grade_run(query, run, &reference, known));
@@ -496,6 +668,67 @@ pub fn render_table2(reports: &[EvaluationReport]) -> String {
         }
         out.push('\n');
     }
+    out
+}
+
+/// Render Table 3 (the fieldwork multi-step suite): per-tier accuracy plus
+/// per-category adversarial outcomes, extending the Table 2 machinery with
+/// expectation-aware grading.
+pub fn render_table3(reports: &[EvaluationReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: Fieldwork multi-step suite — per-tier and per-category results\n\n");
+    out.push_str(&format!("{:<34}", "Tier / expected category"));
+    for report in reports {
+        out.push_str(&format!("{:>24}", report.model));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(34 + reports.len() * 24));
+    out.push('\n');
+    for tier in [Tier::Clean, Tier::Adversarial] {
+        out.push_str(&format!(
+            "{:<34}",
+            format!("{} tier (expectation met)", tier.name())
+        ));
+        for report in reports {
+            let met = report.expectation_accuracy(|r| r.tier == tier);
+            out.push_str(&format!("{:>23.1}%", met * 100.0));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<34}",
+            format!("{} tier (logical/physical)", tier.name())
+        ));
+        for report in reports {
+            let (logical, physical) = report.tier_accuracy(tier);
+            out.push_str(&format!(
+                "{:>22}",
+                format!("{:.1}%/{:.1}%", logical * 100.0, physical * 100.0)
+            ));
+            out.push_str("  ");
+        }
+        out.push('\n');
+    }
+    for category in ErrorCategory::all() {
+        out.push_str(&format!(
+            "{:<34}",
+            format!("  expected {}", category.name())
+        ));
+        for report in reports {
+            let (expected, met) = report
+                .expected_category_outcomes()
+                .get(category.name())
+                .copied()
+                .unwrap_or((0, 0));
+            out.push_str(&format!("{:>24}", format!("{met}/{expected} met")));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<34}", "All (expectation met)"));
+    for report in reports {
+        let met = report.expectation_accuracy(|_| true);
+        out.push_str(&format!("{:>23.1}%", met * 100.0));
+    }
+    out.push('\n');
     out
 }
 
@@ -662,6 +895,95 @@ mod tests {
             // scheduling-dependent (which racing query warms the shared
             // cache first); everything above is not.
         }
+    }
+
+    #[test]
+    fn fieldwork_suite_meets_every_expectation_under_both_profiles() {
+        let config = EvaluationConfig::small();
+        // The fieldwork corruptions are scripted by query markers, not by the
+        // profile's stochastic injector, so both paper profiles behave
+        // identically and deterministically on this suite.
+        for profile in [ModelProfile::Gpt4, ModelProfile::ChatGpt35] {
+            let report = evaluate_fieldwork(profile, &config);
+            assert_eq!(report.results.len(), 42);
+            for result in &report.results {
+                assert!(
+                    result.expectation_met,
+                    "{} ({:?}) missed its expectation: grade={:?} category={:?} error={:?}",
+                    result.id, result.expectation, result.grade, result.category, result.error
+                );
+            }
+            // The clean tier is fully correct; the adversarial tier fails in
+            // exactly the scripted ways.
+            let (clean_logical, clean_physical) = report.tier_accuracy(Tier::Clean);
+            assert_eq!(clean_logical, 1.0);
+            assert_eq!(clean_physical, 1.0);
+            assert_eq!(report.expectation_accuracy(|_| true), 1.0);
+        }
+    }
+
+    #[test]
+    fn fieldwork_error_counts_sum_to_the_non_correct_runs() {
+        let config = EvaluationConfig::small();
+        let report = evaluate_fieldwork(ModelProfile::Gpt4, &config);
+        let non_correct = report
+            .results
+            .iter()
+            .filter(|r| !(r.grade.logical && r.grade.physical))
+            .count();
+        let counted: usize = report.error_counts().values().sum();
+        assert_eq!(counted, non_correct);
+        // Every entry of the five-way taxonomy is reachable from at least one
+        // adversarial query — observed, not just expected.
+        let counts = report.error_counts();
+        for category in ErrorCategory::all() {
+            let observed = counts.get(category.name()).copied().unwrap_or(0);
+            assert!(observed >= 1, "{} never observed", category.name());
+            let (expected, met) = report
+                .expected_category_outcomes()
+                .get(category.name())
+                .copied()
+                .unwrap();
+            assert!(
+                expected >= 2,
+                "{} expected by too few queries",
+                category.name()
+            );
+            assert_eq!(met, expected, "{} not always met", category.name());
+        }
+    }
+
+    #[test]
+    fn fieldwork_concurrent_evaluation_grades_identically_to_serial() {
+        let config = EvaluationConfig::small();
+        let serial = evaluate_fieldwork(ModelProfile::Gpt4, &config);
+        let serving = evaluate_fieldwork_concurrent(ModelProfile::Gpt4, &config, 4);
+        assert_eq!(serving.concurrency, 4);
+        assert_eq!(serving.report.results.len(), serial.results.len());
+        assert!(serving.queries_per_second() > 0.0);
+        for (concurrent, reference) in serving.report.results.iter().zip(&serial.results) {
+            assert_eq!(concurrent.id, reference.id);
+            assert_eq!(concurrent.grade, reference.grade, "{}", reference.id);
+            assert_eq!(concurrent.category, reference.category, "{}", reference.id);
+            assert_eq!(
+                concurrent.expectation_met, reference.expectation_met,
+                "{}",
+                reference.id
+            );
+        }
+    }
+
+    #[test]
+    fn table3_renders_tiers_and_expected_categories() {
+        let config = EvaluationConfig::small();
+        let reports = vec![evaluate_fieldwork(ModelProfile::Gpt4, &config)];
+        let table3 = render_table3(&reports);
+        assert!(table3.contains("clean tier"));
+        assert!(table3.contains("adversarial tier"));
+        assert!(table3.contains("expected Wrong Tool"));
+        assert!(table3.contains("expected Impossible Actions"));
+        assert!(table3.contains("All (expectation met)"));
+        assert!(table3.contains("100.0%"));
     }
 
     #[test]

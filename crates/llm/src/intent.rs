@@ -705,7 +705,14 @@ impl<'a> Analyzer<'a> {
     }
 
     fn text_stat_in(&self, phrase: &str) -> Option<String> {
-        for stat in ["points", "rebounds", "assists"] {
+        for stat in [
+            "points",
+            "rebounds",
+            "assists",
+            "specimens",
+            "readings",
+            "samples",
+        ] {
             if phrase.contains(stat) && self.text_table().is_some() {
                 // Only a text stat if no relational column carries it.
                 let in_column = self
@@ -848,6 +855,9 @@ impl<'a> Analyzer<'a> {
             "division",
             "nationality",
             "position",
+            "region",
+            "terrain",
+            "climate",
         ] {
             if let Some(value) = self.value_before_keyword(column_name) {
                 if let Some(attr) = self.column_ref(column_name) {
@@ -1216,6 +1226,11 @@ fn strip_depiction_words(phrase: &str) -> String {
         "paintings",
         "image",
         "images",
+        "photo",
+        "photos",
+        "station",
+        "stations",
+        "archive",
         "shown",
         "visible",
         "each",

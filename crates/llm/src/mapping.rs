@@ -169,6 +169,21 @@ fn decide_text_qa(
             format!("How many assists did <{subject_column}> dish?"),
             "int",
         )
+    } else if lower.contains("specimens") {
+        (
+            format!("How many specimens did <{subject_column}> collect?"),
+            "int",
+        )
+    } else if lower.contains("readings") {
+        (
+            format!("How many readings did <{subject_column}> log?"),
+            "int",
+        )
+    } else if lower.contains("samples") {
+        (
+            format!("How many samples did <{subject_column}> store?"),
+            "int",
+        )
     } else if lower.contains("won the game") || lower.contains(" won ") {
         (format!("Did <{subject_column}> win?"), "str")
     } else if lower.contains("lost the game") || lower.contains(" lost ") {

@@ -55,7 +55,14 @@ impl SimulatedLlm {
         let intent = analyze(&context.query, &context.tables);
         let multimodal = intent.is_multimodal();
         let mut plan = synthesize(&intent, &context.tables);
-        if let Some(corruption) = self.injector.plan_corruption(&context.query, multimodal) {
+        if is_fieldwork(context) {
+            // The fieldwork benchmark grades *expected* outcomes per query, so
+            // its mistakes are scripted by adversarial query markers instead of
+            // drawn from the calibrated profile rates.
+            if let Some(corruption) = fieldwork_plan_corruption(&context.query) {
+                plan = corrupt_plan(plan, corruption);
+            }
+        } else if let Some(corruption) = self.injector.plan_corruption(&context.query, multimodal) {
             plan = corrupt_plan(plan, corruption);
         }
         plan.render()
@@ -70,7 +77,9 @@ impl SimulatedLlm {
             })?;
         let mut decision = decide(&step, context);
         let multimodal_step = decision.operator.is_multimodal();
-        if let Some(corruption) =
+        if is_fieldwork(context) {
+            decision = fieldwork_mapping_corruption(&context.query, &step, decision);
+        } else if let Some(corruption) =
             self.injector
                 .mapping_corruption(&context.query, step.number, multimodal_step)
         {
@@ -91,8 +100,10 @@ impl SimulatedLlm {
             || query.contains("year")
             || query.contains("earliest")
             || query.contains("latest");
-        let needs_images =
-            query.contains("depict") || query.contains("shown") || query.contains("image");
+        let needs_images = query.contains("depict")
+            || query.contains("shown")
+            || query.contains("image")
+            || query.contains("photo");
         let needs_text = query.contains("points")
             || query.contains("score")
             || query.contains("win")
@@ -100,11 +111,19 @@ impl SimulatedLlm {
             || query.contains("lose")
             || query.contains("lost")
             || query.contains("rebound")
-            || query.contains("assist");
+            || query.contains("assist")
+            || query.contains("specimen")
+            || query.contains("reading")
+            || query.contains("sample")
+            || query.contains("collected")
+            || query.contains("logged")
+            || query.contains("stored");
         let grouped_by_entity = query.contains("each team")
             || query.contains("every team")
             || query.contains("each player")
-            || query.contains("each artist");
+            || query.contains("each artist")
+            || query.contains("each station")
+            || query.contains("every station");
 
         let mut lines = Vec::new();
         for table in &context.tables {
@@ -114,7 +133,8 @@ impl SimulatedLlm {
                 let date_like = needs_dates
                     && (name.contains("inception")
                         || name.contains("date")
-                        || name.contains("year"));
+                        || name.contains("year")
+                        || name.contains("founded"));
                 let modality = (needs_images && column.dtype == "IMAGE")
                     || (needs_text && column.dtype == "TEXT");
                 let join_key = grouped_by_entity && (name == "name" || name == "game_id");
@@ -201,6 +221,58 @@ impl LlmClient for SimulatedLlm {
     fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// Whether the prompt belongs to the fieldwork lake. The fieldwork benchmark
+/// needs *deterministic* per-query outcomes (its adversarial tier grades
+/// expected error categories), so the profile-rate injector is bypassed and
+/// mistakes are scripted by query markers instead.
+fn is_fieldwork(context: &PromptContext) -> bool {
+    context.tables.iter().any(|t| t.name == "expedition_logs")
+}
+
+/// Scripted planning mistakes of the fieldwork adversarial tier.
+///
+/// * "photo archive" — the model misreads the photo column as relational
+///   metadata (Data Misunderstanding: the VisualQA step becomes a title
+///   lookup and TextQA steps are dropped).
+/// * "catalog code" — the model hallucinates a column that exists in no table
+///   (Impossible Actions).
+fn fieldwork_plan_corruption(query: &str) -> Option<PlanCorruption> {
+    let lower = query.to_lowercase();
+    if lower.contains("photo archive") {
+        Some(PlanCorruption::DataMisunderstanding)
+    } else if lower.contains("catalog code") {
+        Some(PlanCorruption::ImpossibleColumn)
+    } else {
+        None
+    }
+}
+
+/// Scripted mapping mistakes of the fieldwork adversarial tier.
+///
+/// * "ledger" — the model answers the TextQA step with plain SQL (Wrong
+///   Tool).
+/// * "field guide" — the model asks the TextQA operator about a statistic
+///   that no expedition log mentions (Wrong Arguments: every per-row answer
+///   comes back NULL and the aggregate diverges from the reference).
+fn fieldwork_mapping_corruption(
+    query: &str,
+    step: &crate::plan::LogicalStep,
+    mut decision: OperatorDecision,
+) -> OperatorDecision {
+    let lower = query.to_lowercase();
+    let report_step = step.description.to_lowercase().contains("'report' column");
+    if lower.contains("ledger") && report_step {
+        return corrupt_decision(decision, MappingCorruption::WrongTool, false);
+    }
+    if lower.contains("field guide") && report_step && decision.arguments.len() >= 3 {
+        decision.arguments[2] = decision.arguments[2]
+            .replace("specimens", "pebbles")
+            .replace("readings", "pebbles")
+            .replace("samples", "pebbles");
+    }
+    decision
 }
 
 /// Apply a plan-level corruption (the calibrated planning mistakes of Table 2).

@@ -369,9 +369,10 @@ impl<'a> Synthesizer<'a> {
                     );
                 }
                 AttributeRef::TextStat { stat } => {
+                    let phrase = text_stat_phrase(stat);
                     self.push_step(
                         format!(
-                            "Extract the number of {stat} scored by each team from the 'report' column in the '{current}' table."
+                            "Extract the number of {stat} {phrase} from the 'report' column in the '{current}' table."
                         ),
                         vec![current.clone()],
                         &current,
@@ -554,6 +555,19 @@ impl<'a> Synthesizer<'a> {
             "plot",
             vec![],
         );
+    }
+}
+
+/// The per-statistic subject phrase of a TextQA extraction step. The rotowire
+/// stats keep their historical "scored by each team" phrasing byte-for-byte
+/// (plan hashes and cached plans depend on it); the fieldwork stats describe
+/// expedition logs instead of game reports.
+fn text_stat_phrase(stat: &str) -> &'static str {
+    match stat {
+        "specimens" => "collected by each station",
+        "readings" => "logged by each station",
+        "samples" => "stored by each station",
+        _ => "scored by each team",
     }
 }
 

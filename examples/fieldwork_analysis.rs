@@ -1,0 +1,62 @@
+//! Fieldwork-lake analysis: multi-step multi-modal queries against the third
+//! data lake — polar research stations with photographed camps (IMAGE),
+//! textual expedition logs (TEXT) and relational region metadata. Every
+//! query below chains three or more plan steps across at least two
+//! modalities (join → perception → aggregate, sometimes → plot).
+//!
+//! The second half regenerates the lake with its adversarial knobs turned on
+//! (`FieldworkConfig::adversarial`) and shows the typed per-row execution
+//! errors that dirty cells and missing image bytes must surface instead of
+//! silently becoming NULLs.
+//!
+//! Run with: `cargo run --example fieldwork_analysis`
+
+use caesura::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let data = generate_fieldwork(&FieldworkConfig::default());
+    let caesura = Caesura::new(data.lake, Arc::new(SimulatedLlm::gpt4()));
+
+    let queries = [
+        // join + VisualQA + aggregate
+        "What is the maximum number of tents depicted in the station photos of each terrain?",
+        // join + TextQA + aggregate
+        "What is the maximum number of specimens collected by each station?",
+        // join + VisualQA + filter-by-depiction + aggregate + plot
+        "Plot the number of station photos depicting a penguin for each region!",
+        // two joins (regions) + TextQA + aggregate
+        "What is the average number of samples stored by each climate?",
+        // join + VisualQA + TextQA + aggregate: both perception modalities
+        "What is the maximum number of specimens collected by each station with photos depicting a husky?",
+    ];
+    let handles: Vec<QueryHandle> = queries.iter().map(|q| caesura.submit(q)).collect();
+    for (query, handle) in queries.iter().zip(handles) {
+        println!("==============================================================");
+        println!("Query: {query}\n");
+        let run = handle.wait();
+        match &run.output {
+            Ok(output) => println!("{output}"),
+            Err(error) => println!("failed: {error}"),
+        }
+        println!("(answered in {:.1?})\n", run.latency());
+    }
+
+    // The adversarial tier: same schema, but two stations lost their photo
+    // bytes and two expedition logs hold an integer where the TEXT document
+    // belongs. Queries that touch the damaged rows fail loudly and typed.
+    println!("==============================================================");
+    println!("Adversarial lake: dirty cells fail loudly, never as NULL\n");
+    let adversarial = generate_fieldwork(&FieldworkConfig::adversarial());
+    let caesura = Caesura::new(adversarial.lake, Arc::new(SimulatedLlm::gpt4()));
+    for query in [
+        "What is the maximum number of penguins depicted in the station photos of each region?",
+        "What is the minimum number of specimens collected by each station?",
+    ] {
+        println!("Query: {query}");
+        match caesura.query(query) {
+            Ok(output) => println!("unexpectedly succeeded: {output}"),
+            Err(error) => println!("failed as designed: {error}\n"),
+        }
+    }
+}

@@ -49,7 +49,8 @@ pub mod prelude {
         QueryRun, QueryStatus, ServingStats, SubmitOptions, TenantServingStats,
     };
     pub use caesura_data::{
-        generate_artwork, generate_rotowire, ArtworkConfig, DataLake, RotowireConfig,
+        generate_artwork, generate_fieldwork, generate_rotowire, ArtworkConfig, DataLake,
+        FieldworkConfig, RotowireConfig,
     };
     pub use caesura_engine::{Catalog, DataType, Schema, Table, TableBuilder, Value};
     pub use caesura_llm::{LlmClient, ModelProfile, SimulatedLlm};

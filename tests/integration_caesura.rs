@@ -150,3 +150,93 @@ fn read_only_guard_rejects_destructive_sql() {
         .unwrap_err();
     assert!(err.to_string().contains("read-only"));
 }
+
+fn fieldwork(config: &FieldworkConfig) -> (caesura::data::FieldworkData, Caesura) {
+    let data = generate_fieldwork(config);
+    let session = Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4()));
+    (data, session)
+}
+
+#[test]
+fn fieldwork_multi_step_query_matches_the_generator_ground_truth() {
+    // Join stations -> station_photos, VisualQA every photo, aggregate per
+    // region, plot: the canonical 4-step multi-modal chain on the third lake.
+    let (data, session) = fieldwork(&FieldworkConfig::default());
+    let output = session
+        .query("Plot the number of station photos depicting a penguin for each region!")
+        .expect("the fieldwork plot query must execute");
+    let plot = output.plot().expect("expected a plot");
+    assert_eq!(plot.spec.x_column, "region");
+
+    let mut expected = std::collections::BTreeMap::new();
+    for station in data.stations.iter().filter(|s| s.count_of("penguin") > 0) {
+        *expected.entry(station.region.clone()).or_insert(0.0) += 1.0;
+    }
+    assert_eq!(plot.points.len(), expected.len());
+    for point in &plot.points {
+        assert_eq!(
+            Some(&point.value),
+            expected.get(&point.label),
+            "wrong count for region {}",
+            point.label
+        );
+    }
+}
+
+#[test]
+fn missing_fieldwork_images_surface_the_typed_execution_error_not_null() {
+    // The adversarial lake keeps the image *cell* in `stations.img_path` and
+    // `station_photos.image` but drops the bytes from the image store. The
+    // PR 3 guarantee: VisualQA over such a row fails with the typed per-row
+    // execution error — it must never be silently coerced to NULL and
+    // aggregated as a zero.
+    // Only the image axis of the adversarial lake: the text-side follow-up
+    // below must see clean reports.
+    let (data, session) = fieldwork(&FieldworkConfig {
+        dirty_reports: 0,
+        ..FieldworkConfig::adversarial()
+    });
+    let missing: Vec<&str> = data
+        .stations
+        .iter()
+        .filter(|s| s.image_missing)
+        .map(|s| s.name.as_str())
+        .collect();
+    assert!(
+        !missing.is_empty(),
+        "the adversarial lake drops image bytes"
+    );
+
+    let err = session
+        .query(
+            "What is the maximum number of penguins depicted in the station photos of each region?",
+        )
+        .expect_err("a dropped image must fail the query, not aggregate as NULL");
+    let message = err.to_string();
+    assert!(
+        message.contains("not found in the image store"),
+        "expected the typed image-store error, got: {message}"
+    );
+
+    // The same lake still answers queries that never touch the image store.
+    let output = session
+        .query("What is the maximum number of specimens collected by each station?")
+        .expect("text-side queries are unaffected by missing images");
+    assert!(output.table().is_some());
+}
+
+#[test]
+fn dirty_fieldwork_reports_surface_the_typed_text_error() {
+    // Dirty report cells hold an integer where a TEXT document belongs:
+    // TextQA must fail with the typed cell-type error instead of parsing
+    // garbage into the aggregate.
+    let (data, session) = fieldwork(&FieldworkConfig::adversarial());
+    assert!(data.logs.iter().any(|log| log.dirty));
+    let err = session
+        .query("What is the minimum number of specimens collected by each station?")
+        .expect_err("a dirty report cell must fail the query");
+    assert!(
+        err.to_string().contains("TEXT document"),
+        "expected the typed TEXT-cell error, got: {err}"
+    );
+}

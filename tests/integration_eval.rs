@@ -1,7 +1,10 @@
 //! Integration tests of the evaluation harness: the benchmark reproduces the
 //! qualitative findings of the paper's Table 1 and Table 2.
 
-use caesura::eval::{evaluate_model, render_table1, render_table2, Dataset, EvaluationConfig};
+use caesura::eval::{
+    evaluate_fieldwork, evaluate_model, render_table1, render_table2, render_table3, Dataset,
+    EvaluationConfig, Tier,
+};
 use caesura::llm::ModelProfile;
 
 fn config() -> EvaluationConfig {
@@ -94,5 +97,41 @@ fn reports_render_and_cover_all_queries() {
             table2.contains(category),
             "Table 2 misses category {category}"
         );
+    }
+}
+
+#[test]
+fn table3_shape_fieldwork_suite_meets_every_expectation_at_both_scales() {
+    // The default scale (the shipped configuration) — not just `small()` —
+    // must satisfy every clean oracle and every adversarial expectation.
+    for config in [EvaluationConfig::default(), EvaluationConfig::small()] {
+        let report = evaluate_fieldwork(ModelProfile::Gpt4, &config);
+        assert_eq!(report.results.len(), 42);
+        assert!(report.results.iter().all(|r| r.expectation_met));
+
+        // The clean tier is fully correct; the adversarial tier trades
+        // physical correctness for the *expected* failure in every run.
+        let (clean_logical, clean_physical) = report.tier_accuracy(Tier::Clean);
+        assert_eq!((clean_logical, clean_physical), (1.0, 1.0));
+        let adversarial = report
+            .results
+            .iter()
+            .filter(|r| r.tier == Tier::Adversarial)
+            .count();
+        assert!(adversarial >= 12);
+
+        let table3 = render_table3(&[report]);
+        for row in [
+            "clean",
+            "adversarial",
+            "expected Impossible Actions",
+            "expected Data Misunderstanding",
+            "expected Illogical / Missing Steps",
+            "expected Wrong Arguments",
+            "expected Wrong Tool",
+            "All (expectation met)",
+        ] {
+            assert!(table3.contains(row), "Table 3 misses row {row}");
+        }
     }
 }

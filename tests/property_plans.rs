@@ -6,7 +6,7 @@
 //! (the build environment has no network access for proptest).
 
 use caesura::core::{Caesura, CaesuraConfig, PlanSource, QueryRun};
-use caesura::data::{generate_artwork, ArtworkConfig};
+use caesura::data::{generate_artwork, generate_fieldwork, ArtworkConfig, FieldworkConfig};
 use caesura::llm::{plan::split_arguments, LogicalPlan, LogicalStep, OperatorDecision};
 use caesura::llm::{CountingLlm, PlanCacheConfig, SimulatedLlm};
 use caesura::modal::OperatorKind;
@@ -361,6 +361,101 @@ fn warm_repeats_skip_planner_and_mapping_llm_calls() {
         assert_eq!(output_repr(run), output_repr(cold_run));
         assert_eq!(run.logical_plan, cold_run.logical_plan);
         assert_eq!(run.decisions, cold_run.decisions);
+    }
+}
+
+/// Three fieldwork-lake queries whose plans chain 3+ steps across two or
+/// three modalities — the multi-step shape the plan cache must replay
+/// faithfully (image chain, text chain, image + plot chain).
+const FIELDWORK_REPEAT_WORKLOAD: [&str; 3] = [
+    "What is the maximum number of specimens collected by each station?",
+    "What is the maximum number of tents depicted in the station photos of each terrain?",
+    "Plot the number of station photos depicting a penguin for each region!",
+];
+
+fn fieldwork_session(plan_cache: Option<PlanCacheConfig>, workers: usize) -> Caesura {
+    let data = generate_fieldwork(&FieldworkConfig::small());
+    let config = CaesuraConfig {
+        plan_cache,
+        session_workers: Some(workers),
+        ..CaesuraConfig::default()
+    };
+    Caesura::with_config(data.lake, Arc::new(SimulatedLlm::gpt4()), config)
+}
+
+/// Cached-vs-live equivalence on the fieldwork lake, across the full
+/// configuration matrix: plan cache {off, tiny (evicting), default} ×
+/// scheduler workers {1, 4}. Every combination must produce the cache-off
+/// serial baseline's outputs, and cached replays must skip the LLM.
+#[test]
+fn fieldwork_plan_cache_matrix_never_changes_outputs() {
+    let baseline: Vec<QueryRun> = (0..ROUNDS)
+        .flat_map(|_| FIELDWORK_REPEAT_WORKLOAD)
+        .map(|query| fieldwork_session(Some(PlanCacheConfig::off()), 1).run(query))
+        .collect();
+    assert!(baseline.iter().all(|r| r.succeeded()));
+    let expected: std::collections::BTreeMap<&str, String> = FIELDWORK_REPEAT_WORKLOAD
+        .iter()
+        .zip(&baseline)
+        .map(|(q, run)| (*q, output_repr(run)))
+        .collect();
+
+    for plan_cache in [
+        Some(PlanCacheConfig::off()),
+        Some(PlanCacheConfig::new(2)),
+        Some(PlanCacheConfig::new(PlanCacheConfig::DEFAULT_CAPACITY)),
+    ] {
+        for workers in [1usize, 4] {
+            let session = fieldwork_session(plan_cache, workers);
+            let runs: Vec<(&str, QueryRun)> = if workers == 1 {
+                (0..ROUNDS)
+                    .flat_map(|_| FIELDWORK_REPEAT_WORKLOAD)
+                    .map(|query| (query, session.run(query)))
+                    .collect()
+            } else {
+                let handles: Vec<_> = (0..ROUNDS)
+                    .flat_map(|_| FIELDWORK_REPEAT_WORKLOAD)
+                    .map(|query| (query, session.submit(query)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(query, handle)| (query, handle.wait()))
+                    .collect()
+            };
+            for (query, run) in &runs {
+                assert!(run.succeeded(), "{query:?} failed under {plan_cache:?}");
+                assert_eq!(
+                    output_repr(run),
+                    expected[query],
+                    "output diverged for {query:?} under workers={workers}, {plan_cache:?}"
+                );
+                match run.trace.plan_source() {
+                    // Replays must skip planning and mapping entirely.
+                    Some(PlanSource::Cached) => assert_eq!(run.trace.llm_calls(), 0),
+                    Some(PlanSource::Planned) => assert!(run.trace.llm_calls() > 0),
+                    None => assert_eq!(plan_cache, Some(PlanCacheConfig::off())),
+                }
+            }
+            // Under the serial driver the cache behaviour is deterministic:
+            // default capacity replays every round after the first; the
+            // 2-entry cache cannot hold the 3-query working set and stays
+            // live; off never probes.
+            if workers == 1 {
+                let sources: Vec<_> = runs
+                    .iter()
+                    .map(|(_, run)| run.trace.plan_source())
+                    .collect();
+                if plan_cache == Some(PlanCacheConfig::off()) {
+                    assert!(sources.iter().all(|s| s.is_none()));
+                } else if plan_cache == Some(PlanCacheConfig::new(2)) {
+                    assert!(sources.iter().all(|s| *s == Some(PlanSource::Planned)));
+                } else {
+                    assert!(sources[FIELDWORK_REPEAT_WORKLOAD.len()..]
+                        .iter()
+                        .all(|s| *s == Some(PlanSource::Cached)));
+                }
+            }
+        }
     }
 }
 

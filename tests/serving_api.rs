@@ -9,7 +9,7 @@
 //! through fresh sessions so the equivalence is proven against independent
 //! scheduler/cache state, not by construction alone.
 
-use caesura::eval::{benchmark_queries, Dataset};
+use caesura::eval::{benchmark_queries, fieldwork_queries, Dataset};
 use caesura::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,8 +23,8 @@ fn wait_for(mut condition: impl FnMut() -> bool, what: &str) {
 }
 
 #[test]
-fn run_is_byte_identical_to_submit_wait_on_both_suites() {
-    for dataset in [Dataset::Artwork, Dataset::Rotowire] {
+fn run_is_byte_identical_to_submit_wait_on_all_suites() {
+    for dataset in [Dataset::Artwork, Dataset::Rotowire, Dataset::Fieldwork] {
         // Two fresh sessions with identical configuration and seeds: one
         // driven through the blocking wrapper, one through the serving API.
         // Fresh sessions keep the perception caches aligned query by query,
@@ -44,8 +44,22 @@ fn run_is_byte_identical_to_submit_wait_on_both_suites() {
                     Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4())),
                 )
             }
+            Dataset::Fieldwork => {
+                let data = generate_fieldwork(&FieldworkConfig::small());
+                (
+                    Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4())),
+                    Caesura::new(data.lake.clone(), Arc::new(SimulatedLlm::gpt4())),
+                )
+            }
         };
-        for query in benchmark_queries().iter().filter(|q| q.dataset == dataset) {
+        // The fieldwork suite runs on the *clean* small lake here — the
+        // equivalence is about byte-identity of the two call forms, and it
+        // must hold for the adversarial phrasings' error paths too.
+        let suite = match dataset {
+            Dataset::Fieldwork => fieldwork_queries(),
+            _ => benchmark_queries(),
+        };
+        for query in suite.iter().filter(|q| q.dataset == dataset) {
             let via_run = blocking.run(query.text);
             let via_submit = serving.submit(query.text).wait();
             assert_eq!(

@@ -321,6 +321,120 @@ fn weighted_tenants_take_proportional_turns_within_a_tier() {
     );
 }
 
+/// Fieldwork-lake queries whose plans chain 3+ steps across modalities:
+/// join + perception (image or text extraction) + aggregation, one with a
+/// plot stage on top. The heavyweight shape multi-tenant serving must keep
+/// deterministic.
+const FIELDWORK_SUITE: &[&str] = &[
+    "What is the maximum number of specimens collected by each station?",
+    "What is the maximum number of tents depicted in the station photos of each terrain?",
+    "Plot the number of station photos depicting a penguin for each region!",
+    "What is the average number of flags depicted in the station photos of each region?",
+];
+
+#[test]
+fn tenants_racing_fieldwork_queries_match_serial_baselines_and_balance_counters() {
+    // Serial ground truth: one query at a time on a single worker, plan
+    // cache off so every run plans live and its trace is deterministic.
+    let serial_config = || CaesuraConfig {
+        session_workers: Some(1),
+        plan_cache: Some(caesura::llm::PlanCacheConfig::off()),
+        ..CaesuraConfig::default()
+    };
+    let fieldwork_session = |config: CaesuraConfig| {
+        let data = generate_fieldwork(&FieldworkConfig::small());
+        Caesura::with_config(
+            data.lake,
+            Arc::new(SimulatedLlm::gpt4()) as Arc<dyn LlmClient>,
+            config,
+        )
+    };
+    let baseline: Vec<QueryRun> = {
+        let session = fieldwork_session(serial_config());
+        FIELDWORK_SUITE
+            .iter()
+            .map(|query| session.run(query))
+            .collect()
+    };
+    for (query, run) in FIELDWORK_SUITE.iter().zip(&baseline) {
+        assert!(
+            run.succeeded(),
+            "baseline '{query}' failed: {:?}",
+            run.output
+        );
+    }
+
+    // Two tenants race disjoint halves of the multi-step suite through one
+    // shared session: interleaved submissions, 4 workers, shared scheduler.
+    // The halves are disjoint because the perception cache is shared — two
+    // tenants running the *same* query would let one warm the other's
+    // perception rows, and its trace could no longer match a cold serial
+    // baseline.
+    let session = fieldwork_session(CaesuraConfig {
+        session_workers: Some(4),
+        plan_cache: Some(caesura::llm::PlanCacheConfig::off()),
+        fair_sched: Some(true),
+        ..CaesuraConfig::default()
+    });
+    let tenant_of = |index: usize| {
+        if index.is_multiple_of(2) {
+            "alpha"
+        } else {
+            "beta"
+        }
+    };
+    let handles: Vec<(&str, usize, QueryHandle)> = FIELDWORK_SUITE
+        .iter()
+        .enumerate()
+        .map(|(index, query)| {
+            let tenant = tenant_of(index);
+            let handle = session
+                .submit_with(query, SubmitOptions::for_tenant(tenant))
+                .expect("admission with default quotas");
+            (tenant, index, handle)
+        })
+        .collect();
+
+    for (tenant, index, handle) in handles {
+        let run = handle.wait();
+        let query = FIELDWORK_SUITE[index];
+        assert!(
+            run.succeeded(),
+            "tenant {tenant} failed '{query}': {:?}",
+            run.output
+        );
+        assert_eq!(
+            run.output.as_ref().unwrap(),
+            baseline[index].output.as_ref().unwrap(),
+            "tenant {tenant}: output diverged from serial baseline for '{query}'"
+        );
+        // Trace equality covers events, LLM-call counters, perception
+        // counters, and plan source; scheduling metadata and timings are
+        // excluded by design, so a racing tenant run must reproduce the
+        // serial trace exactly.
+        assert_eq!(
+            run.trace, baseline[index].trace,
+            "tenant {tenant}: trace diverged from serial baseline for '{query}'"
+        );
+        assert_eq!(
+            run.trace.scheduling().map(|s| s.tenant.as_str()),
+            Some(tenant)
+        );
+    }
+
+    // The books balance, globally and per tenant.
+    let stats = session.serving_stats();
+    assert_eq!(stats.completed, FIELDWORK_SUITE.len());
+    assert_eq!(stats.rejected, 0);
+    let tenants = session.tenant_stats();
+    assert_eq!(tenants.len(), 2);
+    for tenant in tenants {
+        assert_eq!(tenant.completed, FIELDWORK_SUITE.len() / 2);
+        assert_eq!(tenant.rejected, 0);
+        assert!(tenant.tenant == "alpha" || tenant.tenant == "beta");
+    }
+}
+
 #[test]
 fn wait_timeout_expires_while_running_and_returns_the_run_after() {
     let gated = Arc::new(GatedLlm::new(SimulatedLlm::gpt4()));
