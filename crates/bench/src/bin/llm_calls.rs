@@ -33,6 +33,13 @@
 //!   (fieldwork) lake, whose plans chain 3+ steps across two or three
 //!   modalities: warm repeats of the multi-step chains must also replay at
 //!   zero planner/mapping LLM calls.
+//! * `persistent_store` — the restart axis of the durable cache tier
+//!   (PR 10): one process populates a `CAESURA_CACHE_DIR`-style store and
+//!   exits (session dropped, lock released); a *fresh* process over the same
+//!   directory replays the workload. The warm process must make **zero**
+//!   planner/mapping LLM calls and zero perception-backend dispatches — the
+//!   session-scoped caches start empty, so every answer is served by the
+//!   disk tier.
 //!
 //! Run with `cargo run --release -p caesura-bench --bin llm_calls`.
 
@@ -50,6 +57,7 @@ use caesura_llm::{
 };
 use caesura_modal::operators::{apply_text_qa_with, apply_visual_qa_with};
 use caesura_modal::{BatchConfig, CacheConfig, ImageObject, ImageStore, PerceptionCache};
+use caesura_store::PersistConfig;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -61,6 +69,7 @@ fn main() {
         perception_cache_section(),
         plan_cache_section(),
         fieldwork_plan_cache_section(),
+        persistent_store_section(),
     ];
 
     let mut out = String::new();
@@ -87,7 +96,12 @@ fn main() {
          executor), while the cache-off warm round re-pays the cold round in full. The \
          fieldwork_plan_cache section repeats that axis on the third (fieldwork) lake, \
          whose every plan chains 3+ steps across two or three modalities — the multi-step \
-         chains replay from the cache just as cheaply as the short artwork plans.\",\n",
+         chains replay from the cache just as cheaply as the short artwork plans. The \
+         persistent_store section (PR 10) measures the durable on-disk tier across a \
+         simulated process restart: a cold process populates the store, a fresh process \
+         over the same directory replays the workload at zero planner/mapping LLM calls \
+         and zero perception-backend dispatches — every answer, compiled transform, and \
+         validated plan is served from disk.\",\n",
     );
     out.push_str("  \"command\": \"cargo run --release -p caesura-bench --bin llm_calls\",\n");
     out.push_str(
@@ -614,6 +628,85 @@ fn fieldwork_plan_cache_section() -> String {
         .unwrap();
         out.push_str(if ci == 0 { ",\n" } else { "\n" });
     }
+    out.push_str("  }");
+    out
+}
+
+fn persistent_store_section() -> String {
+    // The restart axis of the durable cache tier: each "process" is a fresh
+    // session (empty in-memory caches) over one on-disk store directory, run
+    // strictly in sequence — the store's file lock admits one live session
+    // per directory, exactly like two real processes sharing a cache dir.
+    let queries = [
+        "How many paintings are in the museum?",
+        "Plot the number of paintings depicting Madonna and Child for each century!",
+        "List the titles of all paintings that depict a horse.",
+    ];
+    let dir = std::env::temp_dir().join(format!("caesura-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run_process = |label: &str| {
+        let counting = Arc::new(CountingLlm::new(SimulatedLlm::new(
+            ModelProfile::Gpt4,
+            BENCH_SEED,
+        )));
+        let session = Caesura::with_config(
+            generate_artwork(&ArtworkConfig::default()).lake,
+            counting.clone(),
+            CaesuraConfig {
+                persist: Some(PersistConfig::new(dir.clone())),
+                ..CaesuraConfig::default()
+            },
+        );
+        let mut perception = PerceptionCalls::default();
+        let mut plan_disk_hits = 0usize;
+        for query in queries {
+            let run = session.run(query);
+            assert!(run.succeeded(), "persistent-store bench {label} process");
+            let p = run.trace.perception_calls();
+            perception.calls += p.calls;
+            perception.disk_hits += p.disk_hits;
+            perception.disk_writes += p.disk_writes;
+            plan_disk_hits += run.trace.plan_cache_calls().disk_hits;
+        }
+        (counting.usage().calls, perception, plan_disk_hits)
+    };
+
+    let (cold_llm_calls, cold_perception, _) = run_process("cold");
+    // The cold session drops here, releasing the store's directory lock
+    // before the "restarted" process opens it.
+    let (warm_llm_calls, warm_perception, warm_plan_disk_hits) = run_process("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        warm_llm_calls, 0,
+        "a warm-from-disk process must make zero planner/mapping LLM calls"
+    );
+    assert_eq!(
+        warm_perception.calls, 0,
+        "a warm-from-disk process must dispatch zero perception-backend calls"
+    );
+    assert_eq!(
+        warm_plan_disk_hits,
+        queries.len(),
+        "every warm query must replay its plan from the disk tier"
+    );
+
+    let mut out = String::from("  \"persistent_store\": {\n");
+    writeln!(
+        out,
+        "    \"restart_replay\": {{\"queries_per_process\": {}, \
+         \"cold_process\": {{\"llm_calls\": {cold_llm_calls}, \"perception_calls\": {}, \
+         \"disk_writes\": {}}}, \
+         \"warm_process\": {{\"llm_calls\": {warm_llm_calls}, \"perception_calls\": {}, \
+         \"perception_disk_hits\": {}, \"plan_disk_hits\": {warm_plan_disk_hits}}}}}",
+        queries.len(),
+        cold_perception.calls,
+        cold_perception.disk_writes,
+        warm_perception.calls,
+        warm_perception.disk_hits,
+    )
+    .unwrap();
     out.push_str("  }");
     out
 }

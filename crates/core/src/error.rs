@@ -57,6 +57,17 @@ pub enum CoreError {
         /// The panic payload, rendered as text.
         message: String,
     },
+    /// The persistent cache store could not be opened at session
+    /// construction — most commonly because another live session holds the
+    /// directory's lock file (see `caesura_store::StoreError::Locked`), or
+    /// because the directory is not creatable/writable. Only
+    /// [`Caesura::try_with_config`](crate::Caesura::try_with_config)
+    /// surfaces this; queries themselves never fail with it (store write
+    /// errors during a run are swallowed by the cache tiers).
+    StoreUnavailable {
+        /// The underlying store error, rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -86,6 +97,9 @@ impl fmt::Display for CoreError {
             CoreError::Cancelled => write!(f, "the query was cancelled before it completed"),
             CoreError::Internal { message } => {
                 write!(f, "the query's worker panicked: {message}")
+            }
+            CoreError::StoreUnavailable { message } => {
+                write!(f, "the persistent cache store could not be opened: {message}")
             }
         }
     }

@@ -20,7 +20,7 @@ use crate::error::{CoreError, CoreResult};
 use caesura_engine::{parallel, sql, Catalog, ExecConfig, Table};
 use caesura_llm::{LogicalStep, OperatorDecision};
 use caesura_modal::operators::{
-    apply_image_select_with, apply_plot, apply_python_udf_with, apply_text_qa_with,
+    apply_image_select_with, apply_plot, apply_python_udf_cached, apply_text_qa_with,
     apply_visual_qa_with, parse_result_dtype,
 };
 use caesura_modal::{
@@ -286,6 +286,9 @@ impl Executor {
                 cache_hits: delta.cache_hits,
                 cache_misses: delta.cache_misses,
                 cache_evictions: delta.cache_evictions,
+                disk_hits: delta.disk_hits,
+                disk_misses: delta.disk_misses,
+                disk_writes: delta.disk_writes,
             });
         }
         result
@@ -381,8 +384,13 @@ impl Executor {
             OperatorKind::PythonUdf => {
                 expect_args(2)?;
                 let input = self.step_input(step)?;
-                let (stats, result) =
-                    apply_python_udf_with(input.as_ref(), &self.codegen, &args[0], &args[1]);
+                let (stats, result) = apply_python_udf_cached(
+                    input.as_ref(),
+                    &self.codegen,
+                    &args[0],
+                    &args[1],
+                    self.cache.as_deref(),
+                );
                 self.perception.absorb(&stats);
                 Ok(self.register_result(step, result?, &[args[1].clone()]))
             }

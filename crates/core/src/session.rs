@@ -25,7 +25,8 @@ use caesura_llm::{
     PlanInsertOutcome, PromptBuilder, PromptConfig, RelevantColumn,
 };
 use caesura_modal::{BatchConfig, CacheConfig, PerceptionCache};
-use std::sync::Arc;
+use caesura_store::{CacheStore, PersistConfig};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Configuration of a CAESURA session.
@@ -122,6 +123,15 @@ pub struct CaesuraConfig {
     /// overrides the process-wide knob at session construction — it affects
     /// tables ingested from then on, not tables already in the lake.
     pub dict_encode: Option<bool>,
+    /// Persistent on-disk cache tier below the in-memory perception and
+    /// plan caches (see `caesura_store`). `None` disables the tier — the
+    /// byte-for-byte pre-store behaviour. The default is the environment
+    /// configuration: `CAESURA_CACHE_DIR` names the store directory (unset
+    /// or empty means fully off) and `CAESURA_DISK_PERCEPTION` /
+    /// `CAESURA_DISK_PLANS` gate the tiers individually. A tier whose
+    /// in-memory cache is disabled skips its disk tier too: the store is a
+    /// second tier *under* the memory cache, never a replacement for it.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for CaesuraConfig {
@@ -145,8 +155,32 @@ impl Default for CaesuraConfig {
             tenant_quota: None,
             tenant_weights: Vec::new(),
             dict_encode: None,
+            persist: persist_from_env(),
         }
     }
+}
+
+/// The environment-described persistence configuration, read once per
+/// process (the same caching pattern as the other `CAESURA_*` knobs); use
+/// [`PersistConfig::from_env`] directly to re-read the environment.
+fn persist_from_env() -> Option<PersistConfig> {
+    static DEFAULT: OnceLock<Option<PersistConfig>> = OnceLock::new();
+    DEFAULT.get_or_init(PersistConfig::from_env).clone()
+}
+
+/// The identity string versioning a session's persisted plan entries: the
+/// planner model plus every prompt-shaping knob that changes which plans it
+/// produces. Sessions whose identities differ share a store directory
+/// without ever seeing each other's entries (the schema fingerprint inside
+/// the key already isolates different lake shapes).
+fn plan_cache_identity(llm: &dyn LlmClient, config: &CaesuraConfig) -> String {
+    format!(
+        "{}:v1:few_shot={}:interleaved={}:examples={}",
+        llm.name(),
+        config.few_shot,
+        config.interleaved,
+        config.example_values
+    )
 }
 
 /// The outcome of running one query end to end, including everything the
@@ -224,7 +258,29 @@ impl Caesura {
     }
 
     /// Create a session with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// When [`CaesuraConfig::persist`] is set and the store directory cannot
+    /// be opened — most commonly because another live session holds its lock
+    /// file. Use [`Caesura::try_with_config`] to handle that as a typed
+    /// [`CoreError::StoreUnavailable`] instead.
     pub fn with_config(lake: DataLake, llm: Arc<dyn LlmClient>, config: CaesuraConfig) -> Self {
+        match Caesura::try_with_config(lake, llm, config) {
+            Ok(session) => session,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// [`Caesura::with_config`] that surfaces persistent-store open failures
+    /// as [`CoreError::StoreUnavailable`] instead of panicking. With
+    /// [`CaesuraConfig::persist`] unset (the default unless
+    /// `CAESURA_CACHE_DIR` is exported) this never fails.
+    pub fn try_with_config(
+        lake: DataLake,
+        llm: Arc<dyn LlmClient>,
+        config: CaesuraConfig,
+    ) -> CoreResult<Caesura> {
         if let Some(enabled) = config.dict_encode {
             caesura_engine::dict::set_dict_encode(enabled);
         }
@@ -233,12 +289,33 @@ impl Caesura {
             example_values: config.example_values,
         });
         let retriever = Retriever::index(&lake);
-        let perception_cache = config
-            .perception_cache
-            .unwrap_or_default()
-            .build()
-            .map(Arc::new);
-        let plan_cache = config.plan_cache.unwrap_or_default().build().map(Arc::new);
+        let mut perception_cache = config.perception_cache.unwrap_or_default().build();
+        let mut plan_cache = config.plan_cache.unwrap_or_default().build();
+        // Attach the persistent tier *under* the in-memory caches. Each tier
+        // opens (and locks) its own store directory; a tier whose memory
+        // cache is disabled stays disk-less too.
+        if let Some(persist) = config.persist.as_ref().filter(|p| p.is_enabled()) {
+            let open = |dir: std::path::PathBuf| {
+                CacheStore::open(dir)
+                    .map(Arc::new)
+                    .map_err(|e| CoreError::StoreUnavailable {
+                        message: e.to_string(),
+                    })
+            };
+            if persist.perception {
+                if let Some(cache) = perception_cache.as_mut() {
+                    cache.attach_disk(open(persist.perception_dir())?);
+                }
+            }
+            if persist.plans {
+                if let Some(cache) = plan_cache.as_mut() {
+                    let identity = plan_cache_identity(llm.as_ref(), &config);
+                    cache.attach_disk(open(persist.plans_dir())?, identity);
+                }
+            }
+        }
+        let perception_cache = perception_cache.map(Arc::new);
+        let plan_cache = plan_cache.map(Arc::new);
         let workers = config
             .session_workers
             .unwrap_or_else(crate::serving::workers_from_env)
@@ -264,7 +341,7 @@ impl Caesura {
             },
             weights: config.tenant_weights.clone(),
         };
-        Caesura {
+        Ok(Caesura {
             core: Arc::new(SessionCore {
                 lake,
                 llm,
@@ -275,7 +352,7 @@ impl Caesura {
                 plan_cache,
             }),
             scheduler: Scheduler::new(workers, queue_depth, policy),
-        }
+        })
     }
 
     /// The session configuration.
@@ -522,13 +599,14 @@ impl SessionCore {
         });
         if let Some((cache, fingerprint, template)) = &probe {
             let phase_start = Instant::now();
-            let cached = cache.lookup(fingerprint, template);
+            let cached = cache.lookup_tiered(fingerprint, template);
             trace.record_phase_duration(Phase::Planning, phase_start.elapsed());
             match cached {
-                Some(cached) => {
+                Some((cached, tier)) => {
                     trace.set_plan_source(PlanSource::Cached);
                     trace.record_plan_cache(PlanCacheCalls {
                         hits: 1,
+                        disk_hits: usize::from(tier == caesura_llm::PlanTier::Disk),
                         ..PlanCacheCalls::default()
                     });
                     trace.record(
@@ -625,6 +703,7 @@ impl SessionCore {
                                 PlanInsertOutcome::Inserted { .. } => {
                                     trace.record_plan_cache(PlanCacheCalls {
                                         insertions: 1,
+                                        disk_writes: usize::from(cache.has_disk()),
                                         ..PlanCacheCalls::default()
                                     });
                                 }

@@ -91,6 +91,13 @@ pub struct PerceptionCalls {
     pub cache_misses: usize,
     /// Cache entries evicted while storing this query's answers.
     pub cache_evictions: usize,
+    /// Memory-tier misses answered by the persistent disk tier (all zero
+    /// when no store is attached, keeping pre-disk traces byte-identical).
+    pub disk_hits: usize,
+    /// Memory-tier misses that also missed the disk tier and dispatched.
+    pub disk_misses: usize,
+    /// Freshly computed answers written through to the disk tier.
+    pub disk_writes: usize,
 }
 
 /// Where a query's logical plan (and its operator decisions) came from.
@@ -132,6 +139,11 @@ pub struct PlanCacheCalls {
     pub insertions: usize,
     /// Cached plans evicted because they failed at execution for this query.
     pub invalidations: usize,
+    /// Memory-tier misses answered by the persistent disk tier (all zero
+    /// when no store is attached, keeping pre-disk traces byte-identical).
+    pub disk_hits: usize,
+    /// Validated plans written through to the disk tier.
+    pub disk_writes: usize,
 }
 
 /// Wall-clock timings of one query run, accumulated per phase by the session
@@ -334,6 +346,9 @@ impl ExecutionTrace {
         self.perception.cache_hits += delta.cache_hits;
         self.perception.cache_misses += delta.cache_misses;
         self.perception.cache_evictions += delta.cache_evictions;
+        self.perception.disk_hits += delta.disk_hits;
+        self.perception.disk_misses += delta.disk_misses;
+        self.perception.disk_writes += delta.disk_writes;
     }
 
     /// Perception-operator call accounting for the whole query.
@@ -347,6 +362,8 @@ impl ExecutionTrace {
         self.plan_cache.misses += delta.misses;
         self.plan_cache.insertions += delta.insertions;
         self.plan_cache.invalidations += delta.invalidations;
+        self.plan_cache.disk_hits += delta.disk_hits;
+        self.plan_cache.disk_writes += delta.disk_writes;
     }
 
     /// Validated-plan-cache accounting for the whole query (all zeros when
@@ -445,6 +462,20 @@ impl ExecutionTrace {
                     self.perception.cache_evictions
                 ));
             }
+            // Per-tier breakdown, rendered only when the disk tier actually
+            // participated so disk-off traces stay byte-identical.
+            if self.perception.disk_hits > 0
+                || self.perception.disk_misses > 0
+                || self.perception.disk_writes > 0
+            {
+                out.push_str(&format!(
+                    "== Perception tiers: memory {} hit(s), disk {} hit(s), {} miss(es), {} write(s) ==\n",
+                    self.perception.cache_hits,
+                    self.perception.disk_hits,
+                    self.perception.disk_misses,
+                    self.perception.disk_writes
+                ));
+            }
         }
         if let Some(source) = self.plan_source {
             out.push_str(&format!(
@@ -455,6 +486,18 @@ impl ExecutionTrace {
                 self.plan_cache.insertions,
                 self.plan_cache.invalidations
             ));
+            // Per-tier breakdown, rendered only when the disk tier actually
+            // participated so disk-off traces stay byte-identical.
+            if self.plan_cache.disk_hits > 0 || self.plan_cache.disk_writes > 0 {
+                out.push_str(&format!(
+                    "== Plan-cache tiers: memory {} hit(s), disk {} hit(s), {} write(s) ==\n",
+                    self.plan_cache
+                        .hits
+                        .saturating_sub(self.plan_cache.disk_hits),
+                    self.plan_cache.disk_hits,
+                    self.plan_cache.disk_writes
+                ));
+            }
         }
         if let Some(scheduling) = &self.scheduling {
             out.push_str(&format!(
@@ -541,6 +584,7 @@ mod tests {
             cache_hits: 2,
             cache_misses: 5,
             cache_evictions: 1,
+            ..PerceptionCalls::default()
         });
         let perception = trace.perception_calls();
         assert_eq!(perception.rows, 15);

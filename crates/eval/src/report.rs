@@ -224,6 +224,22 @@ impl EvaluationReport {
         self.results.iter().map(|r| r.plan_cache.hits).sum()
     }
 
+    /// Perception requests served by the persistent disk tier across the
+    /// benchmark — memory-tier misses that found their answer on disk
+    /// instead of dispatching to the backend. Zero unless the session was
+    /// configured with a `CaesuraConfig::persist` store (e.g. via
+    /// `CAESURA_CACHE_DIR`), so existing reports are unchanged.
+    pub fn total_perception_disk_hits(&self) -> usize {
+        self.results.iter().map(|r| r.perception.disk_hits).sum()
+    }
+
+    /// Plan-cache hits answered by the persistent disk tier across the
+    /// benchmark — what a fresh process warms from after a restart. Zero
+    /// unless a persistent store is configured.
+    pub fn total_plan_cache_disk_hits(&self) -> usize {
+        self.results.iter().map(|r| r.plan_cache.disk_hits).sum()
+    }
+
     /// Per-query run latencies, in benchmark order.
     pub fn latencies(&self) -> Vec<Duration> {
         self.results.iter().map(|r| r.latency).collect()

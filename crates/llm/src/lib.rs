@@ -45,7 +45,7 @@ pub use perception::PerceptionLlm;
 pub use plan::{ErrorAnalysis, LogicalPlan, LogicalStep, OperatorDecision};
 pub use plan_cache::{
     normalize_query, schema_fingerprint, CachedPlan, Literal, PlanCache, PlanCacheConfig,
-    PlanCacheStats, PlanInsertOutcome, QueryTemplate,
+    PlanCacheStats, PlanInsertOutcome, PlanTier, QueryTemplate,
 };
 pub use profile::{ErrorInjector, ModelProfile};
 pub use prompt::{PromptBuilder, PromptConfig, RelevantColumn};

@@ -73,6 +73,13 @@ impl<C: LlmClient> PerceptionBackend for PerceptionLlm<C> {
             })
             .collect()
     }
+
+    /// Answers depend on the wrapped model and this adapter's prompt
+    /// rendering; bump the `v1` on prompt-format changes so stored answers
+    /// go cold instead of going stale.
+    fn identity(&self) -> String {
+        format!("llm:{}:v1", self.client.name())
+    }
 }
 
 #[cfg(test)]

@@ -62,11 +62,13 @@
 //! entirely — byte-for-byte preserving the always-plan-live behaviour.
 //! Sessions pin the knob via `CaesuraConfig::plan_cache`.
 
-use crate::plan::{LogicalPlan, OperatorDecision};
+use crate::plan::{LogicalPlan, LogicalStep, OperatorDecision};
 use caesura_engine::Catalog;
+use caesura_modal::OperatorKind;
+use caesura_store::CacheStore;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Configuration of the session-scoped validated-plan cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +164,29 @@ pub struct PlanCacheStats {
     /// every query literal through its text (see
     /// [`PlanInsertOutcome::Rejected`]).
     pub rejections: usize,
+    /// Memory-tier misses answered from the attached disk store.
+    pub disk_hits: usize,
+    /// Disk-tier probes that found nothing (true cold misses).
+    pub disk_misses: usize,
+    /// Validated plans written through to the attached disk store.
+    pub disk_writes: usize,
+    /// Disk-tier entries tombstoned because their cached plan failed at
+    /// execution.
+    pub disk_invalidations: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of probes answered by either tier (memory or disk), in
+    /// `[0, 1]`; `0.0` when nothing was probed. A disk hit is also counted
+    /// as a memory miss, so the denominator is `hits + misses`.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            (self.hits + self.disk_hits) as f64 / probes as f64
+        }
+    }
 }
 
 /// A query normalized for plan-cache lookup: the text with quoted string
@@ -652,7 +677,33 @@ pub struct PlanCache {
     evictions: AtomicUsize,
     invalidations: AtomicUsize,
     rejections: AtomicUsize,
+    disk_hits: AtomicUsize,
+    disk_misses: AtomicUsize,
+    disk_writes: AtomicUsize,
+    disk_invalidations: AtomicUsize,
     capacity: usize,
+    /// Optional durable tier below the shards (see [`caesura_store`]).
+    disk: Option<DiskPlanTier>,
+}
+
+/// The attached durable tier of a [`PlanCache`]: the store plus the planner
+/// identity that namespaces every key.
+#[derive(Debug)]
+struct DiskPlanTier {
+    store: Arc<CacheStore>,
+    /// A stable version string for the *planning configuration* — LLM client
+    /// name plus every prompt knob that changes planner output. Entries
+    /// written under one identity can never answer for another.
+    identity: String,
+}
+
+/// Which tier answered a [`PlanCache::lookup_tiered`] probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanTier {
+    /// The in-memory shards.
+    Memory,
+    /// The durable on-disk store (the memory tier was warmed on the way).
+    Disk,
 }
 
 impl PlanCache {
@@ -688,8 +739,33 @@ impl PlanCache {
             evictions: AtomicUsize::new(0),
             invalidations: AtomicUsize::new(0),
             rejections: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+            disk_misses: AtomicUsize::new(0),
+            disk_writes: AtomicUsize::new(0),
+            disk_invalidations: AtomicUsize::new(0),
             capacity,
+            disk: None,
         }
+    }
+
+    /// Attach a durable tier below the in-memory shards. Memory misses then
+    /// probe the store before planning live, validated inserts are written
+    /// through, and invalidations tombstone the disk entry too.
+    ///
+    /// `identity` must change whenever the planning configuration changes —
+    /// LLM client name plus every prompt knob that affects planner output —
+    /// so plans validated under one configuration never replay under
+    /// another.
+    pub fn attach_disk(&mut self, store: Arc<CacheStore>, identity: impl Into<String>) {
+        self.disk = Some(DiskPlanTier {
+            store,
+            identity: identity.into(),
+        });
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
     }
 
     /// The configured entry capacity.
@@ -720,6 +796,10 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             rejections: self.rejections.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_invalidations: self.disk_invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -742,26 +822,93 @@ impl PlanCache {
     /// refreshing its LRU position on a hit. The returned plan and decisions
     /// carry the **probe's** literals.
     pub fn lookup(&self, fingerprint: &str, template: &QueryTemplate) -> Option<CachedPlan> {
+        self.lookup_tiered(fingerprint, template)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`PlanCache::lookup`], additionally reporting which tier answered.
+    ///
+    /// A memory miss probes the attached disk store (when one is attached);
+    /// a disk hit decodes the stored normalized entry, warms the memory
+    /// tier, and instantiates it with the probe's literals — still zero
+    /// planner/mapping LLM calls.
+    pub fn lookup_tiered(
+        &self,
+        fingerprint: &str,
+        template: &QueryTemplate,
+    ) -> Option<(CachedPlan, PlanTier)> {
         let key = Self::key(fingerprint, template);
+        {
+            let mut guard = self.shards[self.shard_of(&key)]
+                .lock()
+                .expect("plan cache shard lock");
+            let shard = &mut *guard;
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(entry) = shard.index.get_mut(&key) {
+                Shard::touch(&mut shard.lru, entry, tick);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some((
+                    CachedPlan {
+                        plan: instantiate_plan(&entry.plan, &template.literals),
+                        decisions: instantiate_decisions(&entry.decisions, &template.literals),
+                    },
+                    PlanTier::Memory,
+                ));
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        // Memory miss: probe the disk tier outside the shard lock (the store
+        // has its own synchronization, and a racing warm-up is idempotent).
+        let disk = self.disk.as_ref()?;
+        let decoded = disk
+            .store
+            .get(&disk_entry_key(&disk.identity, &key))
+            .and_then(|bytes| decode_entry(&bytes));
+        let Some((plan, decisions)) = decoded else {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let cached = CachedPlan {
+            plan: instantiate_plan(&plan, &template.literals),
+            decisions: instantiate_decisions(&decisions, &template.literals),
+        };
+        self.store_normalized(key, plan, decisions);
+        Some((cached, PlanTier::Disk))
+    }
+
+    /// Insert an already-normalized entry into the memory tier (used to warm
+    /// it from disk). Counts as an insertion; evicts per the capacity bound.
+    fn store_normalized(&self, key: String, plan: LogicalPlan, decisions: Vec<OperatorDecision>) {
         let mut guard = self.shards[self.shard_of(&key)]
             .lock()
             .expect("plan cache shard lock");
         let shard = &mut *guard;
         shard.tick += 1;
         let tick = shard.tick;
-        match shard.index.get_mut(&key) {
-            Some(entry) => {
-                Shard::touch(&mut shard.lru, entry, tick);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(CachedPlan {
-                    plan: instantiate_plan(&entry.plan, &template.literals),
-                    decisions: instantiate_decisions(&entry.decisions, &template.literals),
-                })
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        if let Some(entry) = shard.index.get_mut(&key) {
+            // A concurrent probe warmed this key first.
+            Shard::touch(&mut shard.lru, entry, tick);
+            return;
+        }
+        shard.index.insert(
+            key.clone(),
+            Entry {
+                plan,
+                decisions,
+                tick,
+            },
+        );
+        shard.lru.insert(tick, key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if shard.lru.len() > shard.capacity {
+            let (_, victim) = shard
+                .lru
+                .pop_first()
+                .expect("a full shard has an LRU entry");
+            shard.index.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -797,39 +944,63 @@ impl PlanCache {
             return PlanInsertOutcome::Rejected;
         }
         let key = Self::key(fingerprint, template);
-        let mut guard = self.shards[self.shard_of(&key)]
-            .lock()
-            .expect("plan cache shard lock");
-        let shard = &mut *guard;
-        shard.tick += 1;
-        let tick = shard.tick;
-        if let Some(entry) = shard.index.get_mut(&key) {
-            // A concurrent query with the same shape stored this entry
-            // already; both plans were validated, so only the LRU position
-            // needs refreshing.
-            Shard::touch(&mut shard.lru, entry, tick);
-            return PlanInsertOutcome::AlreadyPresent;
+        // Encode for the disk tier before the entry is moved into the map;
+        // the write itself happens after the shard lock is released.
+        let encoded = self
+            .disk
+            .as_ref()
+            .map(|_| encode_entry(&normalized_plan, &normalized_decisions));
+        let outcome = {
+            let mut guard = self.shards[self.shard_of(&key)]
+                .lock()
+                .expect("plan cache shard lock");
+            let shard = &mut *guard;
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(entry) = shard.index.get_mut(&key) {
+                // A concurrent query with the same shape stored this entry
+                // already; both plans were validated, so only the LRU
+                // position needs refreshing.
+                Shard::touch(&mut shard.lru, entry, tick);
+                return PlanInsertOutcome::AlreadyPresent;
+            }
+            shard.index.insert(
+                key.clone(),
+                Entry {
+                    plan: normalized_plan,
+                    decisions: normalized_decisions,
+                    tick,
+                },
+            );
+            shard.lru.insert(tick, key.clone());
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            if shard.lru.len() <= shard.capacity {
+                PlanInsertOutcome::Inserted { evictions: 0 }
+            } else {
+                let (_, victim) = shard
+                    .lru
+                    .pop_first()
+                    .expect("a full shard has an LRU entry");
+                shard.index.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                PlanInsertOutcome::Inserted { evictions: 1 }
+            }
+        };
+        // Write the validated entry through to the disk tier. Errors are
+        // swallowed: the disk tier is an optimization, and a failed write
+        // costs at most a future cold (live-planned) miss. Memory-tier
+        // eviction deliberately does NOT remove the disk entry — the durable
+        // tier is the larger one, and a later probe re-warms from it.
+        if let (Some(disk), Some(bytes)) = (self.disk.as_ref(), encoded) {
+            if disk
+                .store
+                .put(&disk_entry_key(&disk.identity, &key), &bytes)
+                .is_ok()
+            {
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        shard.index.insert(
-            key.clone(),
-            Entry {
-                plan: normalized_plan,
-                decisions: normalized_decisions,
-                tick,
-            },
-        );
-        shard.lru.insert(tick, key);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        if shard.lru.len() <= shard.capacity {
-            return PlanInsertOutcome::Inserted { evictions: 0 };
-        }
-        let (_, victim) = shard
-            .lru
-            .pop_first()
-            .expect("a full shard has an LRU entry");
-        shard.index.remove(&victim);
-        self.evictions.fetch_add(1, Ordering::Relaxed);
-        PlanInsertOutcome::Inserted { evictions: 1 }
+        outcome
     }
 
     /// Remove the entry for a `(fingerprint, template)` key because its
@@ -837,19 +1008,180 @@ impl PlanCache {
     /// (a concurrent invalidation may have beaten this one).
     pub fn invalidate(&self, fingerprint: &str, template: &QueryTemplate) -> bool {
         let key = Self::key(fingerprint, template);
-        let mut guard = self.shards[self.shard_of(&key)]
-            .lock()
-            .expect("plan cache shard lock");
-        let shard = &mut *guard;
-        match shard.index.remove(&key) {
-            Some(entry) => {
-                shard.lru.remove(&entry.tick);
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
-                true
+        let removed_from_memory = {
+            let mut guard = self.shards[self.shard_of(&key)]
+                .lock()
+                .expect("plan cache shard lock");
+            let shard = &mut *guard;
+            match shard.index.remove(&key) {
+                Some(entry) => {
+                    shard.lru.remove(&entry.tick);
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                None => false,
             }
-            None => false,
+        };
+        // A failed plan must not survive on disk either — the entry may have
+        // been warmed from there (or may outlive this process otherwise).
+        let mut removed_from_disk = false;
+        if let Some(disk) = self.disk.as_ref() {
+            if disk
+                .store
+                .remove(&disk_entry_key(&disk.identity, &key))
+                .unwrap_or(false)
+            {
+                self.disk_invalidations.fetch_add(1, Ordering::Relaxed);
+                removed_from_disk = true;
+            }
         }
+        removed_from_memory || removed_from_disk
     }
+}
+
+/// The on-disk key of a plan-cache entry: the planner identity and the
+/// in-memory `(fingerprint, template)` key, length-prefixed so neither part
+/// can masquerade as the other.
+fn disk_entry_key(identity: &str, key: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + identity.len() + key.len());
+    out.extend_from_slice(&(identity.len() as u32).to_le_bytes());
+    out.extend_from_slice(identity.as_bytes());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    out
+}
+
+// --- entry codec -----------------------------------------------------------
+//
+// Entries are stored *normalized* (literals slotted out), exactly as the
+// memory tier holds them, in a hand-rolled length-prefixed binary framing:
+// no serde in this workspace, and the textual plan grammar is a prompt
+// format, not a storage format (its parser is deliberately lenient). The
+// codec version rides on the first byte; unknown versions decode to `None`,
+// which the lookup path treats as a cold miss.
+
+const ENTRY_CODEC_VERSION: u8 = 1;
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u32).to_le_bytes());
+}
+
+fn push_str_list(out: &mut Vec<u8>, items: &[String]) {
+    push_u32(out, items.len());
+    for item in items {
+        push_str(out, item);
+    }
+}
+
+/// Serialize a normalized `(plan, decisions)` entry.
+fn encode_entry(plan: &LogicalPlan, decisions: &[OperatorDecision]) -> Vec<u8> {
+    let mut out = vec![ENTRY_CODEC_VERSION];
+    push_str(&mut out, &plan.thought);
+    push_u32(&mut out, plan.steps.len());
+    for step in &plan.steps {
+        push_u32(&mut out, step.number);
+        push_str(&mut out, &step.description);
+        push_str_list(&mut out, &step.inputs);
+        push_str(&mut out, &step.output);
+        push_str_list(&mut out, &step.new_columns);
+    }
+    push_u32(&mut out, decisions.len());
+    for decision in decisions {
+        push_u32(&mut out, decision.step_number);
+        push_str(&mut out, &decision.reasoning);
+        push_str(&mut out, decision.operator.name());
+        push_str_list(&mut out, &decision.arguments);
+    }
+    out
+}
+
+/// Byte-slice cursor for [`decode_entry`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u32(&mut self) -> Option<usize> {
+        let raw = self.bytes.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(raw.try_into().ok()?) as usize)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()?;
+        let raw = self.bytes.get(self.pos..self.pos + len)?;
+        self.pos += len;
+        Some(std::str::from_utf8(raw).ok()?.to_string())
+    }
+
+    fn str_list(&mut self) -> Option<Vec<String>> {
+        let count = self.u32()?;
+        // An absurd count (corruption) must not preallocate gigabytes.
+        if count > 4096 {
+            return None;
+        }
+        (0..count).map(|_| self.str()).collect()
+    }
+}
+
+/// Inverse of [`encode_entry`]. `None` on any malformed payload — including
+/// a future codec version — which the caller treats as a cold miss.
+fn decode_entry(bytes: &[u8]) -> Option<(LogicalPlan, Vec<OperatorDecision>)> {
+    let (&version, rest) = bytes.split_first()?;
+    if version != ENTRY_CODEC_VERSION {
+        return None;
+    }
+    let mut cursor = Cursor {
+        bytes: rest,
+        pos: 0,
+    };
+    let thought = cursor.str()?;
+    let step_count = cursor.u32()?;
+    if step_count > 4096 {
+        return None;
+    }
+    let mut steps = Vec::with_capacity(step_count);
+    for _ in 0..step_count {
+        let number = cursor.u32()?;
+        let description = cursor.str()?;
+        let inputs = cursor.str_list()?;
+        let output = cursor.str()?;
+        let new_columns = cursor.str_list()?;
+        steps.push(LogicalStep::new(
+            number,
+            description,
+            inputs,
+            output,
+            new_columns,
+        ));
+    }
+    let decision_count = cursor.u32()?;
+    if decision_count > 4096 {
+        return None;
+    }
+    let mut decisions = Vec::with_capacity(decision_count);
+    for _ in 0..decision_count {
+        let step_number = cursor.u32()?;
+        let reasoning = cursor.str()?;
+        let operator = OperatorKind::from_name(&cursor.str()?)?;
+        let arguments = cursor.str_list()?;
+        decisions.push(OperatorDecision {
+            step_number,
+            reasoning,
+            operator,
+            arguments,
+        });
+    }
+    if cursor.pos != cursor.bytes.len() {
+        return None;
+    }
+    Some((LogicalPlan { thought, steps }, decisions))
 }
 
 #[cfg(test)]
@@ -1226,5 +1558,131 @@ mod tests {
         assert!(cache.len() <= 8, "capacity bound violated: {}", cache.len());
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 400);
+    }
+
+    #[test]
+    fn entry_codec_round_trips() {
+        let plan = LogicalPlan {
+            thought: format!("filter by {}", slot_marker(0)),
+            steps: vec![
+                LogicalStep::new(
+                    1,
+                    format!("Keep rows where movement = '{}'", slot_marker(0)),
+                    vec!["paintings".into(), "artists".into()],
+                    "filtered",
+                    vec![],
+                ),
+                LogicalStep::new(
+                    2,
+                    "Plot it",
+                    vec!["filtered".into()],
+                    "plot",
+                    vec!["x".into(), "y".into()],
+                ),
+            ],
+        };
+        let decisions = vec![
+            OperatorDecision {
+                step_number: 1,
+                reasoning: "a filter".into(),
+                operator: OperatorKind::SqlSelection,
+                arguments: vec![
+                    format!("movement = '{}'", slot_marker(0)),
+                    "; tricky".into(),
+                ],
+            },
+            OperatorDecision {
+                step_number: 2,
+                reasoning: String::new(),
+                operator: OperatorKind::Plot,
+                arguments: vec![],
+            },
+        ];
+        let encoded = encode_entry(&plan, &decisions);
+        let (plan2, decisions2) = decode_entry(&encoded).expect("decode");
+        assert_eq!(plan, plan2);
+        assert_eq!(decisions, decisions2);
+        // Damaged payloads are misses, never panics.
+        assert_eq!(decode_entry(&encoded[..encoded.len() - 1]), None);
+        assert_eq!(decode_entry(&[]), None);
+        let mut wrong_version = encoded.clone();
+        wrong_version[0] = 99;
+        assert_eq!(decode_entry(&wrong_version), None);
+    }
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, Arc<CacheStore>) {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("caesura-plan-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+        (dir, store)
+    }
+
+    #[test]
+    fn disk_tier_survives_a_simulated_restart() {
+        let (dir, store) = temp_store("restart");
+        let template = normalize_query("Filter paintings of the 'Baroque' movement");
+        {
+            let mut cache = PlanCache::with_capacity(8);
+            cache.attach_disk(Arc::clone(&store), "planner-a");
+            let outcome = cache.insert(
+                "fp",
+                &template,
+                &plan_with("Keep rows where movement = 'Baroque'"),
+                &decision_with("movement = 'Baroque'"),
+            );
+            assert_eq!(outcome, PlanInsertOutcome::Inserted { evictions: 0 });
+            assert_eq!(cache.stats().disk_writes, 1);
+        }
+        // "Restart": a fresh cache over the same store.
+        let mut cache = PlanCache::with_capacity(8);
+        cache.attach_disk(Arc::clone(&store), "planner-a");
+        let probe = normalize_query("Filter paintings of the 'Rococo' movement");
+        let (hit, tier) = cache.lookup_tiered("fp", &probe).expect("disk hit");
+        assert_eq!(tier, PlanTier::Disk);
+        assert!(hit.plan.steps[0].description.contains("'Rococo'"));
+        assert_eq!(hit.decisions[0].arguments[0], "movement = 'Rococo'");
+        // The memory tier was warmed: the next probe hits memory.
+        let (_, tier) = cache.lookup_tiered("fp", &probe).expect("memory hit");
+        assert_eq!(tier, PlanTier::Memory);
+        let stats = cache.stats();
+        assert_eq!((stats.disk_hits, stats.hits, stats.misses), (1, 1, 1));
+        assert!((stats.hit_rate() - 1.0).abs() < 1e-9);
+        drop((cache, store));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_tier_isolates_planner_identities_and_invalidates() {
+        let (dir, store) = temp_store("identity");
+        let template = normalize_query("Filter paintings of the 'Baroque' movement");
+        let mut writer = PlanCache::with_capacity(8);
+        writer.attach_disk(Arc::clone(&store), "planner-a");
+        writer.insert(
+            "fp",
+            &template,
+            &plan_with("Keep rows where movement = 'Baroque'"),
+            &decision_with("movement = 'Baroque'"),
+        );
+
+        // A different planner identity sharing the same store never sees it.
+        let mut other = PlanCache::with_capacity(8);
+        other.attach_disk(Arc::clone(&store), "planner-b");
+        assert_eq!(other.lookup_tiered("fp", &template), None);
+        assert_eq!(other.stats().disk_misses, 1);
+
+        // Nor does a different schema fingerprint under the same identity.
+        let mut same = PlanCache::with_capacity(8);
+        same.attach_disk(Arc::clone(&store), "planner-a");
+        assert_eq!(same.lookup_tiered("other-fp", &template), None);
+
+        // Invalidation tombstones the disk entry: a fresh cache cold-misses.
+        assert!(writer.invalidate("fp", &template));
+        assert_eq!(writer.stats().disk_invalidations, 1);
+        let mut after = PlanCache::with_capacity(8);
+        after.attach_disk(Arc::clone(&store), "planner-a");
+        assert_eq!(after.lookup_tiered("fp", &template), None);
+        drop((writer, other, same, after, store));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -137,10 +137,20 @@ pub struct BatchStats {
     /// is attached; with a cache, `cache_hits + cache_misses ==
     /// unique_requests`).
     pub cache_misses: usize,
-    /// Cache entries evicted while storing this dispatch's answers. Under
-    /// parallel dispatch the exact count depends on worker interleaving
-    /// (answers never do).
+    /// Cache entries evicted while storing this dispatch's answers (or while
+    /// warming the memory tier from disk). Under parallel dispatch the exact
+    /// count depends on worker interleaving (answers never do).
     pub cache_evictions: usize,
+    /// Memory-tier misses answered by the cache's durable disk tier without
+    /// reaching the backend (0 unless a disk tier is attached). A disk hit is
+    /// also counted in `cache_misses` — the memory tier did miss.
+    pub disk_hits: usize,
+    /// Unique requests that missed both tiers (true cold misses; 0 unless a
+    /// disk tier is attached, in which case `disk_hits + disk_misses ==
+    /// cache_misses`).
+    pub disk_misses: usize,
+    /// Successful answers written through to the disk tier.
+    pub disk_writes: usize,
 }
 
 impl BatchStats {
@@ -154,6 +164,9 @@ impl BatchStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.disk_hits += other.disk_hits;
+        self.disk_misses += other.disk_misses;
+        self.disk_writes += other.disk_writes;
     }
 
     /// The stats accumulated since `earlier` (field-wise difference; both
@@ -168,13 +181,28 @@ impl BatchStats {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            disk_misses: self.disk_misses - earlier.disk_misses,
+            disk_writes: self.disk_writes - earlier.disk_writes,
         }
     }
 
-    /// Requests that actually reached the backend: unique requests minus
-    /// cache hits (equal to `unique_requests` when no cache is attached).
+    /// Requests that actually reached the backend: unique requests minus the
+    /// hits of both cache tiers (equal to `unique_requests` when no cache is
+    /// attached).
     pub fn dispatched_requests(&self) -> usize {
-        self.unique_requests - self.cache_hits
+        self.unique_requests - self.cache_hits - self.disk_hits
+    }
+
+    /// Fraction of cache probes answered by either tier (memory or disk),
+    /// in `[0, 1]`; `0.0` when nothing was probed.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.disk_hits) as f64 / probes as f64
+        }
     }
 
     /// Render the stats for traces and observations.
@@ -191,6 +219,12 @@ impl BatchStats {
             out.push_str(&format!(
                 "; cache: {} hit(s), {} miss(es), {} eviction(s)",
                 self.cache_hits, self.cache_misses, self.cache_evictions
+            ));
+        }
+        if self.disk_hits > 0 || self.disk_misses > 0 || self.disk_writes > 0 {
+            out.push_str(&format!(
+                "; disk: {} hit(s), {} miss(es), {} write(s)",
+                self.disk_hits, self.disk_misses, self.disk_writes
             ));
         }
         out
@@ -252,6 +286,21 @@ pub struct PerceptionRequest {
 pub trait PerceptionBackend: Sync {
     /// Answer every request of one batch, in order.
     fn answer_batch(&self, requests: &[PerceptionRequest]) -> Vec<ModalResult<Value>>;
+
+    /// A stable version string identifying this backend's *answer function*:
+    /// two backends share an identity exactly when they are guaranteed to
+    /// answer every `(input, question)` pair identically.
+    ///
+    /// The durable cache tier namespaces its keys with this string, so a
+    /// store written under one model configuration can never answer for
+    /// another — implementations must fold in anything that changes answers
+    /// (model name, noise seed/rate, prompt format version). The default is
+    /// the concrete type name, which is correct for stateless deterministic
+    /// backends and conservatively safe otherwise (renaming a type only
+    /// costs a cold start).
+    fn identity(&self) -> String {
+        std::any::type_name_of_val(self).to_string()
+    }
 }
 
 /// Per-row slot recorded during the gather phase.
@@ -433,11 +482,21 @@ impl PerceptionBatch {
         let null_rows = slots.iter().filter(|s| matches!(s, Slot::Null)).count();
         let unique_count = unique.len();
 
-        // Probe phase: resolve hits, keep misses in first-seen order.
+        // Probe phase: resolve hits, keep misses in first-seen order. With a
+        // disk tier attached, memory misses probe the durable store (keyed by
+        // the backend's identity) before being dispatched; disk hits also
+        // warm the memory tier so duplicates within the session stay cheap.
+        let disk_identity: Option<String> = match cache {
+            Some((cache, _)) if cache.has_disk() => Some(backend.identity()),
+            _ => None,
+        };
         let mut resolved: Vec<Option<Value>> = vec![None; unique_count];
         let mut miss_slots: Vec<usize> = Vec::new();
         let mut miss_requests: Vec<PerceptionRequest> = Vec::new();
         let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+        let mut disk_hits = 0usize;
+        let mut probe_evictions = 0usize;
         match cache {
             Some((cache, scope)) => {
                 for (idx, request) in unique.into_iter().enumerate() {
@@ -447,8 +506,26 @@ impl PerceptionBatch {
                             cache_hits += 1;
                         }
                         None => {
-                            miss_slots.push(idx);
-                            miss_requests.push(request);
+                            cache_misses += 1;
+                            let from_disk = disk_identity.as_ref().and_then(|identity| {
+                                cache.disk_get(identity, scope, &request.input, &request.question)
+                            });
+                            match from_disk {
+                                Some(value) => {
+                                    probe_evictions += cache.insert(
+                                        scope,
+                                        &request.input,
+                                        &request.question,
+                                        value.clone(),
+                                    );
+                                    resolved[idx] = Some(value);
+                                    disk_hits += 1;
+                                }
+                                None => {
+                                    miss_slots.push(idx);
+                                    miss_requests.push(request);
+                                }
+                            }
                         }
                     }
                 }
@@ -458,7 +535,7 @@ impl PerceptionBatch {
                 miss_requests = unique;
             }
         }
-        let cache_misses = if cache.is_some() {
+        let disk_misses = if disk_identity.is_some() {
             miss_requests.len()
         } else {
             0
@@ -467,6 +544,7 @@ impl PerceptionBatch {
         // Dispatch phase: only the misses reach the backend.
         let dispatched = AtomicUsize::new(0);
         let evicted = AtomicUsize::new(0);
+        let disk_wrote = AtomicUsize::new(0);
         let result: EngineResult<Vec<Vec<Value>>> = if miss_requests.is_empty() {
             Ok(Vec::new())
         } else {
@@ -500,6 +578,17 @@ impl PerceptionBatch {
                                 ),
                                 Ordering::Relaxed,
                             );
+                            if let Some(identity) = disk_identity.as_ref() {
+                                if cache.disk_put(
+                                    identity,
+                                    scope,
+                                    &request.input,
+                                    &request.question,
+                                    value,
+                                ) {
+                                    disk_wrote.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                     }
                 }
@@ -517,7 +606,10 @@ impl PerceptionBatch {
             saved_calls: rows - null_rows - unique_count,
             cache_hits,
             cache_misses,
-            cache_evictions: evicted.into_inner(),
+            cache_evictions: probe_evictions + evicted.into_inner(),
+            disk_hits,
+            disk_misses,
+            disk_writes: disk_wrote.into_inner(),
         };
         let scattered = result.map(|chunks| {
             for (j, value) in chunks.into_iter().flatten().enumerate() {
@@ -718,6 +810,9 @@ mod tests {
             cache_hits: 1,
             cache_misses: 2,
             cache_evictions: 1,
+            disk_hits: 1,
+            disk_misses: 1,
+            disk_writes: 1,
         };
         let b = BatchStats {
             rows: 2,
@@ -728,6 +823,9 @@ mod tests {
             cache_hits: 0,
             cache_misses: 2,
             cache_evictions: 0,
+            disk_hits: 0,
+            disk_misses: 2,
+            disk_writes: 2,
         };
         total.absorb(&a);
         let snapshot = total;

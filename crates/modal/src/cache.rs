@@ -53,7 +53,9 @@
 //! `CaesuraConfig::perception_cache`.
 
 use crate::batch::PerceptionInput;
-use caesura_engine::Value;
+use crate::transform::TransformProgram;
+use caesura_engine::{DateValue, Schema, Value};
+use caesura_store::CacheStore;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -162,6 +164,16 @@ impl CacheScope {
             CacheScope::ImageSelect => 2,
         }
     }
+
+    /// Stable name used in on-disk keys (never reuse a name for a different
+    /// operator — the disk tier outlives any one process).
+    fn disk_name(self) -> &'static str {
+        match self {
+            CacheScope::TextQa => "text_qa",
+            CacheScope::VisualQa => "visual_qa",
+            CacheScope::ImageSelect => "image_select",
+        }
+    }
 }
 
 /// Lifetime counters of one [`PerceptionCache`].
@@ -175,6 +187,12 @@ pub struct CacheStats {
     pub insertions: usize,
     /// Entries evicted to respect the capacity bound.
     pub evictions: usize,
+    /// Memory-tier misses answered from the attached disk store.
+    pub disk_hits: usize,
+    /// Disk-tier probes that found nothing (true cold misses).
+    pub disk_misses: usize,
+    /// Answers written through to the attached disk store.
+    pub disk_writes: usize,
 }
 
 /// One cached answer plus its position in the shard's LRU order.
@@ -235,7 +253,14 @@ pub struct PerceptionCache {
     misses: AtomicUsize,
     insertions: AtomicUsize,
     evictions: AtomicUsize,
+    disk_hits: AtomicUsize,
+    disk_misses: AtomicUsize,
+    disk_writes: AtomicUsize,
     capacity: usize,
+    /// Optional durable tier below the shards (see [`caesura_store`]). Keys
+    /// carry the backend identity, so entries written by one model
+    /// configuration never answer for another.
+    disk: Option<Arc<CacheStore>>,
 }
 
 impl PerceptionCache {
@@ -267,8 +292,24 @@ impl PerceptionCache {
             misses: AtomicUsize::new(0),
             insertions: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+            disk_misses: AtomicUsize::new(0),
+            disk_writes: AtomicUsize::new(0),
             capacity,
+            disk: None,
         }
+    }
+
+    /// Attach a durable tier below the in-memory shards. Memory misses then
+    /// probe the store (keyed by backend identity) before dispatching, and
+    /// successful answers are written through.
+    pub fn attach_disk(&mut self, store: Arc<CacheStore>) {
+        self.disk = Some(store);
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
     }
 
     /// The configured entry capacity.
@@ -297,6 +338,9 @@ impl PerceptionCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
         }
     }
 
@@ -406,6 +450,273 @@ impl PerceptionCache {
         }
         self.evictions.fetch_add(1, Ordering::Relaxed);
         1
+    }
+
+    /// Probe the disk tier for a memory miss. Returns the stored answer
+    /// without touching the in-memory shards (callers warm the memory tier
+    /// via [`Self::insert`] so the hit also counts as a memory insertion).
+    ///
+    /// `identity` is the answering backend's version string
+    /// ([`crate::batch::PerceptionBackend::identity`]): it namespaces every
+    /// key, so a store written under one model configuration can never
+    /// answer for another. No-op `None` when no disk tier is attached.
+    pub fn disk_get(
+        &self,
+        identity: &str,
+        scope: CacheScope,
+        input: &PerceptionInput,
+        question: &str,
+    ) -> Option<Value> {
+        let store = self.disk.as_ref()?;
+        let key = disk_key(identity, scope, input, question);
+        let decoded = store.get(&key).and_then(|bytes| decode_value(&bytes));
+        match decoded {
+            Some(value) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Write a successful answer through to the disk tier (no-op without
+    /// one). Returns whether a record was durably appended; write errors are
+    /// swallowed — the disk tier is an optimization, and a failed write
+    /// costs at most a future cold miss.
+    pub fn disk_put(
+        &self,
+        identity: &str,
+        scope: CacheScope,
+        input: &PerceptionInput,
+        question: &str,
+        value: &Value,
+    ) -> bool {
+        let Some(store) = self.disk.as_ref() else {
+            return false;
+        };
+        let key = disk_key(identity, scope, input, question);
+        let written = store.put(&key, &encode_value(value)).is_ok();
+        if written {
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        written
+    }
+
+    /// Speculative-prefetch hook: warm the in-memory tier from disk for a
+    /// set of pending `(input, question)` perception requests before they
+    /// are dispatched. Returns how many answers were warmed.
+    ///
+    /// Wrong guesses are harmless — a prefetched answer is still the correct
+    /// answer for its key, it merely occupies an LRU slot. Callers that know
+    /// a table's likely next-step requests (e.g. the scheduler, or a future
+    /// speculative planner) can warm them here so the batch probe in
+    /// [`crate::batch::PerceptionBatch::dispatch_cached`] hits memory
+    /// directly.
+    pub fn prefetch<'a, I>(&self, identity: &str, scope: CacheScope, requests: I) -> usize
+    where
+        I: IntoIterator<Item = (&'a PerceptionInput, &'a str)>,
+    {
+        if self.disk.is_none() {
+            return 0;
+        }
+        let mut warmed = 0;
+        for (input, question) in requests {
+            if let Some(value) = self.disk_get(identity, scope, input, question) {
+                self.insert(scope, input, question, value);
+                warmed += 1;
+            }
+        }
+        warmed
+    }
+
+    /// Probe the disk tier for a compiled transform program — the Python-UDF
+    /// substitute's "description → code" call, which stands in for a GPT-4
+    /// codegen round trip in the paper.
+    ///
+    /// Unlike the perception operators the codegen has **no memory tier**:
+    /// compilation is deterministic and in-process, so re-compiling within a
+    /// session costs nothing real. What the disk tier buys is restart
+    /// fidelity — a warmed session replays the plan without re-issuing the
+    /// (simulated) codegen call, exactly like the perception answers. With no
+    /// disk tier attached this returns `None` without counting anything, so
+    /// the in-memory-only configuration behaves byte-identically to the
+    /// pre-store code.
+    ///
+    /// A disk hit is counted only when the stored program decodes and
+    /// validates against `schema`; a missing or undecodable entry counts as a
+    /// disk miss and the caller compiles fresh.
+    pub fn transform_disk_get(
+        &self,
+        identity: &str,
+        description: &str,
+        schema: &Schema,
+    ) -> Option<TransformProgram> {
+        let store = self.disk.as_ref()?;
+        let key = transform_disk_key(identity, description, &schema.to_string());
+        let decoded = store
+            .get(&key)
+            .and_then(|bytes| TransformProgram::from_cache_bytes(&bytes, schema));
+        match decoded {
+            Some(program) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(program)
+            }
+            None => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Write a freshly compiled transform program through to the disk tier
+    /// (no-op without one). The write is **round-trip validated**: the
+    /// program is only persisted when decoding its own encoding reproduces it
+    /// exactly, so a cached compile can never behave differently from a fresh
+    /// one — a program whose rendering does not re-parse is simply recompiled
+    /// on every restart. Returns whether a record was durably appended.
+    pub fn transform_disk_put(
+        &self,
+        identity: &str,
+        description: &str,
+        schema: &Schema,
+        program: &TransformProgram,
+    ) -> bool {
+        let Some(store) = self.disk.as_ref() else {
+            return false;
+        };
+        let bytes = program.cache_bytes();
+        if TransformProgram::from_cache_bytes(&bytes, schema).as_ref() != Some(program) {
+            return false;
+        }
+        let key = transform_disk_key(identity, description, &schema.to_string());
+        let written = store.put(&key, &bytes).is_ok();
+        if written {
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        written
+    }
+}
+
+/// The on-disk key of a cached transform compile: length-prefixed
+/// `(identity, "transform", description, schema fingerprint)` parts plus the
+/// kind byte `t`, so transform entries can never collide with the
+/// document/image perception keyspaces of [`disk_key`].
+fn transform_disk_key(identity: &str, description: &str, schema_fp: &str) -> Vec<u8> {
+    let parts: [&[u8]; 4] = [
+        identity.as_bytes(),
+        b"transform",
+        description.as_bytes(),
+        schema_fp.as_bytes(),
+    ];
+    let mut out = Vec::with_capacity(17 + parts.iter().map(|p| p.len()).sum::<usize>());
+    for part in parts {
+        out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        out.extend_from_slice(part);
+    }
+    out.extend_from_slice(b"t");
+    out
+}
+
+/// The on-disk key of a scoped perception answer: length-prefixed
+/// `(identity, scope, input kind + key, question)` parts, so no part can
+/// masquerade as another regardless of its content.
+fn disk_key(identity: &str, scope: CacheScope, input: &PerceptionInput, question: &str) -> Vec<u8> {
+    let kind: &[u8] = match input {
+        PerceptionInput::Document(_) => b"d",
+        PerceptionInput::Image(_) => b"i",
+    };
+    let parts: [&[u8]; 4] = [
+        identity.as_bytes(),
+        scope.disk_name().as_bytes(),
+        input.cache_key().as_bytes(),
+        question.as_bytes(),
+    ];
+    let mut out = Vec::with_capacity(17 + parts.iter().map(|p| p.len()).sum::<usize>());
+    for part in parts {
+        out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        out.extend_from_slice(part);
+    }
+    out.extend_from_slice(kind);
+    out
+}
+
+/// Serialize a [`Value`] for the disk tier: a tag byte plus a fixed or
+/// length-prefixed payload. (No serde in this workspace — the codec is
+/// hand-rolled and pinned by round-trip tests.)
+fn encode_value(value: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    let push_str = |out: &mut Vec<u8>, tag: u8, s: &str| {
+        out.push(tag);
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    };
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => push_str(&mut out, 4, s),
+        Value::Date(d) => {
+            out.push(5);
+            out.extend_from_slice(&d.year.to_le_bytes());
+            out.push(d.month);
+            out.push(d.day);
+        }
+        Value::Image(s) => push_str(&mut out, 6, s),
+        Value::Text(s) => push_str(&mut out, 7, s),
+    }
+    out
+}
+
+/// Inverse of [`encode_value`]. `None` on any malformed payload (the disk
+/// tier then treats the entry as a miss — cold start, never a wrong answer).
+fn decode_value(bytes: &[u8]) -> Option<Value> {
+    let (&tag, rest) = bytes.split_first()?;
+    let take_str = |rest: &[u8]| -> Option<Arc<str>> {
+        let len = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+        let payload = rest.get(4..4 + len)?;
+        if rest.len() != 4 + len {
+            return None;
+        }
+        Some(Arc::from(std::str::from_utf8(payload).ok()?))
+    };
+    match tag {
+        0 => rest.is_empty().then_some(Value::Null),
+        1 => match rest {
+            [0] => Some(Value::Bool(false)),
+            [1] => Some(Value::Bool(true)),
+            _ => None,
+        },
+        2 => Some(Value::Int(i64::from_le_bytes(rest.try_into().ok()?))),
+        3 => Some(Value::Float(f64::from_bits(u64::from_le_bytes(
+            rest.try_into().ok()?,
+        )))),
+        4 => Some(Value::Str(take_str(rest)?)),
+        5 => {
+            let [y0, y1, y2, y3, month, day] = rest else {
+                return None;
+            };
+            Some(Value::Date(DateValue::new(
+                i32::from_le_bytes([*y0, *y1, *y2, *y3]),
+                *month,
+                *day,
+            )))
+        }
+        6 => Some(Value::Image(take_str(rest)?)),
+        7 => Some(Value::Text(take_str(rest)?)),
+        _ => None,
     }
 }
 
@@ -545,5 +856,99 @@ mod tests {
         );
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 800);
+    }
+
+    #[test]
+    fn value_codec_round_trips_every_variant() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::str("hello \u{1f}\u{F8FF} world"),
+            Value::Date(DateValue::new(1889, 3, 0)),
+            Value::image("img/1.png"),
+            Value::text("a longer document\nwith lines"),
+        ];
+        for value in values {
+            let encoded = encode_value(&value);
+            let decoded = decode_value(&encoded).expect("decode");
+            // NaN != NaN under PartialEq; compare the encodings instead.
+            assert_eq!(encode_value(&decoded), encoded, "{value:?}");
+        }
+        assert_eq!(decode_value(&[]), None);
+        assert_eq!(decode_value(&[99]), None);
+        assert_eq!(decode_value(&[4, 10, 0, 0, 0, b'x']), None, "short string");
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_isolates_identities() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("caesura-cache-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+
+        let mut cache = PerceptionCache::with_capacity(8);
+        assert!(!cache.has_disk());
+        cache.attach_disk(Arc::clone(&store));
+        assert!(cache.has_disk());
+
+        let input = doc("report A");
+        assert_eq!(
+            cache.disk_get("model-a", CacheScope::TextQa, &input, "Q?"),
+            None
+        );
+        cache.disk_put("model-a", CacheScope::TextQa, &input, "Q?", &Value::Int(7));
+        assert_eq!(
+            cache.disk_get("model-a", CacheScope::TextQa, &input, "Q?"),
+            Some(Value::Int(7))
+        );
+        // A different backend identity never sees the entry.
+        assert_eq!(
+            cache.disk_get("model-b", CacheScope::TextQa, &input, "Q?"),
+            None
+        );
+        // Nor does a different scope under the same identity.
+        let image = PerceptionInput::Image(crate::ImageObject::new("report A"));
+        assert_eq!(
+            cache.disk_get("model-a", CacheScope::VisualQa, &image, "Q?"),
+            None
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.disk_misses, 3);
+        assert_eq!(stats.disk_writes, 1);
+        drop(cache);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefetch_warms_the_memory_tier() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("caesura-cache-prefetch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+
+        let seeder = {
+            let mut cache = PerceptionCache::with_capacity(8);
+            cache.attach_disk(Arc::clone(&store));
+            cache
+        };
+        let (a, b) = (doc("a"), doc("b"));
+        seeder.disk_put("m", CacheScope::TextQa, &a, "Q?", &Value::Int(1));
+
+        let mut cache = PerceptionCache::with_capacity(8);
+        cache.attach_disk(Arc::clone(&store));
+        let requests = [(&a, "Q?"), (&b, "Q?")];
+        let warmed = cache.prefetch("m", CacheScope::TextQa, requests.iter().copied());
+        assert_eq!(warmed, 1, "only the stored request warms");
+        // The warmed answer now hits memory without another disk probe.
+        assert_eq!(cache.get(CacheScope::TextQa, &a, "Q?"), Some(Value::Int(1)));
+        assert_eq!(cache.get(CacheScope::TextQa, &b, "Q?"), None);
+        drop((cache, seeder, store));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

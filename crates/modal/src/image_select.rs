@@ -112,6 +112,15 @@ impl PerceptionBackend for ImageSelectModel {
             })
             .collect()
     }
+
+    /// Decisions depend only on the image annotations and the noise
+    /// configuration, so the identity versions exactly those.
+    fn identity(&self) -> String {
+        format!(
+            "sim:image_select:v1:noise={}@{}",
+            self.noise.error_rate, self.noise.seed
+        )
+    }
 }
 
 #[cfg(test)]

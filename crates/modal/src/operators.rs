@@ -632,7 +632,32 @@ pub fn apply_python_udf_with(
     description: &str,
     new_column: &str,
 ) -> (BatchStats, ModalResult<Table>) {
-    let stats = BatchStats {
+    apply_python_udf_cached(table, codegen, description, new_column, None)
+}
+
+/// The version string namespacing persisted transform compiles. The codegen
+/// is deterministic and model-independent in this reproduction, so the
+/// identity only needs to change when the compiler's behaviour does.
+const TRANSFORM_CODEGEN_IDENTITY: &str = "codegen:transform:v1";
+
+/// [`apply_python_udf_with`] probing the durable tier of `cache` for the
+/// compiled program. The codegen has no in-memory cache tier (compiling is a
+/// deterministic in-process call — see
+/// [`PerceptionCache::transform_disk_get`]), so without an attached disk
+/// store this is byte-identical to the uncached path, stats included. With
+/// one, the compile counts as a memory miss plus a disk hit or miss, keeping
+/// every [`BatchStats`] tier invariant intact: on a disk hit the call never
+/// dispatches ([`BatchStats::dispatched_requests`] stays 0 — a restarted
+/// session replays the operator without re-issuing the simulated codegen
+/// call), and a fresh compile is written through round-trip-validated.
+pub fn apply_python_udf_cached(
+    table: &Table,
+    codegen: &TransformCodegen,
+    description: &str,
+    new_column: &str,
+    cache: Option<&PerceptionCache>,
+) -> (BatchStats, ModalResult<Table>) {
+    let base = BatchStats {
         rows: 0,
         null_rows: 0,
         unique_requests: 1,
@@ -640,10 +665,47 @@ pub fn apply_python_udf_with(
         saved_calls: 0,
         ..BatchStats::default()
     };
-    let result = codegen
-        .compile(description, table.schema())
-        .and_then(|program| program.apply(table, new_column));
-    (stats, result)
+    let schema = table.schema();
+    match cache.filter(|c| c.has_disk()) {
+        None => {
+            let result = codegen
+                .compile(description, schema)
+                .and_then(|program| program.apply(table, new_column));
+            (base, result)
+        }
+        Some(cache) => {
+            if let Some(program) =
+                cache.transform_disk_get(TRANSFORM_CODEGEN_IDENTITY, description, schema)
+            {
+                let stats = BatchStats {
+                    cache_misses: 1,
+                    disk_hits: 1,
+                    ..base
+                };
+                return (stats, program.apply(table, new_column));
+            }
+            let compiled = codegen.compile(description, schema);
+            let disk_writes = match &compiled {
+                Ok(program) => usize::from(cache.transform_disk_put(
+                    TRANSFORM_CODEGEN_IDENTITY,
+                    description,
+                    schema,
+                    program,
+                )),
+                // Failed compiles are never cached, mirroring the
+                // errors-are-never-cached rule of the perception tiers.
+                Err(_) => 0,
+            };
+            let stats = BatchStats {
+                cache_misses: 1,
+                disk_misses: 1,
+                disk_writes,
+                ..base
+            };
+            let result = compiled.and_then(|program| program.apply(table, new_column));
+            (stats, result)
+        }
+    }
 }
 
 /// Apply the Plot operator to a result table.

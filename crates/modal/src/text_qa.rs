@@ -255,6 +255,15 @@ impl PerceptionBackend for TextQaModel {
             })
             .collect()
     }
+
+    /// Answers depend only on the document text and the noise configuration,
+    /// so the identity versions exactly those.
+    fn identity(&self) -> String {
+        format!(
+            "sim:text_qa:v1:noise={}@{}",
+            self.noise.error_rate, self.noise.seed
+        )
+    }
 }
 
 /// Strip articles, scores, and punctuation from a phrase like

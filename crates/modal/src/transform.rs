@@ -48,6 +48,40 @@ impl TransformProgram {
                 message: e.to_string(),
             })
     }
+
+    /// Encode the program for the durable cache tier: the expression's SQL
+    /// rendering (re-parsed on decode) plus the trace `source` string.
+    /// Callers must round-trip through [`Self::from_cache_bytes`] before
+    /// persisting — see `apply_python_udf_cached` — so only programs whose
+    /// rendering re-parses to the identical program are ever stored.
+    pub fn cache_bytes(&self) -> Vec<u8> {
+        let expr = self.expr.to_string();
+        let mut out = Vec::with_capacity(4 + expr.len() + self.source.len());
+        out.extend_from_slice(&(expr.len() as u32).to_le_bytes());
+        out.extend_from_slice(expr.as_bytes());
+        out.extend_from_slice(self.source.as_bytes());
+        out
+    }
+
+    /// Decode a program stored by [`Self::cache_bytes`] against the table
+    /// schema it is about to run over. Returns `None` for malformed bytes,
+    /// expressions the SQL parser rejects, or expressions referencing columns
+    /// the schema no longer has — a decode failure simply falls back to a
+    /// fresh compile.
+    pub fn from_cache_bytes(bytes: &[u8], schema: &Schema) -> Option<Self> {
+        let len = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        let rest = bytes.get(4..)?;
+        let expr_text = std::str::from_utf8(rest.get(..len)?).ok()?;
+        let source = std::str::from_utf8(rest.get(len..)?).ok()?;
+        let expr = parse_expression(expr_text).ok()?;
+        let columns = expr.referenced_columns();
+        if columns.is_empty() || !columns.iter().all(|c| schema.contains(c)) {
+            return None;
+        }
+        let mut program = TransformProgram::from_expr(expr, schema);
+        program.source = source.to_string();
+        Some(program)
+    }
 }
 
 /// The simulated "description → code" generator.
@@ -434,5 +468,49 @@ mod tests {
         b.push_values::<_, Value>(vec![Value::Int(1)]).unwrap();
         let err = program.apply(&b.build(), "boom").unwrap_err();
         assert!(matches!(err, ModalError::TransformRuntime { .. }));
+    }
+
+    #[test]
+    fn cache_codec_round_trips_every_compile_shape() {
+        let codegen = TransformCodegen::new();
+        let schema = schema();
+        // One description per compile path, including the century path whose
+        // custom `source` must survive the round trip, and the yes/no path
+        // whose CASE expression exercises the trickiest rendering.
+        for description in [
+            "CENTURY(inception)",
+            "Extract the century from the inception dates",
+            "Extract the year from the inception column",
+            "Convert the yes/no madonna_depicted answers to numbers",
+            "divide the points by 100",
+            "difference between points and inception",
+            "lowercase the title",
+            "parse the inception as a number",
+        ] {
+            let program = codegen.compile(description, &schema).unwrap();
+            let decoded = TransformProgram::from_cache_bytes(&program.cache_bytes(), &schema);
+            assert_eq!(decoded.as_ref(), Some(&program), "for: {description}");
+        }
+    }
+
+    #[test]
+    fn cache_codec_rejects_garbage_and_schema_drift() {
+        let codegen = TransformCodegen::new();
+        let schema = schema();
+        let program = codegen.compile("CENTURY(inception)", &schema).unwrap();
+        let bytes = program.cache_bytes();
+        // Truncation, non-UTF-8, and an unparsable expression all decode to
+        // None rather than to a wrong program.
+        assert_eq!(
+            TransformProgram::from_cache_bytes(&bytes[..3], &schema),
+            None
+        );
+        assert_eq!(TransformProgram::from_cache_bytes(b"", &schema), None);
+        let mut flipped = bytes.clone();
+        flipped[4] = 0xff;
+        assert_eq!(TransformProgram::from_cache_bytes(&flipped, &schema), None);
+        // A schema that lost the referenced column rejects the entry.
+        let drifted = Schema::from_pairs(&[("title", DataType::Str)]);
+        assert_eq!(TransformProgram::from_cache_bytes(&bytes, &drifted), None);
     }
 }

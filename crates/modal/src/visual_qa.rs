@@ -234,6 +234,15 @@ impl PerceptionBackend for VisualQaModel {
             })
             .collect()
     }
+
+    /// Answers depend only on the image annotations and the noise
+    /// configuration, so the identity versions exactly those.
+    fn identity(&self) -> String {
+        format!(
+            "sim:visual_qa:v1:noise={}@{}",
+            self.noise.error_rate, self.noise.seed
+        )
+    }
 }
 
 #[cfg(test)]

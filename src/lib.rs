@@ -16,7 +16,9 @@
 //! * [`data`] — the synthetic artwork and rotowire data lakes,
 //! * [`core`] — the CAESURA planner itself (discovery, planning, mapping,
 //!   interleaved execution, error recovery),
-//! * [`eval`] — the 48-query benchmark, grading, and Table 1/2 reports.
+//! * [`eval`] — the 48-query benchmark, grading, and Table 1/2 reports,
+//! * [`store`] — the crash-safe on-disk KV store backing the optional
+//!   durable tier under the perception and plan caches.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub use caesura_engine as engine;
 pub use caesura_eval as eval;
 pub use caesura_llm as llm;
 pub use caesura_modal as modal;
+pub use caesura_store as store;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
